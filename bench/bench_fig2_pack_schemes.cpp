@@ -1,0 +1,72 @@
+// Reproduces paper Figure 2: non-contiguous data pack performance for the
+// three staging schemes, small (16 B - 4 KB) and large (4 KB - 4 MB)
+// message ranges. 4-byte rows throughout (the paper's float chunks).
+//
+// Expected shape: D2D2H nc2c2c wins for everything above ~64 B; at 4 MB it
+// costs ~4.8% of D2H nc2nc.
+#include <iostream>
+#include <vector>
+
+#include "apps/reporting.hpp"
+#include "bench_util.hpp"
+#include "core/gpu_staging.hpp"
+#include "core/msg_view.hpp"
+#include "mpi/datatype.hpp"
+
+namespace bench = mv2gnc::bench;
+namespace apps = mv2gnc::apps;
+namespace core = mv2gnc::core;
+namespace sim = mv2gnc::sim;
+namespace cusim = mv2gnc::cusim;
+using mv2gnc::mpisim::Datatype;
+
+namespace {
+
+sim::SimTime measure(core::PackScheme scheme, std::size_t msg_bytes) {
+  sim::SimTime elapsed = 0;
+  bench::run_single_gpu([&](sim::Engine& eng, cusim::CudaContext& ctx) {
+    const int rows = static_cast<int>(msg_bytes / 4);
+    constexpr int kStride = 2;  // floats: 8-byte pitch
+    auto dtype = Datatype::vector(rows, 1, kStride, Datatype::float32());
+    dtype.commit();
+    void* dev = ctx.malloc(static_cast<std::size_t>(rows) * kStride * 4);
+    auto msg = core::MsgView::make(dev, 1, dtype, ctx.device().registry());
+    std::vector<std::byte> host(static_cast<std::size_t>(dtype.extent()) + 64);
+    const sim::SimTime t0 = eng.now();
+    core::stage_to_host(ctx, scheme, msg, host.data());
+    elapsed = eng.now() - t0;
+    ctx.free(dev);
+  });
+  return elapsed;
+}
+
+void sweep(const char* title, const std::vector<std::size_t>& sizes) {
+  apps::Table table(title, {"size", "D2H nc2c (us)", "D2H nc2nc (us)",
+                            "D2D2H nc2c2c (us)"});
+  for (std::size_t s : sizes) {
+    table.add_row({apps::format_bytes(s),
+                   apps::format_us(measure(core::PackScheme::kD2H_nc2c, s)),
+                   apps::format_us(measure(core::PackScheme::kD2H_nc2nc, s)),
+                   apps::format_us(
+                       measure(core::PackScheme::kD2D2H_nc2c2c, s))});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Non-contiguous data pack performance",
+                "Figure 2 (a) small and (b) large messages");
+  sweep("Figure 2(a): small messages",
+        {16, 64, 256, 1024, 4096});
+  sweep("Figure 2(b): large messages",
+        {4096, 16384, 65536, 262144, 1048576, 4194304});
+  const double nc2nc =
+      static_cast<double>(measure(core::PackScheme::kD2H_nc2nc, 4194304));
+  const double off =
+      static_cast<double>(measure(core::PackScheme::kD2D2H_nc2c2c, 4194304));
+  std::cout << "\nD2D2H/nc2nc ratio at 4 MB: " << (off / nc2nc * 100.0)
+            << "% (paper: 4.8%)\n";
+  return 0;
+}

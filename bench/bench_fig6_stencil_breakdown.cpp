@@ -1,0 +1,56 @@
+// Reproduces paper Figure 6: dimension-wise communication breakdown of
+// Stencil2D (Def variant) at rank 1 on a 2x4 process grid with an
+// 8K x 8K single-precision tile per process.
+//
+// Rank 1 sits in the top row with south, west and east neighbours.
+// Expected shape: the east/west *cuda* components (strided staging across
+// PCIe) dominate; mpi components are comparatively small.
+#include <iostream>
+
+#include "apps/reporting.hpp"
+#include "apps/stencil2d.hpp"
+#include "bench_util.hpp"
+
+namespace bench = mv2gnc::bench;
+namespace apps = mv2gnc::apps;
+namespace mpisim = mv2gnc::mpisim;
+namespace sim = mv2gnc::sim;
+
+int main() {
+  bench::banner("Stencil2D dimension-wise communication breakdown (rank 1)",
+                "Figure 6 (2x4 grid, 8K x 8K single precision)");
+  apps::StencilConfig cfg;
+  cfg.proc_rows = 2;
+  cfg.proc_cols = 4;
+  cfg.local_rows = 8192;
+  cfg.local_cols = 8192;
+  cfg.iterations = 20;
+  cfg.variant = apps::StencilConfig::Variant::kDef;
+  cfg.trace_dirs = true;
+
+  mpisim::Cluster cluster(
+      mpisim::ClusterConfig{.ranks = cfg.ranks(), .trace_enabled = true});
+  cluster.run([&](mpisim::Context& ctx) { apps::run_stencil(ctx, cfg); });
+
+  auto& tr = cluster.trace();
+  apps::Table table("Time at rank 1 over " + std::to_string(cfg.iterations) +
+                        " iterations",
+                    {"component", "time (us)"});
+  for (const char* cat :
+       {"south_mpi", "west_mpi", "east_mpi", "south_cuda", "west_cuda",
+        "east_cuda"}) {
+    table.add_row({cat, apps::format_us(tr.total(1, cat))});
+  }
+  table.print(std::cout);
+  const double cuda_total = sim::to_us(tr.total(1, "south_cuda")) +
+                            sim::to_us(tr.total(1, "west_cuda")) +
+                            sim::to_us(tr.total(1, "east_cuda"));
+  const double mpi_total = sim::to_us(tr.total(1, "south_mpi")) +
+                           sim::to_us(tr.total(1, "west_mpi")) +
+                           sim::to_us(tr.total(1, "east_mpi"));
+  std::cout << "\ncuda total: " << cuda_total << " us, mpi total: "
+            << mpi_total << " us\n"
+            << "Paper shape: non-contiguous device<->host staging (east/west"
+               " cuda) dominates.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scaling study: Stencil2D weak scaling across process-grid sizes.
+//
+// Fixed 4K x 4K single-precision tile per process; the grid grows from 1
+// to 8 ranks. As neighbours appear, communication grows while compute per
+// rank stays constant — the gap between Def and MV2-GPU-NC widens with
+// the non-contiguous (east/west) neighbour count. Not a paper table, but
+// the scaling behaviour the paper's per-grid results imply.
+#include <iostream>
+#include <vector>
+
+#include "apps/reporting.hpp"
+#include "apps/stencil2d.hpp"
+#include "bench_util.hpp"
+
+namespace bench = mv2gnc::bench;
+namespace apps = mv2gnc::apps;
+namespace mpisim = mv2gnc::mpisim;
+
+namespace {
+
+double run_case(int pr, int pc, apps::StencilConfig::Variant v) {
+  apps::StencilConfig cfg;
+  cfg.proc_rows = pr;
+  cfg.proc_cols = pc;
+  cfg.local_rows = 4096;
+  cfg.local_cols = 4096;
+  cfg.iterations = 10;
+  cfg.variant = v;
+  mpisim::Cluster cluster(mpisim::ClusterConfig{.ranks = cfg.ranks()});
+  double seconds = 0;
+  cluster.run([&](mpisim::Context& ctx) {
+    auto r = apps::run_stencil(ctx, cfg);
+    if (ctx.rank == 0) seconds = r.seconds;
+  });
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Stencil2D weak scaling (4K x 4K SP per process, 10 iters)",
+                "scaling companion to Tables II/III");
+  apps::Table table("Per-grid times",
+                    {"grid", "ranks", "Def (s)", "MV2-GPU-NC (s)",
+                     "improvement"});
+  const struct {
+    int pr, pc;
+  } grids[] = {{1, 1}, {1, 2}, {2, 2}, {2, 4}};
+  for (const auto& g : grids) {
+    const double d = run_case(g.pr, g.pc,
+                              apps::StencilConfig::Variant::kDef);
+    const double n = run_case(g.pr, g.pc,
+                              apps::StencilConfig::Variant::kMv2GpuNc);
+    char db[32], nb[32];
+    std::snprintf(db, sizeof(db), "%.4f", d);
+    std::snprintf(nb, sizeof(nb), "%.4f", n);
+    table.add_row({std::to_string(g.pr) + "x" + std::to_string(g.pc),
+                   std::to_string(g.pr * g.pc), db, nb,
+                   apps::format_improvement(d, n)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: 1x1 identical (no communication); the gap "
+               "widens as east/west neighbours appear.\n";
+  return 0;
+}

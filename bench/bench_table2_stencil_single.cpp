@@ -1,0 +1,9 @@
+// Reproduces paper Table II: Stencil2D median execution times, single
+// precision, on 1x8 / 8x1 / 2x4 / 4x2 process grids.
+#include "stencil_tables_common.hpp"
+
+int main() {
+  return mv2gnc::bench::run_stencil_table(
+      false, "Table II: single precision",
+      "Table II (Stencil2D-Def vs Stencil2D-MV2-GPU-NC, SP)");
+}

@@ -1,0 +1,9 @@
+// Reproduces paper Table III: Stencil2D median execution times, double
+// precision, on 1x8 / 8x1 / 2x4 / 4x2 process grids.
+#include "stencil_tables_common.hpp"
+
+int main() {
+  return mv2gnc::bench::run_stencil_table(
+      true, "Table III: double precision",
+      "Table III (Stencil2D-Def vs Stencil2D-MV2-GPU-NC, DP)");
+}

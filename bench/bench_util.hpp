@@ -1,0 +1,37 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "cuda/runtime.hpp"
+#include "gpu/device.hpp"
+#include "sim/engine.hpp"
+
+namespace mv2gnc::bench {
+
+/// Run `body` as a single simulated process against one Tesla-C2050-class
+/// device (for the single-GPU measurements of §I-A and Figure 2).
+inline void run_single_gpu(
+    const std::function<void(sim::Engine&, cusim::CudaContext&)>& body,
+    std::size_t device_memory = 3ull << 30) {
+  sim::Engine engine;
+  gpu::MemoryRegistry registry;
+  gpu::Device device(engine, registry, 0, gpu::GpuCostModel::tesla_c2050(),
+                     device_memory);
+  cusim::CudaContext ctx(device);
+  engine.spawn("bench", [&] { body(engine, ctx); });
+  engine.run();
+}
+
+/// Standard benchmark banner.
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::cout << "\n######################################################\n"
+            << "# " << what << "\n"
+            << "# reproduces: " << paper_ref << "\n"
+            << "# (virtual time on the simulated C2050/QDR testbed)\n"
+            << "######################################################\n";
+}
+
+}  // namespace mv2gnc::bench

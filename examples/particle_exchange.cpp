@@ -1,0 +1,84 @@
+// particle_exchange: heterogeneous struct datatypes over GPU memory.
+//
+// A small molecular-dynamics-style scenario: each rank keeps an array of
+// particle records in device memory and ships a subset of *fields* (id and
+// position, not velocity or padding) to its neighbour using a struct
+// datatype with a resized extent. Demonstrates that the datatype engine's
+// struct/resized constructors compose with the GPU path (via the
+// generalized pack kernel — structs have no uniform 2-D pattern).
+//
+// Build & run:  ./examples/particle_exchange
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+using namespace mv2gnc;
+using mpisim::Datatype;
+
+namespace {
+
+struct Particle {
+  std::int32_t id;
+  std::int32_t cell;     // not communicated
+  double x, y, z;
+  double vx, vy, vz;     // not communicated
+};
+
+Datatype particle_wire_type() {
+  // id + (x, y, z), holes for cell and velocity.
+  const std::array<int, 2> lens{1, 3};
+  const std::array<std::int64_t, 2> displs{offsetof(Particle, id),
+                                           offsetof(Particle, x)};
+  const std::array<Datatype, 2> types{Datatype::int32(),
+                                      Datatype::float64()};
+  auto body = Datatype::create_struct(lens, displs, types);
+  auto t = Datatype::resized(body, 0, sizeof(Particle));
+  t.commit();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  mpisim::Cluster cluster(mpisim::ClusterConfig{.ranks = 2});
+  cluster.run([](mpisim::Context& ctx) {
+    constexpr int kCount = 20'000;  // ~560 KB of records on the wire
+    auto wire = particle_wire_type();
+    auto* particles = static_cast<Particle*>(
+        ctx.cuda->malloc(sizeof(Particle) * kCount));
+
+    if (ctx.rank == 0) {
+      std::vector<Particle> host(kCount);
+      for (int i = 0; i < kCount; ++i) {
+        host[i] = Particle{i, -1, i * 0.5, i * 0.25, i * 0.125,
+                           9e9, 9e9, 9e9};
+      }
+      ctx.cuda->memcpy(particles, host.data(), sizeof(Particle) * kCount);
+      const double t0 = ctx.comm.wtime();
+      ctx.comm.send(particles, kCount, wire, 1, 3);
+      std::printf("[rank 0] sent %d particles (id+position only) from GPU "
+                  "memory in %.2f ms\n",
+                  kCount, (ctx.comm.wtime() - t0) * 1e3);
+    } else {
+      // Pre-fill so the holes (cell, velocity) are provably untouched.
+      std::vector<Particle> host(kCount,
+                                 Particle{-7, 42, 0, 0, 0, 1.5, 2.5, 3.5});
+      ctx.cuda->memcpy(particles, host.data(), sizeof(Particle) * kCount);
+      ctx.comm.recv(particles, kCount, wire, 0, 3);
+      ctx.cuda->memcpy(host.data(), particles, sizeof(Particle) * kCount);
+      bool ok = true;
+      for (int i = 0; i < kCount && ok; ++i) {
+        ok = host[i].id == i && host[i].x == i * 0.5 &&
+             host[i].cell == 42 && host[i].vx == 1.5;  // holes preserved
+      }
+      std::printf("[rank 1] received particle fields into GPU memory: %s\n",
+                  ok ? "ids/positions verified, local fields untouched"
+                     : "CORRUPT");
+    }
+    ctx.cuda->free(particles);
+  });
+  return 0;
+}

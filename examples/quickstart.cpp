@@ -1,0 +1,61 @@
+// Quickstart: send a non-contiguous (strided) vector that lives in GPU
+// device memory from one rank to another — with nothing but MPI calls.
+//
+// This is the paper's Figure 4(c): create the vector datatype, commit it,
+// and pass device pointers straight to send/recv. The library detects the
+// device residency, offloads the pack/unpack onto the GPU, and pipelines
+// the transfer stages.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+using namespace mv2gnc;
+
+int main() {
+  // A simulated 2-node cluster: one CPU process + one Tesla-C2050-class
+  // GPU + one QDR HCA per node.
+  mpisim::Cluster cluster(mpisim::ClusterConfig{.ranks = 2});
+
+  cluster.run([](mpisim::Context& ctx) {
+    // One float column of a 1024 x 256 row-major matrix: 1024 elements,
+    // each 256 floats apart — classic east/west halo layout.
+    constexpr int kRows = 1024, kCols = 256;
+    auto column = mpisim::Datatype::vector(kRows, 1, kCols,
+                                           mpisim::Datatype::float32());
+    column.commit();
+
+    // The matrix lives in GPU device memory.
+    auto* matrix = static_cast<float*>(
+        ctx.cuda->malloc(sizeof(float) * kRows * kCols));
+
+    if (ctx.rank == 0) {
+      // Fill column 0 on the host, upload, and send it — directly from
+      // device memory.
+      std::vector<float> host(kRows * kCols, 0.f);
+      for (int r = 0; r < kRows; ++r) host[r * kCols] = static_cast<float>(r);
+      ctx.cuda->memcpy(matrix, host.data(), host.size() * sizeof(float));
+
+      const double t0 = ctx.comm.wtime();
+      ctx.comm.send(matrix, 1, column, /*dst=*/1, /*tag=*/0);
+      std::printf("[rank 0] sent a %d-element strided column from GPU "
+                  "memory in %.1f us (virtual)\n",
+                  kRows, (ctx.comm.wtime() - t0) * 1e6);
+    } else {
+      ctx.comm.recv(matrix, 1, column, /*src=*/0, /*tag=*/0);
+      std::vector<float> host(kRows * kCols);
+      ctx.cuda->memcpy(host.data(), matrix, host.size() * sizeof(float));
+      bool ok = true;
+      for (int r = 0; r < kRows; ++r) {
+        if (host[r * kCols] != static_cast<float>(r)) ok = false;
+      }
+      std::printf("[rank 1] received the column into GPU memory: %s\n",
+                  ok ? "payload verified" : "CORRUPT");
+    }
+    ctx.cuda->free(matrix);
+  });
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Distributed matrix transpose on GPU memory — subarray datatypes sent
+// straight from device buffers, the FFT-style all-to-all exchange.
+//
+// Build & run:  ./examples/transpose
+#include <cstdio>
+#include <iostream>
+
+#include "apps/transpose.hpp"
+#include "mpi/cluster.hpp"
+
+using namespace mv2gnc;
+
+int main() {
+  std::printf("Validated transpose of a 256 x 256 matrix over 4 GPUs...\n");
+  {
+    mpisim::Cluster cluster(mpisim::ClusterConfig{.ranks = 4});
+    apps::TransposeConfig cfg;
+    cfg.global_n = 256;
+    cfg.validate = true;  // throws on any misplaced element
+    double checksum = 0;
+    cluster.run([&](mpisim::Context& ctx) {
+      auto res = apps::run_transpose(ctx, cfg);
+      if (ctx.rank == 0) checksum = res.checksum;
+    });
+    std::printf("  OK, checksum = %.0f\n\n", checksum);
+  }
+
+  std::printf("Timing an 8K x 8K transpose over 8 GPUs (model-driven)...\n");
+  {
+    mpisim::Cluster cluster(mpisim::ClusterConfig{.ranks = 8});
+    apps::TransposeConfig cfg;
+    cfg.global_n = 8192;
+    double seconds = 0;
+    cluster.run([&](mpisim::Context& ctx) {
+      auto res = apps::run_transpose(ctx, cfg);
+      if (ctx.rank == 0) seconds = res.seconds;
+    });
+    std::printf("  %.2f ms virtual time (%.1f MB per rank exchanged)\n",
+                seconds * 1e3, 8192.0 * 8192 / 8 * 8 / 1e6);
+    cluster.print_stats(std::cout);
+  }
+  return 0;
+}

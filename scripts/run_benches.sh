@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run every benchmark binary and collect outputs under bench_results/.
+# Usage: scripts/run_benches.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="bench_results"
+mkdir -p "${OUT_DIR}"
+
+if [ ! -d "${BUILD_DIR}/bench" ]; then
+  echo "error: ${BUILD_DIR}/bench not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+for bin in "${BUILD_DIR}"/bench/*; do
+  [ -x "${bin}" ] || continue
+  name="$(basename "${bin}")"
+  echo "== ${name} =="
+  "${bin}" | tee "${OUT_DIR}/${name}.txt"
+done
+
+echo
+echo "outputs written to ${OUT_DIR}/"

@@ -1,0 +1,145 @@
+#include "apps/osu.hpp"
+
+#include <vector>
+
+namespace mv2gnc::apps {
+
+namespace {
+
+namespace mpisim = mv2gnc::mpisim;
+using mpisim::Context;
+using mpisim::Datatype;
+
+Datatype byte_type() {
+  Datatype t = Datatype::byte();
+  t.commit();
+  return t;
+}
+
+/// RAII buffer in host or device memory.
+struct Buffer {
+  Buffer(Context& ctx, BufferPlacement place, std::size_t bytes)
+      : ctx_(ctx), place_(place) {
+    if (place == BufferPlacement::kDevice) {
+      ptr_ = static_cast<std::byte*>(ctx.cuda->malloc(bytes));
+    } else {
+      host_.resize(bytes);
+      ptr_ = host_.data();
+    }
+  }
+  ~Buffer() {
+    if (place_ == BufferPlacement::kDevice) ctx_.cuda->free(ptr_);
+  }
+  std::byte* get() { return ptr_; }
+
+ private:
+  Context& ctx_;
+  BufferPlacement place_;
+  std::byte* ptr_ = nullptr;
+  std::vector<std::byte> host_;
+};
+
+}  // namespace
+
+const char* placement_name(BufferPlacement p) {
+  return p == BufferPlacement::kDevice ? "D-D" : "H-H";
+}
+
+sim::SimTime osu_latency(BufferPlacement place, std::size_t bytes,
+                         int iterations, const mpisim::ClusterConfig& cfg) {
+  mpisim::ClusterConfig c = cfg;
+  c.ranks = 2;
+  mpisim::Cluster cluster(c);
+  sim::SimTime one_way = 0;
+  cluster.run([&](Context& ctx) {
+    auto t = byte_type();
+    Buffer buf(ctx, place, bytes);
+    const int peer = 1 - ctx.rank;
+    const int n = static_cast<int>(bytes);
+    ctx.comm.barrier();
+    sim::SimTime t0 = 0;
+    for (int it = -2; it < iterations; ++it) {
+      if (it == 0) {
+        ctx.comm.barrier();
+        t0 = ctx.engine->now();
+      }
+      if (ctx.rank == 0) {
+        ctx.comm.send(buf.get(), n, t, peer, 0);
+        ctx.comm.recv(buf.get(), n, t, peer, 0);
+      } else {
+        ctx.comm.recv(buf.get(), n, t, peer, 0);
+        ctx.comm.send(buf.get(), n, t, peer, 0);
+      }
+    }
+    if (ctx.rank == 0) one_way = (ctx.engine->now() - t0) / (2 * iterations);
+  });
+  return one_way;
+}
+
+namespace {
+
+double window_bandwidth(BufferPlacement place, std::size_t bytes, int window,
+                        int iterations, const mpisim::ClusterConfig& cfg,
+                        bool bidirectional) {
+  mpisim::ClusterConfig c = cfg;
+  c.ranks = 2;
+  mpisim::Cluster cluster(c);
+  double mbps = 0;
+  cluster.run([&](Context& ctx) {
+    auto t = byte_type();
+    const int peer = 1 - ctx.rank;
+    const int n = static_cast<int>(bytes);
+    // One buffer per window slot, as osu_bw does.
+    std::vector<std::unique_ptr<Buffer>> bufs;
+    for (int w = 0; w < window; ++w) {
+      bufs.push_back(std::make_unique<Buffer>(ctx, place, bytes));
+    }
+    char ack = 0;
+    auto ints = byte_type();
+    ctx.comm.barrier();
+    const sim::SimTime t0 = ctx.engine->now();
+    for (int it = 0; it < iterations; ++it) {
+      std::vector<mpisim::Request> reqs;
+      const bool sender = bidirectional || ctx.rank == 0;
+      const bool receiver = bidirectional || ctx.rank == 1;
+      if (receiver) {
+        for (int w = 0; w < window; ++w) {
+          reqs.push_back(ctx.comm.irecv(bufs[w]->get(), n, t, peer, w));
+        }
+      }
+      if (sender) {
+        for (int w = 0; w < window; ++w) {
+          reqs.push_back(ctx.comm.isend(bufs[w]->get(), n, t, peer, w));
+        }
+      }
+      ctx.comm.waitall(reqs);
+      // Window ack (osu_bw sends one 4-byte ack per window).
+      if (!bidirectional) {
+        if (ctx.rank == 1) ctx.comm.send(&ack, 1, ints, 0, 99);
+        else ctx.comm.recv(&ack, 1, ints, 1, 99);
+      }
+    }
+    ctx.comm.barrier();
+    if (ctx.rank == 0) {
+      const double secs = sim::to_sec(ctx.engine->now() - t0);
+      const double dirs = bidirectional ? 2.0 : 1.0;
+      mbps = dirs * static_cast<double>(bytes) * window * iterations /
+             secs / 1e6;
+    }
+  });
+  return mbps;
+}
+
+}  // namespace
+
+double osu_bandwidth(BufferPlacement place, std::size_t bytes, int window,
+                     int iterations, const mpisim::ClusterConfig& cfg) {
+  return window_bandwidth(place, bytes, window, iterations, cfg, false);
+}
+
+double osu_bibandwidth(BufferPlacement place, std::size_t bytes, int window,
+                       int iterations, const mpisim::ClusterConfig& cfg) {
+  return window_bandwidth(place, bytes, window, iterations, cfg, true);
+}
+
+}  // namespace mv2gnc::apps

@@ -1,0 +1,38 @@
+// OSU-micro-benchmark-style measurement kernels (paper §V: "The MPI level
+// evaluation is based on OSU Micro Benchmarks").
+//
+// Three classics, each for host or device buffers:
+//   * latency      — ping-pong, average one-way time;
+//   * bandwidth    — a window of back-to-back non-blocking sends, acked
+//                    once per window (osu_bw);
+//   * bi-bandwidth — both directions at once (osu_bibw).
+//
+// Each measurement runs in its own fresh 2-rank cluster so results are
+// independent and deterministic.
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/cluster.hpp"
+
+namespace mv2gnc::apps {
+
+/// Where the communication buffers live.
+enum class BufferPlacement { kHost, kDevice };
+
+const char* placement_name(BufferPlacement p);
+
+/// Average one-way latency of a contiguous `bytes`-sized message.
+sim::SimTime osu_latency(BufferPlacement place, std::size_t bytes,
+                         int iterations, const mpisim::ClusterConfig& cfg);
+
+/// Uni-directional streaming bandwidth in MB/s: `window` messages of
+/// `bytes` in flight per iteration, one ack per window.
+double osu_bandwidth(BufferPlacement place, std::size_t bytes, int window,
+                     int iterations, const mpisim::ClusterConfig& cfg);
+
+/// Bi-directional streaming bandwidth in MB/s (sum of both directions).
+double osu_bibandwidth(BufferPlacement place, std::size_t bytes, int window,
+                       int iterations, const mpisim::ClusterConfig& cfg);
+
+}  // namespace mv2gnc::apps

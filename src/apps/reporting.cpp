@@ -1,0 +1,91 @@
+#include "apps/reporting.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace mv2gnc::apps {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "") << cells[c]
+         << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? "," : "") << columns_[c];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << row[c];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string format_bytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuM", bytes >> 20);
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuK", bytes >> 10);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", bytes);
+  }
+  return buf;
+}
+
+std::string format_us(sim::SimTime t, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, sim::to_us(t));
+  return buf;
+}
+
+std::string format_sec(sim::SimTime t, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, sim::to_sec(t));
+  return buf;
+}
+
+std::string format_improvement(double base, double ours) {
+  if (base <= 0.0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", (base - ours) / base * 100.0);
+  return buf;
+}
+
+}  // namespace mv2gnc::apps

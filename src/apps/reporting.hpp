@@ -1,0 +1,44 @@
+// Small table/CSV reporting helpers shared by the benchmark binaries.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mv2gnc::apps {
+
+/// Fixed-column ASCII table, printed like the paper's tables.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os) const;
+  /// Comma-separated rendering (header included).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "16", "1K", "4M" — the paper's x-axis labels.
+std::string format_bytes(std::size_t bytes);
+
+/// Fixed-precision microseconds, e.g. "281.25".
+std::string format_us(sim::SimTime t, int precision = 2);
+
+/// Fixed-precision seconds, e.g. "0.547788".
+std::string format_sec(sim::SimTime t, int precision = 6);
+
+/// Percentage improvement of `ours` over `base`, e.g. "42%".
+std::string format_improvement(double base, double ours);
+
+}  // namespace mv2gnc::apps

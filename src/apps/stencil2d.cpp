@@ -1,0 +1,418 @@
+#include "apps/stencil2d.hpp"
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace mv2gnc::apps {
+
+namespace {
+
+namespace mpisim = mv2gnc::mpisim;
+using mpisim::Context;
+using mpisim::Datatype;
+
+// Direction indices and names (paper Fig. 6 categories).
+enum Dir { kNorth = 0, kSouth = 1, kWest = 2, kEast = 3 };
+constexpr std::array<const char*, 4> kDirName{"north", "south", "west",
+                                              "east"};
+
+/// RAII trace scope: records [begin, now) into the cluster trace.
+class TraceScope {
+ public:
+  TraceScope(Context& ctx, bool enabled, Dir dir, const char* what)
+      : ctx_(ctx), enabled_(enabled) {
+    if (enabled_) {
+      category_ = std::string(kDirName[dir]) + "_" + what;
+      begin_ = ctx.engine->now();
+    }
+  }
+  ~TraceScope() {
+    if (enabled_) {
+      ctx_.trace->record(ctx_.rank, category_, begin_, ctx_.engine->now());
+    }
+  }
+
+ private:
+  Context& ctx_;
+  bool enabled_;
+  std::string category_;
+  sim::SimTime begin_ = 0;
+};
+
+template <typename T>
+Datatype element_type();
+template <>
+Datatype element_type<float>() {
+  return Datatype::float32();
+}
+template <>
+Datatype element_type<double>() {
+  return Datatype::float64();
+}
+
+template <typename T>
+class Stencil {
+ public:
+  Stencil(Context& ctx, const StencilConfig& cfg)
+      : ctx_(ctx), cfg_(cfg),
+        rows_(cfg.local_rows), cols_(cfg.local_cols),
+        pitch_(cfg.local_cols + 2) {
+    if (ctx.size != cfg.ranks()) {
+      throw std::invalid_argument("Stencil: cluster size != process grid");
+    }
+    const int pr = ctx.rank / cfg.proc_cols;
+    const int pc = ctx.rank % cfg.proc_cols;
+    nbr_[kNorth] = (pr > 0) ? ctx.rank - cfg.proc_cols : -1;
+    nbr_[kSouth] = (pr < cfg.proc_rows - 1) ? ctx.rank + cfg.proc_cols : -1;
+    nbr_[kWest] = (pc > 0) ? ctx.rank - 1 : -1;
+    nbr_[kEast] = (pc < cfg.proc_cols - 1) ? ctx.rank + 1 : -1;
+    row0_ = pr * rows_;  // global coordinates of the first interior cell
+    col0_ = pc * cols_;
+
+    elem_ = element_type<T>();
+    elem_.commit();
+    col_dev_ = Datatype::vector(rows_, 1, pitch_, elem_);
+    col_dev_.commit();
+
+    const std::size_t cells =
+        static_cast<std::size_t>(rows_ + 2) * static_cast<std::size_t>(pitch_);
+    cur_ = static_cast<T*>(ctx.cuda->malloc(cells * sizeof(T)));
+    next_ = static_cast<T*>(ctx.cuda->malloc(cells * sizeof(T)));
+    compute_stream_ = ctx.cuda->create_stream();
+
+    if (cfg.variant == StencilConfig::Variant::kDef) {
+      // Host bounce buffers for the Def variant (per direction).
+      ew_send_ = std::make_unique<T[]>(static_cast<std::size_t>(rows_) * 2);
+      ew_recv_ = std::make_unique<T[]>(static_cast<std::size_t>(rows_) * 2);
+      ns_send_ = std::make_unique<T[]>(static_cast<std::size_t>(pitch_) * 2);
+      ns_recv_ = std::make_unique<T[]>(static_cast<std::size_t>(pitch_) * 2);
+    }
+    if (cfg.validate) initialize();
+  }
+
+  ~Stencil() {
+    ctx_.cuda->free(cur_);
+    ctx_.cuda->free(next_);
+  }
+
+  StencilResult run() {
+    ctx_.comm.barrier();
+    const sim::SimTime t0 = ctx_.engine->now();
+    for (int it = 0; it < cfg_.iterations; ++it) {
+      if (cfg_.variant == StencilConfig::Variant::kDef) {
+        exchange_def();
+      } else {
+        exchange_nc();
+      }
+      compute();
+      std::swap(cur_, next_);
+    }
+    ctx_.comm.barrier();
+    StencilResult res;
+    res.seconds = sim::to_sec(ctx_.engine->now() - t0);
+    if (cfg_.validate) {
+      const double local = interior_sum();
+      ctx_.comm.allreduce_sum(&local, &res.checksum, 1);
+    }
+    return res;
+  }
+
+  /// Compare this rank's interior against the serial reference.
+  /// Returns the max abs error.
+  double max_error_vs(const std::vector<double>& reference,
+                      int global_cols) const {
+    double err = 0;
+    const int gpitch = global_cols + 2;
+    for (int i = 1; i <= rows_; ++i) {
+      for (int j = 1; j <= cols_; ++j) {
+        const double ref =
+            reference[static_cast<std::size_t>(row0_ + i) * gpitch +
+                      (col0_ + j)];
+        const double got = static_cast<double>(at(cur_, i, j));
+        err = std::max(err, std::abs(ref - got));
+      }
+    }
+    return err;
+  }
+
+ private:
+  T& at(T* a, int i, int j) const {
+    return a[static_cast<std::size_t>(i) * pitch_ + j];
+  }
+  const T& at(const T* a, int i, int j) const {
+    return a[static_cast<std::size_t>(i) * pitch_ + j];
+  }
+
+  void initialize() {
+    const std::size_t cells =
+        static_cast<std::size_t>(rows_ + 2) * static_cast<std::size_t>(pitch_);
+    std::vector<T> host(cells, T{0});
+    for (int i = 1; i <= rows_; ++i) {
+      for (int j = 1; j <= cols_; ++j) {
+        host[static_cast<std::size_t>(i) * pitch_ + j] = static_cast<T>(
+            stencil_initial(row0_ + i - 1, col0_ + j - 1));
+      }
+    }
+    ctx_.cuda->memcpy(cur_, host.data(), cells * sizeof(T));
+    ctx_.cuda->memcpy(next_, host.data(), cells * sizeof(T));
+  }
+
+  // Wait for the receives of one exchange phase. In trace mode each
+  // direction is waited (and attributed) separately; otherwise a single
+  // Waitall covers the phase, matching SHOC's structure (Table I).
+  void wait_phase(std::array<mpisim::Request, 4>& rreq, Dir a, Dir b) {
+    if (cfg_.trace_dirs) {
+      for (Dir d : {a, b}) {
+        if (nbr_[d] < 0) continue;
+        TraceScope ts(ctx_, true, d, "mpi");
+        ctx_.comm.wait(rreq[d]);
+      }
+      return;
+    }
+    std::vector<mpisim::Request> active;
+    for (Dir d : {a, b}) {
+      if (nbr_[d] >= 0) active.push_back(rreq[d]);
+    }
+    ctx_.comm.waitall(active);
+  }
+
+  // -- Def variant: explicit staging through host memory ------------------
+  // (mirrors SHOC's Stencil2D main loop; see Table I for the call counts)
+  // BEGIN-STENCIL2D-DEF-LOOP
+  void exchange_def() {
+    const bool tr = cfg_.trace_dirs;
+    std::array<mpisim::Request, 4> rreq;
+    // East/west halo columns (non-contiguous on the device).
+    for (Dir d : {kWest, kEast}) {
+      if (nbr_[d] < 0) continue;
+      TraceScope ts(ctx_, tr, d, "mpi");
+      rreq[d] = ctx_.comm.irecv(ew_recv_.get() + (d - kWest) * rows_, rows_,
+                                elem_, nbr_[d], tag_for(d));
+    }
+    for (Dir d : {kWest, kEast}) {
+      if (nbr_[d] < 0) continue;
+      const int surface_col = (d == kWest) ? 1 : cols_;
+      {
+        // copy non-contiguous data from device to host (D2H nc2c)
+        TraceScope ts(ctx_, tr, d, "cuda");
+        ctx_.cuda->memcpy2d(ew_send_.get() + (d - kWest) * rows_, sizeof(T),
+                            &at(cur_, 1, surface_col), pitch_ * sizeof(T),
+                            sizeof(T), rows_,
+                            cusim::MemcpyKind::kDeviceToHost);
+      }
+      TraceScope ts(ctx_, tr, d, "mpi");
+      ctx_.comm.send(ew_send_.get() + (d - kWest) * rows_, rows_, elem_,
+                     nbr_[d], tag_for(opposite(d)));
+    }
+    wait_phase(rreq, kWest, kEast);
+    for (Dir d : {kWest, kEast}) {
+      if (nbr_[d] < 0) continue;
+      const int halo_col = (d == kWest) ? 0 : cols_ + 1;
+      // copy received halo from host into the device column (H2D c2nc)
+      TraceScope ts(ctx_, tr, d, "cuda");
+      ctx_.cuda->memcpy2d(&at(cur_, 1, halo_col), pitch_ * sizeof(T),
+                          ew_recv_.get() + (d - kWest) * rows_, sizeof(T),
+                          sizeof(T), rows_, cusim::MemcpyKind::kHostToDevice);
+    }
+    // North/south halo rows, full width incl. corners (contiguous).
+    for (Dir d : {kNorth, kSouth}) {
+      if (nbr_[d] < 0) continue;
+      TraceScope ts(ctx_, tr, d, "mpi");
+      rreq[d] = ctx_.comm.irecv(ns_recv_.get() + (d - kNorth) * pitch_,
+                                pitch_, elem_, nbr_[d], tag_for(d));
+    }
+    for (Dir d : {kNorth, kSouth}) {
+      if (nbr_[d] < 0) continue;
+      const int surface_row = (d == kNorth) ? 1 : rows_;
+      {
+        TraceScope ts(ctx_, tr, d, "cuda");
+        ctx_.cuda->memcpy(ns_send_.get() + (d - kNorth) * pitch_,
+                          &at(cur_, surface_row, 0), pitch_ * sizeof(T),
+                          cusim::MemcpyKind::kDeviceToHost);
+      }
+      TraceScope ts(ctx_, tr, d, "mpi");
+      ctx_.comm.send(ns_send_.get() + (d - kNorth) * pitch_, pitch_, elem_,
+                     nbr_[d], tag_for(opposite(d)));
+    }
+    wait_phase(rreq, kNorth, kSouth);
+    for (Dir d : {kNorth, kSouth}) {
+      if (nbr_[d] < 0) continue;
+      const int halo_row = (d == kNorth) ? 0 : rows_ + 1;
+      TraceScope ts(ctx_, tr, d, "cuda");
+      ctx_.cuda->memcpy(&at(cur_, halo_row, 0),
+                        ns_recv_.get() + (d - kNorth) * pitch_,
+                        pitch_ * sizeof(T), cusim::MemcpyKind::kHostToDevice);
+    }
+  }
+
+  // END-STENCIL2D-DEF-LOOP
+
+  // -- MV2-GPU-NC variant: device buffers straight into MPI ---------------
+  // BEGIN-STENCIL2D-NC-LOOP
+  void exchange_nc() {
+    const bool tr = cfg_.trace_dirs;
+    std::array<mpisim::Request, 4> rreq;
+    for (Dir d : {kWest, kEast}) {
+      if (nbr_[d] < 0) continue;
+      TraceScope ts(ctx_, tr, d, "mpi");
+      const int halo_col = (d == kWest) ? 0 : cols_ + 1;
+      rreq[d] = ctx_.comm.irecv(&at(cur_, 1, halo_col), 1, col_dev_, nbr_[d],
+                                tag_for(d));
+    }
+    for (Dir d : {kWest, kEast}) {
+      if (nbr_[d] < 0) continue;
+      TraceScope ts(ctx_, tr, d, "mpi");
+      const int surface_col = (d == kWest) ? 1 : cols_;
+      ctx_.comm.send(&at(cur_, 1, surface_col), 1, col_dev_, nbr_[d],
+                     tag_for(opposite(d)));
+    }
+    wait_phase(rreq, kWest, kEast);
+    for (Dir d : {kNorth, kSouth}) {
+      if (nbr_[d] < 0) continue;
+      TraceScope ts(ctx_, tr, d, "mpi");
+      const int halo_row = (d == kNorth) ? 0 : rows_ + 1;
+      rreq[d] = ctx_.comm.irecv(&at(cur_, halo_row, 0), pitch_, elem_,
+                                nbr_[d], tag_for(d));
+    }
+    for (Dir d : {kNorth, kSouth}) {
+      if (nbr_[d] < 0) continue;
+      TraceScope ts(ctx_, tr, d, "mpi");
+      const int surface_row = (d == kNorth) ? 1 : rows_;
+      ctx_.comm.send(&at(cur_, surface_row, 0), pitch_, elem_, nbr_[d],
+                     tag_for(opposite(d)));
+    }
+    wait_phase(rreq, kNorth, kSouth);
+  }
+
+  // END-STENCIL2D-NC-LOOP
+
+  void compute() {
+    const std::uint64_t points =
+        static_cast<std::uint64_t>(rows_) * static_cast<std::uint64_t>(cols_);
+    T* cur = cur_;
+    T* next = next_;
+    const bool do_math = cfg_.validate;
+    auto body = [this, cur, next, do_math] {
+      if (!do_math) return;
+      for (int i = 1; i <= rows_; ++i) {
+        for (int j = 1; j <= cols_; ++j) {
+          const T* c = cur + static_cast<std::size_t>(i) * pitch_ + j;
+          next[static_cast<std::size_t>(i) * pitch_ + j] = static_cast<T>(
+              kWCenter * c[0] +
+              kWAdjacent * (c[-1] + c[1] + c[-pitch_] + c[pitch_]) +
+              kWDiagonal * (c[-pitch_ - 1] + c[-pitch_ + 1] +
+                            c[pitch_ - 1] + c[pitch_ + 1]));
+        }
+      }
+      // Halo ring carries over unchanged (it is re-exchanged next step).
+      for (int j = 0; j < pitch_; ++j) {
+        next[j] = cur[j];
+        next[static_cast<std::size_t>(rows_ + 1) * pitch_ + j] =
+            cur[static_cast<std::size_t>(rows_ + 1) * pitch_ + j];
+      }
+      for (int i = 0; i <= rows_ + 1; ++i) {
+        next[static_cast<std::size_t>(i) * pitch_] =
+            cur[static_cast<std::size_t>(i) * pitch_];
+        next[static_cast<std::size_t>(i) * pitch_ + cols_ + 1] =
+            cur[static_cast<std::size_t>(i) * pitch_ + cols_ + 1];
+      }
+    };
+    ctx_.cuda->launch_kernel(compute_stream_, points, cfg_.double_precision,
+                             body);
+    compute_stream_.synchronize();
+  }
+
+  double interior_sum() const {
+    double sum = 0;
+    for (int i = 1; i <= rows_; ++i) {
+      for (int j = 1; j <= cols_; ++j) sum += static_cast<double>(at(cur_, i, j));
+    }
+    return sum;
+  }
+
+  static Dir opposite(Dir d) {
+    switch (d) {
+      case kNorth: return kSouth;
+      case kSouth: return kNorth;
+      case kWest: return kEast;
+      case kEast: return kWest;
+    }
+    return kNorth;
+  }
+  // Tag identifies the direction *at the receiver*.
+  static int tag_for(Dir d) { return 50 + static_cast<int>(d); }
+
+  Context& ctx_;
+  const StencilConfig& cfg_;
+  int rows_, cols_, pitch_;
+  std::array<int, 4> nbr_{};
+  int row0_ = 0, col0_ = 0;
+  Datatype elem_, col_dev_;
+  T* cur_ = nullptr;
+  T* next_ = nullptr;
+  cusim::Stream compute_stream_;
+  std::unique_ptr<T[]> ew_send_, ew_recv_, ns_send_, ns_recv_;
+};
+
+template <typename T>
+StencilResult run_stencil_t(Context& ctx, const StencilConfig& cfg) {
+  Stencil<T> app(ctx, cfg);
+  StencilResult res = app.run();
+  if (cfg.validate) {
+    const auto ref = stencil_reference(cfg.proc_rows * cfg.local_rows,
+                                       cfg.proc_cols * cfg.local_cols,
+                                       cfg.iterations);
+    const double err =
+        app.max_error_vs(ref, cfg.proc_cols * cfg.local_cols);
+    const double tol = cfg.double_precision ? 1e-9 : 1e-4;
+    if (err > tol) {
+      throw std::runtime_error("Stencil validation failed on rank " +
+                               std::to_string(ctx.rank) + ": max error " +
+                               std::to_string(err));
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+double stencil_initial(int gi, int gj) {
+  return static_cast<double>((gi * 31 + gj * 17 + 3) % 97) / 97.0;
+}
+
+std::vector<double> stencil_reference(int global_rows, int global_cols,
+                                      int iterations) {
+  const int pitch = global_cols + 2;
+  std::vector<double> cur(static_cast<std::size_t>(global_rows + 2) * pitch,
+                          0.0);
+  for (int i = 1; i <= global_rows; ++i) {
+    for (int j = 1; j <= global_cols; ++j) {
+      cur[static_cast<std::size_t>(i) * pitch + j] =
+          stencil_initial(i - 1, j - 1);
+    }
+  }
+  std::vector<double> next = cur;
+  for (int it = 0; it < iterations; ++it) {
+    for (int i = 1; i <= global_rows; ++i) {
+      for (int j = 1; j <= global_cols; ++j) {
+        const double* c = cur.data() + static_cast<std::size_t>(i) * pitch + j;
+        next[static_cast<std::size_t>(i) * pitch + j] =
+            kWCenter * c[0] +
+            kWAdjacent * (c[-1] + c[1] + c[-pitch] + c[pitch]) +
+            kWDiagonal * (c[-pitch - 1] + c[-pitch + 1] + c[pitch - 1] +
+                          c[pitch + 1]);
+      }
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+StencilResult run_stencil(Context& ctx, const StencilConfig& cfg) {
+  return cfg.double_precision ? run_stencil_t<double>(ctx, cfg)
+                              : run_stencil_t<float>(ctx, cfg);
+}
+
+}  // namespace mv2gnc::apps

@@ -1,0 +1,72 @@
+// Stencil2D: a SHOC-1.0.1-style two-dimensional nine-point stencil with
+// halo exchange (paper §V-B).
+//
+// Decomposition: a proc_rows x proc_cols process grid, each rank owning a
+// local_rows x local_cols tile (plus a one-cell halo ring) in GPU device
+// memory. Per iteration: exchange east/west halo columns (non-contiguous),
+// then north/south halo rows including corners (contiguous), then run the
+// stencil kernel.
+//
+// Two communication variants, exactly the paper's comparison:
+//   kDef       — SHOC as shipped: explicit cudaMemcpy2D/cudaMemcpy staging
+//                to host bounce buffers + MPI on host memory
+//                (4x cudaMemcpy2D, 4x cudaMemcpy per iteration, Table I).
+//   kMv2GpuNc  — device pointers (with vector datatypes for the columns)
+//                passed straight to MPI_Irecv/MPI_Send; zero CUDA calls in
+//                the exchange.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace mv2gnc::apps {
+
+struct StencilConfig {
+  int proc_rows = 1;
+  int proc_cols = 1;
+  int local_rows = 64;   // interior rows per process
+  int local_cols = 64;   // interior cols per process
+  int iterations = 5;
+  bool double_precision = false;
+
+  enum class Variant { kDef, kMv2GpuNc };
+  Variant variant = Variant::kMv2GpuNc;
+
+  /// Run the real nine-point arithmetic and make checksums meaningful
+  /// (small grids only — the full 8K x 8K runs are cost-model driven).
+  bool validate = false;
+
+  /// Record per-direction mpi/cuda intervals into the cluster trace
+  /// (the paper's Figure 6 breakdown).
+  bool trace_dirs = false;
+
+  int ranks() const { return proc_rows * proc_cols; }
+};
+
+struct StencilResult {
+  double seconds = 0.0;    // virtual time of the iteration loop
+  double checksum = 0.0;   // sum of interior cells (validate mode)
+};
+
+/// SPMD body: call from every rank of a Cluster sized cfg.ranks().
+StencilResult run_stencil(mpisim::Context& ctx, const StencilConfig& cfg);
+
+/// Serial reference of the same computation on the global grid
+/// (validate-mode oracle). Returns the full (rows+2) x (cols+2) array after
+/// `iterations` steps, halo border included.
+std::vector<double> stencil_reference(int global_rows, int global_cols,
+                                      int iterations);
+
+/// Deterministic initial value of global interior cell (gi, gj), shared by
+/// run_stencil and stencil_reference.
+double stencil_initial(int gi, int gj);
+
+/// The nine-point weights (sum to 1): center, adjacent, diagonal.
+inline constexpr double kWCenter = 0.4;
+inline constexpr double kWAdjacent = 0.1;
+inline constexpr double kWDiagonal = 0.05;
+
+}  // namespace mv2gnc::apps

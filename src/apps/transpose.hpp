@@ -1,0 +1,38 @@
+// Distributed matrix transpose with GPU-resident data and subarray
+// datatypes — the second application workload (beyond Stencil2D) for the
+// non-contiguous GPU communication path. This is the communication pattern
+// of 2-D FFTs and out-of-core solvers: every rank sends a different
+// *strided sub-block* of its rows to every other rank.
+//
+// Layout: a global N x N matrix of doubles, row-block distributed over P
+// ranks (b = N/P rows each). Rank r sends block A[r-rows, j-cols] to rank
+// j described by a subarray datatype (no staging copies in user code),
+// receives the mirror blocks into contiguous device scratch, and finishes
+// with a local b x b transpose kernel per block.
+#pragma once
+
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace mv2gnc::apps {
+
+struct TransposeConfig {
+  int global_n = 256;  // matrix dimension; must be divisible by ranks
+  /// Initialize with real data and verify the result (small sizes).
+  bool validate = false;
+};
+
+struct TransposeResult {
+  double seconds = 0.0;
+  double checksum = 0.0;  // sum over local rows of T (validate mode)
+};
+
+/// SPMD body: call from every rank. Returns per-rank timing.
+TransposeResult run_transpose(mpisim::Context& ctx,
+                              const TransposeConfig& cfg);
+
+/// Deterministic initial value of matrix element (i, j).
+double transpose_initial(int i, int j);
+
+}  // namespace mv2gnc::apps

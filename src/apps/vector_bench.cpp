@@ -1,0 +1,257 @@
+#include "apps/vector_bench.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace mv2gnc::apps {
+
+namespace {
+
+namespace mpisim = mv2gnc::mpisim;
+using mpisim::Context;
+using mpisim::Datatype;
+
+constexpr std::size_t kElemBytes = 4;     // "constant chunk size of 4 bytes"
+constexpr int kStrideElems = 2;           // device pitch between rows
+constexpr std::size_t kUserChunk = 64 * 1024;  // Fig. 4(b) pipeline block
+
+/// Per-rank state for one transport method.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(Context& ctx, int peer, int tag) = 0;
+  virtual void recv(Context& ctx, int peer, int tag) = 0;
+};
+
+// -- Fig. 4(c): MV2-GPU-NC — device pointers straight into MPI -------------
+class Mv2GpuNcTransport : public Transport {
+ public:
+  Mv2GpuNcTransport(Context& ctx, std::size_t rows) : rows_(rows) {
+    dtype_ = Datatype::vector(static_cast<int>(rows), 1, kStrideElems,
+                              Datatype::float32());
+    dtype_.commit();
+    dev_ = ctx.cuda->malloc(rows * kStrideElems * kElemBytes);
+  }
+  void send(Context& ctx, int peer, int tag) override {
+    ctx.comm.send(dev_, 1, dtype_, peer, tag);
+  }
+  void recv(Context& ctx, int peer, int tag) override {
+    ctx.comm.recv(dev_, 1, dtype_, peer, tag);
+  }
+
+ private:
+  std::size_t rows_;
+  Datatype dtype_;
+  void* dev_ = nullptr;
+};
+
+// -- Fig. 4(a): blocking cudaMemcpy2D + blocking MPI vector send -----------
+class Cpy2DSendTransport : public Transport {
+ public:
+  Cpy2DSendTransport(Context& ctx, std::size_t rows) : rows_(rows) {
+    dtype_ = Datatype::vector(static_cast<int>(rows), 1, kStrideElems,
+                              Datatype::float32());
+    dtype_.commit();
+    const std::size_t span = rows * kStrideElems * kElemBytes;
+    dev_ = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    host_.resize(span);
+  }
+  void send(Context& ctx, int peer, int tag) override {
+    // Copy non-contiguous data from device to host (same strided layout,
+    // Fig. 1(a)), then send with the vector type from host memory; the MPI
+    // library packs on the CPU.
+    ctx.cuda->memcpy2d(host_.data(), kStrideElems * kElemBytes, dev_,
+                       kStrideElems * kElemBytes, kElemBytes, rows_,
+                       cusim::MemcpyKind::kDeviceToHost);
+    ctx.comm.send(host_.data(), 1, dtype_, peer, tag);
+  }
+  void recv(Context& ctx, int peer, int tag) override {
+    ctx.comm.recv(host_.data(), 1, dtype_, peer, tag);
+    ctx.cuda->memcpy2d(dev_, kStrideElems * kElemBytes, host_.data(),
+                       kStrideElems * kElemBytes, kElemBytes, rows_,
+                       cusim::MemcpyKind::kHostToDevice);
+  }
+
+ private:
+  std::size_t rows_;
+  Datatype dtype_;
+  std::byte* dev_ = nullptr;
+  std::vector<std::byte> host_;
+};
+
+// -- Fig. 4(b): hand-tuned user pipeline -----------------------------------
+// The ~90 lines below are what every application programmer had to write
+// (and tune per platform) before MV2-GPU-NC — this is the productivity
+// argument of the paper made concrete.
+class Cpy2DAsyncIsendTransport : public Transport {
+ public:
+  Cpy2DAsyncIsendTransport(Context& ctx, std::size_t rows) : rows_(rows) {
+    byte_t_ = Datatype::byte();
+    byte_t_.commit();
+    const std::size_t bytes = rows * kElemBytes;
+    const std::size_t span = rows * kStrideElems * kElemBytes;
+    dev_ = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    tbuf_ = static_cast<std::byte*>(ctx.cuda->malloc(bytes));
+    nchunks_ = (bytes + kUserChunk - 1) / kUserChunk;
+    // A tuned implementation uses page-locked chunk buffers
+    // (cudaMallocHost) so the async copies run at full PCIe bandwidth.
+    host_chunks_.resize(nchunks_);
+    for (auto& c : host_chunks_) {
+      c = static_cast<std::byte*>(ctx.cuda->malloc_host(kUserChunk));
+    }
+    pack_stream_ = ctx.cuda->create_stream();
+    d2h_stream_ = ctx.cuda->create_stream();
+    h2d_stream_ = ctx.cuda->create_stream();
+    unpack_stream_ = ctx.cuda->create_stream();
+  }
+
+  void send(Context& ctx, int peer, int tag) override {
+    const std::size_t bytes = rows_ * kElemBytes;
+    std::vector<cusim::Event> pack_ev(nchunks_), d2h_ev(nchunks_);
+    // Pack each block from non-contiguous to contiguous inside the GPU.
+    for (std::size_t i = 0; i < nchunks_; ++i) {
+      const auto [off, len] = chunk(i, bytes);
+      ctx.cuda->memcpy2d_async(
+          tbuf_ + off, kElemBytes,
+          dev_ + (off / kElemBytes) * kStrideElems * kElemBytes,
+          kStrideElems * kElemBytes, kElemBytes, len / kElemBytes,
+          cusim::MemcpyKind::kDeviceToDevice, pack_stream_);
+      pack_ev[i] = ctx.cuda->record_event(pack_stream_);
+    }
+    // Poll: as packs finish, stage to host; as staging finishes, Isend.
+    std::vector<mpisim::Request> reqs;
+    std::size_t staged = 0, sent = 0;
+    while (sent < nchunks_) {
+      bool progressed = false;
+      if (staged < nchunks_ && pack_ev[staged].query()) {
+        const auto [off, len] = chunk(staged, bytes);
+        ctx.cuda->memcpy_async(host_chunks_[staged], tbuf_ + off, len,
+                               cusim::MemcpyKind::kDeviceToHost, d2h_stream_);
+        d2h_ev[staged] = ctx.cuda->record_event(d2h_stream_);
+        ++staged;
+        progressed = true;
+      }
+      if (sent < staged && d2h_ev[sent].query()) {
+        const auto [off, len] = chunk(sent, bytes);
+        reqs.push_back(ctx.comm.isend(host_chunks_[sent],
+                                      static_cast<int>(len), byte_t_, peer,
+                                      tag + static_cast<int>(sent)));
+        ++sent;
+        progressed = true;
+      }
+      if (!progressed) ctx.engine->delay(sim::microseconds(1));  // CPU poll
+    }
+    ctx.comm.waitall(reqs);
+  }
+
+  void recv(Context& ctx, int peer, int tag) override {
+    const std::size_t bytes = rows_ * kElemBytes;
+    std::vector<mpisim::Request> reqs(nchunks_);
+    for (std::size_t i = 0; i < nchunks_; ++i) {
+      const auto [off, len] = chunk(i, bytes);
+      reqs[i] = ctx.comm.irecv(host_chunks_[i], static_cast<int>(len),
+                               byte_t_, peer, tag + static_cast<int>(i));
+    }
+    std::vector<cusim::Event> h2d_ev(nchunks_), un_ev(nchunks_);
+    std::size_t received = 0, unpacked = 0;
+    while (unpacked < nchunks_) {
+      bool progressed = false;
+      if (received < nchunks_ && ctx.comm.test(reqs[received])) {
+        const auto [off, len] = chunk(received, bytes);
+        ctx.cuda->memcpy_async(tbuf_ + off, host_chunks_[received], len,
+                               cusim::MemcpyKind::kHostToDevice, h2d_stream_);
+        h2d_ev[received] = ctx.cuda->record_event(h2d_stream_);
+        ++received;
+        progressed = true;
+      }
+      if (unpacked < received && h2d_ev[unpacked].query()) {
+        const auto [off, len] = chunk(unpacked, bytes);
+        ctx.cuda->memcpy2d_async(
+            dev_ + (off / kElemBytes) * kStrideElems * kElemBytes,
+            kStrideElems * kElemBytes, tbuf_ + off, kElemBytes, kElemBytes,
+            len / kElemBytes, cusim::MemcpyKind::kDeviceToDevice,
+            unpack_stream_);
+        un_ev[unpacked] = ctx.cuda->record_event(unpack_stream_);
+        ++unpacked;
+        progressed = true;
+      }
+      if (!progressed) ctx.engine->delay(sim::microseconds(1));
+    }
+    un_ev[nchunks_ - 1].synchronize();
+  }
+
+ private:
+  std::pair<std::size_t, std::size_t> chunk(std::size_t i,
+                                            std::size_t total) const {
+    const std::size_t off = i * kUserChunk;
+    return {off, std::min(kUserChunk, total - off)};
+  }
+
+  std::size_t rows_;
+  Datatype byte_t_;
+  std::byte* dev_ = nullptr;
+  std::byte* tbuf_ = nullptr;
+  std::size_t nchunks_ = 0;
+  std::vector<std::byte*> host_chunks_;  // pinned, owned by the context
+  cusim::Stream pack_stream_, d2h_stream_, h2d_stream_, unpack_stream_;
+};
+
+std::unique_ptr<Transport> make_transport(VectorMethod m, Context& ctx,
+                                          std::size_t rows) {
+  switch (m) {
+    case VectorMethod::kCpy2DSend:
+      return std::make_unique<Cpy2DSendTransport>(ctx, rows);
+    case VectorMethod::kCpy2DAsyncIsend:
+      return std::make_unique<Cpy2DAsyncIsendTransport>(ctx, rows);
+    case VectorMethod::kMv2GpuNc:
+      return std::make_unique<Mv2GpuNcTransport>(ctx, rows);
+  }
+  throw std::invalid_argument("unknown VectorMethod");
+}
+
+}  // namespace
+
+const char* method_name(VectorMethod m) {
+  switch (m) {
+    case VectorMethod::kCpy2DSend: return "Cpy2D+Send";
+    case VectorMethod::kCpy2DAsyncIsend: return "Cpy2DAsync+CpyAsync+Isend";
+    case VectorMethod::kMv2GpuNc: return "MV2-GPU-NC";
+  }
+  return "?";
+}
+
+sim::SimTime measure_vector_latency(VectorMethod method, std::size_t rows,
+                                    int iterations,
+                                    const mpisim::ClusterConfig& cfg) {
+  mpisim::ClusterConfig c = cfg;
+  c.ranks = 2;
+  mpisim::Cluster cluster(c);
+  sim::SimTime one_way = 0;
+  constexpr int kWarmup = 2;
+  cluster.run([&](Context& ctx) {
+    auto transport = make_transport(method, ctx, rows);
+    const int peer = 1 - ctx.rank;
+    ctx.comm.barrier();
+    sim::SimTime t0 = 0;
+    for (int it = -kWarmup; it < iterations; ++it) {
+      if (it == 0) {
+        ctx.comm.barrier();
+        t0 = ctx.engine->now();
+      }
+      if (ctx.rank == 0) {
+        transport->send(ctx, peer, 0);
+        transport->recv(ctx, peer, 0);
+      } else {
+        transport->recv(ctx, peer, 0);
+        transport->send(ctx, peer, 0);
+      }
+    }
+    if (ctx.rank == 0) {
+      one_way = (ctx.engine->now() - t0) / (2 * iterations);
+    }
+  });
+  return one_way;
+}
+
+}  // namespace mv2gnc::apps

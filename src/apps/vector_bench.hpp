@@ -1,0 +1,33 @@
+// GPU-to-GPU vector-datatype transports and the OSU-style latency harness
+// (paper §V-A, Figures 4 and 5).
+//
+// Three ways to move a strided vector between two GPUs:
+//   kCpy2DSend        — Fig. 4(a): blocking cudaMemcpy2D staging (nc2nc) +
+//                       blocking MPI with a host vector datatype. High
+//                       productivity, bad performance.
+//   kCpy2DAsyncIsend  — Fig. 4(b): hand-written user-level pipeline with
+//                       asynchronous CUDA copies, chunked non-blocking MPI
+//                       and cudaStreamQuery polling. Good performance, low
+//                       productivity (this file is the productivity cost).
+//   kMv2GpuNc         — Fig. 4(c): device buffers straight into MPI; the
+//                       library's MV2-GPU-NC engine does the rest.
+#pragma once
+
+#include <cstddef>
+
+#include "mpi/cluster.hpp"
+
+namespace mv2gnc::apps {
+
+enum class VectorMethod { kCpy2DSend, kCpy2DAsyncIsend, kMv2GpuNc };
+
+const char* method_name(VectorMethod m);
+
+/// Average one-way latency of a `rows` x 4-byte strided vector between two
+/// GPUs, measured with a ping-pong loop (OSU latency methodology: half the
+/// round trip, averaged over `iterations` after warm-up).
+sim::SimTime measure_vector_latency(VectorMethod method, std::size_t rows,
+                                    int iterations,
+                                    const mpisim::ClusterConfig& cfg);
+
+}  // namespace mv2gnc::apps

@@ -1,0 +1,322 @@
+#include "core/gpu_staging.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mv2gnc::core {
+
+namespace {
+
+using mpisim::VectorPattern;
+
+struct PatternSlice {
+  std::byte* first_block;  // address of the first block in the range
+  std::size_t rows;
+  std::size_t block;
+  std::size_t stride;
+};
+
+// Resolve packed range [offset, offset+bytes) of a patterned message to a
+// 2-D region. Requires block-aligned offset/bytes.
+PatternSlice slice_pattern(const MsgView& msg, std::size_t offset,
+                           std::size_t bytes) {
+  const VectorPattern& p = *msg.pattern;
+  if (p.stride_bytes <= 0 ||
+      static_cast<std::size_t>(p.stride_bytes) < p.block_bytes) {
+    throw std::logic_error("slice_pattern: degenerate stride");
+  }
+  if (offset % p.block_bytes != 0 || bytes % p.block_bytes != 0) {
+    throw std::logic_error("slice_pattern: range not block-aligned");
+  }
+  const std::size_t r0 = offset / p.block_bytes;
+  const std::size_t rows = bytes / p.block_bytes;
+  if (r0 + rows > p.count) {
+    throw std::out_of_range("slice_pattern: range beyond pattern");
+  }
+  std::byte* first =
+      static_cast<std::byte*>(msg.base) + msg.dtype.segments().front().offset +
+      static_cast<std::int64_t>(r0) * p.stride_bytes;
+  return PatternSlice{first, rows, p.block_bytes,
+                      static_cast<std::size_t>(p.stride_bytes)};
+}
+
+bool patterned(const MsgView& msg) {
+  return msg.pattern.has_value() && msg.pattern->stride_bytes > 0 &&
+         static_cast<std::size_t>(msg.pattern->stride_bytes) >=
+             msg.pattern->block_bytes;
+}
+
+// Generalized device pack/unpack kernel: models per-run cost like a D2D
+// 2-D copy and performs the real gather/scatter at completion.
+cusim::Event submit_generalized(cusim::CudaContext& ctx, cusim::Stream& stream,
+                                const MsgView& msg, std::size_t offset,
+                                std::size_t bytes, std::byte* dense,
+                                bool packing) {
+  const auto& cost = ctx.device().cost();
+  const std::size_t total_segs = msg.dtype.total_segments(msg.count);
+  const double frac = msg.packed_bytes
+                          ? static_cast<double>(bytes) /
+                                static_cast<double>(msg.packed_bytes)
+                          : 0.0;
+  const auto runs = static_cast<std::int64_t>(
+      static_cast<double>(total_segs) * frac + 0.5);
+  const std::int64_t first = std::min<std::int64_t>(runs, cost.d2d_row_knee);
+  const std::int64_t steady = runs - first;
+  const sim::SimTime dur =
+      cost.d2d_2d_setup_ns + cost.copy_launch_ns +
+      static_cast<sim::SimTime>(static_cast<double>(first) *
+                                    cost.d2d_row_first_ns +
+                                static_cast<double>(steady) *
+                                    cost.d2d_row_steady_ns) +
+      cost.transfer_time(bytes, gpu::CopyDir::kDeviceToDevice);
+  void* base = msg.base;
+  const mpisim::Datatype dtype = msg.dtype;
+  const int count = msg.count;
+  ctx.launch_kernel_timed(stream, dur, [=] {
+    if (packing) {
+      dtype.pack_bytes(base, count, offset, bytes, dense);
+    } else {
+      dtype.unpack_bytes(dense, count, offset, bytes, base);
+    }
+  });
+  return ctx.record_event(stream);
+}
+
+}  // namespace
+
+std::size_t align_chunk_to_pattern(const MsgView& msg, std::size_t chunk) {
+  if (msg.contiguous || !patterned(msg)) return chunk;
+  const std::size_t block = msg.pattern->block_bytes;
+  if (chunk <= block) return block;
+  return (chunk / block) * block;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking whole-message schemes (Figure 2)
+// ---------------------------------------------------------------------------
+
+void stage_to_host(cusim::CudaContext& ctx, PackScheme scheme,
+                   const MsgView& msg, std::byte* host_dst) {
+  if (!msg.on_device) {
+    throw std::logic_error("stage_to_host: message is not device-resident");
+  }
+  if (msg.packed_bytes == 0) return;
+  if (msg.contiguous) {
+    ctx.memcpy(host_dst, msg.base, msg.packed_bytes,
+               cusim::MemcpyKind::kDeviceToHost);
+    return;
+  }
+  if (!patterned(msg)) {
+    throw std::logic_error(
+        "stage_to_host: strided scheme requires a vector pattern; use the "
+        "pipeline path for irregular datatypes");
+  }
+  const PatternSlice s = slice_pattern(msg, 0, msg.packed_bytes);
+  switch (scheme) {
+    case PackScheme::kD2H_nc2nc:
+      // Same-layout copy out: the host image keeps the device stride.
+      ctx.memcpy2d(host_dst, s.stride, s.first_block, s.stride, s.block,
+                   s.rows, cusim::MemcpyKind::kDeviceToHost);
+      return;
+    case PackScheme::kD2H_nc2c:
+      ctx.memcpy2d(host_dst, s.block, s.first_block, s.stride, s.block,
+                   s.rows, cusim::MemcpyKind::kDeviceToHost);
+      return;
+    case PackScheme::kD2D2H_nc2c2c: {
+      auto* tbuf = static_cast<std::byte*>(ctx.malloc(msg.packed_bytes));
+      ctx.memcpy2d(tbuf, s.block, s.first_block, s.stride, s.block, s.rows,
+                   cusim::MemcpyKind::kDeviceToDevice);
+      ctx.memcpy(host_dst, tbuf, msg.packed_bytes,
+                 cusim::MemcpyKind::kDeviceToHost);
+      ctx.free(tbuf);
+      return;
+    }
+  }
+}
+
+void stage_from_host(cusim::CudaContext& ctx, PackScheme scheme,
+                     const MsgView& msg, const std::byte* host_src) {
+  if (!msg.on_device) {
+    throw std::logic_error("stage_from_host: message is not device-resident");
+  }
+  if (msg.packed_bytes == 0) return;
+  if (msg.contiguous) {
+    ctx.memcpy(msg.base, host_src, msg.packed_bytes,
+               cusim::MemcpyKind::kHostToDevice);
+    return;
+  }
+  if (!patterned(msg)) {
+    throw std::logic_error(
+        "stage_from_host: strided scheme requires a vector pattern");
+  }
+  const PatternSlice s = slice_pattern(msg, 0, msg.packed_bytes);
+  switch (scheme) {
+    case PackScheme::kD2H_nc2nc:
+      ctx.memcpy2d(s.first_block, s.stride, host_src, s.stride, s.block,
+                   s.rows, cusim::MemcpyKind::kHostToDevice);
+      return;
+    case PackScheme::kD2H_nc2c:
+      ctx.memcpy2d(s.first_block, s.stride, host_src, s.block, s.block,
+                   s.rows, cusim::MemcpyKind::kHostToDevice);
+      return;
+    case PackScheme::kD2D2H_nc2c2c: {
+      auto* tbuf = static_cast<std::byte*>(ctx.malloc(msg.packed_bytes));
+      ctx.memcpy(tbuf, host_src, msg.packed_bytes,
+                 cusim::MemcpyKind::kHostToDevice);
+      ctx.memcpy2d(s.first_block, s.stride, tbuf, s.block, s.block, s.rows,
+                   cusim::MemcpyKind::kDeviceToDevice);
+      ctx.free(tbuf);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking any-layout helpers (eager path)
+// ---------------------------------------------------------------------------
+
+void stage_to_host_any(cusim::CudaContext& ctx, const MsgView& msg,
+                       std::byte* host_dst, std::size_t nbytes,
+                       bool offload) {
+  if (nbytes == 0) return;
+  if (nbytes > msg.packed_bytes) {
+    throw std::out_of_range("stage_to_host_any: nbytes beyond message");
+  }
+  if (msg.contiguous) {
+    ctx.memcpy(host_dst, msg.base, nbytes, cusim::MemcpyKind::kDeviceToHost);
+    return;
+  }
+  const bool aligned =
+      patterned(msg) && nbytes % msg.pattern->block_bytes == 0;
+  if (aligned && !offload) {
+    auto& stream = ctx.default_stream();
+    submit_pcie_pack_to_host(ctx, stream, msg, 0, nbytes, host_dst)
+        .synchronize();
+    return;
+  }
+  // Offload (or irregular layout): pack on the device, then contiguous D2H.
+  auto* tbuf = static_cast<std::byte*>(ctx.malloc(nbytes));
+  auto& stream = ctx.default_stream();
+  if (aligned) {
+    submit_device_pack(ctx, stream, msg, 0, nbytes, tbuf).synchronize();
+  } else {
+    // Unaligned slice of a patterned (or irregular) message: generalized
+    // device gather.
+    submit_generalized(ctx, stream, msg, 0, nbytes, tbuf, true).synchronize();
+  }
+  ctx.memcpy(host_dst, tbuf, nbytes, cusim::MemcpyKind::kDeviceToHost);
+  ctx.free(tbuf);
+}
+
+void stage_from_host_any(cusim::CudaContext& ctx, const MsgView& msg,
+                         const std::byte* host_src, std::size_t nbytes,
+                         bool offload) {
+  if (nbytes == 0) return;
+  if (nbytes > msg.packed_bytes) {
+    throw std::out_of_range("stage_from_host_any: nbytes beyond message");
+  }
+  if (msg.contiguous) {
+    ctx.memcpy(msg.base, host_src, nbytes, cusim::MemcpyKind::kHostToDevice);
+    return;
+  }
+  const bool aligned =
+      patterned(msg) && nbytes % msg.pattern->block_bytes == 0;
+  if (aligned && !offload) {
+    auto& stream = ctx.default_stream();
+    submit_pcie_unpack_from_host(ctx, stream, msg, 0, nbytes, host_src)
+        .synchronize();
+    return;
+  }
+  auto* tbuf = static_cast<std::byte*>(ctx.malloc(nbytes));
+  ctx.memcpy(tbuf, host_src, nbytes, cusim::MemcpyKind::kHostToDevice);
+  auto& stream = ctx.default_stream();
+  if (aligned) {
+    submit_device_unpack(ctx, stream, msg, 0, nbytes, tbuf).synchronize();
+  } else {
+    submit_generalized(ctx, stream, msg, 0, nbytes, tbuf, false).synchronize();
+  }
+  ctx.free(tbuf);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked async helpers (the pipeline's stage 1 and stage 5)
+// ---------------------------------------------------------------------------
+
+cusim::Event submit_device_pack(cusim::CudaContext& ctx, cusim::Stream& stream,
+                                const MsgView& msg, std::size_t offset,
+                                std::size_t bytes, std::byte* dst_dev) {
+  if (msg.contiguous) {
+    ctx.memcpy_async(dst_dev, static_cast<std::byte*>(msg.base) + offset,
+                     bytes, cusim::MemcpyKind::kDeviceToDevice, stream);
+    return ctx.record_event(stream);
+  }
+  if (patterned(msg)) {
+    const PatternSlice s = slice_pattern(msg, offset, bytes);
+    ctx.memcpy2d_async(dst_dev, s.block, s.first_block, s.stride, s.block,
+                       s.rows, cusim::MemcpyKind::kDeviceToDevice, stream);
+    return ctx.record_event(stream);
+  }
+  return submit_generalized(ctx, stream, msg, offset, bytes, dst_dev, true);
+}
+
+cusim::Event submit_device_unpack(cusim::CudaContext& ctx,
+                                  cusim::Stream& stream, const MsgView& msg,
+                                  std::size_t offset, std::size_t bytes,
+                                  const std::byte* src_dev) {
+  if (msg.contiguous) {
+    ctx.memcpy_async(static_cast<std::byte*>(msg.base) + offset, src_dev,
+                     bytes, cusim::MemcpyKind::kDeviceToDevice, stream);
+    return ctx.record_event(stream);
+  }
+  if (patterned(msg)) {
+    const PatternSlice s = slice_pattern(msg, offset, bytes);
+    ctx.memcpy2d_async(s.first_block, s.stride, src_dev, s.block, s.block,
+                       s.rows, cusim::MemcpyKind::kDeviceToDevice, stream);
+    return ctx.record_event(stream);
+  }
+  return submit_generalized(ctx, stream, msg, offset, bytes,
+                            const_cast<std::byte*>(src_dev), false);
+}
+
+cusim::Event submit_pcie_pack_to_host(cusim::CudaContext& ctx,
+                                      cusim::Stream& stream,
+                                      const MsgView& msg, std::size_t offset,
+                                      std::size_t bytes,
+                                      std::byte* host_dst) {
+  if (msg.contiguous) {
+    ctx.memcpy_async(host_dst, static_cast<std::byte*>(msg.base) + offset,
+                     bytes, cusim::MemcpyKind::kDeviceToHost, stream);
+    return ctx.record_event(stream);
+  }
+  if (!patterned(msg)) {
+    throw std::logic_error(
+        "submit_pcie_pack_to_host: requires a vector pattern");
+  }
+  const PatternSlice s = slice_pattern(msg, offset, bytes);
+  ctx.memcpy2d_async(host_dst, s.block, s.first_block, s.stride, s.block,
+                     s.rows, cusim::MemcpyKind::kDeviceToHost, stream);
+  return ctx.record_event(stream);
+}
+
+cusim::Event submit_pcie_unpack_from_host(cusim::CudaContext& ctx,
+                                          cusim::Stream& stream,
+                                          const MsgView& msg,
+                                          std::size_t offset,
+                                          std::size_t bytes,
+                                          const std::byte* host_src) {
+  if (msg.contiguous) {
+    ctx.memcpy_async(static_cast<std::byte*>(msg.base) + offset, host_src,
+                     bytes, cusim::MemcpyKind::kHostToDevice, stream);
+    return ctx.record_event(stream);
+  }
+  if (!patterned(msg)) {
+    throw std::logic_error(
+        "submit_pcie_unpack_from_host: requires a vector pattern");
+  }
+  const PatternSlice s = slice_pattern(msg, offset, bytes);
+  ctx.memcpy2d_async(s.first_block, s.stride, host_src, s.block, s.block,
+                     s.rows, cusim::MemcpyKind::kHostToDevice, stream);
+  return ctx.record_event(stream);
+}
+
+}  // namespace mv2gnc::core

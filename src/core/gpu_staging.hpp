@@ -1,0 +1,101 @@
+// GPU datatype-processing offload (paper §IV-A).
+//
+// Two layers:
+//  1. The three whole-message staging schemes of Figure 2 — "D2H nc2nc",
+//     "D2H nc2c" and "D2D2H nc2c2c" — as blocking helpers. The benchmark
+//     for Figure 2 measures these directly; the eager path and the
+//     non-pipelined fallbacks reuse them.
+//  2. Chunked async submit helpers used by the 5-stage pipeline: pack or
+//     unpack one packed-stream byte range on a CUDA stream, returning the
+//     cusim::Event that marks its completion.
+//
+// Pattern handling: vector-shaped messages (the paper's scope) map onto
+// cudaMemcpy2DAsync. Arbitrary committed datatypes without a uniform
+// pattern use a generalized device pack kernel (an extension over the
+// paper, which covers vectors only); its duration is modeled with the same
+// per-run D2D costs and its body performs the real byte gather.
+#pragma once
+
+#include <cstddef>
+
+#include "core/msg_view.hpp"
+#include "cuda/runtime.hpp"
+
+namespace mv2gnc::core {
+
+/// The three options of paper Figure 1 / Figure 2.
+enum class PackScheme {
+  kD2H_nc2nc,    // option (a): strided copy out, host image stays strided
+  kD2H_nc2c,     // option (b): strided copy packs while crossing PCIe
+  kD2D2H_nc2c2c, // option (c): pack inside the device, then contiguous D2H
+};
+
+/// Blocking: stage the device-resident message into host memory.
+///
+/// For kD2H_nc2c / kD2D2H_nc2c2c `host_dst` receives the *packed* stream
+/// (msg.packed_bytes bytes). For kD2H_nc2nc it receives the same strided
+/// image as device memory (extent-sized; caller provides capacity for
+/// count*extent bytes) and packing is left to the caller — exactly the
+/// "no pack" option programmers used before GPU-aware MPI.
+/// Requires msg.pattern for the strided schemes; a contiguous message
+/// degrades to one plain D2H copy under every scheme.
+void stage_to_host(cusim::CudaContext& ctx, PackScheme scheme,
+                   const MsgView& msg, std::byte* host_dst);
+
+/// Blocking mirror of stage_to_host: move a host image back into the
+/// device-resident message. For the packing schemes `host_src` holds the
+/// packed stream; for kD2H_nc2nc it holds the strided image.
+void stage_from_host(cusim::CudaContext& ctx, PackScheme scheme,
+                     const MsgView& msg, const std::byte* host_src);
+
+/// Async: pack packed-stream range [offset, offset+bytes) of the
+/// device-resident message into device memory at `dst_dev` (typically
+/// tbuf+offset) on `stream`. Returns the completion event.
+/// When the message has a vector pattern, offset/bytes must be multiples
+/// of the pattern block size (the pipeline guarantees this).
+cusim::Event submit_device_pack(cusim::CudaContext& ctx, cusim::Stream& stream,
+                                const MsgView& msg, std::size_t offset,
+                                std::size_t bytes, std::byte* dst_dev);
+
+/// Async mirror: scatter the packed range from device memory `src_dev`
+/// back into the strided message on `stream`.
+cusim::Event submit_device_unpack(cusim::CudaContext& ctx,
+                                  cusim::Stream& stream, const MsgView& msg,
+                                  std::size_t offset, std::size_t bytes,
+                                  const std::byte* src_dev);
+
+/// Async: pack the packed-stream range straight into *host* memory with a
+/// strided PCIe copy (the non-offloaded "D2H nc2c" pipeline variant;
+/// requires msg.pattern or a contiguous message).
+cusim::Event submit_pcie_pack_to_host(cusim::CudaContext& ctx,
+                                      cusim::Stream& stream,
+                                      const MsgView& msg, std::size_t offset,
+                                      std::size_t bytes, std::byte* host_dst);
+
+/// Async mirror: scatter a packed host range into the strided device
+/// message with a strided PCIe copy ("H2D c2nc").
+cusim::Event submit_pcie_unpack_from_host(cusim::CudaContext& ctx,
+                                          cusim::Stream& stream,
+                                          const MsgView& msg,
+                                          std::size_t offset,
+                                          std::size_t bytes,
+                                          const std::byte* host_src);
+
+/// Blocking, any layout: gather the device message's first `nbytes` packed
+/// bytes into host memory. Chooses D2D2H when `offload` (or when the layout
+/// is irregular), D2H nc2c otherwise. Used by the eager path.
+void stage_to_host_any(cusim::CudaContext& ctx, const MsgView& msg,
+                       std::byte* host_dst, std::size_t nbytes, bool offload);
+
+/// Blocking mirror: scatter `nbytes` packed host bytes into the device
+/// message.
+void stage_from_host_any(cusim::CudaContext& ctx, const MsgView& msg,
+                         const std::byte* host_src, std::size_t nbytes,
+                         bool offload);
+
+/// Round `chunk` down to a multiple of the message's pattern block size
+/// (minimum one block); returns `chunk` unchanged for pattern-less or
+/// contiguous messages.
+std::size_t align_chunk_to_pattern(const MsgView& msg, std::size_t chunk);
+
+}  // namespace mv2gnc::core

@@ -1,0 +1,35 @@
+#include "core/msg_view.hpp"
+
+#include <stdexcept>
+
+namespace mv2gnc::core {
+
+MsgView MsgView::make(void* base, int count, const mpisim::Datatype& dtype,
+                      const gpu::MemoryRegistry& registry) {
+  if (count < 0) throw std::invalid_argument("MsgView: negative count");
+  if (!dtype.valid()) throw std::invalid_argument("MsgView: null datatype");
+  if (!dtype.committed()) {
+    throw std::logic_error("MsgView: datatype must be committed: " +
+                           dtype.describe());
+  }
+  MsgView v;
+  v.base = base;
+  v.count = count;
+  v.dtype = dtype;
+  v.packed_bytes = dtype.size() * static_cast<std::size_t>(count);
+  v.contiguous = dtype.is_contiguous();
+  if (auto info = registry.query(base)) {
+    v.on_device = true;
+    v.device_id = info->device_id;
+  }
+  v.pattern = (count > 0) ? dtype.vector_pattern(count) : std::nullopt;
+  return v;
+}
+
+std::byte* MsgView::first_segment_ptr() const {
+  const auto& segs = dtype.segments();
+  if (segs.empty()) return static_cast<std::byte*>(base);
+  return static_cast<std::byte*>(base) + segs.front().offset;
+}
+
+}  // namespace mv2gnc::core

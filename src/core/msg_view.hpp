@@ -1,0 +1,35 @@
+// MsgView: everything the transfer engine needs to know about one side of
+// a message — base pointer, datatype, element count, and the derived facts
+// that drive protocol selection (device residency, contiguity, packed size,
+// 2-D pattern).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "gpu/memory_registry.hpp"
+#include "mpi/datatype.hpp"
+
+namespace mv2gnc::core {
+
+struct MsgView {
+  void* base = nullptr;
+  int count = 0;
+  mpisim::Datatype dtype;
+
+  bool on_device = false;
+  int device_id = -1;
+  bool contiguous = false;            // dense: pack step unnecessary
+  std::size_t packed_bytes = 0;       // count * dtype.size()
+  std::optional<mpisim::VectorPattern> pattern;  // across all `count` elems
+
+  /// Build a view; classifies `base` against `registry` and requires a
+  /// committed datatype (throws std::logic_error otherwise).
+  static MsgView make(void* base, int count, const mpisim::Datatype& dtype,
+                      const gpu::MemoryRegistry& registry);
+
+  /// Address of the first data byte of the packed stream's first segment.
+  std::byte* first_segment_ptr() const;
+};
+
+}  // namespace mv2gnc::core

@@ -1,0 +1,60 @@
+// Wire-protocol message kinds and header layouts for the MV2-GPU-NC
+// rendezvous (paper Fig. 3): RTS -> CTS(vbuf addresses) -> chunked RDMA
+// writes, each followed by a "RDMA write finish" immediate, plus CREDIT
+// messages that re-advertise landing buffers as the receiver drains them.
+// An optional receiver-driven variant (RGET) short-circuits the CTS leg:
+// RTS carries the source address, the receiver RDMA-READs, then sends
+// kRndvDone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace mv2gnc::core {
+
+/// WireMessage.kind values. User-visible eager data and every control
+/// message of the rendezvous pipeline.
+enum MsgKind : int {
+  kEager = 1,     // h0=tag, h1=packed size; payload = packed bytes
+  kRts = 2,       // h0=tag, h1=packed size, h2=sender req id
+  kCts = 3,       // h0=sender req, h1=recv req, h2=mode, h3=slot count;
+                  // payload = slot addresses (u64 each); direct mode: one
+                  // address (the receive buffer itself)
+  kChunkFin = 4,  // h0=recv req, h1=chunk idx, h2=slot idx, h3=offset,
+                  // h4=bytes  — the "RDMA write finish" message
+  kCredit = 5,    // h0=sender req, h1=slot idx; payload = slot address
+  kRndvDone = 6,  // h0=sender req — receiver-driven (RGET) completion
+  kInternal = 64, // first kind value available to higher layers
+};
+
+/// CTS landing modes.
+enum class CtsMode : std::uint64_t {
+  kStaged = 0,  // sender writes into advertised vbuf slots
+  kDirect = 1,  // receiver buffer is host-contiguous: write straight in
+};
+
+/// Serialize an address list into a message payload.
+inline void append_address(std::vector<std::byte>& payload, const void* addr) {
+  const auto v = reinterpret_cast<std::uintptr_t>(addr);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  payload.insert(payload.end(), p, p + sizeof(v));
+}
+
+/// Read the i-th serialized address back out of a payload.
+inline void* read_address(const std::vector<std::byte>& payload,
+                          std::size_t i) {
+  std::uintptr_t v = 0;
+  std::memcpy(&v, payload.data() + i * sizeof(v), sizeof(v));
+  return reinterpret_cast<void*>(v);
+}
+
+/// Number of addresses in a payload.
+inline std::size_t address_count(const std::vector<std::byte>& payload) {
+  return payload.size() / sizeof(std::uintptr_t);
+}
+
+}  // namespace mv2gnc::core

@@ -1,0 +1,509 @@
+#include "core/rndv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mv2gnc::core {
+
+namespace detail {
+
+StagingSlot acquire_slot(VbufPool& pool, cusim::CudaContext& cuda,
+                         std::size_t bytes) {
+  StagingSlot s;
+  if (bytes <= pool.buffer_bytes()) {
+    s.ptr = pool.try_acquire();
+    s.from_pool = (s.ptr != nullptr);
+    return s;  // ptr may be null: pool exhausted, caller stalls
+  }
+  // Oversized chunk (pipelining disabled or giant pattern blocks): one-off
+  // pinned staging buffer (a cudaMallocHost of the full message).
+  return pinned_slot(cuda, bytes);
+}
+
+void release_slot(VbufPool& pool, StagingSlot& slot) {
+  if (slot.ptr != nullptr) {
+    if (slot.from_pool) pool.release(slot.ptr);
+    else if (slot.host_owner != nullptr) slot.host_owner->free_host(slot.ptr);
+  }
+  slot.ptr = nullptr;
+  slot.from_pool = false;
+  slot.host_owner = nullptr;
+}
+
+// Pinned one-off slot, also used when the pool is empty but progress must
+// be guaranteed (first receive-window slot).
+StagingSlot pinned_slot(cusim::CudaContext& cuda, std::size_t bytes) {
+  StagingSlot s;
+  s.ptr = static_cast<std::byte*>(cuda.malloc_host(bytes));
+  s.host_owner = &cuda;
+  return s;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool has_usable_pattern(const MsgView& msg) {
+  return msg.pattern.has_value() && msg.pattern->stride_bytes > 0 &&
+         static_cast<std::size_t>(msg.pattern->stride_bytes) >=
+             msg.pattern->block_bytes;
+}
+
+std::size_t segments_in_range(const MsgView& msg, std::size_t bytes) {
+  const std::size_t total = msg.dtype.total_segments(msg.count);
+  if (msg.packed_bytes == 0) return 0;
+  const double frac =
+      static_cast<double>(bytes) / static_cast<double>(msg.packed_bytes);
+  return static_cast<std::size_t>(static_cast<double>(total) * frac + 0.5);
+}
+
+}  // namespace
+
+ChunkPlan ChunkPlan::make(std::size_t total, std::size_t chunk) {
+  if (total == 0) throw std::invalid_argument("ChunkPlan: empty message");
+  if (chunk == 0 || chunk > total) chunk = total;
+  ChunkPlan p;
+  p.total = total;
+  p.chunk = chunk;
+  p.count = (total + chunk - 1) / chunk;
+  return p;
+}
+
+// ===========================================================================
+// RndvSend
+// ===========================================================================
+
+RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
+                   std::uint64_t my_req_id)
+    : res_(res), msg_(std::move(msg)), dst_(dst_node), req_id_(my_req_id) {
+  const Tunables& tun = *res_.tun;
+  if (msg_.on_device) {
+    if (msg_.contiguous) {
+      path_ = Path::kDeviceContig;
+    } else if (tun.gpu_offload || !has_usable_pattern(msg_)) {
+      // Irregular layouts always take the offload path: there is no single
+      // cudaMemcpy2D that can walk them across PCIe.
+      path_ = Path::kDeviceOffload;
+    } else {
+      path_ = Path::kDevicePcie;
+    }
+  } else {
+    path_ = msg_.contiguous ? Path::kHostContig : Path::kHostPack;
+  }
+  std::size_t chunk;
+  if (!tun.pipelining || msg_.packed_bytes <= tun.pipeline_threshold) {
+    chunk = msg_.packed_bytes;  // n = 1: degenerate (unpipelined) transfer
+  } else {
+    chunk = align_chunk_to_pattern(msg_, tun.chunk_bytes);
+  }
+  plan_ = ChunkPlan::make(msg_.packed_bytes, chunk);
+  pack_events_.resize(plan_.count);
+  stage_events_.resize(plan_.count);
+  slots_.resize(plan_.count);
+  stage_submitted_.assign(plan_.count, false);
+}
+
+RndvSend::~RndvSend() {
+  try {
+    if (tbuf_ != nullptr) {
+      res_.cuda->free(tbuf_);
+      tbuf_ = nullptr;
+    }
+    for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void RndvSend::start(std::uint64_t tag_word) {
+  netsim::WireMessage rts;
+  rts.kind = kRts;
+  rts.header[0] = tag_word;
+  rts.header[1] = plan_.total;
+  rts.header[2] = req_id_;
+  rts.header[3] = plan_.chunk;
+  if (res_.tun->rget && path_ == Path::kHostContig) {
+    // Advertise the source address: an RGET-capable receiver may pull the
+    // data directly and skip the CTS leg.
+    rts.header[4] = 1;
+    rts.header[5] = reinterpret_cast<std::uintptr_t>(msg_.base);
+  }
+  res_.endpoint->post_send(dst_, std::move(rts));
+  if (path_ == Path::kDeviceOffload) {
+    // Offload the whole pack immediately; it overlaps the RTS/CTS
+    // handshake ("the sender ... triggers multiple asynchronous memory
+    // copies, each of which does a chunk size non-contiguous data pack").
+    tbuf_ = static_cast<std::byte*>(res_.cuda->malloc(plan_.total));
+    for (std::size_t i = 0; i < plan_.count; ++i) {
+      pack_events_[i] = submit_device_pack(
+          *res_.cuda, res_.pack_stream, msg_, plan_.offset_of(i),
+          plan_.bytes_of(i), tbuf_ + plan_.offset_of(i));
+    }
+  }
+  advance();
+}
+
+void RndvSend::submit_stage(std::size_t i) {
+  const std::size_t off = plan_.offset_of(i);
+  const std::size_t bytes = plan_.bytes_of(i);
+  switch (path_) {
+    case Path::kDeviceOffload:
+      res_.cuda->memcpy_async(slots_[i].ptr, tbuf_ + off, bytes,
+                              cusim::MemcpyKind::kDeviceToHost,
+                              res_.d2h_stream);
+      stage_events_[i] = res_.cuda->record_event(res_.d2h_stream);
+      break;
+    case Path::kDevicePcie:
+      stage_events_[i] = submit_pcie_pack_to_host(
+          *res_.cuda, res_.d2h_stream, msg_, off, bytes, slots_[i].ptr);
+      break;
+    case Path::kDeviceContig:
+      res_.cuda->memcpy_async(slots_[i].ptr,
+                              static_cast<std::byte*>(msg_.base) + off, bytes,
+                              cusim::MemcpyKind::kDeviceToHost,
+                              res_.d2h_stream);
+      stage_events_[i] = res_.cuda->record_event(res_.d2h_stream);
+      break;
+    case Path::kHostPack:
+      // Host packing occupies the CPU (the cost the paper's offload dodges).
+      res_.engine->delay(res_.tun->host_pack_time(
+          bytes, segments_in_range(msg_, bytes)));
+      msg_.dtype.pack_bytes(msg_.base, msg_.count, off, bytes, slots_[i].ptr);
+      break;
+    case Path::kHostContig:
+      break;  // zero-copy: the RDMA reads straight from the user buffer
+  }
+  stage_submitted_[i] = true;
+}
+
+void RndvSend::post_chunk_rdma(std::size_t i) {
+  const std::size_t off = plan_.offset_of(i);
+  const std::size_t bytes = plan_.bytes_of(i);
+  const std::byte* src = (slots_[i].valid())
+                             ? slots_[i].ptr
+                             : static_cast<std::byte*>(msg_.base) + off;
+  void* remote = nullptr;
+  std::uint64_t slot_idx = UINT64_MAX;
+  if (mode_ == CtsMode::kDirect) {
+    remote = direct_base_ + off;
+  } else {
+    auto [idx, addr] = remote_slots_.front();
+    remote_slots_.pop_front();
+    slot_idx = idx;
+    remote = addr;
+  }
+  netsim::WireMessage fin;
+  fin.kind = kChunkFin;
+  fin.header[0] = peer_req_;
+  fin.header[1] = i;
+  fin.header[2] = slot_idx;
+  fin.header[3] = off;
+  fin.header[4] = bytes;
+  const std::uint64_t wr =
+      res_.endpoint->post_rdma_write(dst_, src, remote, bytes, std::move(fin));
+  wr_to_chunk_.emplace(wr, i);
+}
+
+void RndvSend::advance() {
+  // Stage frontier: pack (if any) must have completed; a staging slot must
+  // be available. Staging runs regardless of CTS — it overlaps the
+  // handshake.
+  while (next_stage_ < plan_.count) {
+    const std::size_t i = next_stage_;
+    if (path_ == Path::kDeviceOffload && !pack_events_[i].query()) break;
+    const bool needs_slot = (path_ != Path::kHostContig);
+    if (needs_slot && !slots_[i].valid()) {
+      slots_[i] =
+          detail::acquire_slot(*res_.vbufs, *res_.cuda, plan_.bytes_of(i));
+      if (!slots_[i].valid()) {
+        // Pool drained. If this transfer has chunks in flight their
+        // completion frees slots and re-drives us — stall. If it holds
+        // nothing, no event of ours will ever wake us: take a one-off
+        // pinned slot so every transfer is guaranteed to progress (this
+        // breaks the circular wait when concurrent receive windows have
+        // consumed the whole pool).
+        const std::size_t in_flight = next_stage_ - rdma_done_;
+        if (in_flight > 0) break;
+        slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
+      }
+    }
+    submit_stage(i);
+    ++next_stage_;
+  }
+  // RDMA frontier: needs the CTS (remote landing addresses) and the
+  // staged chunk data sitting in host memory.
+  if (!cts_received_) return;
+  while (next_rdma_ < plan_.count) {
+    const std::size_t i = next_rdma_;
+    if (!stage_submitted_[i]) break;
+    if (stage_events_[i].valid() && !stage_events_[i].query()) break;
+    if (mode_ == CtsMode::kStaged && remote_slots_.empty()) break;
+    post_chunk_rdma(i);
+    ++next_rdma_;
+  }
+}
+
+void RndvSend::on_cts(const netsim::WireMessage& m) {
+  if (cts_received_) throw std::logic_error("RndvSend: duplicate CTS");
+  cts_received_ = true;
+  peer_req_ = m.header[1];
+  mode_ = static_cast<CtsMode>(m.header[2]);
+  if (mode_ == CtsMode::kDirect) {
+    direct_base_ = static_cast<std::byte*>(read_address(m.payload, 0));
+  } else {
+    const std::size_t n = address_count(m.payload);
+    for (std::size_t i = 0; i < n; ++i) {
+      remote_slots_.emplace_back(i, read_address(m.payload, i));
+    }
+  }
+  advance();
+}
+
+void RndvSend::on_credit(const netsim::WireMessage& m) {
+  remote_slots_.emplace_back(m.header[1], read_address(m.payload, 0));
+  advance();
+}
+
+bool RndvSend::on_rdma_complete(std::uint64_t wr_id) {
+  auto it = wr_to_chunk_.find(wr_id);
+  if (it == wr_to_chunk_.end()) return false;
+  const std::size_t i = it->second;
+  wr_to_chunk_.erase(it);
+  detail::release_slot(*res_.vbufs, slots_[i]);
+  ++rdma_done_;
+  if (done() && tbuf_ != nullptr) {
+    res_.cuda->free(tbuf_);
+    tbuf_ = nullptr;
+  }
+  advance();
+  return true;
+}
+
+// ===========================================================================
+// RndvRecv
+// ===========================================================================
+
+RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
+                   std::uint64_t sender_req, std::uint64_t my_req_id,
+                   std::size_t incoming_bytes, std::size_t sender_chunk,
+                   const std::byte* rget_src)
+    : res_(res),
+      msg_(std::move(msg)),
+      src_(src_node),
+      sender_req_(sender_req),
+      req_id_(my_req_id),
+      rget_src_(rget_src) {
+  const Tunables& tun = *res_.tun;
+  if (tun.rget && rget_src_ != nullptr && !msg_.on_device &&
+      msg_.contiguous) {
+    path_ = Path::kHostRget;
+    plan_ = ChunkPlan::make(incoming_bytes, sender_chunk);
+    chunks_.resize(plan_.count);
+    return;
+  }
+  if (msg_.on_device) {
+    if (msg_.contiguous) {
+      path_ = Path::kDeviceContig;
+    } else if (tun.gpu_offload || !has_usable_pattern(msg_)) {
+      path_ = Path::kDeviceOffload;
+    } else {
+      path_ = Path::kDevicePcie;
+    }
+  } else {
+    path_ = msg_.contiguous ? Path::kHostDirect : Path::kHostUnpack;
+  }
+  plan_ = ChunkPlan::make(incoming_bytes, sender_chunk);
+  chunks_.resize(plan_.count);
+}
+
+RndvRecv::~RndvRecv() {
+  // Destructors must not throw, even when tearing down a transfer that an
+  // engine abort interrupted mid-flight.
+  try {
+    if (rtbuf_ != nullptr) {
+      res_.cuda->free(rtbuf_);
+      rtbuf_ = nullptr;
+    }
+    for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void RndvRecv::start() {
+  if (path_ == Path::kHostRget) {
+    // Receiver-driven: pull the whole message in one RDMA READ; no CTS.
+    rget_wr_ = res_.endpoint->post_rdma_read(src_, msg_.base, rget_src_,
+                                             plan_.total);
+    return;
+  }
+  netsim::WireMessage cts;
+  cts.kind = kCts;
+  cts.header[0] = sender_req_;
+  cts.header[1] = req_id_;
+  if (path_ == Path::kHostDirect) {
+    cts.header[2] = static_cast<std::uint64_t>(CtsMode::kDirect);
+    cts.header[3] = 1;
+    append_address(cts.payload, msg_.base);
+    res_.endpoint->post_send(src_, std::move(cts));
+    return;
+  }
+  if (path_ == Path::kDeviceOffload) {
+    rtbuf_ = static_cast<std::byte*>(res_.cuda->malloc(plan_.total));
+  }
+  // Advertise a window of landing slots. The first slot falls back to a
+  // pinned one-off buffer when the pool is drained, so a CTS can always be
+  // sent (guaranteed progress). Beyond the first slot, a receive window
+  // may only use the pool while at least half of it stays free — landing
+  // windows of concurrent receives must not starve the send side (which
+  // would close a circular wait across ranks).
+  const std::size_t want = std::min<std::size_t>(plan_.count,
+                                                 res_.tun->recv_window);
+  for (std::size_t i = 0; i < want; ++i) {
+    detail::StagingSlot s;
+    const bool pool_allowed =
+        (i == 0) || res_.vbufs->available() * 2 > res_.vbufs->capacity();
+    if (pool_allowed) {
+      s = detail::acquire_slot(*res_.vbufs, *res_.cuda, plan_.chunk);
+    }
+    if (!s.valid()) {
+      if (i == 0) s = detail::pinned_slot(*res_.cuda, plan_.chunk);
+      else break;
+    }
+    slots_.push_back(std::move(s));
+  }
+  cts.header[2] = static_cast<std::uint64_t>(CtsMode::kStaged);
+  cts.header[3] = slots_.size();
+  for (const auto& s : slots_) append_address(cts.payload, s.ptr);
+  slots_advertised_ = slots_.size();
+  res_.endpoint->post_send(src_, std::move(cts));
+}
+
+void RndvRecv::on_chunk_fin(const netsim::WireMessage& m) {
+  const std::size_t idx = m.header[1];
+  if (idx >= plan_.count) throw std::logic_error("RndvRecv: bad chunk index");
+  if (idx != fin_count_) {
+    throw std::logic_error("RndvRecv: out-of-order chunk fin");
+  }
+  if (m.header[3] != plan_.offset_of(idx) ||
+      m.header[4] != plan_.bytes_of(idx)) {
+    throw std::logic_error("RndvRecv: chunk geometry mismatch");
+  }
+  chunks_[idx].arrived = true;
+  chunks_[idx].slot = m.header[2];
+  ++fin_count_;
+  advance();
+}
+
+void RndvRecv::advertise_slot(std::size_t slot_idx, bool /*initial*/) {
+  if (slots_advertised_ < plan_.count) {
+    netsim::WireMessage credit;
+    credit.kind = kCredit;
+    credit.header[0] = sender_req_;
+    credit.header[1] = slot_idx;
+    append_address(credit.payload, slots_[slot_idx].ptr);
+    res_.endpoint->post_send(src_, std::move(credit));
+    ++slots_advertised_;
+  } else {
+    detail::release_slot(*res_.vbufs, slots_[slot_idx]);
+  }
+}
+
+void RndvRecv::finish_chunk_slot(std::size_t slot_idx) {
+  advertise_slot(slot_idx, false);
+}
+
+bool RndvRecv::on_rdma_read_complete(std::uint64_t wr_id) {
+  if (path_ != Path::kHostRget || wr_id != rget_wr_ || done()) return false;
+  completed_ = plan_.count;
+  netsim::WireMessage fin;
+  fin.kind = kRndvDone;
+  fin.header[0] = sender_req_;
+  res_.endpoint->post_send(src_, std::move(fin));
+  return true;
+}
+
+void RndvRecv::advance() {
+  switch (path_) {
+    case Path::kHostRget:
+      return;  // driven entirely by on_rdma_read_complete
+    case Path::kHostDirect:
+      // The RDMA already landed in the user buffer; fins are completions.
+      completed_ = fin_count_;
+      return;
+    case Path::kHostUnpack:
+      while (completed_ < plan_.count && chunks_[completed_].arrived) {
+        const std::size_t i = completed_;
+        const std::size_t off = plan_.offset_of(i);
+        const std::size_t bytes = plan_.bytes_of(i);
+        res_.engine->delay(res_.tun->host_pack_time(
+            bytes, segments_in_range(msg_, bytes)));
+        msg_.dtype.unpack_bytes(slots_[chunks_[i].slot].ptr, msg_.count, off,
+                                bytes, msg_.base);
+        finish_chunk_slot(chunks_[i].slot);
+        ++completed_;
+      }
+      return;
+    case Path::kDeviceContig:
+    case Path::kDevicePcie:
+      while (next_h2d_ < plan_.count && chunks_[next_h2d_].arrived) {
+        const std::size_t i = next_h2d_;
+        const std::size_t off = plan_.offset_of(i);
+        const std::size_t bytes = plan_.bytes_of(i);
+        const std::byte* slot_ptr = slots_[chunks_[i].slot].ptr;
+        if (path_ == Path::kDeviceContig) {
+          res_.cuda->memcpy_async(static_cast<std::byte*>(msg_.base) + off,
+                                  slot_ptr, bytes,
+                                  cusim::MemcpyKind::kHostToDevice,
+                                  res_.h2d_stream);
+          chunks_[i].h2d_done = res_.cuda->record_event(res_.h2d_stream);
+        } else {
+          chunks_[i].h2d_done = submit_pcie_unpack_from_host(
+              *res_.cuda, res_.h2d_stream, msg_, off, bytes, slot_ptr);
+        }
+        chunks_[i].h2d_submitted = true;
+        ++next_h2d_;
+      }
+      while (completed_ < plan_.count && chunks_[completed_].h2d_submitted &&
+             chunks_[completed_].h2d_done.query()) {
+        finish_chunk_slot(chunks_[completed_].slot);
+        ++completed_;
+      }
+      return;
+    case Path::kDeviceOffload:
+      while (next_h2d_ < plan_.count && chunks_[next_h2d_].arrived) {
+        const std::size_t i = next_h2d_;
+        const std::size_t off = plan_.offset_of(i);
+        res_.cuda->memcpy_async(rtbuf_ + off, slots_[chunks_[i].slot].ptr,
+                                plan_.bytes_of(i),
+                                cusim::MemcpyKind::kHostToDevice,
+                                res_.h2d_stream);
+        chunks_[i].h2d_done = res_.cuda->record_event(res_.h2d_stream);
+        chunks_[i].h2d_submitted = true;
+        ++next_h2d_;
+      }
+      while (next_unpack_ < plan_.count &&
+             chunks_[next_unpack_].h2d_submitted &&
+             chunks_[next_unpack_].h2d_done.query()) {
+        const std::size_t i = next_unpack_;
+        const std::size_t off = plan_.offset_of(i);
+        chunks_[i].unpack_done =
+            submit_device_unpack(*res_.cuda, res_.unpack_stream, msg_, off,
+                                 plan_.bytes_of(i), rtbuf_ + off);
+        chunks_[i].unpack_submitted = true;
+        // The host slot is free as soon as its bytes are in the rtbuf.
+        finish_chunk_slot(chunks_[i].slot);
+        ++next_unpack_;
+      }
+      while (completed_ < plan_.count &&
+             chunks_[completed_].unpack_submitted &&
+             chunks_[completed_].unpack_done.query()) {
+        ++completed_;
+      }
+      if (done() && rtbuf_ != nullptr) {
+        res_.cuda->free(rtbuf_);
+        rtbuf_ = nullptr;
+      }
+      return;
+  }
+}
+
+}  // namespace mv2gnc::core

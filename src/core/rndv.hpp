@@ -1,0 +1,218 @@
+// The MV2-GPU-NC rendezvous pipeline (paper §IV-B, Figure 3).
+//
+// A large message moves through five stages, chunked at the configured
+// block size and fully overlapped:
+//
+//   sender                                   receiver
+//   ------                                   --------
+//   D2D nc2c   pack chunk into device tbuf
+//   D2H c2c    tbuf chunk -> host vbuf
+//   RDMA       vbuf -> advertised remote slot ... per-chunk "fin" immediate
+//                                             H2D c2c  slot -> device rtbuf
+//                                             D2D c2nc rtbuf -> user buffer
+//
+// The same machinery degrades gracefully for every buffer combination the
+// MPI layer can present:
+//   * device contiguous        -> stages 1/5 drop out (3-stage pipeline,
+//                                 the prior-work MVAPICH2-GPU design [3])
+//   * device strided, offload
+//     disabled                 -> stage 1 merges into stage 2 as a strided
+//                                 PCIe copy (D2H nc2c), the paper's
+//                                 non-offloaded alternative
+//   * host strided             -> pack/unpack run on the CPU into vbufs
+//   * host contiguous          -> zero staging; single direct RDMA write
+//
+// Flow control follows the paper: the CTS advertises a window of landing
+// vbufs; CREDIT messages re-advertise each slot as the receiver drains it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gpu_staging.hpp"
+#include "core/msg_view.hpp"
+#include "core/protocol.hpp"
+#include "core/tunables.hpp"
+#include "core/vbuf_pool.hpp"
+#include "cuda/runtime.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace mv2gnc::core {
+
+/// Per-rank resources shared by all transfers of that rank. The four CUDA
+/// streams mirror the concurrency structure of Figure 3: packing, D2H
+/// staging, H2D staging and unpacking progress independently.
+struct RankResources {
+  sim::Engine* engine = nullptr;
+  cusim::CudaContext* cuda = nullptr;
+  netsim::Endpoint* endpoint = nullptr;
+  VbufPool* vbufs = nullptr;
+  const Tunables* tun = nullptr;
+  cusim::Stream pack_stream;
+  cusim::Stream d2h_stream;
+  cusim::Stream h2d_stream;
+  cusim::Stream unpack_stream;
+};
+
+namespace detail {
+
+/// A staging buffer that is either a pooled vbuf or (for oversized chunks,
+/// e.g. with pipelining disabled) a one-off pinned host allocation
+/// (cudaMallocHost equivalent).
+struct StagingSlot {
+  std::byte* ptr = nullptr;
+  bool from_pool = false;
+  cusim::CudaContext* host_owner = nullptr;  // set for one-off allocations
+
+  bool valid() const { return ptr != nullptr; }
+};
+
+StagingSlot acquire_slot(VbufPool& pool, cusim::CudaContext& cuda,
+                         std::size_t bytes);
+void release_slot(VbufPool& pool, StagingSlot& slot);
+StagingSlot pinned_slot(cusim::CudaContext& cuda, std::size_t bytes);
+
+}  // namespace detail
+
+/// Chunk geometry shared by both sides (the RTS carries the sender's
+/// chunk size so the receiver derives the identical split).
+struct ChunkPlan {
+  std::size_t total = 0;
+  std::size_t chunk = 0;
+  std::size_t count = 0;
+
+  std::size_t offset_of(std::size_t i) const { return i * chunk; }
+  std::size_t bytes_of(std::size_t i) const {
+    const std::size_t off = offset_of(i);
+    return (off + chunk <= total) ? chunk : total - off;
+  }
+
+  static ChunkPlan make(std::size_t total, std::size_t chunk);
+};
+
+/// Sender-side state machine. Drive with on_*() from the progress engine
+/// and call advance() after every event; done() flips once all data has
+/// left this node.
+class RndvSend {
+ public:
+  RndvSend(RankResources& res, MsgView msg, int dst_node,
+           std::uint64_t my_req_id);
+  ~RndvSend();
+  RndvSend(const RndvSend&) = delete;
+  RndvSend& operator=(const RndvSend&) = delete;
+
+  /// Send the RTS and (device path) start packing immediately — packing
+  /// overlaps the handshake, as in Figure 3.
+  void start(std::uint64_t tag_word);
+
+  void on_cts(const netsim::WireMessage& msg);
+  void on_credit(const netsim::WireMessage& msg);
+  /// Returns true when the completion belonged to this transfer.
+  bool on_rdma_complete(std::uint64_t wr_id);
+  /// RGET: the receiver pulled the data and sent kRndvDone.
+  void on_rget_done() { rdma_done_ = plan_.count; }
+  void advance();
+
+  bool done() const { return rdma_done_ == plan_.count; }
+  std::uint64_t req_id() const { return req_id_; }
+  const ChunkPlan& plan() const { return plan_; }
+
+ private:
+  enum class Path { kDeviceOffload, kDevicePcie, kDeviceContig, kHostPack,
+                    kHostContig };
+
+  void submit_stage(std::size_t i);
+  void post_chunk_rdma(std::size_t i);
+
+  RankResources& res_;
+  MsgView msg_;
+  int dst_;
+  std::uint64_t req_id_;
+  Path path_;
+  ChunkPlan plan_;
+
+  std::byte* tbuf_ = nullptr;  // device pack buffer (kDeviceOffload)
+  std::vector<cusim::Event> pack_events_;
+  std::vector<cusim::Event> stage_events_;
+  std::vector<detail::StagingSlot> slots_;
+  std::vector<bool> stage_submitted_;
+
+  bool cts_received_ = false;
+  CtsMode mode_ = CtsMode::kStaged;
+  std::uint64_t peer_req_ = 0;
+  std::byte* direct_base_ = nullptr;
+  std::deque<std::pair<std::uint64_t, void*>> remote_slots_;
+
+  std::size_t next_stage_ = 0;
+  std::size_t next_rdma_ = 0;
+  std::size_t rdma_done_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> wr_to_chunk_;
+};
+
+/// Receiver-side state machine, created when an RTS matches a posted
+/// receive. Sends the CTS, lands chunks, unpacks, credits slots back.
+class RndvRecv {
+ public:
+  /// `rget_src` is the sender's advertised source address (from the RTS)
+  /// when the sender is RGET-eligible, or nullptr.
+  RndvRecv(RankResources& res, MsgView msg, int src_node,
+           std::uint64_t sender_req, std::uint64_t my_req_id,
+           std::size_t incoming_bytes, std::size_t sender_chunk,
+           const std::byte* rget_src = nullptr);
+  ~RndvRecv();
+  RndvRecv(const RndvRecv&) = delete;
+  RndvRecv& operator=(const RndvRecv&) = delete;
+
+  /// Decide the landing mode, allocate buffers, send the CTS.
+  void start();
+
+  void on_chunk_fin(const netsim::WireMessage& msg);
+  /// Returns true when the read completion belonged to this transfer.
+  bool on_rdma_read_complete(std::uint64_t wr_id);
+  void advance();
+
+  bool done() const { return completed_ == plan_.count; }
+  std::uint64_t req_id() const { return req_id_; }
+  std::size_t incoming_bytes() const { return plan_.total; }
+
+ private:
+  enum class Path { kDeviceOffload, kDevicePcie, kDeviceContig, kHostUnpack,
+                    kHostDirect, kHostRget };
+
+  void advertise_slot(std::size_t slot_idx, bool initial);
+  void finish_chunk_slot(std::size_t slot_idx);
+
+  RankResources& res_;
+  MsgView msg_;
+  int src_;
+  std::uint64_t sender_req_;
+  std::uint64_t req_id_;
+  Path path_;
+  ChunkPlan plan_;
+  const std::byte* rget_src_ = nullptr;
+  std::uint64_t rget_wr_ = 0;
+
+  std::byte* rtbuf_ = nullptr;  // device landing buffer (kDeviceOffload)
+  std::vector<detail::StagingSlot> slots_;  // landing slots (staged modes)
+  std::size_t slots_advertised_ = 0;
+
+  struct ChunkState {
+    bool arrived = false;
+    std::uint64_t slot = 0;
+    cusim::Event h2d_done;
+    bool h2d_submitted = false;
+    cusim::Event unpack_done;
+    bool unpack_submitted = false;
+  };
+  std::vector<ChunkState> chunks_;
+  std::size_t fin_count_ = 0;
+  std::size_t next_h2d_ = 0;
+  std::size_t next_unpack_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace mv2gnc::core

@@ -1,0 +1,123 @@
+#include "core/tunables.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mv2gnc::core {
+
+sim::SimTime Tunables::host_pack_time(std::size_t bytes,
+                                      std::size_t segments) const {
+  return static_cast<sim::SimTime>(static_cast<double>(bytes) / host_pack_bw +
+                                   static_cast<double>(segments) *
+                                       host_seg_overhead_ns);
+}
+
+void Tunables::validate() const {
+  if (chunk_bytes == 0) {
+    throw std::invalid_argument("tunables: chunk_bytes must be > 0");
+  }
+  if (vbuf_count < 2) {
+    throw std::invalid_argument("tunables: vbuf_count must be >= 2");
+  }
+  if (recv_window == 0) {
+    throw std::invalid_argument("tunables: recv_window must be > 0");
+  }
+  if (recv_window > vbuf_count) {
+    throw std::invalid_argument(
+        "tunables: recv_window cannot exceed vbuf_count");
+  }
+  if (host_pack_bw <= 0.0) {
+    throw std::invalid_argument("tunables: host_pack_bw must be positive");
+  }
+  if (host_seg_overhead_ns < 0.0) {
+    throw std::invalid_argument(
+        "tunables: host_seg_overhead_ns must be non-negative");
+  }
+}
+
+namespace {
+
+bool parse_bool(const std::string& v, const std::string& key) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("tunables: bad boolean for " + key + ": " + v);
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Tunables Tunables::from_stream(std::istream& in) {
+  Tunables t;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("tunables: missing '=' on line " +
+                                  std::to_string(lineno));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    try {
+      if (key == "eager_threshold") t.eager_threshold = std::stoull(value);
+      else if (key == "chunk_bytes") t.chunk_bytes = std::stoull(value);
+      else if (key == "pipeline_threshold") t.pipeline_threshold = std::stoull(value);
+      else if (key == "vbuf_count") t.vbuf_count = std::stoull(value);
+      else if (key == "recv_window") t.recv_window = std::stoull(value);
+      else if (key == "gpu_offload") t.gpu_offload = parse_bool(value, key);
+      else if (key == "pipelining") t.pipelining = parse_bool(value, key);
+      else if (key == "rget") t.rget = parse_bool(value, key);
+      else if (key == "host_pack_bw") t.host_pack_bw = std::stod(value);
+      else if (key == "host_seg_overhead_ns") t.host_seg_overhead_ns = std::stod(value);
+      else {
+        throw std::invalid_argument("tunables: unknown key '" + key +
+                                    "' on line " + std::to_string(lineno));
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("tunables: bad value for " + key + ": " +
+                                  value);
+    }
+  }
+  t.validate();
+  return t;
+}
+
+Tunables Tunables::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("tunables: cannot open config file " + path);
+  }
+  return from_stream(in);
+}
+
+std::string Tunables::to_config_string() const {
+  std::ostringstream os;
+  os << "# MV2-GPU-NC tunables\n"
+     << "eager_threshold = " << eager_threshold << "\n"
+     << "chunk_bytes = " << chunk_bytes << "\n"
+     << "pipeline_threshold = " << pipeline_threshold << "\n"
+     << "vbuf_count = " << vbuf_count << "\n"
+     << "recv_window = " << recv_window << "\n"
+     << "gpu_offload = " << (gpu_offload ? "true" : "false") << "\n"
+     << "pipelining = " << (pipelining ? "true" : "false") << "\n"
+     << "rget = " << (rget ? "true" : "false") << "\n"
+     << "host_pack_bw = " << host_pack_bw << "\n"
+     << "host_seg_overhead_ns = " << host_seg_overhead_ns << "\n";
+  return os.str();
+}
+
+}  // namespace mv2gnc::core

@@ -1,0 +1,72 @@
+// Runtime tunables of the MV2-GPU-NC communication layer.
+//
+// The paper stresses that the pipeline block size is a *configurable
+// parameter* detected once per cluster with micro-benchmarks and stored in
+// a configuration file (§IV-B); 64 KB was optimal on their testbed. This
+// struct carries that knob plus the thresholds and pool sizes of the
+// protocol, and can be loaded from exactly such a config file.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mv2gnc::core {
+
+struct Tunables {
+  /// Messages at or below this size use the eager protocol.
+  std::size_t eager_threshold = 8 * 1024;
+
+  /// Pipeline block size (the paper's 64 KB optimum).
+  std::size_t chunk_bytes = 64 * 1024;
+
+  /// Chunked pipelining activates for messages larger than this
+  /// ("the proposed pipelining schemes get activated beyond 64 KB", §V-B3).
+  std::size_t pipeline_threshold = 64 * 1024;
+
+  /// Host staging (vbuf) pool: buffers per rank, each chunk_bytes large.
+  std::size_t vbuf_count = 32;
+
+  /// Receive-side chunk window: how many landing vbufs a CTS advertises
+  /// before credits take over.
+  std::size_t recv_window = 8;
+
+  /// Ablation lever: offload datatype pack/unpack to the GPU (D2D2H
+  /// nc2c2c). When false, strided data crosses PCIe with cudaMemcpy2D
+  /// directly (D2H nc2c), the paper's non-offloaded alternative.
+  bool gpu_offload = true;
+
+  /// Ablation lever: overlap the transfer stages. When false the message
+  /// moves as a single block (n = 1 in the paper's (n+2) model).
+  bool pipelining = true;
+
+  /// Receiver-driven rendezvous (RGET): for host-contiguous send buffers,
+  /// the RTS advertises the source address and a host-contiguous receiver
+  /// RDMA-READs the data directly, skipping the CTS leg. Mirrors
+  /// MVAPICH2's RPUT/RGET protocol selection. Off by default (RPUT).
+  bool rget = false;
+
+  // -- host datatype-processing cost model -------------------------------
+  /// Effective bandwidth of a strided host-side pack/unpack (GB/s).
+  double host_pack_bw = 3.0;
+  /// Fixed cost per contiguous run during host pack/unpack.
+  double host_seg_overhead_ns = 15.0;
+
+  /// Modeled CPU time to pack/unpack `bytes` spread over `segments` runs.
+  sim::SimTime host_pack_time(std::size_t bytes, std::size_t segments) const;
+
+  /// Throws std::invalid_argument when a setting is out of range.
+  void validate() const;
+
+  /// Parse "key = value" lines ('#' comments, blank lines allowed);
+  /// unknown keys are an error. Returns defaults overlaid with the file.
+  static Tunables from_stream(std::istream& in);
+  static Tunables from_file(const std::string& path);
+
+  /// Render in the same config format from_stream accepts.
+  std::string to_config_string() const;
+};
+
+}  // namespace mv2gnc::core

@@ -1,0 +1,47 @@
+#include "core/vbuf_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mv2gnc::core {
+
+VbufPool::VbufPool(std::size_t count, std::size_t bytes_each)
+    : capacity_(count), bytes_each_(bytes_each) {
+  if (count == 0 || bytes_each == 0) {
+    throw std::invalid_argument("VbufPool: zero count or buffer size");
+  }
+  arena_ = std::make_unique_for_overwrite<std::byte[]>(count * bytes_each);
+  free_.reserve(count);
+  taken_.assign(count, false);
+  // Hand out in address order (LIFO over this vector keeps reuse warm).
+  for (std::size_t i = count; i-- > 0;) {
+    free_.push_back(arena_.get() + i * bytes_each);
+  }
+}
+
+std::byte* VbufPool::try_acquire() {
+  if (free_.empty()) return nullptr;
+  std::byte* buf = free_.back();
+  free_.pop_back();
+  taken_[static_cast<std::size_t>(buf - arena_.get()) / bytes_each_] = true;
+  high_water_ = std::max(high_water_, in_use());
+  return buf;
+}
+
+void VbufPool::release(std::byte* buf) {
+  if (buf == nullptr) throw std::invalid_argument("VbufPool: null release");
+  const auto delta = buf - arena_.get();
+  if (delta < 0 ||
+      static_cast<std::size_t>(delta) >= capacity_ * bytes_each_ ||
+      static_cast<std::size_t>(delta) % bytes_each_ != 0) {
+    throw std::invalid_argument("VbufPool: foreign pointer released");
+  }
+  const std::size_t idx = static_cast<std::size_t>(delta) / bytes_each_;
+  if (!taken_[idx]) {
+    throw std::invalid_argument("VbufPool: double release");
+  }
+  taken_[idx] = false;
+  free_.push_back(buf);
+}
+
+}  // namespace mv2gnc::core

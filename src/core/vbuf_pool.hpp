@@ -1,0 +1,51 @@
+// Host staging-buffer (vbuf) pool.
+//
+// MVAPICH2 stages GPU data through a pool of pre-registered, chunk-sized
+// host buffers ("the sender will get a chunk sized buffer called vbuf from
+// host memory buffer pool", paper §IV-B). The pool is fixed-size; when
+// it drains, the pipeline stalls until a buffer is released — that
+// back-pressure is part of the protocol and is tested explicitly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace mv2gnc::core {
+
+class VbufPool {
+ public:
+  /// `count` buffers of `bytes_each` (pre-registered at init time, so no
+  /// registration cost is charged per use — matching MVAPICH2).
+  VbufPool(std::size_t count, std::size_t bytes_each);
+  VbufPool(const VbufPool&) = delete;
+  VbufPool& operator=(const VbufPool&) = delete;
+
+  /// Take a buffer, or nullptr when the pool is exhausted.
+  std::byte* try_acquire();
+
+  /// Return a buffer obtained from try_acquire().
+  /// Throws std::invalid_argument for foreign or double-released pointers.
+  void release(std::byte* buf);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t buffer_bytes() const { return bytes_each_; }
+  std::size_t in_use() const { return capacity_ - free_.size(); }
+  std::size_t available() const { return free_.size(); }
+  /// High-water mark of simultaneously acquired buffers.
+  std::size_t high_water() const { return high_water_; }
+
+  /// Backing arena (for registration as pinned/registered memory).
+  std::byte* arena() const { return arena_.get(); }
+  std::size_t arena_bytes() const { return capacity_ * bytes_each_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t bytes_each_;
+  std::unique_ptr<std::byte[]> arena_;
+  std::vector<std::byte*> free_;
+  std::vector<bool> taken_;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace mv2gnc::core

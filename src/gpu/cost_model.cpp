@@ -1,0 +1,80 @@
+#include "gpu/cost_model.hpp"
+
+#include <algorithm>
+
+namespace mv2gnc::gpu {
+
+namespace {
+
+double bandwidth_for(const GpuCostModel& m, CopyDir dir, bool pinned_host) {
+  switch (dir) {
+    case CopyDir::kHostToDevice:
+      return pinned_host ? m.h2d_bw : m.h2d_pageable_bw;
+    case CopyDir::kDeviceToHost:
+      return pinned_host ? m.d2h_bw : m.d2h_pageable_bw;
+    case CopyDir::kDeviceToDevice: return m.d2d_bw;
+    case CopyDir::kHostToHost: return 8.0;  // plain host memcpy
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+sim::SimTime GpuCostModel::transfer_time(std::size_t bytes, CopyDir dir,
+                                         bool pinned_host) const {
+  return static_cast<sim::SimTime>(
+      static_cast<double>(bytes) / bandwidth_for(*this, dir, pinned_host));
+}
+
+sim::SimTime GpuCostModel::copy_time(std::size_t bytes, CopyDir dir,
+                                     bool pinned_host) const {
+  return copy_launch_ns + transfer_time(bytes, dir, pinned_host);
+}
+
+sim::SimTime GpuCostModel::copy2d_time(std::size_t width, std::size_t height,
+                                       CopyDir dir, Layout2D layout,
+                                       bool rows_contiguous,
+                                       bool pinned_host) const {
+  const std::size_t bytes = width * height;
+  if (rows_contiguous || height <= 1) {
+    // Degenerate: one contiguous block; 2-D machinery adds nothing.
+    return copy_time(bytes, dir, pinned_host);
+  }
+  const auto h = static_cast<std::int64_t>(height);
+  double row_cost_ns = 0.0;
+  sim::SimTime setup = copy_launch_ns;
+  if (dir == CopyDir::kDeviceToDevice) {
+    const std::int64_t first = std::min(h, d2d_row_knee);
+    const std::int64_t steady = h - first;
+    row_cost_ns = static_cast<double>(first) * d2d_row_first_ns +
+                  static_cast<double>(steady) * d2d_row_steady_ns;
+    setup += d2d_2d_setup_ns;
+  } else {
+    // PCIe-crossing strided copy: every row is its own DMA transaction.
+    const double per_row =
+        (layout == Layout2D::kSameLayout) ? pcie_row_same_ns
+                                          : pcie_row_pack_ns;
+    row_cost_ns = static_cast<double>(h) * per_row;
+  }
+  return setup + static_cast<sim::SimTime>(row_cost_ns) +
+         transfer_time(bytes, dir, pinned_host);
+}
+
+sim::SimTime GpuCostModel::kernel_time(std::uint64_t points,
+                                       bool double_precision) const {
+  const double per_point =
+      double_precision ? kernel_point_ns_dp : kernel_point_ns_sp;
+  return kernel_launch_ns +
+         static_cast<sim::SimTime>(static_cast<double>(points) * per_point);
+}
+
+GpuCostModel GpuCostModel::tesla_c2050() {
+  // Calibration targets (paper values in parentheses):
+  //  * §I-A, 4 KB vector / 4 B rows: nc2nc ~200 us (200), nc2c ~281 us
+  //    (281), device pack + D2H ~35-40 us (35).
+  //  * Fig. 2(b), 4 MB vector: D2D2H ~= 4.8% of D2H-nc2nc.
+  //  * Contiguous PCIe ~5.5 GB/s, D2D ~80 GB/s, QDR-era launch ~4 us.
+  return GpuCostModel{};
+}
+
+}  // namespace mv2gnc::gpu

@@ -1,0 +1,97 @@
+// Calibrated latency model for GPU memory operations.
+//
+// Every constant below is tied to a measurement the paper reports for an
+// NVIDIA Tesla C2050 (Fermi) on PCIe 2.0 x16; see the tesla_c2050() factory
+// for the calibration notes. The model is intentionally simple —
+//   copy = launch + rows * per_row + bytes / bandwidth
+// with a two-regime per-row cost for device-internal 2-D copies (the DMA
+// engine amortizes descriptor processing once a copy is long enough, which
+// is what makes the paper's Figure 2 strongly sub-linear for D2D2H).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mv2gnc::gpu {
+
+/// Direction of a memory copy relative to the device.
+enum class CopyDir { kHostToDevice, kDeviceToHost, kDeviceToDevice,
+                     kHostToHost };
+
+/// Layout relationship of a 2-D (strided) copy.
+enum class Layout2D {
+  kSameLayout,   // src and dst both strided (nc -> nc), Fig. 1(a)
+  kPack,         // strided src -> contiguous dst (nc -> c), Fig. 1(b)/(c)
+  kUnpack,       // contiguous src -> strided dst (c -> nc)
+};
+
+/// All tunable constants of the GPU timing model.
+struct GpuCostModel {
+  // Effective contiguous bandwidths, in bytes per nanosecond (== GB/s).
+  double d2h_bw = 5.5;   // pinned D2H over PCIe 2.0 x16
+  double h2d_bw = 5.7;   // pinned H2D over PCIe 2.0 x16
+  double d2d_bw = 80.0;  // device-internal copy (C2050 DRAM ~144 GB/s peak)
+
+  // PCIe copies touching *pageable* host memory go through the driver's
+  // internal staging buffers at roughly half bandwidth (measured behaviour
+  // of CUDA 4.0-era cudaMemcpy on non-page-locked memory).
+  double d2h_pageable_bw = 2.8;
+  double h2d_pageable_bw = 3.0;
+
+  // Fixed per-API-call cost charged to the copy operation itself.
+  sim::SimTime copy_launch_ns = 4'000;  // sync/async copy kickoff ~4 us
+
+  // CPU-side cost of queueing an asynchronous operation (charged to the
+  // calling process; the operation itself runs on a copy engine).
+  sim::SimTime async_submit_ns = 600;
+
+  // Per-row descriptor cost for 2-D copies crossing PCIe. Calibrated so a
+  // 4 KB vector of 4-byte rows (1024 rows) costs ~200 us same-layout and
+  // ~281 us packing (paper §I-A options (a)/(b)).
+  double pcie_row_same_ns = 190.0;
+  double pcie_row_pack_ns = 268.0;
+
+  // Per-row cost for device-internal 2-D copies, two-regime: the first
+  // `d2d_row_knee` rows cost `d2d_row_first_ns`, the rest cost
+  // `d2d_row_steady_ns`. Calibrated against §I-A option (c) (35 us at
+  // 1024 rows) and Fig. 2(b) (D2D2H ~= 4.8% of nc2nc at 4 MB / 1M rows).
+  double d2d_row_first_ns = 24.0;
+  double d2d_row_steady_ns = 11.0;
+  std::int64_t d2d_row_knee = 4096;
+  sim::SimTime d2d_2d_setup_ns = 7'000;  // fixed setup of a device 2-D copy
+
+  // Kernel launch + per-point compute cost for the modeled stencil kernel.
+  // Calibrated so the Stencil2D 2x4/8Kx8K improvement of Tables II/III
+  // lands near the paper's 27%/26% given the measured halo costs.
+  sim::SimTime kernel_launch_ns = 7'000;
+  double kernel_point_ns_sp = 0.29;  // single precision, 9-pt stencil
+  double kernel_point_ns_dp = 0.33;  // double precision
+
+  /// Duration of a contiguous 1-D copy of `bytes` in direction `dir`
+  /// (excludes launch cost; see copy_time()). `pinned_host` selects the
+  /// page-locked vs pageable PCIe bandwidth (ignored for D2D).
+  sim::SimTime transfer_time(std::size_t bytes, CopyDir dir,
+                             bool pinned_host = true) const;
+
+  /// Full modeled duration of a 1-D copy, launch included.
+  sim::SimTime copy_time(std::size_t bytes, CopyDir dir,
+                         bool pinned_host = true) const;
+
+  /// Full modeled duration of a 2-D copy of `height` rows x `width` bytes.
+  /// `layout` distinguishes same-layout/pack/unpack; a 2-D copy whose rows
+  /// are contiguous on both sides (pitch == width) degrades to a 1-D copy.
+  sim::SimTime copy2d_time(std::size_t width, std::size_t height,
+                           CopyDir dir, Layout2D layout,
+                           bool rows_contiguous,
+                           bool pinned_host = true) const;
+
+  /// Modeled duration of a kernel over `points` grid points.
+  sim::SimTime kernel_time(std::uint64_t points, bool double_precision) const;
+
+  /// Calibration for the paper's testbed (Tesla C2050, PCIe 2.0 x16).
+  static GpuCostModel tesla_c2050();
+};
+
+}  // namespace mv2gnc::gpu

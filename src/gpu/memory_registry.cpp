@@ -1,0 +1,71 @@
+#include "gpu/memory_registry.hpp"
+
+#include <stdexcept>
+
+namespace mv2gnc::gpu {
+
+void MemoryRegistry::register_range(const void* ptr, std::size_t size,
+                                    int device_id) {
+  if (ptr == nullptr || size == 0) {
+    throw std::invalid_argument("register_range: null or empty range");
+  }
+  const auto base = reinterpret_cast<std::uintptr_t>(ptr);
+  // Check the neighbour below and above for overlap.
+  auto next = ranges_.lower_bound(base);
+  if (next != ranges_.end() && next->first < base + size) {
+    throw std::invalid_argument("register_range: overlaps existing range");
+  }
+  if (next != ranges_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.size > base) {
+      throw std::invalid_argument("register_range: overlaps existing range");
+    }
+  }
+  ranges_.emplace(base, PointerInfo{device_id, ptr, size});
+}
+
+void MemoryRegistry::unregister_range(const void* ptr) {
+  const auto base = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = ranges_.find(base);
+  if (it == ranges_.end()) {
+    throw std::invalid_argument("unregister_range: not a registered base");
+  }
+  ranges_.erase(it);
+}
+
+void MemoryRegistry::register_pinned_host(const void* ptr, std::size_t size) {
+  if (ptr == nullptr || size == 0) {
+    throw std::invalid_argument("register_pinned_host: null or empty range");
+  }
+  pinned_.emplace(reinterpret_cast<std::uintptr_t>(ptr), size);
+}
+
+void MemoryRegistry::unregister_pinned_host(const void* ptr) {
+  auto it = pinned_.find(reinterpret_cast<std::uintptr_t>(ptr));
+  if (it == pinned_.end()) {
+    throw std::invalid_argument(
+        "unregister_pinned_host: not a registered base");
+  }
+  pinned_.erase(it);
+}
+
+bool MemoryRegistry::is_pinned_host(const void* ptr) const {
+  if (ptr == nullptr || pinned_.empty()) return false;
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = pinned_.upper_bound(addr);
+  if (it == pinned_.begin()) return false;
+  --it;
+  return addr < it->first + it->second;
+}
+
+std::optional<PointerInfo> MemoryRegistry::query(const void* ptr) const {
+  if (ptr == nullptr || ranges_.empty()) return std::nullopt;
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = ranges_.upper_bound(addr);
+  if (it == ranges_.begin()) return std::nullopt;
+  --it;
+  if (addr < it->first + it->second.size) return it->second;
+  return std::nullopt;
+}
+
+}  // namespace mv2gnc::gpu

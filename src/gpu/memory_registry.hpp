@@ -1,0 +1,62 @@
+// Pointer-domain registry: the simulation's stand-in for CUDA 4.0 UVA.
+//
+// MVAPICH2's GPU path hinges on being able to ask "is this buffer in device
+// memory, and on which device?" (cuPointerGetAttribute under UVA). Every
+// simulated device allocation registers its range here; anything unknown is
+// host memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace mv2gnc::gpu {
+
+/// Attributes of a registered device allocation.
+struct PointerInfo {
+  int device_id = -1;
+  const void* base = nullptr;
+  std::size_t size = 0;
+};
+
+/// Range map from raw pointers to owning device. One registry per cluster.
+class MemoryRegistry {
+ public:
+  /// Register [ptr, ptr+size) as belonging to `device_id`.
+  /// Throws std::invalid_argument on overlap with an existing range.
+  void register_range(const void* ptr, std::size_t size, int device_id);
+
+  /// Remove a previously registered range (must match a base pointer).
+  /// Throws std::invalid_argument if `ptr` is not a registered base.
+  void unregister_range(const void* ptr);
+
+  /// Classify a pointer. Returns nullopt for host memory. A pointer
+  /// strictly inside a registered range classifies to that range.
+  std::optional<PointerInfo> query(const void* ptr) const;
+
+  /// Convenience: true iff `ptr` lies in some device allocation.
+  bool is_device_pointer(const void* ptr) const { return query(ptr).has_value(); }
+
+  /// Number of live registered ranges.
+  std::size_t live_ranges() const { return ranges_.size(); }
+
+  // -- pinned (page-locked) host memory -----------------------------------
+  // cudaMallocHost / ibv_reg_mr equivalents: DMA engines reach pinned host
+  // memory at full PCIe bandwidth, while pageable memory pays the driver's
+  // internal staging penalty.
+
+  /// Mark [ptr, ptr+size) as pinned host memory.
+  void register_pinned_host(const void* ptr, std::size_t size);
+  /// Remove a pinned registration (must match a base pointer).
+  void unregister_pinned_host(const void* ptr);
+  /// True iff `ptr` lies inside a pinned host range.
+  bool is_pinned_host(const void* ptr) const;
+
+ private:
+  // Keyed by base address; lookup uses upper_bound - 1.
+  std::map<std::uintptr_t, PointerInfo> ranges_;
+  std::map<std::uintptr_t, std::size_t> pinned_;
+};
+
+}  // namespace mv2gnc::gpu

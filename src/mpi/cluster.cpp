@@ -1,0 +1,108 @@
+#include "mpi/cluster.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "mpi/rank_comm.hpp"
+
+namespace mv2gnc::mpisim {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  if (config_.ranks <= 0) {
+    throw std::invalid_argument("Cluster: ranks must be positive");
+  }
+  config_.tunables.validate();
+  trace_.set_enabled(config_.trace_enabled);
+  fabric_ = std::make_unique<netsim::Fabric>(engine_, config_.ranks,
+                                             config_.net_cost);
+  for (int r = 0; r < config_.ranks; ++r) {
+    devices_.push_back(std::make_unique<gpu::Device>(
+        engine_, registry_, r, config_.gpu_cost,
+        config_.device_memory_bytes));
+    cuda_.push_back(std::make_unique<cusim::CudaContext>(*devices_.back()));
+  }
+  // RankComms after devices: they create CUDA streams on construction.
+  for (int r = 0; r < config_.ranks; ++r) {
+    comms_.push_back(std::make_unique<detail::RankComm>(
+        r, config_.ranks, engine_, *cuda_[static_cast<std::size_t>(r)],
+        fabric_->endpoint(r), registry_, config_.tunables));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+gpu::Device& Cluster::device(int rank) {
+  return *devices_.at(static_cast<std::size_t>(rank));
+}
+
+netsim::Endpoint& Cluster::endpoint(int rank) {
+  return fabric_->endpoint(rank);
+}
+
+RankStats Cluster::rank_stats(int rank) {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("rank_stats: bad rank");
+  }
+  RankStats s;
+  const netsim::Endpoint& ep = fabric_->endpoint(rank);
+  s.messages_sent = ep.messages_sent();
+  s.rdma_writes = ep.rdma_writes();
+  s.bytes_sent = ep.bytes_sent();
+  s.nic_busy = ep.tx_busy_time();
+  s.vbuf_high_water =
+      comms_[static_cast<std::size_t>(rank)]->vbufs().high_water();
+  gpu::Device& dev = *devices_[static_cast<std::size_t>(rank)];
+  s.d2h_busy = dev.d2h_engine().total_busy_time();
+  s.h2d_busy = dev.h2d_engine().total_busy_time();
+  s.d2d_busy = dev.d2d_engine().total_busy_time();
+  s.kernel_busy = dev.kernel_engine().total_busy_time();
+  return s;
+}
+
+void Cluster::print_stats(std::ostream& os) {
+  os << "\n== cluster utilisation (elapsed " << sim::format_time(elapsed())
+     << ") ==\n"
+     << "rank   msgs    rdma   MB-sent  nic-busy    d2h-busy    h2d-busy    "
+        "d2d-busy    kern-busy  vbuf-hw\n";
+  for (int r = 0; r < config_.ranks; ++r) {
+    const RankStats s = rank_stats(r);
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%4d %6llu %7llu %9.2f %9.2fms %10.2fms %10.2fms %10.2fms "
+                  "%11.2fms %8zu\n",
+                  r, static_cast<unsigned long long>(s.messages_sent),
+                  static_cast<unsigned long long>(s.rdma_writes),
+                  static_cast<double>(s.bytes_sent) / 1e6,
+                  sim::to_ms(s.nic_busy), sim::to_ms(s.d2h_busy),
+                  sim::to_ms(s.h2d_busy), sim::to_ms(s.d2d_busy),
+                  sim::to_ms(s.kernel_busy), s.vbuf_high_water);
+    os << line;
+  }
+}
+
+void Cluster::run(std::function<void(Context&)> body) {
+  if (ran_) {
+    throw std::logic_error(
+        "Cluster::run is one-shot; construct a fresh Cluster per run");
+  }
+  ran_ = true;
+  auto contexts = std::make_shared<std::vector<Context>>();
+  contexts->resize(static_cast<std::size_t>(config_.ranks));
+  for (int r = 0; r < config_.ranks; ++r) {
+    Context& ctx = (*contexts)[static_cast<std::size_t>(r)];
+    ctx.rank = r;
+    ctx.size = config_.ranks;
+    ctx.comm = Communicator(comms_[static_cast<std::size_t>(r)].get());
+    ctx.cuda = cuda_[static_cast<std::size_t>(r)].get();
+    ctx.engine = &engine_;
+    ctx.trace = &trace_;
+    ctx.tunables = &config_.tunables;
+    engine_.spawn("rank" + std::to_string(r),
+                  [&ctx, body, contexts] { body(ctx); });
+  }
+  engine_.run();
+}
+
+}  // namespace mv2gnc::mpisim

@@ -1,0 +1,671 @@
+#include "mpi/datatype.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace mv2gnc::mpisim {
+
+namespace detail {
+
+enum class Kind {
+  kPredefined,
+  kContiguous,
+  kVector,   // stride normalized to bytes
+  kIndexed,  // displacements normalized to bytes
+  kStruct,
+  kSubarray,
+  kResized,
+};
+
+struct TypeNode {
+  Kind kind = Kind::kPredefined;
+  std::string name;
+
+  // Type map summary (computed at construction).
+  std::size_t size = 0;
+  std::int64_t lb = 0;
+  std::int64_t ub = 0;
+
+  // Constructor parameters (meaning depends on kind).
+  int count = 0;
+  int blocklength = 0;
+  std::int64_t stride_bytes = 0;
+  std::vector<int> blocklengths;
+  std::vector<std::int64_t> displacements;  // bytes
+  std::vector<std::shared_ptr<TypeNode>> children;
+
+  // Subarray parameters.
+  std::vector<int> sizes;
+  std::vector<int> subsizes;
+  std::vector<int> starts;
+  ArrayOrder order = ArrayOrder::kC;
+
+  // Commit artifacts.
+  bool committed = false;
+  std::vector<Segment> segments;
+  std::vector<std::size_t> packed_prefix;  // nsegs + 1 entries
+
+  std::int64_t extent() const { return ub - lb; }
+};
+
+namespace {
+
+void emit_segments(const TypeNode& n, std::int64_t base,
+                   std::vector<Segment>& out);
+
+void append_merged(std::vector<Segment>& out, std::int64_t offset,
+                   std::size_t length) {
+  if (length == 0) return;
+  if (!out.empty() &&
+      out.back().offset + static_cast<std::int64_t>(out.back().length) ==
+          offset) {
+    out.back().length += length;
+    return;
+  }
+  out.push_back(Segment{offset, length});
+}
+
+void emit_child_block(const TypeNode& child, std::int64_t base, int blocklen,
+                      std::vector<Segment>& out) {
+  const std::int64_t ext = child.extent();
+  for (int j = 0; j < blocklen; ++j) {
+    emit_segments(child, base + static_cast<std::int64_t>(j) * ext, out);
+  }
+}
+
+void emit_subarray_dim(const TypeNode& n, std::size_t depth, std::int64_t base,
+                       const std::vector<std::int64_t>& dim_stride,
+                       std::vector<Segment>& out) {
+  const auto ndims = n.sizes.size();
+  if (depth == ndims) {
+    emit_segments(*n.children[0], base, out);
+    return;
+  }
+  // The type-map order varies the fastest-moving dimension innermost:
+  // the last dimension for C order, the first for Fortran order.
+  const std::size_t dim =
+      (n.order == ArrayOrder::kC) ? depth : ndims - 1 - depth;
+  for (int i = 0; i < n.subsizes[dim]; ++i) {
+    emit_subarray_dim(
+        n, depth + 1,
+        base + (n.starts[dim] + i) * dim_stride[dim], dim_stride, out);
+  }
+}
+
+void emit_segments(const TypeNode& n, std::int64_t base,
+                   std::vector<Segment>& out) {
+  switch (n.kind) {
+    case Kind::kPredefined:
+      append_merged(out, base, n.size);
+      return;
+    case Kind::kContiguous:
+      emit_child_block(*n.children[0], base, n.count, out);
+      return;
+    case Kind::kVector:
+      for (int i = 0; i < n.count; ++i) {
+        emit_child_block(*n.children[0],
+                         base + static_cast<std::int64_t>(i) * n.stride_bytes,
+                         n.blocklength, out);
+      }
+      return;
+    case Kind::kIndexed:
+      for (std::size_t k = 0; k < n.blocklengths.size(); ++k) {
+        emit_child_block(*n.children[0], base + n.displacements[k],
+                         n.blocklengths[k], out);
+      }
+      return;
+    case Kind::kStruct:
+      for (std::size_t k = 0; k < n.children.size(); ++k) {
+        emit_child_block(*n.children[k], base + n.displacements[k],
+                         n.blocklengths[k], out);
+      }
+      return;
+    case Kind::kSubarray: {
+      // dim_stride[d] = bytes between consecutive indices along dim d.
+      const auto ndims = n.sizes.size();
+      std::vector<std::int64_t> dim_stride(ndims);
+      const std::int64_t elem = n.children[0]->extent();
+      if (n.order == ArrayOrder::kC) {
+        std::int64_t s = elem;
+        for (std::size_t d = ndims; d-- > 0;) {
+          dim_stride[d] = s;
+          s *= n.sizes[d];
+        }
+      } else {
+        std::int64_t s = elem;
+        for (std::size_t d = 0; d < ndims; ++d) {
+          dim_stride[d] = s;
+          s *= n.sizes[d];
+        }
+      }
+      emit_subarray_dim(n, 0, base, dim_stride, out);
+      return;
+    }
+    case Kind::kResized:
+      emit_segments(*n.children[0], base, out);
+      return;
+  }
+}
+
+std::shared_ptr<TypeNode> predefined(const char* name, std::size_t size) {
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::kPredefined;
+  n->name = name;
+  n->size = size;
+  n->lb = 0;
+  n->ub = static_cast<std::int64_t>(size);
+  return n;
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::Kind;
+using detail::TypeNode;
+
+const TypeNode& Datatype::node() const {
+  if (!node_) throw std::logic_error("null Datatype handle used");
+  return *node_;
+}
+
+// ---------------------------------------------------------------------------
+// Predefined types (one shared node per process, like MPI handles).
+// ---------------------------------------------------------------------------
+
+Datatype Datatype::byte() {
+  static auto n = detail::predefined("MPI_BYTE", 1);
+  return Datatype(n);
+}
+Datatype Datatype::int32() {
+  static auto n = detail::predefined("MPI_INT", 4);
+  return Datatype(n);
+}
+Datatype Datatype::int64() {
+  static auto n = detail::predefined("MPI_LONG_LONG", 8);
+  return Datatype(n);
+}
+Datatype Datatype::float32() {
+  static auto n = detail::predefined("MPI_FLOAT", 4);
+  return Datatype(n);
+}
+Datatype Datatype::float64() {
+  static auto n = detail::predefined("MPI_DOUBLE", 8);
+  return Datatype(n);
+}
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void span_bounds(const TypeNode& child, std::int64_t block_base, int blocklen,
+                 std::int64_t& lo, std::int64_t& hi) {
+  // Bounds contributed by `blocklen` consecutive child elements at
+  // block_base.
+  const std::int64_t ext = child.extent();
+  const std::int64_t first_lb = block_base + child.lb;
+  const std::int64_t last_ub =
+      block_base + static_cast<std::int64_t>(blocklen - 1) * ext + child.ub;
+  lo = std::min(lo, std::min(first_lb, last_ub));
+  hi = std::max(hi, std::max(first_lb, last_ub));
+}
+
+}  // namespace
+
+Datatype Datatype::contiguous(int count, const Datatype& old) {
+  detail::require(count >= 0, "contiguous: negative count");
+  if (!old.valid()) throw std::invalid_argument("contiguous: null base type");
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::kContiguous;
+  n->count = count;
+  n->children.push_back(old.node_);
+  const TypeNode& c = *old.node_;
+  n->size = static_cast<std::size_t>(count) * c.size;
+  if (count == 0) {
+    n->lb = 0;
+    n->ub = 0;
+  } else {
+    std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+    span_bounds(c, 0, count, lo, hi);
+    n->lb = lo;
+    n->ub = hi;
+  }
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::vector(int count, int blocklength, int stride,
+                          const Datatype& old) {
+  if (!old.valid()) throw std::invalid_argument("vector: null base type");
+  return hvector(count, blocklength,
+                 static_cast<std::int64_t>(stride) * old.node_->extent(), old);
+}
+
+Datatype Datatype::hvector(int count, int blocklength,
+                           std::int64_t stride_bytes, const Datatype& old) {
+  detail::require(count >= 0, "hvector: negative count");
+  detail::require(blocklength >= 0, "hvector: negative blocklength");
+  if (!old.valid()) throw std::invalid_argument("hvector: null base type");
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::kVector;
+  n->count = count;
+  n->blocklength = blocklength;
+  n->stride_bytes = stride_bytes;
+  n->children.push_back(old.node_);
+  const TypeNode& c = *old.node_;
+  n->size = static_cast<std::size_t>(count) *
+            static_cast<std::size_t>(blocklength) * c.size;
+  if (count == 0 || blocklength == 0) {
+    n->lb = 0;
+    n->ub = 0;
+  } else {
+    std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (int i = 0; i < count; ++i) {
+      span_bounds(c, static_cast<std::int64_t>(i) * stride_bytes, blocklength,
+                  lo, hi);
+    }
+    n->lb = lo;
+    n->ub = hi;
+  }
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::indexed(std::span<const int> blocklengths,
+                           std::span<const int> displacements,
+                           const Datatype& old) {
+  if (!old.valid()) throw std::invalid_argument("indexed: null base type");
+  detail::require(blocklengths.size() == displacements.size(),
+                  "indexed: blocklengths/displacements size mismatch");
+  std::vector<std::int64_t> displs_bytes(displacements.size());
+  const std::int64_t ext = old.node_->extent();
+  for (std::size_t i = 0; i < displacements.size(); ++i) {
+    displs_bytes[i] = static_cast<std::int64_t>(displacements[i]) * ext;
+  }
+  return hindexed(blocklengths, displs_bytes, old);
+}
+
+Datatype Datatype::hindexed(std::span<const int> blocklengths,
+                            std::span<const std::int64_t> displacements_bytes,
+                            const Datatype& old) {
+  if (!old.valid()) throw std::invalid_argument("hindexed: null base type");
+  detail::require(blocklengths.size() == displacements_bytes.size(),
+                  "hindexed: blocklengths/displacements size mismatch");
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::kIndexed;
+  n->blocklengths.assign(blocklengths.begin(), blocklengths.end());
+  n->displacements.assign(displacements_bytes.begin(),
+                          displacements_bytes.end());
+  n->children.push_back(old.node_);
+  const TypeNode& c = *old.node_;
+  std::size_t size = 0;
+  std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+  bool any = false;
+  for (std::size_t k = 0; k < n->blocklengths.size(); ++k) {
+    detail::require(n->blocklengths[k] >= 0, "hindexed: negative blocklength");
+    size += static_cast<std::size_t>(n->blocklengths[k]) * c.size;
+    if (n->blocklengths[k] > 0) {
+      any = true;
+      span_bounds(c, n->displacements[k], n->blocklengths[k], lo, hi);
+    }
+  }
+  n->size = size;
+  n->lb = any ? lo : 0;
+  n->ub = any ? hi : 0;
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::indexed_block(int blocklength,
+                                 std::span<const int> displacements,
+                                 const Datatype& old) {
+  std::vector<int> blocklens(displacements.size(), blocklength);
+  return indexed(blocklens, displacements, old);
+}
+
+Datatype Datatype::create_struct(std::span<const int> blocklengths,
+                                 std::span<const std::int64_t> displacements,
+                                 std::span<const Datatype> types) {
+  detail::require(blocklengths.size() == displacements.size() &&
+                      blocklengths.size() == types.size(),
+                  "create_struct: argument size mismatch");
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::kStruct;
+  n->blocklengths.assign(blocklengths.begin(), blocklengths.end());
+  n->displacements.assign(displacements.begin(), displacements.end());
+  std::size_t size = 0;
+  std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+  bool any = false;
+  for (std::size_t k = 0; k < types.size(); ++k) {
+    if (!types[k].valid()) {
+      throw std::invalid_argument("create_struct: null member type");
+    }
+    detail::require(blocklengths[k] >= 0,
+                    "create_struct: negative blocklength");
+    n->children.push_back(types[k].node_);
+    const TypeNode& c = *types[k].node_;
+    size += static_cast<std::size_t>(blocklengths[k]) * c.size;
+    if (blocklengths[k] > 0) {
+      any = true;
+      span_bounds(c, displacements[k], blocklengths[k], lo, hi);
+    }
+  }
+  n->size = size;
+  n->lb = any ? lo : 0;
+  n->ub = any ? hi : 0;
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::subarray(std::span<const int> sizes,
+                            std::span<const int> subsizes,
+                            std::span<const int> starts, ArrayOrder order,
+                            const Datatype& old) {
+  if (!old.valid()) throw std::invalid_argument("subarray: null base type");
+  const std::size_t ndims = sizes.size();
+  detail::require(ndims > 0, "subarray: zero dimensions");
+  detail::require(subsizes.size() == ndims && starts.size() == ndims,
+                  "subarray: dimension count mismatch");
+  for (std::size_t d = 0; d < ndims; ++d) {
+    detail::require(sizes[d] > 0, "subarray: non-positive size");
+    detail::require(subsizes[d] > 0 && subsizes[d] <= sizes[d],
+                    "subarray: bad subsize");
+    detail::require(starts[d] >= 0 && starts[d] + subsizes[d] <= sizes[d],
+                    "subarray: bad start");
+  }
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::kSubarray;
+  n->sizes.assign(sizes.begin(), sizes.end());
+  n->subsizes.assign(subsizes.begin(), subsizes.end());
+  n->starts.assign(starts.begin(), starts.end());
+  n->order = order;
+  n->children.push_back(old.node_);
+  const TypeNode& c = *old.node_;
+  std::size_t points = 1;
+  std::int64_t full = 1;
+  for (std::size_t d = 0; d < ndims; ++d) {
+    points *= static_cast<std::size_t>(subsizes[d]);
+    full *= sizes[d];
+  }
+  n->size = points * c.size;
+  // MPI: the extent of a subarray type is the extent of the full array.
+  n->lb = 0;
+  n->ub = full * c.extent();
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::resized(const Datatype& old, std::int64_t lb,
+                           std::int64_t extent) {
+  if (!old.valid()) throw std::invalid_argument("resized: null base type");
+  auto n = std::make_shared<TypeNode>();
+  n->kind = Kind::kResized;
+  n->children.push_back(old.node_);
+  n->size = old.node_->size;
+  n->lb = lb;
+  n->ub = lb + extent;
+  return Datatype(std::move(n));
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+std::size_t Datatype::size() const { return node().size; }
+std::int64_t Datatype::extent() const { return node().extent(); }
+std::int64_t Datatype::lower_bound() const { return node().lb; }
+
+bool Datatype::is_contiguous() const {
+  const TypeNode& n = node();
+  if (n.size == 0) return true;
+  if (n.committed) {
+    return n.segments.size() == 1 && n.segments[0].offset == 0 &&
+           n.segments[0].length == n.size &&
+           static_cast<std::int64_t>(n.size) == n.extent();
+  }
+  // Conservative pre-commit check.
+  std::vector<Segment> segs;
+  detail::emit_segments(n, 0, segs);
+  return segs.size() == 1 && segs[0].offset == 0 && segs[0].length == n.size &&
+         static_cast<std::int64_t>(n.size) == n.extent();
+}
+
+std::string Datatype::describe() const {
+  const TypeNode& n = node();
+  std::ostringstream os;
+  switch (n.kind) {
+    case Kind::kPredefined: os << n.name; break;
+    case Kind::kContiguous:
+      os << "contiguous(" << n.count << ", "
+         << Datatype(n.children[0]).describe() << ")";
+      break;
+    case Kind::kVector:
+      os << "hvector(count=" << n.count << ", blocklen=" << n.blocklength
+         << ", stride=" << n.stride_bytes << "B, "
+         << Datatype(n.children[0]).describe() << ")";
+      break;
+    case Kind::kIndexed:
+      os << "hindexed(" << n.blocklengths.size() << " blocks, "
+         << Datatype(n.children[0]).describe() << ")";
+      break;
+    case Kind::kStruct:
+      os << "struct(" << n.children.size() << " members)";
+      break;
+    case Kind::kSubarray: {
+      os << "subarray([";
+      for (std::size_t d = 0; d < n.sizes.size(); ++d) {
+        os << (d ? "," : "") << n.subsizes[d] << "/" << n.sizes[d];
+      }
+      os << "], " << Datatype(n.children[0]).describe() << ")";
+      break;
+    }
+    case Kind::kResized:
+      os << "resized(lb=" << n.lb << ", extent=" << n.extent() << ", "
+         << Datatype(n.children[0]).describe() << ")";
+      break;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Commit & flattened access
+// ---------------------------------------------------------------------------
+
+void Datatype::commit() {
+  TypeNode& n = const_cast<TypeNode&>(node());
+  if (n.committed) return;
+  n.segments.clear();
+  detail::emit_segments(n, 0, n.segments);
+  n.packed_prefix.resize(n.segments.size() + 1);
+  n.packed_prefix[0] = 0;
+  for (std::size_t i = 0; i < n.segments.size(); ++i) {
+    n.packed_prefix[i + 1] = n.packed_prefix[i] + n.segments[i].length;
+  }
+  if (n.packed_prefix.back() != n.size) {
+    throw std::logic_error("datatype commit: segment sum != size");
+  }
+  n.committed = true;
+}
+
+bool Datatype::committed() const { return node().committed; }
+
+namespace {
+
+const TypeNode& committed_node(const Datatype& t, const TypeNode& n,
+                               const char* api) {
+  if (!n.committed) {
+    throw std::logic_error(std::string(api) +
+                           ": datatype not committed: " + t.describe());
+  }
+  return n;
+}
+
+}  // namespace
+
+const std::vector<Segment>& Datatype::segments() const {
+  return committed_node(*this, node(), "segments").segments;
+}
+
+std::size_t Datatype::total_segments(int count) const {
+  const TypeNode& n = committed_node(*this, node(), "total_segments");
+  if (count <= 0 || n.segments.empty()) return 0;
+  // Elements may merge at the seam if the last segment of element k abuts
+  // the first segment of element k+1.
+  const bool seam_merges =
+      n.segments.size() >= 1 &&
+      n.segments.back().offset +
+              static_cast<std::int64_t>(n.segments.back().length) ==
+          n.segments.front().offset + n.extent();
+  const std::size_t per = n.segments.size();
+  if (seam_merges) {
+    return per * static_cast<std::size_t>(count) -
+           static_cast<std::size_t>(count - 1);
+  }
+  return per * static_cast<std::size_t>(count);
+}
+
+std::optional<VectorPattern> Datatype::vector_pattern(int count) const {
+  const TypeNode& n = committed_node(*this, node(), "vector_pattern");
+  if (count <= 0 || n.segments.empty() || n.size == 0) return std::nullopt;
+  const auto& segs = n.segments;
+  const std::size_t len = segs[0].length;
+  for (const Segment& s : segs) {
+    if (s.length != len) return std::nullopt;
+  }
+  std::int64_t stride = 0;
+  if (segs.size() > 1) {
+    stride = segs[1].offset - segs[0].offset;
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      if (segs[i].offset - segs[i - 1].offset != stride) return std::nullopt;
+    }
+  }
+  if (count == 1) {
+    if (segs.size() == 1) {
+      return VectorPattern{1, len, static_cast<std::int64_t>(len)};
+    }
+    return VectorPattern{segs.size(), len, stride};
+  }
+  // Across elements the seam stride must equal the intra-element stride.
+  const std::int64_t seam =
+      (segs[0].offset + n.extent()) - segs.back().offset;
+  if (segs.size() == 1) {
+    // Single block per element: the seam becomes the stride.
+    return VectorPattern{static_cast<std::size_t>(count), len, n.extent()};
+  }
+  if (seam != stride) return std::nullopt;
+  return VectorPattern{segs.size() * static_cast<std::size_t>(count), len,
+                       stride};
+}
+
+// ---------------------------------------------------------------------------
+// Pack / unpack
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Shared gather/scatter driver. `kPack` copies typed -> dense, `kUnpack`
+// dense -> typed.
+enum class XferDir { kPack, kUnpack };
+
+void move_full(const TypeNode& n, XferDir dir, const void* typed_in,
+               void* typed_out, const void* dense_in, void* dense_out,
+               int count) {
+  const std::int64_t ext = n.extent();
+  std::size_t dense_pos = 0;
+  for (int e = 0; e < count; ++e) {
+    const std::int64_t elem_base = static_cast<std::int64_t>(e) * ext;
+    for (const Segment& s : n.segments) {
+      if (dir == XferDir::kPack) {
+        std::memcpy(static_cast<std::byte*>(dense_out) + dense_pos,
+                    static_cast<const std::byte*>(typed_in) + elem_base +
+                        s.offset,
+                    s.length);
+      } else {
+        std::memcpy(
+            static_cast<std::byte*>(typed_out) + elem_base + s.offset,
+            static_cast<const std::byte*>(dense_in) + dense_pos, s.length);
+      }
+      dense_pos += s.length;
+    }
+  }
+}
+
+void move_bytes(const TypeNode& n, XferDir dir, const void* typed_in,
+                void* typed_out, const void* dense_in, void* dense_out,
+                int count, std::size_t pack_offset, std::size_t nbytes) {
+  const std::size_t elem_size = n.size;
+  const std::size_t total = elem_size * static_cast<std::size_t>(count);
+  if (pack_offset > total || nbytes > total - pack_offset) {
+    throw std::out_of_range("pack/unpack byte range outside message");
+  }
+  const std::int64_t ext = n.extent();
+  std::size_t remaining = nbytes;
+  std::size_t dense_pos = 0;  // position within the output slice
+  std::size_t e = pack_offset / elem_size;
+  std::size_t within = pack_offset % elem_size;
+  while (remaining > 0) {
+    // Find the segment containing `within` via the prefix table.
+    const auto it = std::upper_bound(n.packed_prefix.begin(),
+                                     n.packed_prefix.end(), within);
+    std::size_t si = static_cast<std::size_t>(
+                         std::distance(n.packed_prefix.begin(), it)) -
+                     1;
+    const std::int64_t elem_base = static_cast<std::int64_t>(e) * ext;
+    while (remaining > 0 && si < n.segments.size()) {
+      const Segment& s = n.segments[si];
+      const std::size_t seg_skip = within - n.packed_prefix[si];
+      const std::size_t avail = s.length - seg_skip;
+      const std::size_t take = std::min(avail, remaining);
+      if (dir == XferDir::kPack) {
+        std::memcpy(static_cast<std::byte*>(dense_out) + dense_pos,
+                    static_cast<const std::byte*>(typed_in) + elem_base +
+                        s.offset + static_cast<std::int64_t>(seg_skip),
+                    take);
+      } else {
+        std::memcpy(static_cast<std::byte*>(typed_out) + elem_base +
+                        s.offset + static_cast<std::int64_t>(seg_skip),
+                    static_cast<const std::byte*>(dense_in) + dense_pos,
+                    take);
+      }
+      dense_pos += take;
+      remaining -= take;
+      within += take;
+      ++si;
+    }
+    // Element exhausted; move to the next.
+    ++e;
+    within = 0;
+  }
+}
+
+}  // namespace
+
+void Datatype::pack(const void* src, int count, void* dst) const {
+  const TypeNode& n = committed_node(*this, node(), "pack");
+  move_full(n, XferDir::kPack, src, nullptr, nullptr, dst, count);
+}
+
+void Datatype::unpack(const void* src, int count, void* dst) const {
+  const TypeNode& n = committed_node(*this, node(), "unpack");
+  move_full(n, XferDir::kUnpack, nullptr, dst, src, nullptr, count);
+}
+
+void Datatype::pack_bytes(const void* src, int count, std::size_t pack_offset,
+                          std::size_t nbytes, void* dst) const {
+  const TypeNode& n = committed_node(*this, node(), "pack_bytes");
+  move_bytes(n, XferDir::kPack, src, nullptr, nullptr, dst, count, pack_offset,
+             nbytes);
+}
+
+void Datatype::unpack_bytes(const void* src, int count,
+                            std::size_t pack_offset, std::size_t nbytes,
+                            void* dst) const {
+  const TypeNode& n = committed_node(*this, node(), "unpack_bytes");
+  move_bytes(n, XferDir::kUnpack, nullptr, dst, src, nullptr, count,
+             pack_offset, nbytes);
+}
+
+}  // namespace mv2gnc::mpisim

@@ -1,0 +1,605 @@
+#include "mpi/rank_comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/gpu_staging.hpp"
+#include "core/protocol.hpp"
+
+namespace mv2gnc::mpisim::detail {
+
+namespace {
+
+// Internal (negative) tags used by collectives; wildcard receives never
+// match them.
+constexpr int kTagBarrier = -100;
+constexpr int kTagBcast = -200;
+constexpr int kTagReduce = -300;
+constexpr int kTagGather = -400;
+constexpr int kTagScatter = -500;
+constexpr int kTagAlltoall = -600;
+
+std::uint64_t encode_envelope(int context, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(context))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+int decode_tag(std::uint64_t word) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(word));
+}
+
+int decode_context(std::uint64_t word) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(word >> 32));
+}
+
+Datatype committed_byte() {
+  Datatype t = Datatype::byte();
+  t.commit();
+  return t;
+}
+
+Datatype committed_double() {
+  Datatype t = Datatype::float64();
+  t.commit();
+  return t;
+}
+
+}  // namespace
+
+RankComm::RankComm(int rank, int size, sim::Engine& engine,
+                   cusim::CudaContext& cuda, netsim::Endpoint& endpoint,
+                   gpu::MemoryRegistry& registry, const core::Tunables& tun)
+    : rank_(rank),
+      size_(size),
+      engine_(engine),
+      registry_(registry),
+      vbuf_pool_(tun.vbuf_count, tun.chunk_bytes),
+      notifier_(engine) {
+  // vbufs model MVAPICH2's pre-registered (pinned) staging pool.
+  registry.register_pinned_host(vbuf_pool_.arena(), vbuf_pool_.arena_bytes());
+  res_.engine = &engine;
+  res_.cuda = &cuda;
+  res_.endpoint = &endpoint;
+  res_.vbufs = &vbuf_pool_;
+  res_.tun = &tun;
+  res_.pack_stream = cuda.create_stream();
+  res_.d2h_stream = cuda.create_stream();
+  res_.h2d_stream = cuda.create_stream();
+  res_.unpack_stream = cuda.create_stream();
+  res_.pack_stream.set_wakeup(&notifier_);
+  res_.d2h_stream.set_wakeup(&notifier_);
+  res_.h2d_stream.set_wakeup(&notifier_);
+  res_.unpack_stream.set_wakeup(&notifier_);
+  endpoint.set_wakeup(&notifier_);
+  auto wg = std::make_shared<CommGroup>();
+  wg->context = 0;
+  wg->world.resize(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) wg->world[static_cast<std::size_t>(i)] = i;
+  wg->my_rank = rank;
+  world_group_ = std::move(wg);
+}
+
+RankComm::~RankComm() {
+  registry_.unregister_pinned_host(vbuf_pool_.arena());
+}
+
+// ---------------------------------------------------------------------------
+// Posting
+// ---------------------------------------------------------------------------
+
+Request RankComm::isend(const void* buf, int count, const Datatype& dtype,
+                        int dst, int tag, int context) {
+  if (dst < 0 || dst >= size_) {
+    throw std::invalid_argument("isend: bad destination rank " +
+                                std::to_string(dst));
+  }
+  auto state = std::make_shared<ReqState>();
+  state->id = next_req_id();
+  state->view = core::MsgView::make(const_cast<void*>(buf), count, dtype,
+                                    registry_);
+  const core::MsgView& view = state->view;
+  const core::Tunables& tun = *res_.tun;
+
+  if (view.packed_bytes <= tun.eager_threshold) {
+    netsim::WireMessage m;
+    m.kind = core::kEager;
+    m.header[0] = encode_envelope(context, tag);
+    m.header[1] = view.packed_bytes;
+    m.payload.resize(view.packed_bytes);
+    if (view.packed_bytes > 0) {
+      if (view.on_device) {
+        core::stage_to_host_any(*res_.cuda, view, m.payload.data(),
+                                view.packed_bytes, tun.gpu_offload);
+      } else if (view.contiguous) {
+        std::memcpy(m.payload.data(), view.base, view.packed_bytes);
+      } else {
+        engine_.delay(tun.host_pack_time(
+            view.packed_bytes, view.dtype.total_segments(view.count)));
+        view.dtype.pack(view.base, view.count, m.payload.data());
+      }
+    }
+    res_.endpoint->post_send(dst, std::move(m));
+    state->complete = true;  // buffered send: the payload holds a copy
+    return Request(std::move(state));
+  }
+
+  state->rndv_send =
+      std::make_shared<core::RndvSend>(res_, view, dst, state->id);
+  active_sends_.emplace(state->id, state);
+  state->rndv_send->start(encode_envelope(context, tag));
+  return Request(std::move(state));
+}
+
+Request RankComm::irecv(void* buf, int count, const Datatype& dtype, int src,
+                        int tag, int context) {
+  if (src != kAnySource && (src < 0 || src >= size_)) {
+    throw std::invalid_argument("irecv: bad source rank " +
+                                std::to_string(src));
+  }
+  auto state = std::make_shared<ReqState>();
+  state->id = next_req_id();
+  state->is_recv = true;
+  state->view = core::MsgView::make(buf, count, dtype, registry_);
+  state->src_filter = src;
+  state->tag_filter = tag;
+  state->context = context;
+
+  // Unexpected-queue scan first (FIFO).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (it->context != context) continue;
+    const bool src_ok = (src == kAnySource) || (src == it->src);
+    const bool tag_ok = (tag == kAnyTag) ? (it->tag >= 0) : (tag == it->tag);
+    if (!src_ok || !tag_ok) continue;
+    UnexpectedMsg m = std::move(*it);
+    unexpected_.erase(it);
+    if (m.is_rts) {
+      begin_rndv_recv(state, m.src, m.tag, m.bytes, m.sender_req,
+                      m.sender_chunk, m.rget_src);
+    } else {
+      deliver_eager(*state, m.src, m.tag, m.payload);
+    }
+    return Request(std::move(state));
+  }
+  posted_recvs_.push_back(state);
+  return Request(std::move(state));
+}
+
+// ---------------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------------
+
+void RankComm::wait(Request& req, Status* status) {
+  if (!req.valid()) throw std::invalid_argument("wait: null request");
+  ReqState& s = *req.state_;
+  while (!s.complete) {
+    progress_once();
+    if (s.complete) break;
+    notifier_.wait("MPI progress (rank " + std::to_string(rank_) + ")");
+  }
+  if (status != nullptr && s.is_recv) *status = s.status;
+}
+
+bool RankComm::test(Request& req, Status* status) {
+  if (!req.valid()) throw std::invalid_argument("test: null request");
+  progress_once();
+  ReqState& s = *req.state_;
+  if (s.complete && status != nullptr && s.is_recv) *status = s.status;
+  return s.complete;
+}
+
+// ---------------------------------------------------------------------------
+// Progress engine
+// ---------------------------------------------------------------------------
+
+void RankComm::progress_once() {
+  netsim::Completion c;
+  while (res_.endpoint->poll(c)) dispatch(c);
+  sweep_transfers();
+}
+
+void RankComm::dispatch(const netsim::Completion& c) {
+  switch (c.type) {
+    case netsim::CqType::kSendComplete:
+      return;  // control/eager transmit drained; nothing to do
+    case netsim::CqType::kRdmaComplete: {
+      for (auto& [id, state] : active_sends_) {
+        if (state->rndv_send->on_rdma_complete(c.wr_id)) return;
+      }
+      throw std::logic_error("orphan RDMA completion");
+    }
+    case netsim::CqType::kRdmaReadComplete: {
+      for (auto& [id, state] : active_recvs_) {
+        if (state->rndv_recv->on_rdma_read_complete(c.wr_id)) return;
+      }
+      throw std::logic_error("orphan RDMA read completion");
+    }
+    case netsim::CqType::kRecv:
+      break;
+  }
+  const netsim::WireMessage& m = c.msg;
+  switch (m.kind) {
+    case core::kEager:
+      handle_eager(m);
+      return;
+    case core::kRts:
+      handle_rts(m);
+      return;
+    case core::kCts: {
+      auto it = active_sends_.find(m.header[0]);
+      if (it == active_sends_.end()) throw std::logic_error("orphan CTS");
+      it->second->rndv_send->on_cts(m);
+      return;
+    }
+    case core::kCredit: {
+      auto it = active_sends_.find(m.header[0]);
+      if (it == active_sends_.end()) throw std::logic_error("orphan CREDIT");
+      it->second->rndv_send->on_credit(m);
+      return;
+    }
+    case core::kChunkFin: {
+      auto it = active_recvs_.find(m.header[0]);
+      if (it == active_recvs_.end()) throw std::logic_error("orphan FIN");
+      it->second->rndv_recv->on_chunk_fin(m);
+      return;
+    }
+    case core::kRndvDone: {
+      auto it = active_sends_.find(m.header[0]);
+      if (it == active_sends_.end()) throw std::logic_error("orphan DONE");
+      it->second->rndv_send->on_rget_done();
+      return;
+    }
+    default:
+      throw std::logic_error("unknown wire message kind " +
+                             std::to_string(m.kind));
+  }
+}
+
+std::shared_ptr<ReqState> RankComm::match_posted(int src, int tag,
+                                                 int context) {
+  for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
+    ReqState& r = **it;
+    if (r.context != context) continue;
+    const bool src_ok =
+        (r.src_filter == kAnySource) || (r.src_filter == src);
+    const bool tag_ok =
+        (r.tag_filter == kAnyTag) ? (tag >= 0) : (r.tag_filter == tag);
+    if (src_ok && tag_ok) {
+      auto state = *it;
+      posted_recvs_.erase(it);
+      return state;
+    }
+  }
+  return nullptr;
+}
+
+void RankComm::handle_eager(const netsim::WireMessage& m) {
+  const int tag = decode_tag(m.header[0]);
+  const int context = decode_context(m.header[0]);
+  if (auto r = match_posted(m.src_node, tag, context)) {
+    deliver_eager(*r, m.src_node, tag, m.payload);
+    return;
+  }
+  UnexpectedMsg u;
+  u.is_rts = false;
+  u.src = m.src_node;
+  u.tag = tag;
+  u.context = context;
+  u.bytes = m.header[1];
+  u.payload = m.payload;
+  unexpected_.push_back(std::move(u));
+}
+
+void RankComm::handle_rts(const netsim::WireMessage& m) {
+  const int tag = decode_tag(m.header[0]);
+  const int context = decode_context(m.header[0]);
+  const std::byte* rget_src =
+      (m.header[4] != 0)
+          ? reinterpret_cast<const std::byte*>(
+                static_cast<std::uintptr_t>(m.header[5]))
+          : nullptr;
+  if (auto r = match_posted(m.src_node, tag, context)) {
+    begin_rndv_recv(r, m.src_node, tag, m.header[1], m.header[2],
+                    m.header[3], rget_src);
+    return;
+  }
+  UnexpectedMsg u;
+  u.is_rts = true;
+  u.src = m.src_node;
+  u.tag = tag;
+  u.context = context;
+  u.bytes = m.header[1];
+  u.sender_req = m.header[2];
+  u.sender_chunk = m.header[3];
+  u.rget_src = rget_src;
+  unexpected_.push_back(std::move(u));
+}
+
+void RankComm::deliver_eager(ReqState& r, int src, int tag,
+                             const std::vector<std::byte>& payload) {
+  const core::MsgView& view = r.view;
+  if (payload.size() > view.packed_bytes) {
+    throw TruncationError("eager message of " +
+                          std::to_string(payload.size()) +
+                          " bytes truncates receive buffer of " +
+                          std::to_string(view.packed_bytes));
+  }
+  const core::Tunables& tun = *res_.tun;
+  if (!payload.empty()) {
+    if (view.on_device) {
+      core::stage_from_host_any(*res_.cuda, view, payload.data(),
+                                payload.size(), tun.gpu_offload);
+    } else if (view.contiguous) {
+      std::memcpy(view.base, payload.data(), payload.size());
+    } else {
+      engine_.delay(tun.host_pack_time(
+          payload.size(), view.dtype.total_segments(view.count)));
+      view.dtype.unpack_bytes(payload.data(), view.count, 0, payload.size(),
+                              view.base);
+    }
+  }
+  r.status = Status{src, tag, payload.size()};
+  r.complete = true;
+}
+
+void RankComm::begin_rndv_recv(const std::shared_ptr<ReqState>& r, int src,
+                               int tag, std::size_t bytes,
+                               std::uint64_t sender_req,
+                               std::size_t sender_chunk,
+                               const std::byte* rget_src) {
+  if (bytes > r->view.packed_bytes) {
+    throw TruncationError("rendezvous message of " + std::to_string(bytes) +
+                          " bytes truncates receive buffer of " +
+                          std::to_string(r->view.packed_bytes));
+  }
+  r->status = Status{src, tag, bytes};
+  r->rndv_recv = std::make_shared<core::RndvRecv>(
+      res_, r->view, src, sender_req, r->id, bytes, sender_chunk, rget_src);
+  active_recvs_.emplace(r->id, r);
+  r->rndv_recv->start();
+}
+
+void RankComm::sweep_transfers() {
+  // advance() may complete transfers; collect then erase to keep iterators
+  // valid.
+  std::vector<std::uint64_t> done_sends;
+  for (auto& [id, state] : active_sends_) {
+    state->rndv_send->advance();
+    if (state->rndv_send->done()) {
+      state->complete = true;
+      done_sends.push_back(id);
+    }
+  }
+  for (auto id : done_sends) active_sends_.erase(id);
+  std::vector<std::uint64_t> done_recvs;
+  for (auto& [id, state] : active_recvs_) {
+    state->rndv_recv->advance();
+    if (state->rndv_recv->done()) {
+      state->complete = true;
+      done_recvs.push_back(id);
+    }
+  }
+  for (auto id : done_recvs) active_recvs_.erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// Probe
+// ---------------------------------------------------------------------------
+
+bool RankComm::iprobe(int src, int tag, Status* status, int context) {
+  progress_once();
+  for (const UnexpectedMsg& m : unexpected_) {
+    if (m.context != context) continue;
+    const bool src_ok = (src == kAnySource) || (src == m.src);
+    const bool tag_ok = (tag == kAnyTag) ? (m.tag >= 0) : (tag == m.tag);
+    if (src_ok && tag_ok) {
+      if (status != nullptr) *status = Status{m.src, m.tag, m.bytes};
+      return true;
+    }
+  }
+  return false;
+}
+
+void RankComm::probe(int src, int tag, Status* status, int context) {
+  while (!iprobe(src, tag, status, context)) {
+    notifier_.wait("MPI_Probe (rank " + std::to_string(rank_) + ")");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit pack/unpack (GPU-aware)
+// ---------------------------------------------------------------------------
+
+void RankComm::pack(const void* inbuf, int count, const Datatype& dtype,
+                    void* outbuf, std::size_t outsize,
+                    std::size_t& position) {
+  auto view =
+      core::MsgView::make(const_cast<void*>(inbuf), count, dtype, registry_);
+  if (position > outsize || view.packed_bytes > outsize - position) {
+    throw std::invalid_argument("pack: output buffer too small");
+  }
+  auto* out = static_cast<std::byte*>(outbuf) + position;
+  if (view.packed_bytes > 0) {
+    if (view.on_device) {
+      core::stage_to_host_any(*res_.cuda, view, out, view.packed_bytes,
+                              res_.tun->gpu_offload);
+    } else {
+      engine_.delay(res_.tun->host_pack_time(
+          view.packed_bytes, view.dtype.total_segments(count)));
+      dtype.pack(inbuf, count, out);
+    }
+  }
+  position += view.packed_bytes;
+}
+
+void RankComm::unpack(const void* inbuf, std::size_t insize,
+                      std::size_t& position, void* outbuf, int count,
+                      const Datatype& dtype) {
+  auto view = core::MsgView::make(outbuf, count, dtype, registry_);
+  if (position > insize || view.packed_bytes > insize - position) {
+    throw std::invalid_argument("unpack: input buffer exhausted");
+  }
+  const auto* in = static_cast<const std::byte*>(inbuf) + position;
+  if (view.packed_bytes > 0) {
+    if (view.on_device) {
+      core::stage_from_host_any(*res_.cuda, view, in, view.packed_bytes,
+                                res_.tun->gpu_offload);
+    } else {
+      engine_.delay(res_.tun->host_pack_time(
+          view.packed_bytes, view.dtype.total_segments(count)));
+      dtype.unpack(in, count, outbuf);
+    }
+  }
+  position += view.packed_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+void RankComm::barrier(const CommGroup& g) {
+  static const Datatype byte_t = committed_byte();
+  const int p = g.size();
+  char token = 0;
+  int round = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++round) {
+    const int dst = g.world[static_cast<std::size_t>((g.my_rank + mask) % p)];
+    const int src =
+        g.world[static_cast<std::size_t>((g.my_rank - mask + p) % p)];
+    Request sreq =
+        isend(&token, 1, byte_t, dst, kTagBarrier - round, g.context);
+    Request rreq =
+        irecv(&token, 1, byte_t, src, kTagBarrier - round, g.context);
+    wait(sreq, nullptr);
+    wait(rreq, nullptr);
+  }
+}
+
+void RankComm::bcast(void* buf, int count, const Datatype& dtype, int root,
+                     const CommGroup& g) {
+  const int p = g.size();
+  if (p == 1) return;
+  const int relative = (g.my_rank - root + p) % p;
+  auto world_of = [&](int rel) {
+    return g.world[static_cast<std::size_t>((rel + root) % p)];
+  };
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      Request r = irecv(buf, count, dtype, world_of(relative - mask),
+                        kTagBcast, g.context);
+      wait(r, nullptr);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      Request sr = isend(buf, count, dtype, world_of(relative + mask),
+                         kTagBcast, g.context);
+      wait(sr, nullptr);
+    }
+    mask >>= 1;
+  }
+}
+
+void RankComm::gather(const void* sendbuf, int count, const Datatype& dtype,
+                      void* recvbuf, int root, const CommGroup& g) {
+  // Linear gather; self-delivery goes through the normal p2p path so
+  // device buffers work uniformly.
+  const std::size_t block =
+      static_cast<std::size_t>(dtype.extent()) * static_cast<std::size_t>(count);
+  const int root_world = g.world[static_cast<std::size_t>(root)];
+  Request sreq = isend(sendbuf, count, dtype, root_world, kTagGather,
+                       g.context);
+  if (g.my_rank == root) {
+    std::vector<Request> rreqs;
+    rreqs.reserve(static_cast<std::size_t>(g.size()));
+    for (int i = 0; i < g.size(); ++i) {
+      rreqs.push_back(irecv(static_cast<std::byte*>(recvbuf) +
+                                static_cast<std::size_t>(i) * block,
+                            count, dtype, g.world[static_cast<std::size_t>(i)],
+                            kTagGather, g.context));
+    }
+    for (Request& r : rreqs) wait(r, nullptr);
+  }
+  wait(sreq, nullptr);
+}
+
+void RankComm::scatter(const void* sendbuf, void* recvbuf, int count,
+                       const Datatype& dtype, int root, const CommGroup& g) {
+  const std::size_t block =
+      static_cast<std::size_t>(dtype.extent()) * static_cast<std::size_t>(count);
+  const int root_world = g.world[static_cast<std::size_t>(root)];
+  Request rreq = irecv(recvbuf, count, dtype, root_world, kTagScatter,
+                       g.context);
+  if (g.my_rank == root) {
+    std::vector<Request> sreqs;
+    sreqs.reserve(static_cast<std::size_t>(g.size()));
+    for (int i = 0; i < g.size(); ++i) {
+      sreqs.push_back(isend(static_cast<const std::byte*>(sendbuf) +
+                                static_cast<std::size_t>(i) * block,
+                            count, dtype, g.world[static_cast<std::size_t>(i)],
+                            kTagScatter, g.context));
+    }
+    for (Request& sr : sreqs) wait(sr, nullptr);
+  }
+  wait(rreq, nullptr);
+}
+
+void RankComm::alltoall(const void* sendbuf, void* recvbuf, int count,
+                        const Datatype& dtype, const CommGroup& g) {
+  const std::size_t block =
+      static_cast<std::size_t>(dtype.extent()) * static_cast<std::size_t>(count);
+  const int p = g.size();
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(2 * p));
+  for (int i = 0; i < p; ++i) {
+    reqs.push_back(irecv(static_cast<std::byte*>(recvbuf) +
+                             static_cast<std::size_t>(i) * block,
+                         count, dtype, g.world[static_cast<std::size_t>(i)],
+                         kTagAlltoall, g.context));
+  }
+  for (int j = 0; j < p; ++j) {
+    // Stagger send order (rank r starts with its right neighbour) so the
+    // pairwise exchanges spread across the fabric instead of all ranks
+    // hammering rank 0 first.
+    const int dst = (g.my_rank + 1 + j) % p;
+    reqs.push_back(isend(static_cast<const std::byte*>(sendbuf) +
+                             static_cast<std::size_t>(dst) * block,
+                         count, dtype, g.world[static_cast<std::size_t>(dst)],
+                         kTagAlltoall, g.context));
+  }
+  for (Request& r : reqs) wait(r, nullptr);
+}
+
+void RankComm::allreduce_doubles(const double* sendbuf, double* recvbuf,
+                                 int count, bool take_max,
+                                 const CommGroup& g) {
+  static const Datatype double_t = committed_double();
+  std::copy(sendbuf, sendbuf + count, recvbuf);
+  if (g.size() == 1) return;
+  if (g.my_rank == 0) {
+    std::vector<double> tmp(static_cast<std::size_t>(count));
+    for (int src = 1; src < g.size(); ++src) {
+      Request r = irecv(tmp.data(), count, double_t,
+                        g.world[static_cast<std::size_t>(src)], kTagReduce,
+                        g.context);
+      wait(r, nullptr);
+      for (int i = 0; i < count; ++i) {
+        recvbuf[i] = take_max ? std::max(recvbuf[i], tmp[i])
+                              : recvbuf[i] + tmp[i];
+      }
+    }
+  } else {
+    Request sr = isend(recvbuf, count, double_t, g.world[0], kTagReduce,
+                       g.context);
+    wait(sr, nullptr);
+  }
+  bcast(recvbuf, count, double_t, 0, g);
+}
+
+}  // namespace mv2gnc::mpisim::detail

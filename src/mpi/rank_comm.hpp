@@ -1,0 +1,159 @@
+// Internal per-rank MPI engine: matching, eager protocol, rendezvous
+// dispatch, and the progress loop. One RankComm per simulated process.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rndv.hpp"
+#include "cuda/runtime.hpp"
+#include "gpu/memory_registry.hpp"
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace mv2gnc::mpisim::detail {
+
+/// Membership of one communicator: comm rank i is world rank world[i].
+struct CommGroup {
+  int context = 0;              // matching context id
+  std::vector<int> world;       // comm rank -> world rank
+  int my_rank = -1;             // this process's rank within the comm
+
+  int size() const { return static_cast<int>(world.size()); }
+  /// World rank -> comm rank, or kAnySource if not a member.
+  int to_comm_rank(int world_rank) const {
+    for (int i = 0; i < size(); ++i) {
+      if (world[i] == world_rank) return i;
+    }
+    return kAnySource;
+  }
+};
+
+struct ReqState {
+  std::uint64_t id = 0;
+  bool complete = false;
+  bool is_recv = false;
+  Status status;
+
+  // Receive-side matching criteria (world source, tag, context) and
+  // destination view.
+  core::MsgView view;
+  int src_filter = kAnySource;
+  int tag_filter = kAnyTag;
+  int context = 0;
+
+  std::shared_ptr<core::RndvSend> rndv_send;
+  std::shared_ptr<core::RndvRecv> rndv_recv;
+};
+
+/// A message that arrived before its receive was posted.
+struct UnexpectedMsg {
+  bool is_rts = false;
+  int src = -1;
+  int tag = 0;
+  int context = 0;
+  std::size_t bytes = 0;
+  std::vector<std::byte> payload;   // eager payload
+  std::uint64_t sender_req = 0;     // rendezvous
+  std::size_t sender_chunk = 0;     // rendezvous
+  const std::byte* rget_src = nullptr;  // RGET-eligible source address
+};
+
+class RankComm {
+ public:
+  RankComm(int rank, int size, sim::Engine& engine, cusim::CudaContext& cuda,
+           netsim::Endpoint& endpoint, gpu::MemoryRegistry& registry,
+           const core::Tunables& tun);
+  ~RankComm();
+  RankComm(const RankComm&) = delete;
+  RankComm& operator=(const RankComm&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  ApiStats& api_stats() { return api_stats_; }
+  sim::Engine& engine() { return engine_; }
+  const core::Tunables& tunables() const { return *res_.tun; }
+  core::VbufPool& vbufs() { return vbuf_pool_; }
+
+  /// World group of this rank (context 0, identity mapping).
+  const std::shared_ptr<const CommGroup>& world_group() const {
+    return world_group_;
+  }
+  /// Allocate `count` fresh context ids starting at `base` (the caller
+  /// coordinated `base` across the parent communicator).
+  void reserve_contexts(int base, int count) {
+    next_context_ = std::max(next_context_, base + count);
+  }
+  int next_context_hint() const { return next_context_; }
+
+  // dst/src are WORLD ranks; `context` selects the communicator.
+  Request isend(const void* buf, int count, const Datatype& dtype, int dst,
+                int tag, int context = 0);
+  Request irecv(void* buf, int count, const Datatype& dtype, int src,
+                int tag, int context = 0);
+  void wait(Request& req, Status* status);
+  bool test(Request& req, Status* status);
+
+  bool iprobe(int src, int tag, Status* status, int context = 0);
+  void probe(int src, int tag, Status* status, int context = 0);
+
+  void pack(const void* inbuf, int count, const Datatype& dtype,
+            void* outbuf, std::size_t outsize, std::size_t& position);
+  void unpack(const void* inbuf, std::size_t insize, std::size_t& position,
+              void* outbuf, int count, const Datatype& dtype);
+
+  // Collectives run over a CommGroup (roots are comm-relative ranks).
+  void barrier(const CommGroup& g);
+  void bcast(void* buf, int count, const Datatype& dtype, int root,
+             const CommGroup& g);
+  void allreduce_doubles(const double* sendbuf, double* recvbuf, int count,
+                         bool take_max, const CommGroup& g);
+  void gather(const void* sendbuf, int count, const Datatype& dtype,
+              void* recvbuf, int root, const CommGroup& g);
+  void scatter(const void* sendbuf, void* recvbuf, int count,
+               const Datatype& dtype, int root, const CommGroup& g);
+  void alltoall(const void* sendbuf, void* recvbuf, int count,
+                const Datatype& dtype, const CommGroup& g);
+
+ private:
+  // One pass over all pending work; never blocks.
+  void progress_once();
+  // Dispatch one completion-queue entry.
+  void dispatch(const netsim::Completion& c);
+  void handle_eager(const netsim::WireMessage& m);
+  void handle_rts(const netsim::WireMessage& m);
+  // Try to match an incoming envelope against the posted-receive queue.
+  std::shared_ptr<ReqState> match_posted(int src, int tag, int context);
+  // Deliver a (matched) eager payload into the receive request.
+  void deliver_eager(ReqState& r, int src, int tag,
+                     const std::vector<std::byte>& payload);
+  // Start the rendezvous receiver for a matched RTS.
+  void begin_rndv_recv(const std::shared_ptr<ReqState>& r, int src, int tag,
+                       std::size_t bytes, std::uint64_t sender_req,
+                       std::size_t sender_chunk, const std::byte* rget_src);
+  void sweep_transfers();
+  std::uint64_t next_req_id() { return req_seq_++; }
+
+  int rank_;
+  int size_;
+  sim::Engine& engine_;
+  gpu::MemoryRegistry& registry_;
+  core::VbufPool vbuf_pool_;
+  sim::Notifier notifier_;
+  core::RankResources res_;
+
+  ApiStats api_stats_;
+  std::shared_ptr<const CommGroup> world_group_;
+  int next_context_ = 1;
+  std::uint64_t req_seq_ = 1;
+  std::deque<std::shared_ptr<ReqState>> posted_recvs_;
+  std::deque<UnexpectedMsg> unexpected_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ReqState>> active_sends_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ReqState>> active_recvs_;
+};
+
+}  // namespace mv2gnc::mpisim::detail

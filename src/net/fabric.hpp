@@ -1,0 +1,147 @@
+// netsim: a verbs-shaped RDMA fabric model.
+//
+// Each node owns an Endpoint with a transmit pipeline (FIFO resource) and a
+// completion queue. Two operations exist, mirroring what MVAPICH2's channel
+// uses on InfiniBand:
+//   * post_send    — two-sided SEND of a small control/eager message,
+//                    matched by the remote side reading its CQ;
+//   * post_rdma_write — one-sided WRITE into remote memory, optionally
+//                    carrying an immediate control message (the paper's
+//                    "RDMA write finish" notification).
+//
+// Because all simulated nodes live in one OS process, remote memory is
+// directly addressable: the write lands as a real memcpy at the moment the
+// transmit drains, and the remote notification arrives one wire latency
+// later — so a receiver that reads the buffer after seeing the notification
+// always sees the payload bytes, exactly like real RDMA.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace mv2gnc::netsim {
+
+/// Link/NIC timing constants. Defaults model Mellanox QDR ConnectX-2
+/// (MT26428), the paper's HCA.
+struct NetCostModel {
+  double bw = 3.2;                         // effective GB/s (QDR 4x)
+  sim::SimTime latency_ns = 1'500;         // end-to-end wire + switch
+  sim::SimTime per_msg_overhead_ns = 600;  // NIC descriptor processing
+  sim::SimTime post_overhead_ns = 200;     // CPU cost of posting a WR
+
+  /// Serialization time of `bytes` on the link.
+  sim::SimTime wire_time(std::size_t bytes) const {
+    return static_cast<sim::SimTime>(static_cast<double>(bytes) / bw);
+  }
+
+  /// The paper's testbed fabric.
+  static NetCostModel qdr_ib() { return NetCostModel{}; }
+};
+
+/// A two-sided message (control traffic and eager payloads).
+struct WireMessage {
+  int src_node = -1;
+  int kind = 0;                     // application-level discriminator
+  std::uint64_t header[6] = {};     // small fixed header words
+  std::vector<std::byte> payload;   // optional inline payload
+};
+
+/// CQ entry types.
+enum class CqType {
+  kRecv,              // a WireMessage arrived (two-sided or RDMA immediate)
+  kSendComplete,      // post_send drained; buffer reusable
+  kRdmaComplete,      // post_rdma_write drained locally; buffer reusable
+  kRdmaReadComplete,  // post_rdma_read data has landed locally
+};
+
+struct Completion {
+  CqType type = CqType::kRecv;
+  std::uint64_t wr_id = 0;  // for kSendComplete / kRdmaComplete
+  WireMessage msg;          // for kRecv
+};
+
+class Fabric;
+
+/// Per-node NIC endpoint: transmit queue + completion queue.
+class Endpoint {
+ public:
+  Endpoint(sim::Engine& engine, Fabric& fabric, int node);
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Post a two-sided SEND. Returns the work-request id; a kSendComplete
+  /// completion appears on this CQ when the transmit drains, and the
+  /// message lands in `dst`'s CQ one wire latency later.
+  std::uint64_t post_send(int dst, WireMessage msg);
+
+  /// Post a one-sided RDMA WRITE of `bytes` from `local` into `remote`
+  /// (an address on node `dst`). The payload memcpy happens when the
+  /// transmit drains (kRdmaComplete locally); if `imm` is given it arrives
+  /// at the destination CQ one wire latency after the data lands.
+  std::uint64_t post_rdma_write(int dst, const void* local, void* remote,
+                                std::size_t bytes,
+                                std::optional<WireMessage> imm = std::nullopt);
+
+  /// Post a one-sided RDMA READ of `bytes` from `remote` (an address on
+  /// node `src`) into `local`. The read request crosses the wire, the
+  /// response serializes on the *target's* transmit pipeline, and a
+  /// kRdmaReadComplete lands on this CQ once the data is local.
+  std::uint64_t post_rdma_read(int src, void* local, const void* remote,
+                               std::size_t bytes);
+
+  /// Drain one completion; false if the CQ is empty.
+  bool poll(Completion& out);
+
+  /// Install the notifier poked whenever a completion is enqueued.
+  void set_wakeup(sim::Notifier* n) { wakeup_ = n; }
+
+  int node() const { return node_; }
+
+  // -- statistics ------------------------------------------------------
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t rdma_writes() const { return rdma_writes_; }
+  std::uint64_t rdma_reads() const { return rdma_reads_; }
+  sim::SimTime tx_busy_time() const { return tx_.total_busy_time(); }
+
+ private:
+  friend class Fabric;
+  void deliver(Completion c);  // push to CQ + wake
+
+  sim::Engine& engine_;
+  Fabric& fabric_;
+  int node_;
+  sim::FifoResource tx_;
+  std::deque<Completion> cq_;
+  sim::Notifier* wakeup_ = nullptr;
+  std::uint64_t next_wr_ = 1;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t rdma_writes_ = 0;
+  std::uint64_t rdma_reads_ = 0;
+};
+
+/// The cluster interconnect: `nodes` endpoints on a full crossbar.
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, int nodes, NetCostModel cost);
+
+  Endpoint& endpoint(int node);
+  int nodes() const { return static_cast<int>(endpoints_.size()); }
+  const NetCostModel& cost() const { return cost_; }
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  sim::Engine& engine_;
+  NetCostModel cost_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace mv2gnc::netsim

@@ -1,0 +1,293 @@
+#include "sim/engine.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace mv2gnc::sim {
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  if (t < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " ns", t);
+  } else if (t < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", to_us(t));
+  } else if (t < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", to_sec(t));
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// EventFlag
+// ---------------------------------------------------------------------------
+
+bool EventFlag::is_set() const {
+  std::lock_guard<std::mutex> lock(engine_.mu_);
+  return set_;
+}
+
+void EventFlag::trigger() {
+  std::lock_guard<std::mutex> lock(engine_.mu_);
+  if (set_) return;
+  set_ = true;
+  for (detail::Process* p : waiters_) engine_.make_ready_locked(p);
+  waiters_.clear();
+}
+
+void EventFlag::reset() {
+  std::lock_guard<std::mutex> lock(engine_.mu_);
+  set_ = false;
+}
+
+void EventFlag::wait(const std::string& reason) {
+  std::unique_lock<std::mutex> lock(engine_.mu_);
+  while (!set_) {
+    detail::Process* self = engine_.current_locked();
+    waiters_.push_back(self);
+    engine_.block_current_locked(lock, reason);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Notifier
+// ---------------------------------------------------------------------------
+
+void Notifier::notify() {
+  std::lock_guard<std::mutex> lock(engine_.mu_);
+  ++pending_;
+  if (waiter_ != nullptr) {
+    engine_.make_ready_locked(waiter_);
+    waiter_ = nullptr;
+  }
+}
+
+void Notifier::wait(const std::string& reason) {
+  std::unique_lock<std::mutex> lock(engine_.mu_);
+  while (pending_ == 0) {
+    detail::Process* self = engine_.current_locked();
+    if (waiter_ != nullptr && waiter_ != self) {
+      throw std::logic_error("Notifier: more than one concurrent waiter");
+    }
+    waiter_ = self;
+    engine_.block_current_locked(lock, reason);
+  }
+  pending_ = 0;
+}
+
+bool Notifier::try_consume() {
+  std::lock_guard<std::mutex> lock(engine_.mu_);
+  if (pending_ == 0) return false;
+  pending_ = 0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!aborting_) abort_all_locked(lock);
+  }
+  join_all();
+}
+
+SimTime Engine::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void Engine::spawn(std::string name, std::function<void()> body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto proc = std::make_unique<detail::Process>();
+  proc->name = std::move(name);
+  proc->body = std::move(body);
+  proc->state = detail::ProcState::kReady;
+  detail::Process* p = proc.get();
+  processes_.push_back(std::move(proc));
+  ready_.push_back(p);
+  p->thread = std::thread([this, p] { trampoline(p); });
+}
+
+void Engine::schedule_at(SimTime at, std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (at < now_) at = now_;
+  queue_.push(detail::ScheduledEvent{at, seq_++, std::move(action)});
+}
+
+void Engine::schedule_after(SimTime delay, std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SimTime at = (delay < 0) ? now_ : now_ + delay;
+  queue_.push(detail::ScheduledEvent{at, seq_++, std::move(action)});
+}
+
+void Engine::delay(SimTime d) {
+  std::unique_lock<std::mutex> lock(mu_);
+  detail::Process* self = current_locked();
+  SimTime at = now_ + (d < 0 ? 0 : d);
+  // The action runs on the scheduler thread without the lock held.
+  queue_.push(detail::ScheduledEvent{at, seq_++, [this, self] {
+                                       std::lock_guard<std::mutex> l(mu_);
+                                       make_ready_locked(self);
+                                     }});
+  block_current_locked(lock, "delay");
+}
+
+std::string Engine::current_process_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ != nullptr ? running_->name : std::string{};
+}
+
+detail::Process* Engine::current_locked() const {
+  if (running_ == nullptr ||
+      running_->thread.get_id() != std::this_thread::get_id()) {
+    throw std::logic_error(
+        "engine blocking primitive called outside a simulated process");
+  }
+  return running_;
+}
+
+void Engine::make_ready_locked(detail::Process* p) {
+  if (p->state == detail::ProcState::kFinished) return;
+  if (p->state == detail::ProcState::kReady) return;  // already queued
+  p->state = detail::ProcState::kReady;
+  ready_.push_back(p);
+}
+
+void Engine::block_current_locked(std::unique_lock<std::mutex>& lock,
+                                  const std::string& reason) {
+  detail::Process* self = running_;
+  self->state = detail::ProcState::kBlocked;
+  self->wait_reason = reason;
+  running_ = nullptr;
+  scheduler_cv_.notify_one();
+  self->cv.wait(lock, [self] { return self->resume_token; });
+  self->resume_token = false;
+  self->state = detail::ProcState::kRunning;
+  running_ = self;
+  if (aborting_) throw ProcessAborted{};
+}
+
+void Engine::trampoline(detail::Process* p) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    p->cv.wait(lock, [p] { return p->resume_token; });
+    p->resume_token = false;
+    if (aborting_) {
+      p->state = detail::ProcState::kFinished;
+      running_ = nullptr;
+      scheduler_cv_.notify_one();
+      return;
+    }
+    p->state = detail::ProcState::kRunning;
+    running_ = p;
+  }
+  try {
+    p->body();
+  } catch (const ProcessAborted&) {
+    // Expected during teardown; fall through to finish bookkeeping.
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  p->state = detail::ProcState::kFinished;
+  if (running_ == p) running_ = nullptr;
+  scheduler_cv_.notify_one();
+}
+
+void Engine::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (in_run_) throw std::logic_error("Engine::run() is not reentrant");
+  in_run_ = true;
+  for (;;) {
+    if (first_error_) {
+      abort_all_locked(lock);
+      break;
+    }
+    if (!ready_.empty()) {
+      detail::Process* p = ready_.front();
+      ready_.pop_front();
+      if (p->state != detail::ProcState::kReady) continue;
+      p->state = detail::ProcState::kRunning;
+      running_ = p;
+      p->resume_token = true;
+      p->cv.notify_one();
+      scheduler_cv_.wait(lock, [this] { return running_ == nullptr; });
+      continue;
+    }
+    if (!queue_.empty()) {
+      detail::ScheduledEvent ev =
+          std::move(const_cast<detail::ScheduledEvent&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.at;
+      ++events_executed_;
+      // Actions run without the lock so they may freely use the public
+      // API (trigger flags, notify, schedule). Nothing else is runnable
+      // while the scheduler executes an action, so this is race-free.
+      lock.unlock();
+      ev.action();
+      lock.lock();
+      continue;
+    }
+    // No runnable process and no pending event: either everything finished
+    // or the system is deadlocked.
+    bool any_blocked = false;
+    std::ostringstream diag;
+    for (const auto& p : processes_) {
+      if (p->state == detail::ProcState::kBlocked) {
+        any_blocked = true;
+        diag << "\n  process '" << p->name << "' blocked on: "
+             << p->wait_reason;
+      }
+    }
+    if (any_blocked) {
+      abort_all_locked(lock);
+      in_run_ = false;
+      throw DeadlockError("simulation deadlock at t=" + format_time(now_) +
+                          diag.str());
+    }
+    break;
+  }
+  in_run_ = false;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    join_all();
+    std::rethrow_exception(err);
+  }
+}
+
+void Engine::abort_all_locked(std::unique_lock<std::mutex>& lock) {
+  aborting_ = true;
+  for (;;) {
+    bool any_alive = false;
+    for (const auto& p : processes_) {
+      if (p->state == detail::ProcState::kBlocked ||
+          p->state == detail::ProcState::kReady) {
+        any_alive = true;
+        p->resume_token = true;
+        p->cv.notify_one();
+      }
+    }
+    if (!any_alive) break;
+    scheduler_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void Engine::join_all() {
+  for (auto& p : processes_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+}
+
+}  // namespace mv2gnc::sim

@@ -1,0 +1,192 @@
+// Deterministic discrete-event engine with cooperative processes.
+//
+// A simulated process is an OS thread that runs *exclusively*: the engine
+// hands a single run token to exactly one process at a time, and a process
+// gives the token back whenever it blocks on virtual time (delay) or on a
+// condition (EventFlag / Notifier / Channel). Between process slices the
+// engine pops the earliest pending event and advances the virtual clock.
+//
+// The payoff is that code written against the simulated CUDA/MPI APIs looks
+// like ordinary blocking code, while the whole run is bit-deterministic:
+// same inputs => same event order => same virtual timings.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mv2gnc::sim {
+
+class Engine;
+
+/// Thrown by Engine::run() when every live process is blocked and no event
+/// can ever wake one of them. The message lists each stuck process and the
+/// reason string it supplied when it blocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown inside process threads when the engine is tearing down early
+/// (e.g. after a deadlock or a sibling process threw). User code should not
+/// catch it; the process trampoline swallows it after unwinding.
+class ProcessAborted {};
+
+namespace detail {
+
+enum class ProcState { kReady, kRunning, kBlocked, kFinished };
+
+struct Process {
+  std::string name;
+  ProcState state = ProcState::kReady;
+  bool resume_token = false;
+  std::string wait_reason;
+  std::condition_variable cv;
+  std::thread thread;
+  std::function<void()> body;
+};
+
+struct ScheduledEvent {
+  SimTime at;
+  std::uint64_t seq;  // FIFO tie-break for same-time events
+  std::function<void()> action;
+};
+
+struct EventOrder {
+  bool operator()(const ScheduledEvent& a, const ScheduledEvent& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace detail
+
+/// A one-shot (resettable) condition a process can wait on.
+///
+/// trigger() may run from another process slice or from a scheduled event;
+/// every waiter becomes runnable at the current virtual time. Once set,
+/// wait() returns immediately until reset() is called.
+class EventFlag {
+ public:
+  explicit EventFlag(Engine& engine) : engine_(engine) {}
+  EventFlag(const EventFlag&) = delete;
+  EventFlag& operator=(const EventFlag&) = delete;
+
+  /// True once trigger() has been called (and reset() has not).
+  bool is_set() const;
+  /// Set the flag and make all current waiters runnable.
+  void trigger();
+  /// Clear the flag so future wait() calls block again.
+  void reset();
+  /// Block the calling process until the flag is set.
+  void wait(const std::string& reason = "EventFlag::wait");
+
+ private:
+  friend class Engine;
+  Engine& engine_;
+  bool set_ = false;
+  std::vector<detail::Process*> waiters_;
+};
+
+/// A counting wake-up: notify() deposits a token, wait() consumes all
+/// pending tokens or blocks until one arrives. This is the "progress engine
+/// has new work" primitive: MPI ranks block on their Notifier while idle and
+/// the fabric/DMA completion events notify it.
+class Notifier {
+ public:
+  explicit Notifier(Engine& engine) : engine_(engine) {}
+  Notifier(const Notifier&) = delete;
+  Notifier& operator=(const Notifier&) = delete;
+
+  /// Deposit a token and wake the waiter (if any).
+  void notify();
+  /// Consume all pending tokens, blocking until at least one exists.
+  void wait(const std::string& reason = "Notifier::wait");
+  /// Consume pending tokens without blocking; returns false if none.
+  bool try_consume();
+
+ private:
+  friend class Engine;
+  Engine& engine_;
+  std::uint64_t pending_ = 0;
+  detail::Process* waiter_ = nullptr;
+};
+
+/// The engine: virtual clock + event queue + cooperative scheduler.
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time. Callable from anywhere.
+  SimTime now() const;
+
+  /// Create a process. Its body starts running once run() is called (or at
+  /// the next scheduling point if spawned from a running process).
+  void spawn(std::string name, std::function<void()> body);
+
+  /// Run until all processes finish. Throws DeadlockError if the system
+  /// wedges, or rethrows the first exception escaping a process body.
+  void run();
+
+  /// Schedule `action` at absolute virtual time `at` (must be >= now()).
+  /// Actions run on the scheduler thread with the engine lock held; they
+  /// must be short and must not block.
+  void schedule_at(SimTime at, std::function<void()> action);
+
+  /// Schedule `action` after a relative delay.
+  void schedule_after(SimTime delay, std::function<void()> action);
+
+  /// Block the calling process for `d` virtual nanoseconds.
+  void delay(SimTime d);
+
+  /// Name of the currently running process ("" if called off-process).
+  std::string current_process_name() const;
+
+  /// Total number of events executed so far (diagnostic).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  friend class EventFlag;
+  friend class Notifier;
+  template <typename T>
+  friend class Channel;
+
+  detail::Process* current_locked() const;
+  void make_ready_locked(detail::Process* p);
+  // Blocks the calling process; `reason` shows up in deadlock reports.
+  void block_current_locked(std::unique_lock<std::mutex>& lock,
+                            const std::string& reason);
+  void trampoline(detail::Process* p);
+  void abort_all_locked(std::unique_lock<std::mutex>& lock);
+  void join_all();
+
+  mutable std::mutex mu_;
+  std::condition_variable scheduler_cv_;
+  std::vector<std::unique_ptr<detail::Process>> processes_;
+  std::deque<detail::Process*> ready_;
+  std::priority_queue<detail::ScheduledEvent, std::vector<detail::ScheduledEvent>,
+                      detail::EventOrder>
+      queue_;
+  detail::Process* running_ = nullptr;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool aborting_ = false;
+  bool in_run_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mv2gnc::sim

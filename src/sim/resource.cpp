@@ -1,0 +1,33 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace mv2gnc::sim {
+
+FifoResource::FifoResource(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+SimTime FifoResource::submit(SimTime duration,
+                             std::function<void()> on_complete) {
+  return submit_after(0, duration, std::move(on_complete));
+}
+
+SimTime FifoResource::submit_after(SimTime earliest_start, SimTime duration,
+                                   std::function<void()> on_complete) {
+  if (duration < 0) duration = 0;
+  const SimTime start =
+      std::max({engine_.now(), busy_until_, earliest_start});
+  const SimTime done = start + duration;
+  busy_until_ = done;
+  total_busy_ += duration;
+  ++ops_;
+  if (on_complete) {
+    engine_.schedule_at(done, std::move(on_complete));
+  }
+  return done;
+}
+
+}  // namespace mv2gnc::sim

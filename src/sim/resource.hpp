@@ -1,0 +1,57 @@
+// Serial FIFO server: the building block for DMA engines and NIC ports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mv2gnc::sim {
+
+class Engine;
+
+/// Models a device that services operations one at a time in submission
+/// order (a GPU copy engine, a NIC transmit pipeline, a PCIe DMA channel).
+///
+/// submit() charges `duration` of service time starting when the previous
+/// operation drains, and runs `on_complete` at the completion instant (in
+/// scheduler context, engine lock not held). The caller gets the absolute
+/// completion time back, so it can e.g. trigger an EventFlag from
+/// on_complete and wait on it.
+///
+/// Thread-safety: relies on the engine's one-runnable-at-a-time invariant;
+/// do not touch a FifoResource from outside the simulation.
+class FifoResource {
+ public:
+  FifoResource(Engine& engine, std::string name);
+
+  /// Enqueue an operation. Returns its absolute completion time.
+  SimTime submit(SimTime duration, std::function<void()> on_complete = {});
+
+  /// Enqueue an operation that may not start before `earliest_start`
+  /// (used to express cross-resource ordering, e.g. CUDA stream order when
+  /// consecutive stream operations land on different engines).
+  SimTime submit_after(SimTime earliest_start, SimTime duration,
+                       std::function<void()> on_complete = {});
+
+  /// Time at which the queue drains (>= now when busy).
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Accumulated service time across all submitted operations.
+  SimTime total_busy_time() const { return total_busy_; }
+
+  /// Number of operations submitted.
+  std::uint64_t operations() const { return ops_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Engine& engine_;
+  std::string name_;
+  SimTime busy_until_ = 0;
+  SimTime total_busy_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace mv2gnc::sim

@@ -1,0 +1,52 @@
+// Virtual-time primitives for the discrete-event engine.
+//
+// All simulated latencies in this project are carried as integer
+// nanoseconds (SimTime). Integer time keeps the event queue totally
+// ordered without floating-point ties, which is what makes runs
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mv2gnc::sim {
+
+/// Virtual time in nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+/// Sentinel for "no deadline / never happens".
+inline constexpr SimTime kNever = INT64_MAX;
+
+/// Construct a SimTime from nanoseconds (identity, for readability).
+constexpr SimTime nanoseconds(std::int64_t ns) noexcept { return ns; }
+
+/// Construct a SimTime from microseconds.
+constexpr SimTime microseconds(std::int64_t us) noexcept { return us * 1000; }
+
+/// Construct a SimTime from milliseconds.
+constexpr SimTime milliseconds(std::int64_t ms) noexcept {
+  return ms * 1'000'000;
+}
+
+/// Construct a SimTime from seconds.
+constexpr SimTime seconds(std::int64_t s) noexcept { return s * 1'000'000'000; }
+
+/// Convert to (fractional) microseconds for reporting.
+constexpr double to_us(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e3;
+}
+
+/// Convert to (fractional) milliseconds for reporting.
+constexpr double to_ms(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+
+/// Convert to (fractional) seconds for reporting.
+constexpr double to_sec(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+/// Human-readable rendering with an auto-selected unit, e.g. "12.3 us".
+std::string format_time(SimTime t);
+
+}  // namespace mv2gnc::sim

@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace mv2gnc::sim {
+
+void TraceRecorder::record(int rank, const std::string& category,
+                           SimTime begin, SimTime end) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{rank, category, begin, end});
+}
+
+SimTime TraceRecorder::total(int rank, const std::string& category) const {
+  SimTime sum = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.rank == rank && r.category == category) sum += r.duration();
+  }
+  return sum;
+}
+
+SimTime TraceRecorder::total(const std::string& category) const {
+  SimTime sum = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.category == category) sum += r.duration();
+  }
+  return sum;
+}
+
+std::vector<std::string> TraceRecorder::categories(int rank) const {
+  std::vector<std::string> out;
+  for (const TraceRecord& r : records_) {
+    if (r.rank != rank) continue;
+    if (std::find(out.begin(), out.end(), r.category) == out.end()) {
+      out.push_back(r.category);
+    }
+  }
+  return out;
+}
+
+}  // namespace mv2gnc::sim

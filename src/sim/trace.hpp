@@ -1,0 +1,53 @@
+// Lightweight interval tracing for communication breakdowns (paper Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mv2gnc::sim {
+
+/// One traced interval: [begin, end) of virtual time, tagged with the rank
+/// that incurred it and a category like "east_cuda" or "west_mpi".
+struct TraceRecord {
+  int rank = -1;
+  std::string category;
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  SimTime duration() const { return end - begin; }
+};
+
+/// Accumulates TraceRecords. Disabled by default so the hot paths stay
+/// cheap; benchmarks that need breakdowns flip `set_enabled(true)`.
+class TraceRecorder {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Record an interval (no-op while disabled).
+  void record(int rank, const std::string& category, SimTime begin,
+              SimTime end);
+
+  /// Sum of durations for (rank, category).
+  SimTime total(int rank, const std::string& category) const;
+
+  /// Sum of durations for a category across all ranks.
+  SimTime total(const std::string& category) const;
+
+  /// Distinct categories seen for `rank`, in first-seen order.
+  std::vector<std::string> categories(int rank) const;
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  void clear() { records_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace mv2gnc::sim

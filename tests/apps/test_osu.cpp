@@ -1,0 +1,72 @@
+#include "apps/osu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apps = mv2gnc::apps;
+namespace mpisim = mv2gnc::mpisim;
+namespace sim = mv2gnc::sim;
+using apps::BufferPlacement;
+
+TEST(Osu, PlacementNames) {
+  EXPECT_STREQ(apps::placement_name(BufferPlacement::kHost), "H-H");
+  EXPECT_STREQ(apps::placement_name(BufferPlacement::kDevice), "D-D");
+}
+
+TEST(Osu, LatencyMonotoneInSize) {
+  sim::SimTime prev = 0;
+  for (std::size_t b : {64u, 4096u, 65536u, 1048576u}) {
+    const sim::SimTime t =
+        apps::osu_latency(BufferPlacement::kDevice, b, 3, {});
+    EXPECT_GT(t, prev) << b;
+    prev = t;
+  }
+}
+
+TEST(Osu, DeviceLatencyAboveHostLatency) {
+  // Device buffers add PCIe staging on both ends.
+  const std::size_t b = 256 * 1024;
+  const sim::SimTime host = apps::osu_latency(BufferPlacement::kHost, b, 3, {});
+  const sim::SimTime dev = apps::osu_latency(BufferPlacement::kDevice, b, 3, {});
+  EXPECT_GT(dev, host);
+}
+
+TEST(Osu, BandwidthApproachesLinkRateForLargeHostMessages) {
+  // QDR model: 3.2 GB/s. Streaming 1 MB host messages should get close.
+  const double mbps =
+      apps::osu_bandwidth(BufferPlacement::kHost, 1u << 20, 8, 3, {});
+  EXPECT_GT(mbps, 2500.0);
+  EXPECT_LT(mbps, 3300.0);
+}
+
+TEST(Osu, DeviceBandwidthBelowHostBandwidth) {
+  const double host =
+      apps::osu_bandwidth(BufferPlacement::kHost, 1u << 20, 4, 2, {});
+  const double dev =
+      apps::osu_bandwidth(BufferPlacement::kDevice, 1u << 20, 4, 2, {});
+  EXPECT_LT(dev, host * 1.05);
+  EXPECT_GT(dev, 1000.0);  // but pipelining keeps it respectable
+}
+
+TEST(Osu, BidirectionalExceedsUnidirectional) {
+  const double uni =
+      apps::osu_bandwidth(BufferPlacement::kHost, 512u << 10, 4, 2, {});
+  const double bi =
+      apps::osu_bibandwidth(BufferPlacement::kHost, 512u << 10, 4, 2, {});
+  EXPECT_GT(bi, uni * 1.3);  // full-duplex links
+}
+
+TEST(Osu, WindowingImprovesThroughput) {
+  const double w1 =
+      apps::osu_bandwidth(BufferPlacement::kDevice, 256u << 10, 1, 3, {});
+  const double w8 =
+      apps::osu_bandwidth(BufferPlacement::kDevice, 256u << 10, 8, 3, {});
+  EXPECT_GT(w8, w1);
+}
+
+TEST(Osu, Deterministic) {
+  const double a =
+      apps::osu_bandwidth(BufferPlacement::kDevice, 128u << 10, 2, 2, {});
+  const double b =
+      apps::osu_bandwidth(BufferPlacement::kDevice, 128u << 10, 2, 2, {});
+  EXPECT_DOUBLE_EQ(a, b);
+}

@@ -1,0 +1,59 @@
+#include "apps/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apps = mv2gnc::apps;
+namespace mpisim = mv2gnc::mpisim;
+
+namespace {
+
+apps::TransposeResult run(int ranks, int n, bool validate = true) {
+  mpisim::Cluster cluster(mpisim::ClusterConfig{.ranks = ranks});
+  apps::TransposeResult out;
+  apps::TransposeConfig cfg;
+  cfg.global_n = n;
+  cfg.validate = validate;
+  cluster.run([&](mpisim::Context& ctx) {
+    auto r = apps::run_transpose(ctx, cfg);
+    if (ctx.rank == 0) out = r;
+  });
+  return out;
+}
+
+}  // namespace
+
+class TransposeGrids : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TransposeGrids, ValidatesAgainstDefinition) {
+  const auto [ranks, n] = GetParam();
+  // validate=true throws on any misplaced element.
+  EXPECT_NO_THROW(run(ranks, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TransposeGrids,
+                         ::testing::Values(std::pair{1, 16}, std::pair{2, 32},
+                                           std::pair{4, 64}, std::pair{8, 64},
+                                           std::pair{4, 252}));
+
+TEST(Transpose, RejectsIndivisibleSize) {
+  mpisim::Cluster cluster(mpisim::ClusterConfig{.ranks = 3});
+  apps::TransposeConfig cfg;
+  cfg.global_n = 64;  // 64 % 3 != 0
+  EXPECT_THROW(cluster.run([&](mpisim::Context& ctx) {
+                 apps::run_transpose(ctx, cfg);
+               }),
+               std::invalid_argument);
+}
+
+TEST(Transpose, ChecksumInvariantUnderRankCount) {
+  // The transposed matrix (and hence checksum) must not depend on P.
+  const double a = run(2, 64).checksum;
+  const double b = run(4, 64).checksum;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Transpose, LargerMatrixTakesLonger) {
+  const double small = run(4, 1024, false).seconds;
+  const double large = run(4, 4096, false).seconds;
+  EXPECT_GT(large, small);
+}

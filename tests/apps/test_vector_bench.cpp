@@ -1,0 +1,71 @@
+// The three Fig. 4/5 transports: all must deliver, and their latency
+// ordering must reproduce the paper's shape (MV2-GPU-NC ~ hand pipeline
+// << blocking Cpy2D+Send for large vectors).
+#include "apps/vector_bench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apps = mv2gnc::apps;
+namespace mpisim = mv2gnc::mpisim;
+namespace sim = mv2gnc::sim;
+using apps::VectorMethod;
+
+namespace {
+
+sim::SimTime latency(VectorMethod m, std::size_t rows, int iters = 3) {
+  return apps::measure_vector_latency(m, rows, iters, mpisim::ClusterConfig{});
+}
+
+}  // namespace
+
+TEST(VectorBench, MethodNames) {
+  EXPECT_STREQ(apps::method_name(VectorMethod::kCpy2DSend), "Cpy2D+Send");
+  EXPECT_STREQ(apps::method_name(VectorMethod::kCpy2DAsyncIsend),
+               "Cpy2DAsync+CpyAsync+Isend");
+  EXPECT_STREQ(apps::method_name(VectorMethod::kMv2GpuNc), "MV2-GPU-NC");
+}
+
+TEST(VectorBench, AllMethodsCompleteSmall) {
+  for (auto m : {VectorMethod::kCpy2DSend, VectorMethod::kCpy2DAsyncIsend,
+                 VectorMethod::kMv2GpuNc}) {
+    const sim::SimTime t = latency(m, 64);  // 256 B message
+    EXPECT_GT(t, 0) << apps::method_name(m);
+    EXPECT_LT(sim::to_us(t), 2000.0) << apps::method_name(m);
+  }
+}
+
+TEST(VectorBench, LatencyIsDeterministic) {
+  const sim::SimTime a = latency(VectorMethod::kMv2GpuNc, 4096);
+  const sim::SimTime b = latency(VectorMethod::kMv2GpuNc, 4096);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VectorBench, Paper4MBImprovementShape) {
+  // Fig. 5(b) at 4 MB: MV2-GPU-NC achieves ~88% improvement over
+  // Cpy2D+Send. Accept the shape: > 75% improvement.
+  const std::size_t rows = 1u << 20;  // 4 MB of 4-byte rows
+  const sim::SimTime blocking = latency(VectorMethod::kCpy2DSend, rows, 2);
+  const sim::SimTime nc = latency(VectorMethod::kMv2GpuNc, rows, 2);
+  const double improvement =
+      1.0 - static_cast<double>(nc) / static_cast<double>(blocking);
+  EXPECT_GT(improvement, 0.75);
+}
+
+TEST(VectorBench, HandPipelineCloseToLibrary) {
+  // Fig. 5: "Cpy2DAsync+CpyAsync+Isend and MV2-GPU-NC show similar
+  // performance". Allow the hand pipeline within 2x of the library.
+  const std::size_t rows = 1u << 18;  // 1 MB
+  const sim::SimTime hand = latency(VectorMethod::kCpy2DAsyncIsend, rows, 2);
+  const sim::SimTime nc = latency(VectorMethod::kMv2GpuNc, rows, 2);
+  EXPECT_LT(static_cast<double>(hand) / static_cast<double>(nc), 2.0);
+  EXPECT_LT(static_cast<double>(nc) / static_cast<double>(hand), 2.0);
+}
+
+TEST(VectorBench, LatencyMonotoneInSize) {
+  sim::SimTime prev = 0;
+  for (std::size_t rows : {256u, 4096u, 65536u, 262144u}) {
+    const sim::SimTime t = latency(VectorMethod::kMv2GpuNc, rows, 2);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}

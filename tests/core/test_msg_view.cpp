@@ -1,0 +1,89 @@
+#include "core/msg_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+using mv2gnc::core::MsgView;
+using mv2gnc::gpu::MemoryRegistry;
+using mv2gnc::mpisim::Datatype;
+
+namespace {
+
+Datatype committed(Datatype t) {
+  t.commit();
+  return t;
+}
+
+}  // namespace
+
+TEST(MsgView, HostContiguous) {
+  MemoryRegistry reg;
+  std::vector<int> buf(16);
+  auto t = committed(Datatype::int32());
+  auto v = MsgView::make(buf.data(), 16, t, reg);
+  EXPECT_FALSE(v.on_device);
+  EXPECT_TRUE(v.contiguous);
+  EXPECT_EQ(v.packed_bytes, 64u);
+  ASSERT_TRUE(v.pattern.has_value());
+  EXPECT_EQ(v.pattern->count, 16u);
+}
+
+TEST(MsgView, DeviceClassification) {
+  MemoryRegistry reg;
+  std::array<std::byte, 256> fake_dev{};
+  reg.register_range(fake_dev.data(), fake_dev.size(), 2);
+  auto t = committed(Datatype::byte());
+  auto v = MsgView::make(fake_dev.data(), 16, t, reg);
+  EXPECT_TRUE(v.on_device);
+  EXPECT_EQ(v.device_id, 2);
+}
+
+TEST(MsgView, StridedVectorPattern) {
+  MemoryRegistry reg;
+  std::vector<float> buf(1024);
+  auto t = committed(Datatype::vector(64, 1, 16, Datatype::float32()));
+  auto v = MsgView::make(buf.data(), 1, t, reg);
+  EXPECT_FALSE(v.contiguous);
+  ASSERT_TRUE(v.pattern.has_value());
+  EXPECT_EQ(v.pattern->count, 64u);
+  EXPECT_EQ(v.pattern->block_bytes, 4u);
+  EXPECT_EQ(v.pattern->stride_bytes, 64);
+}
+
+TEST(MsgView, FirstSegmentPointer) {
+  MemoryRegistry reg;
+  std::vector<int> buf(64);
+  const std::array<int, 2> lens{1, 1};
+  const std::array<int, 2> displs{5, 9};
+  auto t = committed(Datatype::indexed(lens, displs, Datatype::int32()));
+  auto v = MsgView::make(buf.data(), 1, t, reg);
+  EXPECT_EQ(v.first_segment_ptr(),
+            reinterpret_cast<std::byte*>(buf.data()) + 20);
+}
+
+TEST(MsgView, RequiresCommittedType) {
+  MemoryRegistry reg;
+  std::vector<int> buf(4);
+  auto t = Datatype::vector(2, 1, 2, Datatype::int32());  // not committed
+  EXPECT_THROW(MsgView::make(buf.data(), 1, t, reg), std::logic_error);
+}
+
+TEST(MsgView, RejectsInvalidArguments) {
+  MemoryRegistry reg;
+  std::vector<int> buf(4);
+  auto t = committed(Datatype::int32());
+  EXPECT_THROW(MsgView::make(buf.data(), -1, t, reg), std::invalid_argument);
+  EXPECT_THROW(MsgView::make(buf.data(), 1, Datatype{}, reg),
+               std::invalid_argument);
+}
+
+TEST(MsgView, ZeroCountHasNoPattern) {
+  MemoryRegistry reg;
+  std::vector<int> buf(4);
+  auto t = committed(Datatype::int32());
+  auto v = MsgView::make(buf.data(), 0, t, reg);
+  EXPECT_EQ(v.packed_bytes, 0u);
+  EXPECT_FALSE(v.pattern.has_value());
+}

@@ -1,0 +1,178 @@
+// Receiver-driven rendezvous (RGET): RDMA-READ data path, protocol
+// selection, and the latency advantage of skipping the CTS leg.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+#include "net/fabric.hpp"
+
+namespace mpisim = mv2gnc::mpisim;
+namespace netsim = mv2gnc::netsim;
+namespace core = mv2gnc::core;
+namespace sim = mv2gnc::sim;
+using mpisim::Cluster;
+using mpisim::ClusterConfig;
+using mpisim::Context;
+using mpisim::Datatype;
+
+namespace {
+
+Datatype committed(Datatype t) {
+  t.commit();
+  return t;
+}
+
+// One-way host-contiguous latency under the given tunables.
+sim::SimTime host_latency(bool rget, std::size_t n) {
+  ClusterConfig cfg;
+  cfg.tunables.rget = rget;
+  Cluster cluster(cfg);
+  sim::SimTime elapsed = 0;
+  cluster.run([&](Context& ctx) {
+    auto bytes = committed(Datatype::byte());
+    std::vector<std::byte> buf(n, static_cast<std::byte>(ctx.rank + 1));
+    ctx.comm.barrier();
+    if (ctx.rank == 0) {
+      ctx.comm.send(buf.data(), static_cast<int>(n), bytes, 1, 0);
+    } else {
+      const sim::SimTime t0 = ctx.engine->now();
+      ctx.comm.recv(buf.data(), static_cast<int>(n), bytes, 0, 0);
+      elapsed = ctx.engine->now() - t0;
+      EXPECT_EQ(buf[0], std::byte{1});
+      EXPECT_EQ(buf[n - 1], std::byte{1});
+    }
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+TEST(NetRdmaRead, DataPulledCorrectly) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  std::vector<std::byte> remote(8192);
+  std::vector<std::byte> local(8192, std::byte{0});
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    remote[i] = static_cast<std::byte>(i * 3 & 0xFF);
+  }
+  eng.spawn("reader", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(1).set_wakeup(&n);
+    const std::uint64_t wr = fab.endpoint(1).post_rdma_read(
+        0, local.data(), remote.data(), remote.size());
+    netsim::Completion c;
+    while (!fab.endpoint(1).poll(c)) n.wait();
+    EXPECT_EQ(c.type, netsim::CqType::kRdmaReadComplete);
+    EXPECT_EQ(c.wr_id, wr);
+    EXPECT_EQ(std::memcmp(local.data(), remote.data(), remote.size()), 0);
+  });
+  eng.run();
+  EXPECT_EQ(fab.endpoint(1).rdma_reads(), 1u);
+}
+
+TEST(NetRdmaRead, CostsTwoLatenciesPlusServe) {
+  sim::Engine eng;
+  auto cost = netsim::NetCostModel::qdr_ib();
+  netsim::Fabric fab(eng, 2, cost);
+  std::vector<std::byte> remote(4096), local(4096);
+  sim::SimTime done_at = -1;
+  eng.spawn("reader", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(1).set_wakeup(&n);
+    fab.endpoint(1).post_rdma_read(0, local.data(), remote.data(), 4096);
+    netsim::Completion c;
+    while (!fab.endpoint(1).poll(c)) n.wait();
+    done_at = eng.now();
+  });
+  eng.run();
+  const sim::SimTime expected = cost.post_overhead_ns + cost.latency_ns +
+                                cost.per_msg_overhead_ns +
+                                cost.wire_time(4096) + cost.latency_ns;
+  EXPECT_EQ(done_at, expected);
+}
+
+TEST(NetRdmaRead, Validation) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  eng.spawn("p", [&] {
+    std::byte b;
+    EXPECT_THROW(fab.endpoint(0).post_rdma_read(9, &b, &b, 1),
+                 std::out_of_range);
+    EXPECT_THROW(fab.endpoint(0).post_rdma_read(1, nullptr, &b, 1),
+                 std::invalid_argument);
+  });
+  eng.run();
+}
+
+TEST(Rget, HostContiguousDelivery) {
+  const std::size_t n = 1u << 20;
+  EXPECT_GT(host_latency(true, n), 0);
+}
+
+TEST(Rget, SkipsTheCtsLeg) {
+  // RGET replaces RTS -> CTS -> RDMA-write -> FIN with RTS -> RDMA-read,
+  // saving control-message hops for large host-contiguous transfers.
+  const std::size_t n = 4u << 20;
+  const sim::SimTime rput = host_latency(false, n);
+  const sim::SimTime rget = host_latency(true, n);
+  EXPECT_LT(rget, rput);
+}
+
+TEST(Rget, DeviceBuffersStillUseThePipeline) {
+  // RGET only applies to host-contiguous pairs; device transfers must keep
+  // working (and keep their pipelined performance) with rget enabled.
+  ClusterConfig cfg;
+  cfg.tunables.rget = true;
+  Cluster cluster(cfg);
+  cluster.run([](Context& ctx) {
+    auto col = committed(Datatype::vector(50'000, 1, 2, Datatype::float32()));
+    const std::size_t span = 50'000ull * 8 + 16;
+    auto* dev = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    if (ctx.rank == 0) {
+      std::vector<std::byte> host(span, std::byte{0x42});
+      ctx.cuda->memcpy(dev, host.data(), span);
+      ctx.comm.send(dev, 1, col, 1, 0);
+    } else {
+      ctx.cuda->memset(dev, 0, span);
+      ctx.comm.recv(dev, 1, col, 0, 0);
+      std::vector<std::byte> got(span);
+      ctx.cuda->memcpy(got.data(), dev, span);
+      EXPECT_EQ(got[0], std::byte{0x42});
+      EXPECT_EQ(got[49'999 * 8], std::byte{0x42});
+    }
+    ctx.cuda->free(dev);
+  });
+}
+
+TEST(Rget, HostStridedReceiverFallsBackToRput) {
+  // A strided receiver cannot RDMA-READ into place; it must take the
+  // staged path even when the sender advertised an RGET address.
+  ClusterConfig cfg;
+  cfg.tunables.rget = true;
+  Cluster cluster(cfg);
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    auto strided = committed(Datatype::vector(40'000, 1, 2, Datatype::int32()));
+    if (ctx.rank == 0) {
+      std::vector<int> v(40'000);
+      std::iota(v.begin(), v.end(), 0);
+      ctx.comm.send(v.data(), 40'000, ints, 1, 0);  // host contiguous send
+    } else {
+      std::vector<int> got(80'000, -1);
+      ctx.comm.recv(got.data(), 1, strided, 0, 0);  // host strided recv
+      EXPECT_EQ(got[0], 0);
+      EXPECT_EQ(got[2 * 39'999], 39'999);
+      EXPECT_EQ(got[1], -1);
+    }
+  });
+}
+
+TEST(Rget, ConfigRoundTrip) {
+  core::Tunables t;
+  t.rget = true;
+  std::istringstream in(t.to_config_string());
+  EXPECT_TRUE(core::Tunables::from_stream(in).rget);
+}

@@ -1,0 +1,255 @@
+// Rendezvous-pipeline behaviour under non-default tunables: tiny vbuf
+// pools (back-pressure), pipelining/offload ablations, odd chunk sizes,
+// and the paper's (n+2)-stage latency model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace mpisim = mv2gnc::mpisim;
+namespace core = mv2gnc::core;
+namespace sim = mv2gnc::sim;
+using mpisim::Cluster;
+using mpisim::ClusterConfig;
+using mpisim::Context;
+using mpisim::Datatype;
+
+namespace {
+
+Datatype committed(Datatype t) {
+  t.commit();
+  return t;
+}
+
+// One-way device-to-device strided transfer of `rows` 4-byte rows under
+// the given tunables; returns virtual elapsed time at the receiver and
+// verifies payload integrity.
+sim::SimTime timed_transfer(const core::Tunables& tun, int rows) {
+  ClusterConfig cfg;
+  cfg.tunables = tun;
+  Cluster cluster(cfg);
+  sim::SimTime elapsed = 0;
+  cluster.run([&](Context& ctx) {
+    auto col = committed(Datatype::vector(rows, 1, 2, Datatype::float32()));
+    const std::size_t span = static_cast<std::size_t>(rows) * 8 + 16;
+    auto* dev = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    if (ctx.rank == 0) {
+      std::vector<std::byte> host(span);
+      for (std::size_t i = 0; i < span; ++i) {
+        host[i] = static_cast<std::byte>(i * 13 & 0xFF);
+      }
+      ctx.cuda->memcpy(dev, host.data(), span);
+      ctx.comm.barrier();
+      ctx.comm.send(dev, 1, col, 1, 0);
+    } else {
+      ctx.cuda->memset(dev, 0, span);
+      ctx.comm.barrier();
+      const sim::SimTime t0 = ctx.engine->now();
+      ctx.comm.recv(dev, 1, col, 0, 0);
+      elapsed = ctx.engine->now() - t0;
+      std::vector<std::byte> out(span);
+      ctx.cuda->memcpy(out.data(), dev, span);
+      for (int r = 0; r < rows; r += 97) {
+        const std::size_t off = static_cast<std::size_t>(r) * 8;
+        EXPECT_EQ(out[off], static_cast<std::byte>((off * 13) & 0xFF));
+      }
+    }
+    ctx.cuda->free(dev);
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+TEST(RndvPipeline, TinyVbufPoolStillCompletes) {
+  // Two buffers total: maximal back-pressure, must still drain correctly.
+  core::Tunables tun;
+  tun.vbuf_count = 2;
+  tun.recv_window = 2;
+  const sim::SimTime t = timed_transfer(tun, 1 << 18);  // 1 MB
+  EXPECT_GT(t, 0);
+}
+
+TEST(RndvPipeline, LargerWindowIsNotSlower) {
+  core::Tunables small;
+  small.vbuf_count = 2;
+  small.recv_window = 1;
+  core::Tunables big;
+  big.vbuf_count = 32;
+  big.recv_window = 8;
+  const sim::SimTime constrained = timed_transfer(small, 1 << 18);
+  const sim::SimTime roomy = timed_transfer(big, 1 << 18);
+  EXPECT_LE(roomy, constrained);
+}
+
+TEST(RndvPipeline, PipeliningBeatsSingleBlock) {
+  // The (n+2) model: chunked overlap must beat the monolithic transfer
+  // for large messages.
+  core::Tunables on;
+  core::Tunables off;
+  off.pipelining = false;
+  const sim::SimTime piped = timed_transfer(on, 1 << 19);    // 2 MB
+  const sim::SimTime mono = timed_transfer(off, 1 << 19);
+  EXPECT_LT(piped, mono);
+}
+
+TEST(RndvPipeline, OffloadBeatsPciePackForLargeStrided) {
+  core::Tunables on;
+  core::Tunables off;
+  off.gpu_offload = false;
+  const sim::SimTime offload = timed_transfer(on, 1 << 19);
+  const sim::SimTime pcie = timed_transfer(off, 1 << 19);
+  EXPECT_LT(offload, pcie);
+}
+
+TEST(RndvPipeline, BothMechanismsCompose) {
+  core::Tunables full;
+  core::Tunables neither;
+  neither.gpu_offload = false;
+  neither.pipelining = false;
+  const sim::SimTime best = timed_transfer(full, 1 << 19);
+  const sim::SimTime worst = timed_transfer(neither, 1 << 19);
+  // The paper's headline: the combination is multiple times faster.
+  EXPECT_LT(static_cast<double>(best) * 2.5, static_cast<double>(worst));
+}
+
+TEST(RndvPipeline, OddChunkSizesDeliverCorrectly) {
+  for (std::size_t chunk : {12u * 1024u, 40u * 1024u, 100u * 1024u}) {
+    core::Tunables tun;
+    tun.chunk_bytes = chunk;
+    const sim::SimTime t = timed_transfer(tun, (1 << 18) + 123);
+    EXPECT_GT(t, 0) << "chunk " << chunk;
+  }
+}
+
+TEST(RndvPipeline, ChunkLargerThanMessage) {
+  core::Tunables tun;
+  tun.chunk_bytes = 16u << 20;  // bigger than the message
+  tun.pipeline_threshold = 1024;
+  const sim::SimTime t = timed_transfer(tun, 1 << 16);
+  EXPECT_GT(t, 0);
+}
+
+TEST(RndvPipeline, SixtyFourKIsNearOptimalChunk) {
+  // Regenerate the paper's §IV-B tuning claim in miniature: 64 KB must be
+  // within 25% of the best chunk size in the sweep.
+  std::vector<std::size_t> chunks = {4u << 10, 16u << 10, 64u << 10,
+                                     256u << 10, 1u << 20};
+  sim::SimTime best = sim::kNever;
+  sim::SimTime at64k = 0;
+  for (auto c : chunks) {
+    core::Tunables tun;
+    tun.chunk_bytes = c;
+    const sim::SimTime t = timed_transfer(tun, (4u << 20) / 4);
+    best = std::min(best, t);
+    if (c == 64u << 10) at64k = t;
+  }
+  EXPECT_LT(static_cast<double>(at64k),
+            1.25 * static_cast<double>(best));
+}
+
+TEST(RndvPipeline, ConcurrentAllToAllDoesNotStarveThePool) {
+  // Regression: 4 ranks each running 4 concurrent large receives used to
+  // consume the entire vbuf pool as landing windows, leaving every sender
+  // unable to stage — a circular wait across ranks. The fix caps window
+  // pool usage at half capacity and gives slot-less senders a pinned
+  // fallback.
+  core::Tunables tun;
+  tun.vbuf_count = 8;  // tight pool: 4 rx windows would previously eat it
+  tun.recv_window = 8;
+  ClusterConfig cfg;
+  cfg.ranks = 4;
+  cfg.tunables = tun;
+  Cluster cluster(cfg);
+  cluster.run([](Context& ctx) {
+    auto bytes = committed(Datatype::byte());
+    const std::size_t n = 512u << 10;  // 8 chunks each
+    std::vector<std::byte*> bufs;
+    std::vector<mpisim::Request> reqs;
+    for (int peer = 0; peer < ctx.size; ++peer) {
+      auto* in = static_cast<std::byte*>(ctx.cuda->malloc(n));
+      bufs.push_back(in);
+      reqs.push_back(
+          ctx.comm.irecv(in, static_cast<int>(n), bytes, peer, peer));
+    }
+    for (int peer = 0; peer < ctx.size; ++peer) {
+      auto* out = static_cast<std::byte*>(ctx.cuda->malloc(n));
+      bufs.push_back(out);
+      reqs.push_back(
+          ctx.comm.isend(out, static_cast<int>(n), bytes, peer, ctx.rank));
+    }
+    ctx.comm.waitall(reqs);
+    for (auto* b : bufs) ctx.cuda->free(b);
+  });
+}
+
+TEST(RndvPipeline, DeviceOomOnTbufSurfaces) {
+  // The offload path needs a device tbuf of packed-message size; when the
+  // modeled device DRAM cannot hold it, the failure must surface as a
+  // DeviceError rather than corrupt the transfer.
+  ClusterConfig cfg;
+  cfg.device_memory_bytes = 5u << 20;  // 5 MB device
+  Cluster cluster(cfg);
+  EXPECT_THROW(
+      cluster.run([](Context& ctx) {
+        const int rows = 1 << 19;  // span 4 MB, packed 2 MB -> tbuf OOM
+        auto col =
+            committed(Datatype::vector(rows, 1, 2, Datatype::float32()));
+        auto* dev = static_cast<std::byte*>(
+            ctx.cuda->malloc(static_cast<std::size_t>(rows) * 8));
+        if (ctx.rank == 0) {
+          ctx.comm.send(dev, 1, col, 1, 0);
+        } else {
+          ctx.comm.recv(dev, 1, col, 0, 0);
+        }
+      }),
+      mv2gnc::gpu::DeviceError);
+}
+
+TEST(RndvPipeline, SelfSendEagerAndRendezvous) {
+  Cluster cluster(ClusterConfig{});
+  cluster.run([](Context& ctx) {
+    if (ctx.rank != 0) return;
+    auto ints = committed(Datatype::int32());
+    // Eager self-send.
+    int small_out = 41, small_in = 0;
+    auto r1 = ctx.comm.irecv(&small_in, 1, ints, 0, 1);
+    ctx.comm.send(&small_out, 1, ints, 0, 1);
+    ctx.comm.wait(r1);
+    EXPECT_EQ(small_in, 41);
+    // Rendezvous self-send.
+    std::vector<int> big_out(1 << 17);
+    std::iota(big_out.begin(), big_out.end(), 0);
+    std::vector<int> big_in(1 << 17, -1);
+    auto r2 = ctx.comm.irecv(big_in.data(), 1 << 17, ints, 0, 2);
+    auto s2 = ctx.comm.isend(big_out.data(), 1 << 17, ints, 0, 2);
+    ctx.comm.wait(r2);
+    ctx.comm.wait(s2);
+    EXPECT_EQ(big_in, big_out);
+  });
+}
+
+TEST(RndvPipeline, ManyConcurrentTransfersShareThePool) {
+  // Four large sends each way between two ranks, all in flight at once.
+  Cluster cluster(ClusterConfig{});
+  cluster.run([](Context& ctx) {
+    auto bytes = committed(Datatype::byte());
+    const std::size_t n = 512u << 10;
+    const int peer = 1 - ctx.rank;
+    std::vector<std::byte*> bufs;
+    std::vector<mpisim::Request> reqs;
+    for (int k = 0; k < 4; ++k) {
+      auto* out = static_cast<std::byte*>(ctx.cuda->malloc(n));
+      auto* in = static_cast<std::byte*>(ctx.cuda->malloc(n));
+      bufs.push_back(out);
+      bufs.push_back(in);
+      reqs.push_back(ctx.comm.irecv(in, static_cast<int>(n), bytes, peer, k));
+      reqs.push_back(
+          ctx.comm.isend(out, static_cast<int>(n), bytes, peer, k));
+    }
+    ctx.comm.waitall(reqs);
+    for (auto* b : bufs) ctx.cuda->free(b);
+  });
+}

@@ -1,0 +1,93 @@
+#include "core/tunables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using mv2gnc::core::Tunables;
+
+TEST(Tunables, DefaultsAreValid) {
+  Tunables t;
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.chunk_bytes, 64u * 1024u);  // the paper's optimum
+  EXPECT_TRUE(t.gpu_offload);
+  EXPECT_TRUE(t.pipelining);
+}
+
+TEST(Tunables, ValidationCatchesBadValues) {
+  Tunables t;
+  t.chunk_bytes = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.vbuf_count = 1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.recv_window = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.recv_window = t.vbuf_count + 1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.host_pack_bw = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.host_seg_overhead_ns = -1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Tunables, HostPackTimeModel) {
+  Tunables t;
+  t.host_pack_bw = 2.0;           // 2 bytes/ns
+  t.host_seg_overhead_ns = 10.0;  // 10 ns per run
+  EXPECT_EQ(t.host_pack_time(2000, 5), 1000 + 50);
+  EXPECT_EQ(t.host_pack_time(0, 0), 0);
+}
+
+TEST(Tunables, ConfigRoundTrip) {
+  Tunables t;
+  t.chunk_bytes = 128 * 1024;
+  t.eager_threshold = 4096;
+  t.gpu_offload = false;
+  t.recv_window = 4;
+  std::istringstream in(t.to_config_string());
+  Tunables u = Tunables::from_stream(in);
+  EXPECT_EQ(u.chunk_bytes, 128u * 1024u);
+  EXPECT_EQ(u.eager_threshold, 4096u);
+  EXPECT_FALSE(u.gpu_offload);
+  EXPECT_EQ(u.recv_window, 4u);
+}
+
+TEST(Tunables, ParserHandlesCommentsAndWhitespace) {
+  std::istringstream in(
+      "# MV2-GPU-NC site config\n"
+      "\n"
+      "  chunk_bytes =  32768   # tuned with OSU micro-benchmarks\n"
+      "pipelining= no\n");
+  Tunables t = Tunables::from_stream(in);
+  EXPECT_EQ(t.chunk_bytes, 32768u);
+  EXPECT_FALSE(t.pipelining);
+}
+
+TEST(Tunables, ParserRejectsUnknownKey) {
+  std::istringstream in("warp_speed = 9\n");
+  EXPECT_THROW(Tunables::from_stream(in), std::invalid_argument);
+}
+
+TEST(Tunables, ParserRejectsMalformedLines) {
+  std::istringstream bad_value("chunk_bytes = many\n");
+  EXPECT_THROW(Tunables::from_stream(bad_value), std::invalid_argument);
+  std::istringstream no_eq("chunk_bytes 65536\n");
+  EXPECT_THROW(Tunables::from_stream(no_eq), std::invalid_argument);
+  std::istringstream bad_bool("gpu_offload = maybe\n");
+  EXPECT_THROW(Tunables::from_stream(bad_bool), std::invalid_argument);
+}
+
+TEST(Tunables, ParserValidatesResult) {
+  std::istringstream in("vbuf_count = 1\n");
+  EXPECT_THROW(Tunables::from_stream(in), std::invalid_argument);
+}
+
+TEST(Tunables, MissingFileThrows) {
+  EXPECT_THROW(Tunables::from_file("/nonexistent/mv2.conf"),
+               std::invalid_argument);
+}

@@ -1,0 +1,77 @@
+#include "core/vbuf_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using mv2gnc::core::VbufPool;
+
+TEST(VbufPool, AcquireReleaseCycle) {
+  VbufPool pool(4, 1024);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.buffer_bytes(), 1024u);
+  EXPECT_EQ(pool.available(), 4u);
+  std::byte* a = pool.try_acquire();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.release(a);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(VbufPool, ExhaustionReturnsNull) {
+  VbufPool pool(2, 64);
+  std::byte* a = pool.try_acquire();
+  std::byte* b = pool.try_acquire();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+  pool.release(b);
+  EXPECT_NE(pool.try_acquire(), nullptr);
+}
+
+TEST(VbufPool, BuffersAreDistinctAndWritable) {
+  VbufPool pool(8, 256);
+  std::set<std::byte*> seen;
+  for (int i = 0; i < 8; ++i) {
+    std::byte* p = pool.try_acquire();
+    ASSERT_NE(p, nullptr);
+    p[0] = static_cast<std::byte>(i);
+    p[255] = static_cast<std::byte>(i);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate buffer";
+  }
+}
+
+TEST(VbufPool, DoubleReleaseThrows) {
+  VbufPool pool(2, 64);
+  std::byte* a = pool.try_acquire();
+  pool.release(a);
+  EXPECT_THROW(pool.release(a), std::invalid_argument);
+}
+
+TEST(VbufPool, ForeignPointerThrows) {
+  VbufPool pool(2, 64);
+  std::byte x;
+  EXPECT_THROW(pool.release(&x), std::invalid_argument);
+  EXPECT_THROW(pool.release(nullptr), std::invalid_argument);
+  // Interior (misaligned) pointer is also foreign.
+  std::byte* a = pool.try_acquire();
+  EXPECT_THROW(pool.release(a + 1), std::invalid_argument);
+  pool.release(a);
+}
+
+TEST(VbufPool, HighWaterMark) {
+  VbufPool pool(4, 64);
+  std::byte* a = pool.try_acquire();
+  std::byte* b = pool.try_acquire();
+  pool.release(a);
+  std::byte* c = pool.try_acquire();
+  EXPECT_EQ(pool.high_water(), 2u);
+  pool.release(b);
+  pool.release(c);
+  EXPECT_EQ(pool.high_water(), 2u);
+}
+
+TEST(VbufPool, ZeroSizeRejected) {
+  EXPECT_THROW(VbufPool(0, 64), std::invalid_argument);
+  EXPECT_THROW(VbufPool(4, 0), std::invalid_argument);
+}

@@ -1,0 +1,126 @@
+// Calibration tests: the cost model must hit the measured points the paper
+// reports for the Tesla C2050 (within tolerance), because every experiment
+// downstream depends on these anchors.
+#include "gpu/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpu = mv2gnc::gpu;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+gpu::GpuCostModel model() { return gpu::GpuCostModel::tesla_c2050(); }
+
+// Latency of the paper's option (a): nc -> nc across PCIe (Fig. 1(a)).
+sim::SimTime nc2nc_d2h(std::size_t rows) {
+  return model().copy2d_time(4, rows, gpu::CopyDir::kDeviceToHost,
+                             gpu::Layout2D::kSameLayout, false);
+}
+
+// Option (b): nc -> contiguous host across PCIe (Fig. 1(b)).
+sim::SimTime nc2c_d2h(std::size_t rows) {
+  return model().copy2d_time(4, rows, gpu::CopyDir::kDeviceToHost,
+                             gpu::Layout2D::kPack, false);
+}
+
+// Option (c): pack inside the device, then contiguous D2H (Fig. 1(c)).
+sim::SimTime nc2c2c(std::size_t rows) {
+  auto m = model();
+  return m.copy2d_time(4, rows, gpu::CopyDir::kDeviceToDevice,
+                       gpu::Layout2D::kPack, false) +
+         m.copy_time(rows * 4, gpu::CopyDir::kDeviceToHost);
+}
+
+}  // namespace
+
+TEST(GpuCostModel, MotivationOptionA_4KB) {
+  // Paper §I-A: ~200 us for a 4 KB vector (1024 rows of 4 B).
+  const double us = sim::to_us(nc2nc_d2h(1024));
+  EXPECT_NEAR(us, 200.0, 20.0);
+}
+
+TEST(GpuCostModel, MotivationOptionB_4KB) {
+  // Paper §I-A: ~281 us.
+  const double us = sim::to_us(nc2c_d2h(1024));
+  EXPECT_NEAR(us, 281.0, 25.0);
+}
+
+TEST(GpuCostModel, MotivationOptionC_4KB) {
+  // Paper §I-A: ~35 us; factor ~8 between (b) and (c).
+  const double us = sim::to_us(nc2c2c(1024));
+  EXPECT_NEAR(us, 35.0, 10.0);
+  EXPECT_GT(sim::to_us(nc2c_d2h(1024)) / us, 5.0);
+}
+
+TEST(GpuCostModel, Fig2LargeMessageRatio) {
+  // Fig. 2(b): at 4 MB (1M rows of 4 B) the device-pack scheme costs
+  // ~4.8% of the nc2nc scheme.
+  const double ratio = static_cast<double>(nc2c2c(1 << 20)) /
+                       static_cast<double>(nc2nc_d2h(1 << 20));
+  EXPECT_NEAR(ratio, 0.048, 0.025);
+}
+
+TEST(GpuCostModel, Fig2CrossoverNearSmallSizes) {
+  // Fig. 2(a): D2D2H wins for sizes above ~64 B; below that the extra
+  // device hop does not pay off.
+  EXPECT_LT(nc2c2c(4096), nc2nc_d2h(4096));   // 16 KB: offload wins
+  EXPECT_LT(nc2c2c(256), nc2nc_d2h(256));     // 1 KB: offload wins
+  EXPECT_GE(nc2c2c(4), nc2nc_d2h(4));         // 16 B: offload loses
+}
+
+TEST(GpuCostModel, ContiguousCopyDominatedByBandwidthAtLargeSizes) {
+  auto m = model();
+  const std::size_t mb64 = 64ull << 20;
+  const double us = sim::to_us(m.copy_time(mb64, gpu::CopyDir::kDeviceToHost));
+  // 64 MB at 5.5 GB/s ~= 12.2 ms.
+  EXPECT_NEAR(us, 12'200.0, 600.0);
+}
+
+TEST(GpuCostModel, ContiguousRows2DCopyDegradesTo1D) {
+  auto m = model();
+  const sim::SimTime t2d = m.copy2d_time(1024, 64, gpu::CopyDir::kDeviceToHost,
+                                         gpu::Layout2D::kSameLayout,
+                                         /*rows_contiguous=*/true);
+  const sim::SimTime t1d = m.copy_time(1024 * 64, gpu::CopyDir::kDeviceToHost);
+  EXPECT_EQ(t2d, t1d);
+}
+
+TEST(GpuCostModel, SingleRowIsContiguous) {
+  auto m = model();
+  const sim::SimTime t = m.copy2d_time(4096, 1, gpu::CopyDir::kDeviceToHost,
+                                       gpu::Layout2D::kPack, false);
+  EXPECT_EQ(t, m.copy_time(4096, gpu::CopyDir::kDeviceToHost));
+}
+
+TEST(GpuCostModel, D2DRowCostIsTwoRegime) {
+  auto m = model();
+  auto d2d = [&](std::size_t rows) {
+    return m.copy2d_time(4, rows, gpu::CopyDir::kDeviceToDevice,
+                         gpu::Layout2D::kPack, false);
+  };
+  // Marginal per-row cost above the knee must be below the cost below it.
+  const double below = static_cast<double>(d2d(4096) - d2d(2048)) / 2048.0;
+  const double above =
+      static_cast<double>(d2d(65536) - d2d(32768)) / 32768.0;
+  EXPECT_LT(above, below);
+}
+
+TEST(GpuCostModel, KernelTimeScalesWithPoints) {
+  auto m = model();
+  const sim::SimTime t1 = m.kernel_time(1'000'000, false);
+  const sim::SimTime t2 = m.kernel_time(2'000'000, false);
+  EXPECT_GT(t2 - t1, 0);
+  // Double precision costs more per point.
+  EXPECT_GT(m.kernel_time(1'000'000, true), t1);
+}
+
+TEST(GpuCostModel, TransferTimeMonotoneInSize) {
+  auto m = model();
+  sim::SimTime prev = 0;
+  for (std::size_t s = 1024; s <= (16u << 20); s *= 4) {
+    const sim::SimTime t = m.transfer_time(s, gpu::CopyDir::kHostToDevice);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}

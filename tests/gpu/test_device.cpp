@@ -1,0 +1,103 @@
+#include "gpu/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpu = mv2gnc::gpu;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  gpu::Device dev{eng, reg, 0, gpu::GpuCostModel::tesla_c2050(), 1 << 20};
+};
+
+}  // namespace
+
+TEST(Device, AllocateRegistersRange) {
+  Fixture f;
+  void* p = f.dev.allocate(1024);
+  ASSERT_NE(p, nullptr);
+  auto info = f.reg.query(p);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->device_id, 0);
+  EXPECT_EQ(f.dev.bytes_allocated(), 1024u);
+  f.dev.deallocate(p);
+  EXPECT_EQ(f.dev.bytes_allocated(), 0u);
+  EXPECT_FALSE(f.reg.is_device_pointer(p));
+}
+
+TEST(Device, ZeroByteAllocationGetsUniquePointer) {
+  Fixture f;
+  void* a = f.dev.allocate(0);
+  void* b = f.dev.allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+  f.dev.deallocate(a);
+  f.dev.deallocate(b);
+}
+
+TEST(Device, CapacityEnforced) {
+  Fixture f;  // 1 MB capacity
+  void* p = f.dev.allocate(900 * 1024);
+  EXPECT_THROW(f.dev.allocate(200 * 1024), gpu::DeviceError);
+  f.dev.deallocate(p);
+  void* q = f.dev.allocate(1024 * 1024);  // fits after free
+  f.dev.deallocate(q);
+}
+
+TEST(Device, FreeNullIsNoop) {
+  Fixture f;
+  EXPECT_NO_THROW(f.dev.deallocate(nullptr));
+}
+
+TEST(Device, FreeForeignPointerThrows) {
+  Fixture f;
+  int x = 0;
+  EXPECT_THROW(f.dev.deallocate(&x), gpu::DeviceError);
+}
+
+TEST(Device, DeviceMemoryIsWritableHostBackedStorage) {
+  Fixture f;
+  auto* p = static_cast<std::byte*>(f.dev.allocate(64));
+  p[0] = std::byte{0xAB};
+  p[63] = std::byte{0xCD};
+  EXPECT_EQ(p[0], std::byte{0xAB});
+  EXPECT_EQ(p[63], std::byte{0xCD});
+  f.dev.deallocate(p);
+}
+
+TEST(Device, EnginesAreDistinct) {
+  Fixture f;
+  EXPECT_NE(&f.dev.d2h_engine(), &f.dev.h2d_engine());
+  EXPECT_NE(&f.dev.d2h_engine(), &f.dev.d2d_engine());
+  EXPECT_NE(&f.dev.d2d_engine(), &f.dev.kernel_engine());
+  EXPECT_EQ(f.dev.d2h_engine().name(), "gpu0.d2h");
+}
+
+TEST(Device, DestructorCleansRegistry) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  void* leaked = nullptr;
+  {
+    gpu::Device dev(eng, reg, 1, gpu::GpuCostModel::tesla_c2050(), 1 << 20);
+    leaked = dev.allocate(128);  // intentionally not freed
+    EXPECT_TRUE(reg.is_device_pointer(leaked));
+  }
+  EXPECT_FALSE(reg.is_device_pointer(leaked));
+  EXPECT_EQ(reg.live_ranges(), 0u);
+}
+
+TEST(Device, TwoDevicesShareRegistryDistinctIds) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  gpu::Device d0(eng, reg, 0, gpu::GpuCostModel::tesla_c2050(), 1 << 20);
+  gpu::Device d1(eng, reg, 1, gpu::GpuCostModel::tesla_c2050(), 1 << 20);
+  void* a = d0.allocate(64);
+  void* b = d1.allocate(64);
+  EXPECT_EQ(reg.query(a)->device_id, 0);
+  EXPECT_EQ(reg.query(b)->device_id, 1);
+  d0.deallocate(a);
+  d1.deallocate(b);
+}

@@ -1,0 +1,120 @@
+#include "gpu/memory_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace gpu = mv2gnc::gpu;
+
+TEST(MemoryRegistry, UnknownPointerIsHost) {
+  gpu::MemoryRegistry reg;
+  int x = 0;
+  EXPECT_FALSE(reg.is_device_pointer(&x));
+  EXPECT_FALSE(reg.query(&x).has_value());
+  EXPECT_FALSE(reg.query(nullptr).has_value());
+}
+
+TEST(MemoryRegistry, RegisteredRangeClassifies) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 256> buf{};
+  reg.register_range(buf.data(), buf.size(), 3);
+  auto info = reg.query(buf.data());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->device_id, 3);
+  EXPECT_EQ(info->base, buf.data());
+  EXPECT_EQ(info->size, 256u);
+}
+
+TEST(MemoryRegistry, InteriorPointerClassifies) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 256> buf{};
+  reg.register_range(buf.data(), buf.size(), 1);
+  EXPECT_TRUE(reg.is_device_pointer(buf.data() + 100));
+  EXPECT_TRUE(reg.is_device_pointer(buf.data() + 255));
+}
+
+TEST(MemoryRegistry, OnePastEndIsNotInside) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 64> buf{};
+  reg.register_range(buf.data(), buf.size(), 1);
+  EXPECT_FALSE(reg.is_device_pointer(buf.data() + 64));
+}
+
+TEST(MemoryRegistry, UnregisterRemoves) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 64> buf{};
+  reg.register_range(buf.data(), buf.size(), 0);
+  EXPECT_EQ(reg.live_ranges(), 1u);
+  reg.unregister_range(buf.data());
+  EXPECT_EQ(reg.live_ranges(), 0u);
+  EXPECT_FALSE(reg.is_device_pointer(buf.data()));
+}
+
+TEST(MemoryRegistry, UnregisterUnknownThrows) {
+  gpu::MemoryRegistry reg;
+  int x = 0;
+  EXPECT_THROW(reg.unregister_range(&x), std::invalid_argument);
+}
+
+TEST(MemoryRegistry, OverlapRejected) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 256> buf{};
+  reg.register_range(buf.data(), 128, 0);
+  EXPECT_THROW(reg.register_range(buf.data() + 64, 64, 0),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_range(buf.data(), 128, 0), std::invalid_argument);
+  // Adjacent (non-overlapping) is fine.
+  reg.register_range(buf.data() + 128, 128, 0);
+  EXPECT_EQ(reg.live_ranges(), 2u);
+}
+
+TEST(MemoryRegistry, NullOrEmptyRangeRejected) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 8> buf{};
+  EXPECT_THROW(reg.register_range(nullptr, 8, 0), std::invalid_argument);
+  EXPECT_THROW(reg.register_range(buf.data(), 0, 0), std::invalid_argument);
+}
+
+TEST(MemoryRegistry, PinnedHostRanges) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 128> buf{};
+  EXPECT_FALSE(reg.is_pinned_host(buf.data()));
+  reg.register_pinned_host(buf.data(), buf.size());
+  EXPECT_TRUE(reg.is_pinned_host(buf.data()));
+  EXPECT_TRUE(reg.is_pinned_host(buf.data() + 127));
+  EXPECT_FALSE(reg.is_pinned_host(buf.data() + 128));
+  reg.unregister_pinned_host(buf.data());
+  EXPECT_FALSE(reg.is_pinned_host(buf.data()));
+}
+
+TEST(MemoryRegistry, PinnedIsIndependentOfDeviceRanges) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 64> dev{};
+  std::array<std::byte, 64> pin{};
+  reg.register_range(dev.data(), 64, 0);
+  reg.register_pinned_host(pin.data(), 64);
+  EXPECT_TRUE(reg.is_device_pointer(dev.data()));
+  EXPECT_FALSE(reg.is_pinned_host(dev.data()));
+  EXPECT_FALSE(reg.is_device_pointer(pin.data()));
+  EXPECT_TRUE(reg.is_pinned_host(pin.data()));
+}
+
+TEST(MemoryRegistry, PinnedValidation) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 8> buf{};
+  EXPECT_THROW(reg.register_pinned_host(nullptr, 8), std::invalid_argument);
+  EXPECT_THROW(reg.register_pinned_host(buf.data(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(reg.unregister_pinned_host(buf.data()),
+               std::invalid_argument);
+}
+
+TEST(MemoryRegistry, MultipleDevices) {
+  gpu::MemoryRegistry reg;
+  std::array<std::byte, 64> a{};
+  std::array<std::byte, 64> b{};
+  reg.register_range(a.data(), 64, 0);
+  reg.register_range(b.data(), 64, 5);
+  EXPECT_EQ(reg.query(a.data())->device_id, 0);
+  EXPECT_EQ(reg.query(b.data())->device_id, 5);
+}

@@ -1,0 +1,390 @@
+// Extended MPI surface: probe/iprobe, Status::count, explicit pack/unpack
+// (including the GPU-aware variants), gather/scatter/allgather/alltoall —
+// with host and device buffers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace mpisim = mv2gnc::mpisim;
+namespace sim = mv2gnc::sim;
+using mpisim::Cluster;
+using mpisim::ClusterConfig;
+using mpisim::Context;
+using mpisim::Datatype;
+
+namespace {
+
+Datatype committed(Datatype t) {
+  t.commit();
+  return t;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Probe
+// ---------------------------------------------------------------------------
+
+TEST(Probe, IprobeSeesPendingEager) {
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    if (ctx.rank == 0) {
+      std::vector<int> v(10, 3);
+      ctx.comm.send(v.data(), 10, ints, 1, 5);
+    } else {
+      EXPECT_FALSE(ctx.comm.iprobe(0, 5));  // nothing yet
+      ctx.engine->delay(sim::milliseconds(1));
+      mpisim::Status st;
+      EXPECT_TRUE(ctx.comm.iprobe(0, 5, &st));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.bytes, 40u);
+      // Probing does not consume: the receive still matches.
+      std::vector<int> got(10, -1);
+      ctx.comm.recv(got.data(), 10, ints, 0, 5);
+      EXPECT_EQ(got[9], 3);
+      EXPECT_FALSE(ctx.comm.iprobe(0, 5));  // consumed now
+    }
+  });
+}
+
+TEST(Probe, BlockingProbeThenSizedRecv) {
+  // The classic probe pattern: learn the size, allocate, then receive.
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    if (ctx.rank == 0) {
+      std::vector<int> v(7777);
+      std::iota(v.begin(), v.end(), 0);
+      ctx.engine->delay(sim::microseconds(500));
+      ctx.comm.send(v.data(), 7777, ints, 1, 9);
+    } else {
+      mpisim::Status st;
+      ctx.comm.probe(0, 9, &st);
+      auto n = st.count(ints);
+      ASSERT_TRUE(n.has_value());
+      EXPECT_EQ(*n, 7777);
+      std::vector<int> got(static_cast<std::size_t>(*n));
+      ctx.comm.recv(got.data(), *n, ints, 0, 9);
+      EXPECT_EQ(got[7776], 7776);
+    }
+  });
+}
+
+TEST(Probe, ProbeSeesRendezvousToo) {
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    auto bytes = committed(Datatype::byte());
+    const std::size_t n = 256 * 1024;
+    if (ctx.rank == 0) {
+      std::vector<std::byte> v(n, std::byte{1});
+      ctx.comm.send(v.data(), static_cast<int>(n), bytes, 1, 2);
+    } else {
+      mpisim::Status st;
+      ctx.comm.probe(0, 2, &st);
+      EXPECT_EQ(st.bytes, n);  // size known from the RTS
+      std::vector<std::byte> got(n);
+      ctx.comm.recv(got.data(), static_cast<int>(n), bytes, 0, 2);
+      EXPECT_EQ(got[n - 1], std::byte{1});
+    }
+  });
+}
+
+TEST(Probe, WildcardProbe) {
+  Cluster cluster(ClusterConfig{.ranks = 3});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    if (ctx.rank == 0) {
+      mpisim::Status st;
+      ctx.comm.probe(mpisim::kAnySource, mpisim::kAnyTag, &st);
+      EXPECT_EQ(st.source, 2);
+      EXPECT_EQ(st.tag, 4);
+      int v = 0;
+      ctx.comm.recv(&v, 1, ints, st.source, st.tag);
+      EXPECT_EQ(v, 99);
+    } else if (ctx.rank == 2) {
+      int v = 99;
+      ctx.comm.send(&v, 1, ints, 0, 4);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Status::count
+// ---------------------------------------------------------------------------
+
+TEST(StatusCount, WholeAndPartialElements) {
+  mpisim::Status st;
+  st.bytes = 40;
+  auto ints = committed(Datatype::int32());
+  EXPECT_EQ(st.count(ints), 10);
+  st.bytes = 42;  // not a whole number of ints
+  EXPECT_EQ(st.count(ints), std::nullopt);
+  st.bytes = 0;
+  EXPECT_EQ(st.count(ints), 0);
+  EXPECT_THROW(st.count(Datatype{}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Explicit pack/unpack
+// ---------------------------------------------------------------------------
+
+TEST(PackUnpack, HostRoundTripWithPosition) {
+  Cluster cluster(ClusterConfig{.ranks = 1});
+  cluster.run([](Context& ctx) {
+    auto vec = committed(Datatype::vector(8, 1, 3, Datatype::int32()));
+    auto ints = committed(Datatype::int32());
+    std::vector<int> strided(24);
+    std::iota(strided.begin(), strided.end(), 0);
+    std::vector<int> extra{100, 200};
+    std::vector<std::byte> wire(ctx.comm.pack_size(1, vec) +
+                                ctx.comm.pack_size(2, ints));
+    std::size_t pos = 0;
+    ctx.comm.pack(strided.data(), 1, vec, wire.data(), wire.size(), pos);
+    ctx.comm.pack(extra.data(), 2, ints, wire.data(), wire.size(), pos);
+    EXPECT_EQ(pos, wire.size());
+
+    std::vector<int> strided_out(24, -1);
+    std::vector<int> extra_out(2, -1);
+    pos = 0;
+    ctx.comm.unpack(wire.data(), wire.size(), pos, strided_out.data(), 1,
+                    vec);
+    ctx.comm.unpack(wire.data(), wire.size(), pos, extra_out.data(), 2, ints);
+    EXPECT_EQ(strided_out[0], 0);
+    EXPECT_EQ(strided_out[21], 21);
+    EXPECT_EQ(strided_out[1], -1);  // hole untouched
+    EXPECT_EQ(extra_out[1], 200);
+  });
+}
+
+TEST(PackUnpack, GpuAwarePackUsesOffload) {
+  Cluster cluster(ClusterConfig{.ranks = 1});
+  cluster.run([](Context& ctx) {
+    auto vec = committed(Datatype::vector(5000, 1, 2, Datatype::float32()));
+    const std::size_t span = 5000ull * 8 + 16;
+    auto* dev = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    std::vector<std::byte> init(span);
+    for (std::size_t i = 0; i < span; ++i) {
+      init[i] = static_cast<std::byte>(i * 11 & 0xFF);
+    }
+    ctx.cuda->memcpy(dev, init.data(), span);
+    std::vector<std::byte> wire(ctx.comm.pack_size(1, vec));
+    std::size_t pos = 0;
+    ctx.comm.pack(dev, 1, vec, wire.data(), wire.size(), pos);
+    // Compare with a host-side reference pack.
+    std::vector<std::byte> want(wire.size());
+    vec.pack(init.data(), 1, want.data());
+    EXPECT_EQ(wire, want);
+    // And unpack back into a scrubbed device buffer.
+    auto* dev2 = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    ctx.cuda->memset(dev2, 0, span);
+    pos = 0;
+    ctx.comm.unpack(wire.data(), wire.size(), pos, dev2, 1, vec);
+    std::vector<std::byte> out(span);
+    ctx.cuda->memcpy(out.data(), dev2, span);
+    EXPECT_EQ(out[0], init[0]);
+    EXPECT_EQ(out[4999 * 8], init[4999 * 8]);
+    ctx.cuda->free(dev);
+    ctx.cuda->free(dev2);
+  });
+}
+
+TEST(PackUnpack, BufferOverrunThrows) {
+  Cluster cluster(ClusterConfig{.ranks = 1});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    std::vector<int> v(10);
+    std::vector<std::byte> wire(8);  // too small for 10 ints
+    std::size_t pos = 0;
+    EXPECT_THROW(
+        ctx.comm.pack(v.data(), 10, ints, wire.data(), wire.size(), pos),
+        std::invalid_argument);
+    pos = 0;
+    EXPECT_THROW(ctx.comm.unpack(wire.data(), wire.size(), pos, v.data(), 10,
+                                 ints),
+                 std::invalid_argument);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Persistent requests
+// ---------------------------------------------------------------------------
+
+TEST(Persistent, IterativeExchange) {
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    const int peer = 1 - ctx.rank;
+    const int n = 50'000;  // rendezvous-sized, exercises the pipeline
+    std::vector<int> out(n), in(n, -1);
+    auto sreq = ctx.comm.send_init(out.data(), n, ints, peer, 4);
+    auto rreq = ctx.comm.recv_init(in.data(), n, ints, peer, 4);
+    for (int it = 0; it < 5; ++it) {
+      std::fill(out.begin(), out.end(), ctx.rank * 1000 + it);
+      rreq.start();
+      sreq.start();
+      sreq.wait();
+      mpisim::Status st;
+      rreq.wait(&st);
+      EXPECT_EQ(in[0], peer * 1000 + it);
+      EXPECT_EQ(in[n - 1], peer * 1000 + it);
+      EXPECT_EQ(st.bytes, static_cast<std::size_t>(n) * 4);
+    }
+  });
+}
+
+TEST(Persistent, StartallWaitall) {
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    const int peer = 1 - ctx.rank;
+    std::vector<int> a(100, ctx.rank), b(100, ctx.rank + 10);
+    std::vector<int> ra(100), rb(100);
+    std::vector<mpisim::PersistentRequest> reqs;
+    reqs.push_back(ctx.comm.recv_init(ra.data(), 100, ints, peer, 1));
+    reqs.push_back(ctx.comm.recv_init(rb.data(), 100, ints, peer, 2));
+    reqs.push_back(ctx.comm.send_init(a.data(), 100, ints, peer, 1));
+    reqs.push_back(ctx.comm.send_init(b.data(), 100, ints, peer, 2));
+    for (int it = 0; it < 3; ++it) {
+      ctx.comm.startall(reqs);
+      ctx.comm.waitall_persistent(reqs);
+      EXPECT_EQ(ra[0], peer);
+      EXPECT_EQ(rb[0], peer + 10);
+    }
+  });
+}
+
+TEST(Persistent, MisuseThrows) {
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    if (ctx.rank == 0) {
+      int v = 0;
+      auto req = ctx.comm.send_init(&v, 1, ints, 1, 0);
+      EXPECT_THROW(req.wait(), std::logic_error);  // not started
+      req.start();
+      EXPECT_THROW(req.start(), std::logic_error);  // double start
+      req.wait();
+      req.start();  // restart after completion is fine
+      req.wait();
+      mpisim::PersistentRequest null_req;
+      EXPECT_THROW(null_req.start(), std::logic_error);
+    } else {
+      int v = 0;
+      ctx.comm.recv(&v, 1, ints, 0, 0);
+      ctx.comm.recv(&v, 1, ints, 0, 0);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (host and device)
+// ---------------------------------------------------------------------------
+
+class CollectiveRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRanks, GatherScatterRoundTrip) {
+  const int ranks = GetParam();
+  Cluster cluster(ClusterConfig{.ranks = ranks});
+  cluster.run([&](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    const int n = 100;
+    std::vector<int> mine(n, ctx.rank * 10);
+    std::vector<int> all(static_cast<std::size_t>(n) * ranks, -1);
+    ctx.comm.gather(mine.data(), n, ints, all.data(), ranks - 1);
+    if (ctx.rank == ranks - 1) {
+      for (int i = 0; i < ranks; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(i) * n], i * 10);
+        EXPECT_EQ(all[static_cast<std::size_t>(i) * n + n - 1], i * 10);
+      }
+    }
+    // Scatter it back out.
+    std::vector<int> back(n, -1);
+    ctx.comm.scatter(all.data(), back.data(), n, ints, ranks - 1);
+    EXPECT_EQ(back[0], ctx.rank * 10);
+  });
+}
+
+TEST_P(CollectiveRanks, AllgatherEveryoneSeesAll) {
+  const int ranks = GetParam();
+  Cluster cluster(ClusterConfig{.ranks = ranks});
+  cluster.run([&](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    int mine = ctx.rank + 1;
+    std::vector<int> all(static_cast<std::size_t>(ranks), -1);
+    ctx.comm.allgather(&mine, 1, ints, all.data());
+    for (int i = 0; i < ranks; ++i) EXPECT_EQ(all[i], i + 1);
+  });
+}
+
+TEST_P(CollectiveRanks, AlltoallPermutesBlocks) {
+  const int ranks = GetParam();
+  Cluster cluster(ClusterConfig{.ranks = ranks});
+  cluster.run([&](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    const int n = 50;
+    std::vector<int> out(static_cast<std::size_t>(n) * ranks);
+    for (int j = 0; j < ranks; ++j) {
+      std::fill_n(out.begin() + static_cast<std::size_t>(j) * n, n,
+                  ctx.rank * 100 + j);
+    }
+    std::vector<int> in(static_cast<std::size_t>(n) * ranks, -1);
+    ctx.comm.alltoall(out.data(), in.data(), n, ints);
+    for (int i = 0; i < ranks; ++i) {
+      // Block i must hold what rank i addressed to us.
+      EXPECT_EQ(in[static_cast<std::size_t>(i) * n], i * 100 + ctx.rank);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST(DeviceCollectives, BcastFromDeviceMemory) {
+  Cluster cluster(ClusterConfig{.ranks = 4});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    const int n = 60'000;  // rendezvous-sized
+    auto* dev = static_cast<int*>(ctx.cuda->malloc(n * sizeof(int)));
+    if (ctx.rank == 1) {
+      std::vector<int> v(n);
+      std::iota(v.begin(), v.end(), 0);
+      ctx.cuda->memcpy(dev, v.data(), n * sizeof(int));
+    } else {
+      ctx.cuda->memset(dev, 0, n * sizeof(int));
+    }
+    ctx.comm.bcast(dev, n, ints, 1);
+    std::vector<int> got(n);
+    ctx.cuda->memcpy(got.data(), dev, n * sizeof(int));
+    EXPECT_EQ(got[0], 0);
+    EXPECT_EQ(got[n - 1], n - 1);
+    ctx.cuda->free(dev);
+  });
+}
+
+TEST(DeviceCollectives, AlltoallWithDeviceBuffers) {
+  Cluster cluster(ClusterConfig{.ranks = 4});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    const int n = 30'000;
+    const std::size_t total = static_cast<std::size_t>(n) * 4;
+    auto* out = static_cast<int*>(ctx.cuda->malloc(total * sizeof(int)));
+    auto* in = static_cast<int*>(ctx.cuda->malloc(total * sizeof(int)));
+    std::vector<int> host(total);
+    for (int j = 0; j < 4; ++j) {
+      std::fill_n(host.begin() + static_cast<std::size_t>(j) * n, n,
+                  ctx.rank * 10 + j);
+    }
+    ctx.cuda->memcpy(out, host.data(), total * sizeof(int));
+    ctx.comm.alltoall(out, in, n, ints);
+    ctx.cuda->memcpy(host.data(), in, total * sizeof(int));
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(host[static_cast<std::size_t>(i) * n], i * 10 + ctx.rank);
+    }
+    ctx.cuda->free(out);
+    ctx.cuda->free(in);
+  });
+}

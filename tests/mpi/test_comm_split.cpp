@@ -1,0 +1,193 @@
+// Communicator management: split/dup semantics, context isolation,
+// sub-communicator collectives, rank translation in Status.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace mpisim = mv2gnc::mpisim;
+namespace sim = mv2gnc::sim;
+using mpisim::Cluster;
+using mpisim::ClusterConfig;
+using mpisim::Communicator;
+using mpisim::Context;
+using mpisim::Datatype;
+
+namespace {
+
+Datatype committed(Datatype t) {
+  t.commit();
+  return t;
+}
+
+}  // namespace
+
+TEST(CommSplit, OddEvenGroups) {
+  Cluster cluster(ClusterConfig{.ranks = 6});
+  cluster.run([](Context& ctx) {
+    Communicator sub = ctx.comm.split(ctx.rank % 2);
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), ctx.rank / 2);
+    // Communicate within the subgroup using subgroup ranks.
+    auto ints = committed(Datatype::int32());
+    int token = ctx.rank;
+    if (sub.rank() == 0) {
+      mpisim::Status st;
+      int got = -1;
+      sub.recv(&got, 1, ints, 2, 0, &st);
+      EXPECT_EQ(got, (ctx.rank % 2) + 4);  // world rank 4 or 5
+      EXPECT_EQ(st.source, 2);             // reported in subgroup ranks
+    } else if (sub.rank() == 2) {
+      sub.send(&token, 1, ints, 0, 0);
+    }
+  });
+}
+
+TEST(CommSplit, KeyControlsOrdering) {
+  Cluster cluster(ClusterConfig{.ranks = 4});
+  cluster.run([](Context& ctx) {
+    // Reverse the ordering with descending keys.
+    Communicator sub = ctx.comm.split(0, /*key=*/ctx.size - ctx.rank);
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), ctx.size - 1 - ctx.rank);
+  });
+}
+
+TEST(CommSplit, UndefinedColorGivesNullComm) {
+  Cluster cluster(ClusterConfig{.ranks = 4});
+  cluster.run([](Context& ctx) {
+    const int color =
+        (ctx.rank < 2) ? 7 : Communicator::kUndefinedColor;
+    Communicator sub = ctx.comm.split(color);
+    if (ctx.rank < 2) {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 2);
+    } else {
+      EXPECT_FALSE(sub.valid());
+      EXPECT_THROW(sub.rank(), std::logic_error);
+    }
+  });
+}
+
+TEST(CommSplit, ContextIsolatesTraffic) {
+  // Same (source, tag) posted on two communicators: each message must
+  // match its own communicator, never the sibling.
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    Communicator dup = ctx.comm.dup();
+    auto ints = committed(Datatype::int32());
+    if (ctx.rank == 0) {
+      int a = 111, b = 222;
+      ctx.comm.send(&a, 1, ints, 1, 5);
+      dup.send(&b, 1, ints, 1, 5);
+    } else {
+      // Post the dup receive FIRST; it must not steal the world message.
+      int from_dup = 0, from_world = 0;
+      auto rd = dup.irecv(&from_dup, 1, ints, 0, 5);
+      ctx.engine->delay(sim::microseconds(200));  // both messages arrive
+      auto rw = ctx.comm.irecv(&from_world, 1, ints, 0, 5);
+      dup.wait(rd);
+      ctx.comm.wait(rw);
+      EXPECT_EQ(from_world, 111);
+      EXPECT_EQ(from_dup, 222);
+    }
+  });
+}
+
+TEST(CommSplit, SubgroupCollectives) {
+  Cluster cluster(ClusterConfig{.ranks = 8});
+  cluster.run([](Context& ctx) {
+    Communicator sub = ctx.comm.split(ctx.rank / 4);  // two groups of 4
+    auto ints = committed(Datatype::int32());
+    // Bcast from subgroup root.
+    int v = (sub.rank() == 0) ? ctx.rank + 100 : -1;
+    sub.bcast(&v, 1, ints, 0);
+    EXPECT_EQ(v, (ctx.rank / 4) * 4 + 100);  // world rank of subgroup root
+    // Allreduce within the subgroup.
+    double mine = ctx.rank;
+    double sum = 0;
+    sub.allreduce_sum(&mine, &sum, 1);
+    const double base = (ctx.rank / 4) * 4.0;
+    EXPECT_DOUBLE_EQ(sum, base * 4 + 0 + 1 + 2 + 3);
+    // Barrier within the subgroup.
+    sub.barrier();
+    // Alltoall within the subgroup.
+    std::vector<int> out(4, sub.rank());
+    std::vector<int> in(4, -1);
+    sub.alltoall(out.data(), in.data(), 1, ints);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(in[i], i);
+  });
+}
+
+TEST(CommSplit, NestedSplits) {
+  Cluster cluster(ClusterConfig{.ranks = 8});
+  cluster.run([](Context& ctx) {
+    Communicator half = ctx.comm.split(ctx.rank / 4);
+    Communicator quarter = half.split(half.rank() / 2);
+    EXPECT_EQ(quarter.size(), 2);
+    auto ints = committed(Datatype::int32());
+    int token = ctx.rank;
+    int got = -1;
+    const int peer = 1 - quarter.rank();
+    auto r = quarter.irecv(&got, 1, ints, peer, 0);
+    quarter.send(&token, 1, ints, peer, 0);
+    quarter.wait(r);
+    // My pair partner in the world: flip the lowest bit within the pair.
+    EXPECT_EQ(got, (ctx.rank % 2 == 0) ? ctx.rank + 1 : ctx.rank - 1);
+  });
+}
+
+TEST(CommSplit, DupSupportsDeviceRendezvous) {
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    Communicator dup = ctx.comm.dup();
+    auto col = committed(Datatype::vector(40'000, 1, 2, Datatype::float32()));
+    const std::size_t span = 40'000ull * 8 + 16;
+    auto* dev = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    if (ctx.rank == 0) {
+      std::vector<std::byte> host(span, std::byte{0x7E});
+      ctx.cuda->memcpy(dev, host.data(), span);
+      dup.send(dev, 1, col, 1, 0);
+    } else {
+      ctx.cuda->memset(dev, 0, span);
+      dup.recv(dev, 1, col, 0, 0);
+      std::vector<std::byte> got(span);
+      ctx.cuda->memcpy(got.data(), dev, span);
+      EXPECT_EQ(got[0], std::byte{0x7E});
+      EXPECT_EQ(got[39'999 * 8], std::byte{0x7E});
+    }
+    ctx.cuda->free(dev);
+  });
+}
+
+TEST(CommSplit, RepeatedSplitsGetFreshContexts) {
+  Cluster cluster(ClusterConfig{.ranks = 2});
+  cluster.run([](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    Communicator a = ctx.comm.dup();
+    Communicator b = ctx.comm.dup();
+    Communicator c = a.dup();
+    // All four channels (world, a, b, c) must stay separate.
+    if (ctx.rank == 0) {
+      int v0 = 0, v1 = 1, v2 = 2, v3 = 3;
+      c.send(&v3, 1, ints, 1, 0);
+      b.send(&v2, 1, ints, 1, 0);
+      a.send(&v1, 1, ints, 1, 0);
+      ctx.comm.send(&v0, 1, ints, 1, 0);
+    } else {
+      ctx.engine->delay(sim::microseconds(300));
+      int g0 = -1, g1 = -1, g2 = -1, g3 = -1;
+      ctx.comm.recv(&g0, 1, ints, 0, 0);
+      a.recv(&g1, 1, ints, 0, 0);
+      b.recv(&g2, 1, ints, 0, 0);
+      c.recv(&g3, 1, ints, 0, 0);
+      EXPECT_EQ(g0, 0);
+      EXPECT_EQ(g1, 1);
+      EXPECT_EQ(g2, 2);
+      EXPECT_EQ(g3, 3);
+    }
+  });
+}

@@ -1,0 +1,211 @@
+// netsim semantics: message delivery, ordering, RDMA data placement,
+// completion queues, timing.
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace netsim = mv2gnc::netsim;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+netsim::WireMessage make_msg(int kind, std::uint64_t h0 = 0,
+                             std::vector<std::byte> payload = {}) {
+  netsim::WireMessage m;
+  m.kind = kind;
+  m.header[0] = h0;
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace
+
+TEST(Fabric, ConstructionAndAccess) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 4, netsim::NetCostModel::qdr_ib());
+  EXPECT_EQ(fab.nodes(), 4);
+  EXPECT_EQ(fab.endpoint(2).node(), 2);
+  EXPECT_THROW(fab.endpoint(4), std::out_of_range);
+  EXPECT_THROW(netsim::Fabric(eng, 0, netsim::NetCostModel::qdr_ib()),
+               std::invalid_argument);
+}
+
+TEST(Fabric, SendDeliversMessageWithSourceStamped) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  bool got = false;
+  eng.spawn("sender", [&] {
+    fab.endpoint(0).post_send(1, make_msg(7, 42));
+  });
+  eng.spawn("receiver", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(1).set_wakeup(&n);
+    netsim::Completion c;
+    while (!fab.endpoint(1).poll(c)) n.wait();
+    EXPECT_EQ(c.type, netsim::CqType::kRecv);
+    EXPECT_EQ(c.msg.kind, 7);
+    EXPECT_EQ(c.msg.header[0], 42u);
+    EXPECT_EQ(c.msg.src_node, 0);
+    got = true;
+  });
+  eng.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(Fabric, SenderGetsLocalCompletion) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  eng.spawn("sender", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(0).set_wakeup(&n);
+    const std::uint64_t wr = fab.endpoint(0).post_send(1, make_msg(1));
+    netsim::Completion c;
+    while (!fab.endpoint(0).poll(c)) n.wait();
+    EXPECT_EQ(c.type, netsim::CqType::kSendComplete);
+    EXPECT_EQ(c.wr_id, wr);
+  });
+  eng.run();
+}
+
+TEST(Fabric, MessagesBetweenPairArriveInOrder) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  std::vector<std::uint64_t> order;
+  eng.spawn("sender", [&] {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      fab.endpoint(0).post_send(1, make_msg(1, i));
+    }
+  });
+  eng.spawn("receiver", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(1).set_wakeup(&n);
+    netsim::Completion c;
+    while (order.size() < 10) {
+      if (fab.endpoint(1).poll(c)) {
+        if (c.type == netsim::CqType::kRecv) order.push_back(c.msg.header[0]);
+      } else {
+        n.wait();
+      }
+    }
+  });
+  eng.run();
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Fabric, RdmaWritePlacesBytesBeforeImmediate) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  std::vector<std::byte> src(4096);
+  std::vector<std::byte> dst(4096, std::byte{0});
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i * 7 & 0xFF);
+  }
+  eng.spawn("writer", [&] {
+    fab.endpoint(0).post_rdma_write(1, src.data(), dst.data(), src.size(),
+                                    make_msg(9, 1234));
+  });
+  eng.spawn("target", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(1).set_wakeup(&n);
+    netsim::Completion c;
+    while (!fab.endpoint(1).poll(c)) n.wait();
+    ASSERT_EQ(c.type, netsim::CqType::kRecv);
+    EXPECT_EQ(c.msg.kind, 9);
+    // The data must already be visible when the immediate arrives.
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+  });
+  eng.run();
+}
+
+TEST(Fabric, RdmaWriteWithoutImmediateStillMovesData) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  std::vector<std::byte> src(128, std::byte{0x3C});
+  std::vector<std::byte> dst(128, std::byte{0});
+  eng.spawn("writer", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(0).set_wakeup(&n);
+    fab.endpoint(0).post_rdma_write(1, src.data(), dst.data(), src.size());
+    netsim::Completion c;
+    while (!fab.endpoint(0).poll(c)) n.wait();
+    EXPECT_EQ(c.type, netsim::CqType::kRdmaComplete);
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+  });
+  eng.run();
+}
+
+TEST(Fabric, LatencyMatchesModelForSmallMessage) {
+  sim::Engine eng;
+  auto cost = netsim::NetCostModel::qdr_ib();
+  netsim::Fabric fab(eng, 2, cost);
+  sim::SimTime arrival = -1;
+  eng.spawn("sender", [&] { fab.endpoint(0).post_send(1, make_msg(1)); });
+  eng.spawn("receiver", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(1).set_wakeup(&n);
+    netsim::Completion c;
+    while (!fab.endpoint(1).poll(c)) n.wait();
+    arrival = eng.now();
+  });
+  eng.run();
+  const sim::SimTime expected = cost.post_overhead_ns +
+                                cost.per_msg_overhead_ns + cost.wire_time(64) +
+                                cost.latency_ns;
+  EXPECT_EQ(arrival, expected);
+}
+
+TEST(Fabric, LargeTransfersSerializedOnTx) {
+  sim::Engine eng;
+  auto cost = netsim::NetCostModel::qdr_ib();
+  netsim::Fabric fab(eng, 2, cost);
+  std::vector<std::byte> src(1u << 20), dst(1u << 20);
+  sim::SimTime done_at = -1;
+  eng.spawn("writer", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(0).set_wakeup(&n);
+    fab.endpoint(0).post_rdma_write(1, src.data(), dst.data(), src.size());
+    fab.endpoint(0).post_rdma_write(1, src.data(), dst.data(), src.size());
+    int completions = 0;
+    netsim::Completion c;
+    while (completions < 2) {
+      if (fab.endpoint(0).poll(c)) ++completions;
+      else n.wait();
+    }
+    done_at = eng.now();
+  });
+  eng.run();
+  // Two 1 MB writes must take at least twice the wire time of one.
+  EXPECT_GE(done_at, 2 * cost.wire_time(1u << 20));
+}
+
+TEST(Fabric, StatsTracked) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  std::vector<std::byte> buf(256);
+  eng.spawn("sender", [&] {
+    fab.endpoint(0).post_send(1, make_msg(1, 0, std::vector<std::byte>(100)));
+    fab.endpoint(0).post_rdma_write(1, buf.data(), buf.data(), 256);
+  });
+  eng.run();
+  EXPECT_EQ(fab.endpoint(0).messages_sent(), 1u);
+  EXPECT_EQ(fab.endpoint(0).rdma_writes(), 1u);
+  EXPECT_EQ(fab.endpoint(0).bytes_sent(), 356u);
+  EXPECT_GT(fab.endpoint(0).tx_busy_time(), 0);
+}
+
+TEST(Fabric, BadDestinationThrows) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  eng.spawn("sender", [&] {
+    EXPECT_THROW(fab.endpoint(0).post_send(5, make_msg(1)), std::out_of_range);
+    std::byte b;
+    EXPECT_THROW(fab.endpoint(0).post_rdma_write(-1, &b, &b, 1),
+                 std::out_of_range);
+    EXPECT_THROW(fab.endpoint(0).post_rdma_write(1, nullptr, &b, 1),
+                 std::invalid_argument);
+  });
+  eng.run();
+}

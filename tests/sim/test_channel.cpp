@@ -1,0 +1,123 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sim = mv2gnc::sim;
+
+TEST(Channel, SendThenRecvSameProcess) {
+  sim::Engine eng;
+  sim::Channel<int> ch(eng, "test");
+  int got = 0;
+  eng.spawn("p", [&] {
+    ch.send(42);
+    got = ch.recv();
+  });
+  eng.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  sim::Engine eng;
+  sim::Channel<int> ch(eng);
+  sim::SimTime recv_time = -1;
+  eng.spawn("consumer", [&] {
+    int v = ch.recv();
+    EXPECT_EQ(v, 7);
+    recv_time = eng.now();
+  });
+  eng.spawn("producer", [&] {
+    eng.delay(sim::microseconds(3));
+    ch.send(7);
+  });
+  eng.run();
+  EXPECT_EQ(recv_time, sim::microseconds(3));
+}
+
+TEST(Channel, PreservesFifoOrder) {
+  sim::Engine eng;
+  sim::Channel<int> ch(eng);
+  std::vector<int> got;
+  eng.spawn("producer", [&] {
+    for (int i = 0; i < 10; ++i) ch.send(i);
+  });
+  eng.spawn("consumer", [&] {
+    for (int i = 0; i < 10; ++i) got.push_back(ch.recv());
+  });
+  eng.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Channel, TryRecvNonBlocking) {
+  sim::Engine eng;
+  sim::Channel<std::string> ch(eng);
+  eng.spawn("p", [&] {
+    std::string out;
+    EXPECT_FALSE(ch.try_recv(out));
+    ch.send("hello");
+    EXPECT_TRUE(ch.try_recv(out));
+    EXPECT_EQ(out, "hello");
+    EXPECT_FALSE(ch.try_recv(out));
+  });
+  eng.run();
+}
+
+TEST(Channel, SizeAndEmpty) {
+  sim::Engine eng;
+  sim::Channel<int> ch(eng);
+  eng.spawn("p", [&] {
+    EXPECT_TRUE(ch.empty());
+    ch.send(1);
+    ch.send(2);
+    EXPECT_EQ(ch.size(), 2u);
+    (void)ch.recv();
+    EXPECT_EQ(ch.size(), 1u);
+  });
+  eng.run();
+}
+
+TEST(Channel, MultipleConsumersEachGetOneMessage) {
+  sim::Engine eng;
+  sim::Channel<int> ch(eng);
+  std::vector<int> got;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn("consumer" + std::to_string(i), [&] { got.push_back(ch.recv()); });
+  }
+  eng.spawn("producer", [&] {
+    eng.delay(5);
+    ch.send(10);
+    ch.send(20);
+    ch.send(30);
+  });
+  eng.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0] + got[1] + got[2], 60);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  sim::Engine eng;
+  sim::Channel<std::unique_ptr<int>> ch(eng);
+  int got = 0;
+  eng.spawn("p", [&] {
+    ch.send(std::make_unique<int>(99));
+    got = *ch.recv();
+  });
+  eng.run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Channel, SendFromScheduledAction) {
+  sim::Engine eng;
+  sim::Channel<int> ch(eng);
+  sim::SimTime got_at = -1;
+  eng.schedule_at(sim::microseconds(2), [&] { ch.send(5); });
+  eng.spawn("consumer", [&] {
+    EXPECT_EQ(ch.recv(), 5);
+    got_at = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(got_at, sim::microseconds(2));
+}

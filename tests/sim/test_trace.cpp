@@ -1,0 +1,61 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sim = mv2gnc::sim;
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  sim::TraceRecorder tr;
+  tr.record(0, "east_cuda", 0, 100);
+  EXPECT_TRUE(tr.records().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  sim::TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(1, "east_cuda", 10, 110);
+  tr.record(1, "east_cuda", 200, 250);
+  tr.record(1, "east_mpi", 110, 140);
+  tr.record(2, "east_cuda", 0, 5);
+  ASSERT_EQ(tr.records().size(), 4u);
+  EXPECT_EQ(tr.total(1, "east_cuda"), 150);
+  EXPECT_EQ(tr.total(1, "east_mpi"), 30);
+  EXPECT_EQ(tr.total(2, "east_cuda"), 5);
+  EXPECT_EQ(tr.total(1, "west_cuda"), 0);
+}
+
+TEST(Trace, TotalAcrossRanks) {
+  sim::TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(0, "rdma", 0, 10);
+  tr.record(1, "rdma", 0, 20);
+  EXPECT_EQ(tr.total("rdma"), 30);
+}
+
+TEST(Trace, CategoriesFirstSeenOrder) {
+  sim::TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(3, "south_mpi", 0, 1);
+  tr.record(3, "west_mpi", 1, 2);
+  tr.record(3, "south_mpi", 2, 3);
+  tr.record(3, "east_cuda", 3, 4);
+  auto cats = tr.categories(3);
+  ASSERT_EQ(cats.size(), 3u);
+  EXPECT_EQ(cats[0], "south_mpi");
+  EXPECT_EQ(cats[1], "west_mpi");
+  EXPECT_EQ(cats[2], "east_cuda");
+}
+
+TEST(Trace, ClearResets) {
+  sim::TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(0, "x", 0, 1);
+  tr.clear();
+  EXPECT_TRUE(tr.records().empty());
+  EXPECT_EQ(tr.total(0, "x"), 0);
+}
+
+TEST(Trace, DurationHelper) {
+  sim::TraceRecord r{0, "c", 100, 350};
+  EXPECT_EQ(r.duration(), 250);
+}
