@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_design.cpp" "bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mv2gnc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mv2gnc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mv2gnc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mv2gnc_dtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/mv2gnc_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mv2gnc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mv2gnc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mv2gnc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datatype_engine.dir/bench_datatype_engine.cpp.o"
+  "CMakeFiles/bench_datatype_engine.dir/bench_datatype_engine.cpp.o.d"
+  "bench_datatype_engine"
+  "bench_datatype_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datatype_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_osu_micro.dir/bench_osu_micro.cpp.o"
+  "CMakeFiles/bench_osu_micro.dir/bench_osu_micro.cpp.o.d"
+  "bench_osu_micro"
+  "bench_osu_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_osu_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_stencil.dir/bench_scaling_stencil.cpp.o"
+  "CMakeFiles/bench_scaling_stencil.dir/bench_scaling_stencil.cpp.o.d"
+  "bench_scaling_stencil"
+  "bench_scaling_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_stencil_single.dir/bench_table2_stencil_single.cpp.o"
+  "CMakeFiles/bench_table2_stencil_single.dir/bench_table2_stencil_single.cpp.o.d"
+  "bench_table2_stencil_single"
+  "bench_table2_stencil_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_stencil_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

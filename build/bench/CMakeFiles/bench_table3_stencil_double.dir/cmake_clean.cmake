@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_stencil_double.dir/bench_table3_stencil_double.cpp.o"
+  "CMakeFiles/bench_table3_stencil_double.dir/bench_table3_stencil_double.cpp.o.d"
+  "bench_table3_stencil_double"
+  "bench_table3_stencil_double.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_stencil_double.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

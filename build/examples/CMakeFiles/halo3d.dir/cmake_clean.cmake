@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo3d.dir/halo3d.cpp.o"
+  "CMakeFiles/halo3d.dir/halo3d.cpp.o.d"
+  "halo3d"
+  "halo3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

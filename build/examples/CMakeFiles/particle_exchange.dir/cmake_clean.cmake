@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_exchange.dir/particle_exchange.cpp.o"
+  "CMakeFiles/particle_exchange.dir/particle_exchange.cpp.o.d"
+  "particle_exchange"
+  "particle_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil2d_demo.dir/stencil2d_demo.cpp.o"
+  "CMakeFiles/stencil2d_demo.dir/stencil2d_demo.cpp.o.d"
+  "stencil2d_demo"
+  "stencil2d_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil2d_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

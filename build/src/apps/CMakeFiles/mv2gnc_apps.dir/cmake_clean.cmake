@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2gnc_apps.dir/osu.cpp.o"
+  "CMakeFiles/mv2gnc_apps.dir/osu.cpp.o.d"
+  "CMakeFiles/mv2gnc_apps.dir/reporting.cpp.o"
+  "CMakeFiles/mv2gnc_apps.dir/reporting.cpp.o.d"
+  "CMakeFiles/mv2gnc_apps.dir/stencil2d.cpp.o"
+  "CMakeFiles/mv2gnc_apps.dir/stencil2d.cpp.o.d"
+  "CMakeFiles/mv2gnc_apps.dir/transpose.cpp.o"
+  "CMakeFiles/mv2gnc_apps.dir/transpose.cpp.o.d"
+  "CMakeFiles/mv2gnc_apps.dir/vector_bench.cpp.o"
+  "CMakeFiles/mv2gnc_apps.dir/vector_bench.cpp.o.d"
+  "libmv2gnc_apps.a"
+  "libmv2gnc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2gnc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gpu_staging.cpp" "src/core/CMakeFiles/mv2gnc_core.dir/gpu_staging.cpp.o" "gcc" "src/core/CMakeFiles/mv2gnc_core.dir/gpu_staging.cpp.o.d"
+  "/root/repo/src/core/msg_view.cpp" "src/core/CMakeFiles/mv2gnc_core.dir/msg_view.cpp.o" "gcc" "src/core/CMakeFiles/mv2gnc_core.dir/msg_view.cpp.o.d"
+  "/root/repo/src/core/rndv.cpp" "src/core/CMakeFiles/mv2gnc_core.dir/rndv.cpp.o" "gcc" "src/core/CMakeFiles/mv2gnc_core.dir/rndv.cpp.o.d"
+  "/root/repo/src/core/tunables.cpp" "src/core/CMakeFiles/mv2gnc_core.dir/tunables.cpp.o" "gcc" "src/core/CMakeFiles/mv2gnc_core.dir/tunables.cpp.o.d"
+  "/root/repo/src/core/vbuf_pool.cpp" "src/core/CMakeFiles/mv2gnc_core.dir/vbuf_pool.cpp.o" "gcc" "src/core/CMakeFiles/mv2gnc_core.dir/vbuf_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mv2gnc_dtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/mv2gnc_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mv2gnc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mv2gnc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mv2gnc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

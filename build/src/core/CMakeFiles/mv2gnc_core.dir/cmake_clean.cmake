@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2gnc_core.dir/gpu_staging.cpp.o"
+  "CMakeFiles/mv2gnc_core.dir/gpu_staging.cpp.o.d"
+  "CMakeFiles/mv2gnc_core.dir/msg_view.cpp.o"
+  "CMakeFiles/mv2gnc_core.dir/msg_view.cpp.o.d"
+  "CMakeFiles/mv2gnc_core.dir/rndv.cpp.o"
+  "CMakeFiles/mv2gnc_core.dir/rndv.cpp.o.d"
+  "CMakeFiles/mv2gnc_core.dir/tunables.cpp.o"
+  "CMakeFiles/mv2gnc_core.dir/tunables.cpp.o.d"
+  "CMakeFiles/mv2gnc_core.dir/vbuf_pool.cpp.o"
+  "CMakeFiles/mv2gnc_core.dir/vbuf_pool.cpp.o.d"
+  "libmv2gnc_core.a"
+  "libmv2gnc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2gnc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2gnc_cuda.dir/runtime.cpp.o"
+  "CMakeFiles/mv2gnc_cuda.dir/runtime.cpp.o.d"
+  "libmv2gnc_cuda.a"
+  "libmv2gnc_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2gnc_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

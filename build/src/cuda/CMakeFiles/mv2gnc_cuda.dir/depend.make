@@ -1,0 +1,2 @@
+# Empty dependencies file for mv2gnc_cuda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cost_model.cpp" "src/gpu/CMakeFiles/mv2gnc_gpu.dir/cost_model.cpp.o" "gcc" "src/gpu/CMakeFiles/mv2gnc_gpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/gpu/CMakeFiles/mv2gnc_gpu.dir/device.cpp.o" "gcc" "src/gpu/CMakeFiles/mv2gnc_gpu.dir/device.cpp.o.d"
+  "/root/repo/src/gpu/memory_registry.cpp" "src/gpu/CMakeFiles/mv2gnc_gpu.dir/memory_registry.cpp.o" "gcc" "src/gpu/CMakeFiles/mv2gnc_gpu.dir/memory_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mv2gnc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

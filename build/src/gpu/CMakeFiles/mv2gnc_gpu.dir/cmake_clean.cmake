@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2gnc_gpu.dir/cost_model.cpp.o"
+  "CMakeFiles/mv2gnc_gpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mv2gnc_gpu.dir/device.cpp.o"
+  "CMakeFiles/mv2gnc_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/mv2gnc_gpu.dir/memory_registry.cpp.o"
+  "CMakeFiles/mv2gnc_gpu.dir/memory_registry.cpp.o.d"
+  "libmv2gnc_gpu.a"
+  "libmv2gnc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2gnc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

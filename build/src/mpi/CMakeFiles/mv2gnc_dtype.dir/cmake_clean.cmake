@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2gnc_dtype.dir/datatype.cpp.o"
+  "CMakeFiles/mv2gnc_dtype.dir/datatype.cpp.o.d"
+  "libmv2gnc_dtype.a"
+  "libmv2gnc_dtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2gnc_dtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

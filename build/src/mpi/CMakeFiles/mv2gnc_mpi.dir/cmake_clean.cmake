@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2gnc_mpi.dir/cluster.cpp.o"
+  "CMakeFiles/mv2gnc_mpi.dir/cluster.cpp.o.d"
+  "CMakeFiles/mv2gnc_mpi.dir/comm.cpp.o"
+  "CMakeFiles/mv2gnc_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/mv2gnc_mpi.dir/rank_comm.cpp.o"
+  "CMakeFiles/mv2gnc_mpi.dir/rank_comm.cpp.o.d"
+  "libmv2gnc_mpi.a"
+  "libmv2gnc_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2gnc_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

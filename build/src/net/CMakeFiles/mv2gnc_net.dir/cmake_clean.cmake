@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2gnc_net.dir/fabric.cpp.o"
+  "CMakeFiles/mv2gnc_net.dir/fabric.cpp.o.d"
+  "libmv2gnc_net.a"
+  "libmv2gnc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2gnc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

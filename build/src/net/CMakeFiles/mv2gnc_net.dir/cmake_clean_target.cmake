@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmv2gnc_net.a"
+)

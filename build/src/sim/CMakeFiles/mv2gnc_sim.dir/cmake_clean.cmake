@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv2gnc_sim.dir/engine.cpp.o"
+  "CMakeFiles/mv2gnc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mv2gnc_sim.dir/resource.cpp.o"
+  "CMakeFiles/mv2gnc_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/mv2gnc_sim.dir/trace.cpp.o"
+  "CMakeFiles/mv2gnc_sim.dir/trace.cpp.o.d"
+  "libmv2gnc_sim.a"
+  "libmv2gnc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv2gnc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

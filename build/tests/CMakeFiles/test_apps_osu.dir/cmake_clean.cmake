@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_osu.dir/apps/test_osu.cpp.o"
+  "CMakeFiles/test_apps_osu.dir/apps/test_osu.cpp.o.d"
+  "test_apps_osu"
+  "test_apps_osu.pdb"
+  "test_apps_osu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_osu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

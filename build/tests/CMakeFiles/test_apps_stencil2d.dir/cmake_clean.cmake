@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_stencil2d.dir/apps/test_stencil2d.cpp.o"
+  "CMakeFiles/test_apps_stencil2d.dir/apps/test_stencil2d.cpp.o.d"
+  "test_apps_stencil2d"
+  "test_apps_stencil2d.pdb"
+  "test_apps_stencil2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_stencil2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

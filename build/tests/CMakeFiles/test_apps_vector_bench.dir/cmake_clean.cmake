@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_vector_bench.dir/apps/test_vector_bench.cpp.o"
+  "CMakeFiles/test_apps_vector_bench.dir/apps/test_vector_bench.cpp.o.d"
+  "test_apps_vector_bench"
+  "test_apps_vector_bench.pdb"
+  "test_apps_vector_bench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_vector_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

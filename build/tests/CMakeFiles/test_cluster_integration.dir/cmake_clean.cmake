@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_integration.dir/integration/test_cluster_integration.cpp.o"
+  "CMakeFiles/test_cluster_integration.dir/integration/test_cluster_integration.cpp.o.d"
+  "test_cluster_integration"
+  "test_cluster_integration.pdb"
+  "test_cluster_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

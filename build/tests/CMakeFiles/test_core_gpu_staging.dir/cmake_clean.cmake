@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_gpu_staging.dir/core/test_gpu_staging.cpp.o"
+  "CMakeFiles/test_core_gpu_staging.dir/core/test_gpu_staging.cpp.o.d"
+  "test_core_gpu_staging"
+  "test_core_gpu_staging.pdb"
+  "test_core_gpu_staging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_gpu_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_core_gpu_staging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_msg_view.dir/core/test_msg_view.cpp.o"
+  "CMakeFiles/test_core_msg_view.dir/core/test_msg_view.cpp.o.d"
+  "test_core_msg_view"
+  "test_core_msg_view.pdb"
+  "test_core_msg_view[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_msg_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

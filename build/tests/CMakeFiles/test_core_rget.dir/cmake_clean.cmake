@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rget.dir/core/test_rget.cpp.o"
+  "CMakeFiles/test_core_rget.dir/core/test_rget.cpp.o.d"
+  "test_core_rget"
+  "test_core_rget.pdb"
+  "test_core_rget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

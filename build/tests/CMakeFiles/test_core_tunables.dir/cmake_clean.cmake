@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tunables.dir/core/test_tunables.cpp.o"
+  "CMakeFiles/test_core_tunables.dir/core/test_tunables.cpp.o.d"
+  "test_core_tunables"
+  "test_core_tunables.pdb"
+  "test_core_tunables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tunables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

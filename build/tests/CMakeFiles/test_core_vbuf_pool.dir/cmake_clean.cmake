@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_vbuf_pool.dir/core/test_vbuf_pool.cpp.o"
+  "CMakeFiles/test_core_vbuf_pool.dir/core/test_vbuf_pool.cpp.o.d"
+  "test_core_vbuf_pool"
+  "test_core_vbuf_pool.pdb"
+  "test_core_vbuf_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_vbuf_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuda_runtime.dir/cuda/test_runtime.cpp.o"
+  "CMakeFiles/test_cuda_runtime.dir/cuda/test_runtime.cpp.o.d"
+  "test_cuda_runtime"
+  "test_cuda_runtime.pdb"
+  "test_cuda_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuda_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

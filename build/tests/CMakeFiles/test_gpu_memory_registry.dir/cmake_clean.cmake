@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_memory_registry.dir/gpu/test_memory_registry.cpp.o"
+  "CMakeFiles/test_gpu_memory_registry.dir/gpu/test_memory_registry.cpp.o.d"
+  "test_gpu_memory_registry"
+  "test_gpu_memory_registry.pdb"
+  "test_gpu_memory_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_memory_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

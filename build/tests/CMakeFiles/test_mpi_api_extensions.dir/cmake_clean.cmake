@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_api_extensions.dir/mpi/test_api_extensions.cpp.o"
+  "CMakeFiles/test_mpi_api_extensions.dir/mpi/test_api_extensions.cpp.o.d"
+  "test_mpi_api_extensions"
+  "test_mpi_api_extensions.pdb"
+  "test_mpi_api_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_api_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/test_comm_split.cpp" "tests/CMakeFiles/test_mpi_comm_split.dir/mpi/test_comm_split.cpp.o" "gcc" "tests/CMakeFiles/test_mpi_comm_split.dir/mpi/test_comm_split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mv2gnc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mv2gnc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mv2gnc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mv2gnc_dtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/mv2gnc_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mv2gnc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mv2gnc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

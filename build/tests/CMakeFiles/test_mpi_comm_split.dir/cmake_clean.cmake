@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_comm_split.dir/mpi/test_comm_split.cpp.o"
+  "CMakeFiles/test_mpi_comm_split.dir/mpi/test_comm_split.cpp.o.d"
+  "test_mpi_comm_split"
+  "test_mpi_comm_split.pdb"
+  "test_mpi_comm_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_comm_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_fabric.dir/net/test_fabric.cpp.o"
+  "CMakeFiles/test_net_fabric.dir/net/test_fabric.cpp.o.d"
+  "test_net_fabric"
+  "test_net_fabric.pdb"
+  "test_net_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_resource.dir/sim/test_resource.cpp.o"
+  "CMakeFiles/test_sim_resource.dir/sim/test_resource.cpp.o.d"
+  "test_sim_resource"
+  "test_sim_resource.pdb"
+  "test_sim_resource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_resource[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_memory_registry[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_device[1]_include.cmake")
+include("/root/repo/build/tests/test_cuda_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_net_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_datatype[1]_include.cmake")
+include("/root/repo/build/tests/test_core_tunables[1]_include.cmake")
+include("/root/repo/build/tests/test_core_vbuf_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_core_msg_view[1]_include.cmake")
+include("/root/repo/build/tests/test_core_gpu_staging[1]_include.cmake")
+include("/root/repo/build/tests/test_core_rndv_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_core_protocol_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_core_rget[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_p2p[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_comm_split[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_api_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_stencil2d[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_vector_bench[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_osu[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_transpose[1]_include.cmake")
