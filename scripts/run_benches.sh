@@ -14,7 +14,8 @@ if [ ! -d "${BUILD_DIR}/bench" ]; then
 fi
 
 for bin in "${BUILD_DIR}"/bench/*; do
-  [ -x "${bin}" ] || continue
+  # -f guards against CMakeFiles/ and friends, which are executable dirs.
+  [ -f "${bin}" ] && [ -x "${bin}" ] || continue
   name="$(basename "${bin}")"
   echo "== ${name} =="
   "${bin}" | tee "${OUT_DIR}/${name}.txt"
@@ -22,3 +23,21 @@ done
 
 echo
 echo "outputs written to ${OUT_DIR}/"
+
+# Cluster::print_stats appends a per-rank fault/retry table only when a run
+# injected faults or retransmitted anything. Surface those runs so a bench
+# quietly limping through retransmissions doesn't pass for a clean number.
+echo
+echo "== reliability summary =="
+found=0
+for f in "${OUT_DIR}"/*.txt; do
+  [ -f "${f}" ] || continue
+  if grep -q "rank  faults" "${f}"; then
+    found=1
+    echo "-- $(basename "${f}" .txt)"
+    grep -A 100 "rank  faults" "${f}" | sed 's/^/   /'
+  fi
+done
+if [ "${found}" -eq 0 ]; then
+  echo "no faults injected, no retransmissions — all benches ran clean"
+fi

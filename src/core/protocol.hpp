@@ -1,10 +1,15 @@
 // Wire-protocol message kinds and header layouts for the MV2-GPU-NC
 // rendezvous (paper Fig. 3): RTS -> CTS(vbuf addresses) -> chunked RDMA
-// writes, each followed by a "RDMA write finish" immediate, plus CREDIT
-// messages that re-advertise landing buffers as the receiver drains them.
-// An optional receiver-driven variant (RGET) short-circuits the CTS leg:
-// RTS carries the source address, the receiver RDMA-READs, then sends
-// kRndvDone.
+// writes, each followed by a "RDMA write finish" immediate, plus CHUNK_ACK
+// messages that acknowledge each chunk and re-advertise landing buffers as
+// the receiver drains them (the paper's CREDIT, fused with the per-chunk
+// acknowledgement the reliability layer needs). An optional receiver-driven
+// variant (RGET) short-circuits the CTS leg: RTS carries the source
+// address, the receiver RDMA-READs, then sends kRndvDone.
+//
+// Every control message carries WireMessage::seq so a retransmitted copy
+// arriving after the original can be recognized and dropped; receipt of any
+// control message must be idempotent (see docs/RELIABILITY.md).
 #pragma once
 
 #include <cstddef>
@@ -26,10 +31,17 @@ enum MsgKind : int {
                   // address (the receive buffer itself)
   kChunkFin = 4,  // h0=recv req, h1=chunk idx, h2=slot idx, h3=offset,
                   // h4=bytes  — the "RDMA write finish" message
-  kCredit = 5,    // h0=sender req, h1=slot idx; payload = slot address
+  kChunkAck = 5,  // h0=sender req, h1=acked chunk idx, h2=recycled slot idx
+                  //   (kNoSlot if none), h3=credit seq; payload = recycled
+                  //   slot address — per-chunk ack with the CREDIT fused in
   kRndvDone = 6,  // h0=sender req — receiver-driven (RGET) completion
+  kSendDone = 7,  // h0=recv req — sender has seen every ack; the receiver
+                  //   may release its remaining landing slots
   kInternal = 64, // first kind value available to higher layers
 };
+
+/// kChunkAck h2 value meaning "this ack recycles no landing slot".
+inline constexpr std::uint64_t kNoSlot = ~std::uint64_t{0};
 
 /// CTS landing modes.
 enum class CtsMode : std::uint64_t {

@@ -1,7 +1,10 @@
 #include "core/rndv.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace mv2gnc::core {
 
@@ -61,7 +64,8 @@ std::size_t segments_in_range(const MsgView& msg, std::size_t bytes) {
 
 ChunkPlan ChunkPlan::make(std::size_t total, std::size_t chunk) {
   if (total == 0) throw std::invalid_argument("ChunkPlan: empty message");
-  if (chunk == 0 || chunk > total) chunk = total;
+  if (chunk == 0) throw std::invalid_argument("ChunkPlan: zero chunk size");
+  if (chunk > total) chunk = total;
   ChunkPlan p;
   p.total = total;
   p.chunk = chunk;
@@ -75,7 +79,11 @@ ChunkPlan ChunkPlan::make(std::size_t total, std::size_t chunk) {
 
 RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
                    std::uint64_t my_req_id)
-    : res_(res), msg_(std::move(msg)), dst_(dst_node), req_id_(my_req_id) {
+    : res_(res),
+      msg_(std::move(msg)),
+      dst_(dst_node),
+      req_id_(my_req_id),
+      timer_(*res.engine) {
   const Tunables& tun = *res_.tun;
   if (msg_.on_device) {
     if (msg_.contiguous) {
@@ -101,10 +109,17 @@ RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
   stage_events_.resize(plan_.count);
   slots_.resize(plan_.count);
   stage_submitted_.assign(plan_.count, false);
+  posted_.assign(plan_.count, false);
+  acked_.assign(plan_.count, false);
+  inflight_.assign(plan_.count, 0);
+  write_errors_.assign(plan_.count, 0);
+  remote_slot_idx_.assign(plan_.count, kNoSlot);
+  remote_addr_.assign(plan_.count, nullptr);
 }
 
 RndvSend::~RndvSend() {
   try {
+    timer_.cancel();
     if (tbuf_ != nullptr) {
       res_.cuda->free(tbuf_);
       tbuf_ = nullptr;
@@ -114,19 +129,26 @@ RndvSend::~RndvSend() {
   }
 }
 
+void RndvSend::trace_event(const char* category) {
+  if (res_.trace != nullptr) {
+    res_.trace->event(res_.rank, category, res_.engine->now());
+  }
+}
+
 void RndvSend::start(std::uint64_t tag_word) {
-  netsim::WireMessage rts;
-  rts.kind = kRts;
-  rts.header[0] = tag_word;
-  rts.header[1] = plan_.total;
-  rts.header[2] = req_id_;
-  rts.header[3] = plan_.chunk;
+  rts_.kind = kRts;
+  rts_.header[0] = tag_word;
+  rts_.header[1] = plan_.total;
+  rts_.header[2] = req_id_;
+  rts_.header[3] = plan_.chunk;
   if (res_.tun->rget && path_ == Path::kHostContig) {
     // Advertise the source address: an RGET-capable receiver may pull the
     // data directly and skip the CTS leg.
-    rts.header[4] = 1;
-    rts.header[5] = reinterpret_cast<std::uintptr_t>(msg_.base);
+    rts_.header[4] = 1;
+    rts_.header[5] = reinterpret_cast<std::uintptr_t>(msg_.base);
   }
+  netsim::WireMessage rts = rts_;
+  rts.seq = ctrl_seq_++;
   res_.endpoint->post_send(dst_, std::move(rts));
   if (path_ == Path::kDeviceOffload) {
     // Offload the whole pack immediately; it overlaps the RTS/CTS
@@ -139,7 +161,86 @@ void RndvSend::start(std::uint64_t tag_word) {
           plan_.bytes_of(i), tbuf_ + plan_.offset_of(i));
     }
   }
+  arm_timer();
   advance();
+}
+
+void RndvSend::arm_timer() {
+  armed_epoch_ = progress_epoch_;
+  const Tunables& tun = *res_.tun;
+  const double scale =
+      std::pow(tun.rndv_backoff_factor, static_cast<double>(retries_));
+  // Clamp the backed-off delay so an extreme retry count cannot overflow
+  // SimTime (the cap is ~11 virtual days; transfers fail long before).
+  double delay_ns = static_cast<double>(tun.rndv_timeout_ns) * scale;
+  if (!(delay_ns < 1e15)) delay_ns = 1e15;
+  const sim::SimTime at =
+      res_.engine->now() + static_cast<sim::SimTime>(delay_ns);
+  sim::Notifier* n = res_.notifier;
+  // The callback runs on the scheduler thread: wake the progress loop and
+  // nothing else. The retransmission itself happens in-process, in
+  // handle_timeout(), driven from the next advance().
+  timer_.arm(at, [n] {
+    if (n != nullptr) n->notify();
+  });
+}
+
+void RndvSend::handle_timeout() {
+  if (progress_epoch_ != armed_epoch_) {
+    // The transfer moved since the deadline was armed; this expiry is
+    // stale. Fresh deadline, retry budget restored.
+    retries_ = 0;
+    arm_timer();
+    return;
+  }
+  ++retries_;
+  if (res_.retries != nullptr) ++res_.retries->timeouts;
+  trace_event("fault_timeout");
+  if (retries_ > res_.tun->rndv_max_retries) {
+    fail("rendezvous " + std::to_string(req_id_) + " to rank " +
+         std::to_string(dst_) + " timed out after " +
+         std::to_string(res_.tun->rndv_max_retries) + " retransmissions");
+    return;
+  }
+  retransmit_unacked();
+  arm_timer();
+}
+
+void RndvSend::retransmit_unacked() {
+  if (!cts_received_) {
+    // Handshake not established (RTS, CTS or the RGET done was lost):
+    // resend the stored RTS. The receiver dedups by (src, sender req) and
+    // replays its CTS / done if it already answered.
+    netsim::WireMessage rts = rts_;
+    rts.seq = ctrl_seq_++;
+    res_.endpoint->post_send(dst_, std::move(rts));
+    if (res_.retries != nullptr) ++res_.retries->rts_retransmits;
+    trace_event("fault_rts_retransmit");
+    return;
+  }
+  bool any = false;
+  for (std::size_t i = 0; i < next_rdma_; ++i) {
+    if (posted_[i] && !acked_[i] && inflight_[i] == 0) {
+      post_chunk_rdma(i, /*retransmit=*/true);
+      if (res_.retries != nullptr) ++res_.retries->chunk_retransmits;
+      trace_event("fault_chunk_retransmit");
+      any = true;
+    }
+  }
+  if (!any) {
+    // Nothing unacknowledged on the wire, yet no progress: the transfer is
+    // stalled locally. If the stage frontier is starved of staging slots
+    // (vbuf pool exhausted, e.g. because the acks that would recycle them
+    // were lost on other transfers), degrade to a one-off pinned slot so
+    // this transfer keeps moving.
+    const bool needs_slot = (path_ != Path::kHostContig);
+    if (needs_slot && next_stage_ < plan_.count &&
+        !slots_[next_stage_].valid() && res_.vbufs->available() == 0) {
+      force_pinned_ = true;
+      if (res_.retries != nullptr) ++res_.retries->stall_fallbacks;
+      trace_event("fault_stall_fallback");
+    }
+  }
 }
 
 void RndvSend::submit_stage(std::size_t i) {
@@ -173,17 +274,24 @@ void RndvSend::submit_stage(std::size_t i) {
       break;  // zero-copy: the RDMA reads straight from the user buffer
   }
   stage_submitted_[i] = true;
+  note_progress();
 }
 
-void RndvSend::post_chunk_rdma(std::size_t i) {
+void RndvSend::post_chunk_rdma(std::size_t i, bool retransmit) {
   const std::size_t off = plan_.offset_of(i);
   const std::size_t bytes = plan_.bytes_of(i);
   const std::byte* src = (slots_[i].valid())
                              ? slots_[i].ptr
                              : static_cast<std::byte*>(msg_.base) + off;
   void* remote = nullptr;
-  std::uint64_t slot_idx = UINT64_MAX;
-  if (mode_ == CtsMode::kDirect) {
+  std::uint64_t slot_idx = kNoSlot;
+  if (retransmit) {
+    // Same landing address as the original write: the receiver retains the
+    // slot until it has acked the chunk AND seen SEND_DONE, so the address
+    // is still valid even if the original write already landed.
+    remote = remote_addr_[i];
+    slot_idx = remote_slot_idx_[i];
+  } else if (mode_ == CtsMode::kDirect) {
     remote = direct_base_ + off;
   } else {
     auto [idx, addr] = remote_slots_.front();
@@ -191,8 +299,11 @@ void RndvSend::post_chunk_rdma(std::size_t i) {
     slot_idx = idx;
     remote = addr;
   }
+  remote_addr_[i] = remote;
+  remote_slot_idx_[i] = slot_idx;
   netsim::WireMessage fin;
   fin.kind = kChunkFin;
+  fin.seq = ctrl_seq_++;
   fin.header[0] = peer_req_;
   fin.header[1] = i;
   fin.header[2] = slot_idx;
@@ -201,9 +312,14 @@ void RndvSend::post_chunk_rdma(std::size_t i) {
   const std::uint64_t wr =
       res_.endpoint->post_rdma_write(dst_, src, remote, bytes, std::move(fin));
   wr_to_chunk_.emplace(wr, i);
+  ++inflight_[i];
+  posted_[i] = true;
+  note_progress();
 }
 
 void RndvSend::advance() {
+  if (!complete_ && !failed_ && timer_.fired()) handle_timeout();
+  if (complete_ || failed_) return;
   // Stage frontier: pack (if any) must have completed; a staging slot must
   // be available. Staging runs regardless of CTS — it overlaps the
   // handshake.
@@ -212,16 +328,22 @@ void RndvSend::advance() {
     if (path_ == Path::kDeviceOffload && !pack_events_[i].query()) break;
     const bool needs_slot = (path_ != Path::kHostContig);
     if (needs_slot && !slots_[i].valid()) {
-      slots_[i] =
-          detail::acquire_slot(*res_.vbufs, *res_.cuda, plan_.bytes_of(i));
+      if (force_pinned_) {
+        // Stall watchdog verdict: the pool is wedged, take a pinned slot.
+        slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
+        force_pinned_ = false;
+      } else {
+        slots_[i] =
+            detail::acquire_slot(*res_.vbufs, *res_.cuda, plan_.bytes_of(i));
+      }
       if (!slots_[i].valid()) {
-        // Pool drained. If this transfer has chunks in flight their
-        // completion frees slots and re-drives us — stall. If it holds
+        // Pool drained. If this transfer has unacked chunks holding slots,
+        // their acks free slots and re-drive us — stall. If it holds
         // nothing, no event of ours will ever wake us: take a one-off
         // pinned slot so every transfer is guaranteed to progress (this
         // breaks the circular wait when concurrent receive windows have
         // consumed the whole pool).
-        const std::size_t in_flight = next_stage_ - rdma_done_;
+        const std::size_t in_flight = next_stage_ - acked_count_;
         if (in_flight > 0) break;
         slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
       }
@@ -237,13 +359,16 @@ void RndvSend::advance() {
     if (!stage_submitted_[i]) break;
     if (stage_events_[i].valid() && !stage_events_[i].query()) break;
     if (mode_ == CtsMode::kStaged && remote_slots_.empty()) break;
-    post_chunk_rdma(i);
+    post_chunk_rdma(i, /*retransmit=*/false);
     ++next_rdma_;
   }
 }
 
 void RndvSend::on_cts(const netsim::WireMessage& m) {
-  if (cts_received_) throw std::logic_error("RndvSend: duplicate CTS");
+  if (cts_received_ || complete_ || failed_) {
+    if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
+    return;
+  }
   cts_received_ = true;
   peer_req_ = m.header[1];
   mode_ = static_cast<CtsMode>(m.header[2]);
@@ -255,12 +380,54 @@ void RndvSend::on_cts(const netsim::WireMessage& m) {
       remote_slots_.emplace_back(i, read_address(m.payload, i));
     }
   }
+  note_progress();
   advance();
 }
 
-void RndvSend::on_credit(const netsim::WireMessage& m) {
-  remote_slots_.emplace_back(m.header[1], read_address(m.payload, 0));
+void RndvSend::on_chunk_ack(const netsim::WireMessage& m) {
+  if (complete_ || failed_) return;
+  const std::size_t idx = m.header[1];
+  if (idx >= plan_.count) return;
+  if (acked_[idx]) {
+    if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
+    return;
+  }
+  acked_[idx] = true;
+  ++acked_count_;
+  note_progress();
+  if (m.header[2] != kNoSlot) {
+    // The freed landing slot rides on the ack (the paper's CREDIT).
+    remote_slots_.emplace_back(m.header[2], read_address(m.payload, 0));
+  }
+  maybe_release_slot(idx);
+  if (maybe_complete()) return;
   advance();
+}
+
+bool RndvSend::maybe_complete() {
+  // Completion requires every chunk acked AND no write still queued in the
+  // transmit pipeline: the fabric copies out of the source buffer when a
+  // write drains, so returning control (and buffer ownership) to the
+  // application earlier would let it scribble over bytes a duplicate
+  // retransmission has yet to pick up. Once the last local CQE is in, any
+  // still-undelivered duplicate already carries its final bytes.
+  if (acked_count_ != plan_.count) return false;
+  for (std::size_t i = 0; i < plan_.count; ++i) {
+    if (inflight_[i] != 0) return false;
+  }
+  complete_transfer();
+  return true;
+}
+
+void RndvSend::maybe_release_slot(std::size_t i) {
+  // A staging slot may only return to the pool once the chunk is acked AND
+  // no posted write still references it — the fabric copies out of the
+  // buffer when the transmit drains, so releasing under an in-flight
+  // (possibly retransmitted) write would hand its memory to another
+  // transfer mid-read.
+  if (slots_[i].valid() && acked_[i] && inflight_[i] == 0) {
+    detail::release_slot(*res_.vbufs, slots_[i]);
+  }
 }
 
 bool RndvSend::on_rdma_complete(std::uint64_t wr_id) {
@@ -268,14 +435,94 @@ bool RndvSend::on_rdma_complete(std::uint64_t wr_id) {
   if (it == wr_to_chunk_.end()) return false;
   const std::size_t i = it->second;
   wr_to_chunk_.erase(it);
-  detail::release_slot(*res_.vbufs, slots_[i]);
+  --inflight_[i];
   ++rdma_done_;
-  if (done() && tbuf_ != nullptr) {
+  note_progress();
+  maybe_release_slot(i);
+  if (!complete_ && !failed_ && maybe_complete()) return true;
+  advance();
+  return true;
+}
+
+bool RndvSend::on_rdma_error(std::uint64_t wr_id) {
+  auto it = wr_to_chunk_.find(wr_id);
+  if (it == wr_to_chunk_.end()) return false;
+  const std::size_t i = it->second;
+  wr_to_chunk_.erase(it);
+  --inflight_[i];
+  if (complete_ || failed_ || acked_[i]) {
+    // A stale duplicate failed; the chunk already made it.
+    maybe_release_slot(i);
+    if (!complete_ && !failed_) maybe_complete();
+    return true;
+  }
+  if (++write_errors_[i] > res_.tun->rndv_max_retries) {
+    fail("RDMA write for chunk " + std::to_string(i) + " of rendezvous " +
+         std::to_string(req_id_) + " failed " +
+         std::to_string(write_errors_[i]) + " times");
+    return true;
+  }
+  if (res_.retries != nullptr) ++res_.retries->error_retransmits;
+  trace_event("fault_error_retransmit");
+  post_chunk_rdma(i, /*retransmit=*/true);
+  return true;
+}
+
+void RndvSend::on_rget_done() {
+  if (complete_ || failed_) return;
+  if (rget_done_) {
+    if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
+    return;
+  }
+  rget_done_ = true;
+  note_progress();
+  complete_transfer();
+}
+
+void RndvSend::complete_transfer() {
+  complete_ = true;
+  timer_.cancel();
+  for (std::size_t i = 0; i < plan_.count; ++i) {
+    if (!slots_[i].valid()) continue;
+    if (inflight_[i] > 0 && res_.slot_graveyard != nullptr) {
+      // A duplicate write still sits in the transmit pipeline and will read
+      // this buffer at drain time; park it until the rank tears down.
+      res_.slot_graveyard->push_back(std::move(slots_[i]));
+      slots_[i] = detail::StagingSlot{};
+    } else {
+      detail::release_slot(*res_.vbufs, slots_[i]);
+    }
+  }
+  if (tbuf_ != nullptr) {
     res_.cuda->free(tbuf_);
     tbuf_ = nullptr;
   }
-  advance();
-  return true;
+  if (cts_received_) {
+    // Tell the receiver no retransmission can follow, releasing its
+    // retained landing slots (and, in direct mode, its request).
+    netsim::WireMessage done;
+    done.kind = kSendDone;
+    done.seq = ctrl_seq_++;
+    done.header[0] = peer_req_;
+    res_.endpoint->post_send(dst_, std::move(done));
+  }
+}
+
+void RndvSend::fail(const std::string& reason) {
+  failed_ = true;
+  error_ = reason;
+  timer_.cancel();
+  if (res_.retries != nullptr) ++res_.retries->transfer_failures;
+  trace_event("fault_transfer_failed");
+  for (std::size_t i = 0; i < plan_.count; ++i) {
+    if (!slots_[i].valid()) continue;
+    if (inflight_[i] > 0 && res_.slot_graveyard != nullptr) {
+      res_.slot_graveyard->push_back(std::move(slots_[i]));
+      slots_[i] = detail::StagingSlot{};
+    } else {
+      detail::release_slot(*res_.vbufs, slots_[i]);
+    }
+  }
 }
 
 // ===========================================================================
@@ -296,11 +543,7 @@ RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
   if (tun.rget && rget_src_ != nullptr && !msg_.on_device &&
       msg_.contiguous) {
     path_ = Path::kHostRget;
-    plan_ = ChunkPlan::make(incoming_bytes, sender_chunk);
-    chunks_.resize(plan_.count);
-    return;
-  }
-  if (msg_.on_device) {
+  } else if (msg_.on_device) {
     if (msg_.contiguous) {
       path_ = Path::kDeviceContig;
     } else if (tun.gpu_offload || !has_usable_pattern(msg_)) {
@@ -313,6 +556,8 @@ RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
   }
   plan_ = ChunkPlan::make(incoming_bytes, sender_chunk);
   chunks_.resize(plan_.count);
+  acks_.resize(plan_.count);
+  drained_chunk_.assign(plan_.count, false);
 }
 
 RndvRecv::~RndvRecv() {
@@ -328,6 +573,17 @@ RndvRecv::~RndvRecv() {
   }
 }
 
+void RndvRecv::trace_event(const char* category) {
+  if (res_.trace != nullptr) {
+    res_.trace->event(res_.rank, category, res_.engine->now());
+  }
+}
+
+void RndvRecv::post_ctrl(netsim::WireMessage msg) {
+  msg.seq = ctrl_seq_++;
+  res_.endpoint->post_send(src_, std::move(msg));
+}
+
 void RndvRecv::start() {
   if (path_ == Path::kHostRget) {
     // Receiver-driven: pull the whole message in one RDMA READ; no CTS.
@@ -335,15 +591,15 @@ void RndvRecv::start() {
                                              plan_.total);
     return;
   }
-  netsim::WireMessage cts;
-  cts.kind = kCts;
-  cts.header[0] = sender_req_;
-  cts.header[1] = req_id_;
+  cts_.kind = kCts;
+  cts_.header[0] = sender_req_;
+  cts_.header[1] = req_id_;
   if (path_ == Path::kHostDirect) {
-    cts.header[2] = static_cast<std::uint64_t>(CtsMode::kDirect);
-    cts.header[3] = 1;
-    append_address(cts.payload, msg_.base);
-    res_.endpoint->post_send(src_, std::move(cts));
+    cts_.header[2] = static_cast<std::uint64_t>(CtsMode::kDirect);
+    cts_.header[3] = 1;
+    append_address(cts_.payload, msg_.base);
+    cts_sent_ = true;
+    post_ctrl(cts_);
     return;
   }
   if (path_ == Path::kDeviceOffload) {
@@ -370,55 +626,124 @@ void RndvRecv::start() {
     }
     slots_.push_back(std::move(s));
   }
-  cts.header[2] = static_cast<std::uint64_t>(CtsMode::kStaged);
-  cts.header[3] = slots_.size();
-  for (const auto& s : slots_) append_address(cts.payload, s.ptr);
+  cts_.header[2] = static_cast<std::uint64_t>(CtsMode::kStaged);
+  cts_.header[3] = slots_.size();
+  for (const auto& s : slots_) append_address(cts_.payload, s.ptr);
   slots_advertised_ = slots_.size();
-  res_.endpoint->post_send(src_, std::move(cts));
+  cts_sent_ = true;
+  post_ctrl(cts_);
+}
+
+void RndvRecv::on_duplicate_rts() {
+  if (path_ == Path::kHostRget) {
+    if (done_sent_) {
+      // Our kRndvDone was lost; replay it.
+      post_ctrl(done_msg_);
+      if (res_.retries != nullptr) ++res_.retries->done_resent;
+      trace_event("fault_done_resent");
+    }
+    // Otherwise the RDMA READ is still in flight; the done will follow.
+    return;
+  }
+  if (cts_sent_) {
+    post_ctrl(cts_);
+    if (res_.retries != nullptr) ++res_.retries->cts_resent;
+    trace_event("fault_cts_resent");
+  }
 }
 
 void RndvRecv::on_chunk_fin(const netsim::WireMessage& m) {
   const std::size_t idx = m.header[1];
   if (idx >= plan_.count) throw std::logic_error("RndvRecv: bad chunk index");
-  if (idx != fin_count_) {
-    throw std::logic_error("RndvRecv: out-of-order chunk fin");
+  if (chunks_[idx].arrived) {
+    // Retransmitted write for a chunk we already have. If we already
+    // drained (and acked) it, the ack was evidently lost: replay it. If it
+    // is still in the pipeline, the pending ack will cover it.
+    if (drained_chunk_[idx]) {
+      resend_ack(idx);
+    } else if (res_.retries != nullptr) {
+      ++res_.retries->duplicates_dropped;
+    }
+    return;
   }
   if (m.header[3] != plan_.offset_of(idx) ||
       m.header[4] != plan_.bytes_of(idx)) {
     throw std::logic_error("RndvRecv: chunk geometry mismatch");
   }
+  if (path_ != Path::kHostDirect && m.header[2] >= slots_.size()) {
+    throw std::logic_error("RndvRecv: chunk fin names unknown slot");
+  }
   chunks_[idx].arrived = true;
   chunks_[idx].slot = m.header[2];
-  ++fin_count_;
+  ++arrived_count_;
   advance();
 }
 
-void RndvRecv::advertise_slot(std::size_t slot_idx, bool /*initial*/) {
-  if (slots_advertised_ < plan_.count) {
-    netsim::WireMessage credit;
-    credit.kind = kCredit;
-    credit.header[0] = sender_req_;
-    credit.header[1] = slot_idx;
-    append_address(credit.payload, slots_[slot_idx].ptr);
-    res_.endpoint->post_send(src_, std::move(credit));
+void RndvRecv::ack_chunk(std::size_t chunk_idx) {
+  netsim::WireMessage ack;
+  ack.kind = kChunkAck;
+  ack.header[0] = sender_req_;
+  ack.header[1] = chunk_idx;
+  ack.header[2] = kNoSlot;
+  if (path_ != Path::kHostDirect && slots_advertised_ < plan_.count) {
+    // Re-advertise the drained slot (the paper's CREDIT), fused onto the
+    // ack so it shares the same retransmission recovery.
+    const std::uint64_t slot_idx = chunks_[chunk_idx].slot;
+    ack.header[2] = slot_idx;
+    ack.header[3] = credit_seq_++;
+    append_address(ack.payload, slots_[slot_idx].ptr);
     ++slots_advertised_;
-  } else {
-    detail::release_slot(*res_.vbufs, slots_[slot_idx]);
   }
+  drained_chunk_[chunk_idx] = true;
+  acks_[chunk_idx] = ack;
+  post_ctrl(std::move(ack));
 }
 
-void RndvRecv::finish_chunk_slot(std::size_t slot_idx) {
-  advertise_slot(slot_idx, false);
+void RndvRecv::resend_ack(std::size_t chunk_idx) {
+  post_ctrl(acks_[chunk_idx]);
+  if (res_.retries != nullptr) ++res_.retries->acks_resent;
+  trace_event("fault_ack_resent");
+}
+
+void RndvRecv::on_send_done() {
+  if (send_done_) {
+    if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
+    return;
+  }
+  send_done_ = true;
+  // Every chunk is acked at the sender: no retransmitted write can target
+  // these slots any more, so they may finally return to the pool.
+  for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
+  advance();
 }
 
 bool RndvRecv::on_rdma_read_complete(std::uint64_t wr_id) {
-  if (path_ != Path::kHostRget || wr_id != rget_wr_ || done()) return false;
+  if (path_ != Path::kHostRget || wr_id != rget_wr_ || done_sent_) {
+    return false;
+  }
   completed_ = plan_.count;
-  netsim::WireMessage fin;
-  fin.kind = kRndvDone;
-  fin.header[0] = sender_req_;
-  res_.endpoint->post_send(src_, std::move(fin));
+  done_msg_.kind = kRndvDone;
+  done_msg_.header[0] = sender_req_;
+  done_sent_ = true;
+  post_ctrl(done_msg_);
   return true;
+}
+
+bool RndvRecv::request_complete() const {
+  // Also true for direct (user-buffer) landings: a duplicate write that
+  // arrives after completion is byte-identical — the sender keeps ownership
+  // of its source buffer until every posted write has drained locally — so
+  // the application cannot observe torn data. Waiting for SEND_DONE here
+  // would deadlock if that (unacknowledged) message were lost.
+  return completed_ == plan_.count;
+}
+
+bool RndvRecv::drained() const {
+  if (path_ == Path::kHostRget) {
+    // Kept alive for kRndvDone replay; freed when the rank tears down.
+    return false;
+  }
+  return request_complete() && send_done_;
 }
 
 void RndvRecv::advance() {
@@ -426,8 +751,13 @@ void RndvRecv::advance() {
     case Path::kHostRget:
       return;  // driven entirely by on_rdma_read_complete
     case Path::kHostDirect:
-      // The RDMA already landed in the user buffer; fins are completions.
-      completed_ = fin_count_;
+      // The RDMA already landed in the user buffer; ack each arrival.
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        if (chunks_[i].arrived && !drained_chunk_[i]) {
+          ack_chunk(i);
+          ++completed_;
+        }
+      }
       return;
     case Path::kHostUnpack:
       while (completed_ < plan_.count && chunks_[completed_].arrived) {
@@ -438,7 +768,7 @@ void RndvRecv::advance() {
             bytes, segments_in_range(msg_, bytes)));
         msg_.dtype.unpack_bytes(slots_[chunks_[i].slot].ptr, msg_.count, off,
                                 bytes, msg_.base);
-        finish_chunk_slot(chunks_[i].slot);
+        ack_chunk(i);
         ++completed_;
       }
       return;
@@ -464,7 +794,7 @@ void RndvRecv::advance() {
       }
       while (completed_ < plan_.count && chunks_[completed_].h2d_submitted &&
              chunks_[completed_].h2d_done.query()) {
-        finish_chunk_slot(chunks_[completed_].slot);
+        ack_chunk(completed_);
         ++completed_;
       }
       return;
@@ -489,8 +819,8 @@ void RndvRecv::advance() {
             submit_device_unpack(*res_.cuda, res_.unpack_stream, msg_, off,
                                  plan_.bytes_of(i), rtbuf_ + off);
         chunks_[i].unpack_submitted = true;
-        // The host slot is free as soon as its bytes are in the rtbuf.
-        finish_chunk_slot(chunks_[i].slot);
+        // The host slot is drained as soon as its bytes are in the rtbuf.
+        ack_chunk(i);
         ++next_unpack_;
       }
       while (completed_ < plan_.count &&
@@ -498,7 +828,7 @@ void RndvRecv::advance() {
              chunks_[completed_].unpack_done.query()) {
         ++completed_;
       }
-      if (done() && rtbuf_ != nullptr) {
+      if (completed_ == plan_.count && rtbuf_ != nullptr) {
         res_.cuda->free(rtbuf_);
         rtbuf_ = nullptr;
       }

@@ -1,4 +1,5 @@
-// The MV2-GPU-NC rendezvous pipeline (paper §IV-B, Figure 3).
+// The MV2-GPU-NC rendezvous pipeline (paper §IV-B, Figure 3), hardened
+// against a lossy fabric.
 //
 // A large message moves through five stages, chunked at the configured
 // block size and fully overlapped:
@@ -23,12 +24,25 @@
 //   * host contiguous          -> zero staging; single direct RDMA write
 //
 // Flow control follows the paper: the CTS advertises a window of landing
-// vbufs; CREDIT messages re-advertise each slot as the receiver drains it.
+// vbufs; each slot is re-advertised as the receiver drains it, piggybacked
+// on the per-chunk CHUNK_ACK.
+//
+// Reliability (docs/RELIABILITY.md): every control message may be lost or
+// duplicated, and RDMA writes may fail with an error completion. The
+// sender owns recovery — a per-transfer deadline timer retransmits the
+// oldest unacknowledged state (RTS before the CTS arrives, unacked chunk
+// writes after) with exponential backoff, bounded by rndv_max_retries and
+// then failing the transfer cleanly. The receiver is purely reactive and
+// idempotent: duplicate RTS re-elicits the stored CTS, duplicate fins
+// re-elicit the stored ack, and landing slots are retained until the
+// sender's SEND_DONE so a late retransmitted write can never land in
+// recycled memory.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -40,22 +54,29 @@
 #include "cuda/runtime.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/timer.hpp"
+#include "sim/trace.hpp"
 
 namespace mv2gnc::core {
 
-/// Per-rank resources shared by all transfers of that rank. The four CUDA
-/// streams mirror the concurrency structure of Figure 3: packing, D2H
-/// staging, H2D staging and unpacking progress independently.
-struct RankResources {
-  sim::Engine* engine = nullptr;
-  cusim::CudaContext* cuda = nullptr;
-  netsim::Endpoint* endpoint = nullptr;
-  VbufPool* vbufs = nullptr;
-  const Tunables* tun = nullptr;
-  cusim::Stream pack_stream;
-  cusim::Stream d2h_stream;
-  cusim::Stream h2d_stream;
-  cusim::Stream unpack_stream;
+/// Per-rank reliability counters, aggregated across all transfers of the
+/// rank. Zero across the board on a perfect fabric.
+struct RetryStats {
+  std::uint64_t rts_retransmits = 0;     // RTS resent on timeout
+  std::uint64_t chunk_retransmits = 0;   // chunk writes resent on timeout
+  std::uint64_t error_retransmits = 0;   // chunk writes resent after kError
+  std::uint64_t cts_resent = 0;          // stored CTS replayed on dup RTS
+  std::uint64_t acks_resent = 0;         // stored ack replayed on dup fin
+  std::uint64_t done_resent = 0;         // RGET done replayed on dup RTS
+  std::uint64_t timeouts = 0;            // deadline expiries counted as retry
+  std::uint64_t stall_fallbacks = 0;     // vbuf-starvation watchdog firings
+  std::uint64_t duplicates_dropped = 0;  // redundant control msgs ignored
+  std::uint64_t transfer_failures = 0;   // transfers failed after max retries
+
+  std::uint64_t total_retransmits() const {
+    return rts_retransmits + chunk_retransmits + error_retransmits +
+           cts_resent + acks_resent + done_resent;
+  }
 };
 
 namespace detail {
@@ -78,6 +99,36 @@ StagingSlot pinned_slot(cusim::CudaContext& cuda, std::size_t bytes);
 
 }  // namespace detail
 
+/// Per-rank resources shared by all transfers of that rank. The four CUDA
+/// streams mirror the concurrency structure of Figure 3: packing, D2H
+/// staging, H2D staging and unpacking progress independently.
+struct RankResources {
+  sim::Engine* engine = nullptr;
+  cusim::CudaContext* cuda = nullptr;
+  netsim::Endpoint* endpoint = nullptr;
+  VbufPool* vbufs = nullptr;
+  const Tunables* tun = nullptr;
+  cusim::Stream pack_stream;
+  cusim::Stream d2h_stream;
+  cusim::Stream h2d_stream;
+  cusim::Stream unpack_stream;
+
+  // -- reliability plumbing (all optional; null disables the feature) ----
+  /// Woken by retransmission deadline expiry so the rank's progress loop
+  /// runs; the timer callback itself never retransmits.
+  sim::Notifier* notifier = nullptr;
+  /// Aggregated retry/fault counters for this rank.
+  RetryStats* retries = nullptr;
+  /// Point-event sink for fault/retry/stall occurrences.
+  sim::TraceRecorder* trace = nullptr;
+  int rank = -1;
+  /// Staging slots a *failed* transfer could not safely release (an RDMA
+  /// write referencing them may still be queued in the transmit pipeline);
+  /// the owning RankComm frees them at destruction, after the engine has
+  /// drained every event.
+  std::vector<detail::StagingSlot>* slot_graveyard = nullptr;
+};
+
 /// Chunk geometry shared by both sides (the RTS carries the sender's
 /// chunk size so the receiver derives the identical split).
 struct ChunkPlan {
@@ -91,12 +142,15 @@ struct ChunkPlan {
     return (off + chunk <= total) ? chunk : total - off;
   }
 
+  /// Throws std::invalid_argument on a zero total or zero chunk size; a
+  /// chunk larger than the message is coerced to a single-chunk plan.
   static ChunkPlan make(std::size_t total, std::size_t chunk);
 };
 
 /// Sender-side state machine. Drive with on_*() from the progress engine
-/// and call advance() after every event; done() flips once all data has
-/// left this node.
+/// and call advance() after every event; done() flips once every chunk has
+/// been acknowledged by the receiver (or the RGET done arrived), failed()
+/// once the retry budget is exhausted.
 class RndvSend {
  public:
   RndvSend(RankResources& res, MsgView msg, int dst_node,
@@ -106,18 +160,25 @@ class RndvSend {
   RndvSend& operator=(const RndvSend&) = delete;
 
   /// Send the RTS and (device path) start packing immediately — packing
-  /// overlaps the handshake, as in Figure 3.
+  /// overlaps the handshake, as in Figure 3. Arms the retransmission
+  /// deadline.
   void start(std::uint64_t tag_word);
 
   void on_cts(const netsim::WireMessage& msg);
-  void on_credit(const netsim::WireMessage& msg);
+  void on_chunk_ack(const netsim::WireMessage& msg);
   /// Returns true when the completion belonged to this transfer.
   bool on_rdma_complete(std::uint64_t wr_id);
+  /// A posted write failed in transport (CqType::kError): retransmit the
+  /// chunk, bounded per chunk by rndv_max_retries. Returns true when the
+  /// wr_id belonged to this transfer.
+  bool on_rdma_error(std::uint64_t wr_id);
   /// RGET: the receiver pulled the data and sent kRndvDone.
-  void on_rget_done() { rdma_done_ = plan_.count; }
+  void on_rget_done();
   void advance();
 
-  bool done() const { return rdma_done_ == plan_.count; }
+  bool done() const { return complete_; }
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
   std::uint64_t req_id() const { return req_id_; }
   const ChunkPlan& plan() const { return plan_; }
 
@@ -126,7 +187,18 @@ class RndvSend {
                     kHostContig };
 
   void submit_stage(std::size_t i);
-  void post_chunk_rdma(std::size_t i);
+  void post_chunk_rdma(std::size_t i, bool retransmit);
+  void maybe_release_slot(std::size_t i);
+  /// Complete once every chunk is acked and no write is still queued in
+  /// the transmit pipeline; returns true when the transfer completed.
+  bool maybe_complete();
+  void note_progress() { ++progress_epoch_; }
+  void arm_timer();
+  void handle_timeout();
+  void retransmit_unacked();
+  void complete_transfer();
+  void fail(const std::string& reason);
+  void trace_event(const char* category);
 
   RankResources& res_;
   MsgView msg_;
@@ -149,12 +221,35 @@ class RndvSend {
 
   std::size_t next_stage_ = 0;
   std::size_t next_rdma_ = 0;
-  std::size_t rdma_done_ = 0;
+  std::size_t rdma_done_ = 0;  // local write completions (diagnostic)
   std::unordered_map<std::uint64_t, std::size_t> wr_to_chunk_;
+
+  // -- reliability state -------------------------------------------------
+  netsim::WireMessage rts_;            // stored for retransmission
+  sim::DeadlineTimer timer_;
+  std::uint64_t ctrl_seq_ = 0;         // stamps outgoing control messages
+  std::size_t retries_ = 0;
+  std::uint64_t progress_epoch_ = 1;
+  std::uint64_t armed_epoch_ = 0;
+  std::vector<bool> posted_;           // write posted at least once
+  std::vector<bool> acked_;
+  std::size_t acked_count_ = 0;
+  std::vector<int> inflight_;          // posted writes without local cqe
+  std::vector<std::size_t> write_errors_;  // kError count per chunk
+  std::vector<std::uint64_t> remote_slot_idx_;  // landing slot per chunk
+  std::vector<void*> remote_addr_;              // landing address per chunk
+  bool force_pinned_ = false;          // stall watchdog verdict
+  bool rget_done_ = false;
+  bool complete_ = false;
+  bool failed_ = false;
+  std::string error_;
 };
 
 /// Receiver-side state machine, created when an RTS matches a posted
-/// receive. Sends the CTS, lands chunks, unpacks, credits slots back.
+/// receive. Sends the CTS, lands chunks, unpacks, acks each chunk (with
+/// the freed slot's re-advertisement piggybacked). Purely reactive: all
+/// loss recovery is driven by the sender's retransmissions, which this
+/// side answers idempotently.
 class RndvRecv {
  public:
   /// `rget_src` is the sender's advertised source address (from the RTS)
@@ -173,18 +268,35 @@ class RndvRecv {
   void on_chunk_fin(const netsim::WireMessage& msg);
   /// Returns true when the read completion belonged to this transfer.
   bool on_rdma_read_complete(std::uint64_t wr_id);
+  /// The sender saw every ack: release retained landing slots.
+  void on_send_done();
+  /// A retransmitted RTS for this transfer arrived: replay the stored CTS
+  /// (or the RGET done) so a lost handshake message is recovered.
+  void on_duplicate_rts();
   void advance();
 
-  bool done() const { return completed_ == plan_.count; }
+  /// All payload data has landed and unpacked into the user buffer. Safe
+  /// even for direct (user-buffer) landings: duplicates that arrive later
+  /// are byte-identical, because the sender holds its source buffer until
+  /// every posted write drained locally.
+  bool request_complete() const;
+  /// Nothing retained and no replay obligations remain; the owning
+  /// RankComm may drop this object.
+  bool drained() const;
+
   std::uint64_t req_id() const { return req_id_; }
+  std::uint64_t sender_req() const { return sender_req_; }
+  int src_node() const { return src_; }
   std::size_t incoming_bytes() const { return plan_.total; }
 
  private:
   enum class Path { kDeviceOffload, kDevicePcie, kDeviceContig, kHostUnpack,
                     kHostDirect, kHostRget };
 
-  void advertise_slot(std::size_t slot_idx, bool initial);
-  void finish_chunk_slot(std::size_t slot_idx);
+  void ack_chunk(std::size_t chunk_idx);
+  void resend_ack(std::size_t chunk_idx);
+  void post_ctrl(netsim::WireMessage msg);
+  void trace_event(const char* category);
 
   RankResources& res_;
   MsgView msg_;
@@ -209,10 +321,21 @@ class RndvRecv {
     bool unpack_submitted = false;
   };
   std::vector<ChunkState> chunks_;
-  std::size_t fin_count_ = 0;
+  std::size_t arrived_count_ = 0;
   std::size_t next_h2d_ = 0;
   std::size_t next_unpack_ = 0;
   std::size_t completed_ = 0;
+
+  // -- reliability state -------------------------------------------------
+  netsim::WireMessage cts_;            // stored for replay on dup RTS
+  bool cts_sent_ = false;
+  netsim::WireMessage done_msg_;       // RGET done, stored for replay
+  bool done_sent_ = false;
+  std::vector<netsim::WireMessage> acks_;  // stored per chunk once drained
+  std::vector<bool> drained_chunk_;
+  bool send_done_ = false;
+  std::uint64_t credit_seq_ = 0;
+  std::uint64_t ctrl_seq_ = 0;
 };
 
 }  // namespace mv2gnc::core

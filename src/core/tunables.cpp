@@ -27,6 +27,13 @@ void Tunables::validate() const {
     throw std::invalid_argument(
         "tunables: recv_window cannot exceed vbuf_count");
   }
+  if (rndv_timeout_ns <= 0) {
+    throw std::invalid_argument("tunables: rndv_timeout_ns must be > 0");
+  }
+  if (rndv_backoff_factor < 1.0) {
+    throw std::invalid_argument(
+        "tunables: rndv_backoff_factor must be >= 1.0");
+  }
   if (host_pack_bw <= 0.0) {
     throw std::invalid_argument("tunables: host_pack_bw must be positive");
   }
@@ -79,6 +86,9 @@ Tunables Tunables::from_stream(std::istream& in) {
       else if (key == "gpu_offload") t.gpu_offload = parse_bool(value, key);
       else if (key == "pipelining") t.pipelining = parse_bool(value, key);
       else if (key == "rget") t.rget = parse_bool(value, key);
+      else if (key == "rndv_timeout_ns") t.rndv_timeout_ns = std::stoll(value);
+      else if (key == "rndv_max_retries") t.rndv_max_retries = std::stoull(value);
+      else if (key == "rndv_backoff_factor") t.rndv_backoff_factor = std::stod(value);
       else if (key == "host_pack_bw") t.host_pack_bw = std::stod(value);
       else if (key == "host_seg_overhead_ns") t.host_seg_overhead_ns = std::stod(value);
       else {
@@ -115,6 +125,9 @@ std::string Tunables::to_config_string() const {
      << "gpu_offload = " << (gpu_offload ? "true" : "false") << "\n"
      << "pipelining = " << (pipelining ? "true" : "false") << "\n"
      << "rget = " << (rget ? "true" : "false") << "\n"
+     << "rndv_timeout_ns = " << rndv_timeout_ns << "\n"
+     << "rndv_max_retries = " << rndv_max_retries << "\n"
+     << "rndv_backoff_factor = " << rndv_backoff_factor << "\n"
      << "host_pack_bw = " << host_pack_bw << "\n"
      << "host_seg_overhead_ns = " << host_seg_overhead_ns << "\n";
   return os.str();

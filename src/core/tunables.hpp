@@ -48,6 +48,19 @@ struct Tunables {
   /// MVAPICH2's RPUT/RGET protocol selection. Off by default (RPUT).
   bool rget = false;
 
+  // -- reliability -------------------------------------------------------
+  /// Base retransmission timeout for rendezvous control messages: if a
+  /// transfer makes no progress for this long, its oldest unacknowledged
+  /// message is resent. Must exceed any injected delivery jitter.
+  sim::SimTime rndv_timeout_ns = 5'000'000;
+
+  /// Retransmission attempts per transfer before it is failed with a
+  /// request error (0 disables retransmission entirely).
+  std::size_t rndv_max_retries = 6;
+
+  /// Timeout multiplier applied after each retry (exponential backoff).
+  double rndv_backoff_factor = 2.0;
+
   // -- host datatype-processing cost model -------------------------------
   /// Effective bandwidth of a strided host-side pack/unpack (GB/s).
   double host_pack_bw = 3.0;

@@ -15,8 +15,10 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   }
   config_.tunables.validate();
   trace_.set_enabled(config_.trace_enabled);
+  engine_.seed_rng(config_.rng_seed);
   fabric_ = std::make_unique<netsim::Fabric>(engine_, config_.ranks,
                                              config_.net_cost);
+  fabric_->faults() = config_.faults;
   for (int r = 0; r < config_.ranks; ++r) {
     devices_.push_back(std::make_unique<gpu::Device>(
         engine_, registry_, r, config_.gpu_cost,
@@ -27,8 +29,17 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   for (int r = 0; r < config_.ranks; ++r) {
     comms_.push_back(std::make_unique<detail::RankComm>(
         r, config_.ranks, engine_, *cuda_[static_cast<std::size_t>(r)],
-        fabric_->endpoint(r), registry_, config_.tunables));
+        fabric_->endpoint(r), registry_, config_.tunables, &trace_));
   }
+}
+
+netsim::FaultModel& Cluster::faults() { return fabric_->faults(); }
+
+const core::RetryStats& Cluster::retry_stats(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("retry_stats: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->retry_stats();
 }
 
 Cluster::~Cluster() = default;
@@ -58,6 +69,13 @@ RankStats Cluster::rank_stats(int rank) {
   s.h2d_busy = dev.h2d_engine().total_busy_time();
   s.d2d_busy = dev.d2d_engine().total_busy_time();
   s.kernel_busy = dev.kernel_engine().total_busy_time();
+  const core::RetryStats& retries =
+      comms_[static_cast<std::size_t>(rank)]->retry_stats();
+  s.retransmits = retries.total_retransmits();
+  s.timeouts = retries.timeouts;
+  s.stall_fallbacks = retries.stall_fallbacks;
+  s.transfer_failures = retries.transfer_failures;
+  s.faults_injected = ep.fault_counters().total();
   return s;
 }
 
@@ -79,6 +97,30 @@ void Cluster::print_stats(std::ostream& os) {
                   sim::to_ms(s.h2d_busy), sim::to_ms(s.d2d_busy),
                   sim::to_ms(s.kernel_busy), s.vbuf_high_water);
     os << line;
+  }
+  bool any_faults = false;
+  for (int r = 0; r < config_.ranks; ++r) {
+    const RankStats s = rank_stats(r);
+    if (s.faults_injected + s.retransmits + s.timeouts + s.stall_fallbacks +
+            s.transfer_failures >
+        0) {
+      any_faults = true;
+      break;
+    }
+  }
+  if (any_faults) {
+    os << "rank  faults    retx  timeouts  stalls  failures\n";
+    for (int r = 0; r < config_.ranks; ++r) {
+      const RankStats s = rank_stats(r);
+      char line[160];
+      std::snprintf(line, sizeof(line), "%4d %7llu %7llu %9llu %7llu %9llu\n",
+                    r, static_cast<unsigned long long>(s.faults_injected),
+                    static_cast<unsigned long long>(s.retransmits),
+                    static_cast<unsigned long long>(s.timeouts),
+                    static_cast<unsigned long long>(s.stall_fallbacks),
+                    static_cast<unsigned long long>(s.transfer_failures));
+      os << line;
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/rndv.hpp"
 #include "core/tunables.hpp"
 #include "cuda/runtime.hpp"
 #include "gpu/cost_model.hpp"
@@ -30,6 +31,11 @@ struct ClusterConfig {
   /// Device DRAM per GPU (the paper's C2050 has 3 GB).
   std::size_t device_memory_bytes = 3ull << 30;
   bool trace_enabled = false;
+  /// Fault-injection model copied into the fabric (benign by default).
+  netsim::FaultModel faults;
+  /// Seed of the engine's deterministic RNG (fault rolls, jitter draws).
+  /// Same seed + same workload = same schedule, faults included.
+  std::uint64_t rng_seed = 1;
 };
 
 /// Per-rank view handed to the application body.
@@ -60,6 +66,13 @@ struct RankStats {
   sim::SimTime h2d_busy = 0;
   sim::SimTime d2d_busy = 0;
   sim::SimTime kernel_busy = 0;
+
+  // -- reliability (all zero on a fault-free fabric) ---------------------
+  std::uint64_t retransmits = 0;       // control/chunk resends, all kinds
+  std::uint64_t timeouts = 0;          // retransmission deadline expiries
+  std::uint64_t stall_fallbacks = 0;   // vbuf-starvation watchdog firings
+  std::uint64_t transfer_failures = 0; // transfers failed after max retries
+  std::uint64_t faults_injected = 0;   // drops/jitters/write-fails at the NIC
 };
 
 /// Owns the engine, devices, fabric and per-rank MPI state; runs an SPMD
@@ -80,6 +93,10 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   gpu::Device& device(int rank);
   netsim::Endpoint& endpoint(int rank);
+  /// Live fault model of the fabric (mutable between runs of one Cluster).
+  netsim::FaultModel& faults();
+  /// Detailed per-rank reliability counters (valid after run()).
+  const core::RetryStats& retry_stats(int rank) const;
 
   /// Virtual time at which the last run() finished.
   sim::SimTime elapsed() const { return engine_.now(); }

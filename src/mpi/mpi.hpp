@@ -43,6 +43,15 @@ class TruncationError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown by wait()/test() when the operation's transfer failed permanently
+/// — e.g. the reliability layer exhausted its retransmission budget
+/// (rndv_max_retries) on a lossy fabric. The request is complete in the
+/// MPI sense (no longer in flight); the data did not arrive.
+class RequestError : public std::runtime_error {
+ public:
+  explicit RequestError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 struct ReqState;
 struct CommGroup;

@@ -51,7 +51,8 @@ Datatype committed_double() {
 
 RankComm::RankComm(int rank, int size, sim::Engine& engine,
                    cusim::CudaContext& cuda, netsim::Endpoint& endpoint,
-                   gpu::MemoryRegistry& registry, const core::Tunables& tun)
+                   gpu::MemoryRegistry& registry, const core::Tunables& tun,
+                   sim::TraceRecorder* trace)
     : rank_(rank),
       size_(size),
       engine_(engine),
@@ -74,6 +75,11 @@ RankComm::RankComm(int rank, int size, sim::Engine& engine,
   res_.h2d_stream.set_wakeup(&notifier_);
   res_.unpack_stream.set_wakeup(&notifier_);
   endpoint.set_wakeup(&notifier_);
+  res_.notifier = &notifier_;
+  res_.retries = &retry_stats_;
+  res_.trace = trace;
+  res_.rank = rank;
+  res_.slot_graveyard = &slot_graveyard_;
   auto wg = std::make_shared<CommGroup>();
   wg->context = 0;
   wg->world.resize(static_cast<std::size_t>(size));
@@ -83,6 +89,10 @@ RankComm::RankComm(int rank, int size, sim::Engine& engine,
 }
 
 RankComm::~RankComm() {
+  // By destruction time the engine has drained every event, so no RDMA
+  // write can still reference a surrendered slot.
+  for (auto& s : slot_graveyard_) core::detail::release_slot(vbuf_pool_, s);
+  slot_graveyard_.clear();
   registry_.unregister_pinned_host(vbuf_pool_.arena());
 }
 
@@ -179,6 +189,7 @@ void RankComm::wait(Request& req, Status* status) {
     if (s.complete) break;
     notifier_.wait("MPI progress (rank " + std::to_string(rank_) + ")");
   }
+  if (s.failed) throw RequestError(s.error);
   if (status != nullptr && s.is_recv) *status = s.status;
 }
 
@@ -186,8 +197,10 @@ bool RankComm::test(Request& req, Status* status) {
   if (!req.valid()) throw std::invalid_argument("test: null request");
   progress_once();
   ReqState& s = *req.state_;
-  if (s.complete && status != nullptr && s.is_recv) *status = s.status;
-  return s.complete;
+  if (!s.complete) return false;
+  if (s.failed) throw RequestError(s.error);
+  if (status != nullptr && s.is_recv) *status = s.status;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -201,6 +214,10 @@ void RankComm::progress_once() {
 }
 
 void RankComm::dispatch(const netsim::Completion& c) {
+  // Completions for transfers that already completed or failed (stale
+  // duplicates, writes raced by the ack that finished the transfer) find
+  // no owner; they are dropped, never fatal — on a lossy fabric "late and
+  // redundant" is the common case, not a protocol violation.
   switch (c.type) {
     case netsim::CqType::kSendComplete:
       return;  // control/eager transmit drained; nothing to do
@@ -208,13 +225,21 @@ void RankComm::dispatch(const netsim::Completion& c) {
       for (auto& [id, state] : active_sends_) {
         if (state->rndv_send->on_rdma_complete(c.wr_id)) return;
       }
-      throw std::logic_error("orphan RDMA completion");
+      return;  // owner completed/failed and was retired
+    }
+    case netsim::CqType::kError: {
+      // Transport-level write failure (CqType::kError): the owning sender
+      // retransmits the chunk out of its staging slot.
+      for (auto& [id, state] : active_sends_) {
+        if (state->rndv_send->on_rdma_error(c.wr_id)) return;
+      }
+      return;
     }
     case netsim::CqType::kRdmaReadComplete: {
       for (auto& [id, state] : active_recvs_) {
         if (state->rndv_recv->on_rdma_read_complete(c.wr_id)) return;
       }
-      throw std::logic_error("orphan RDMA read completion");
+      return;
     }
     case netsim::CqType::kRecv:
       break;
@@ -229,25 +254,52 @@ void RankComm::dispatch(const netsim::Completion& c) {
       return;
     case core::kCts: {
       auto it = active_sends_.find(m.header[0]);
-      if (it == active_sends_.end()) throw std::logic_error("orphan CTS");
+      if (it == active_sends_.end()) {
+        ++retry_stats_.duplicates_dropped;
+        return;
+      }
       it->second->rndv_send->on_cts(m);
       return;
     }
-    case core::kCredit: {
+    case core::kChunkAck: {
       auto it = active_sends_.find(m.header[0]);
-      if (it == active_sends_.end()) throw std::logic_error("orphan CREDIT");
-      it->second->rndv_send->on_credit(m);
+      if (it == active_sends_.end()) {
+        ++retry_stats_.duplicates_dropped;
+        return;
+      }
+      it->second->rndv_send->on_chunk_ack(m);
       return;
     }
     case core::kChunkFin: {
-      auto it = active_recvs_.find(m.header[0]);
-      if (it == active_recvs_.end()) throw std::logic_error("orphan FIN");
-      it->second->rndv_recv->on_chunk_fin(m);
+      if (auto it = active_recvs_.find(m.header[0]);
+          it != active_recvs_.end()) {
+        it->second->rndv_recv->on_chunk_fin(m);
+      } else if (auto dit = draining_recvs_.find(m.header[0]);
+                 dit != draining_recvs_.end()) {
+        dit->second->on_chunk_fin(m);  // replays the stored ack
+      } else {
+        ++retry_stats_.duplicates_dropped;
+      }
+      return;
+    }
+    case core::kSendDone: {
+      if (auto it = active_recvs_.find(m.header[0]);
+          it != active_recvs_.end()) {
+        it->second->rndv_recv->on_send_done();
+      } else if (auto dit = draining_recvs_.find(m.header[0]);
+                 dit != draining_recvs_.end()) {
+        dit->second->on_send_done();
+      } else {
+        ++retry_stats_.duplicates_dropped;
+      }
       return;
     }
     case core::kRndvDone: {
       auto it = active_sends_.find(m.header[0]);
-      if (it == active_sends_.end()) throw std::logic_error("orphan DONE");
+      if (it == active_sends_.end()) {
+        ++retry_stats_.duplicates_dropped;
+        return;
+      }
       it->second->rndv_send->on_rget_done();
       return;
     }
@@ -293,6 +345,20 @@ void RankComm::handle_eager(const netsim::WireMessage& m) {
 }
 
 void RankComm::handle_rts(const netsim::WireMessage& m) {
+  // Idempotent receipt: a retransmitted RTS for a transfer we already
+  // track must not spawn a second receiver. The index answers with the
+  // stored CTS (or RGET done), recovering a lost handshake leg.
+  const auto key = std::make_pair(m.src_node, m.header[2]);
+  if (auto it = rts_index_.find(key); it != rts_index_.end()) {
+    it->second->on_duplicate_rts();
+    return;
+  }
+  for (const UnexpectedMsg& u : unexpected_) {
+    if (u.is_rts && u.src == m.src_node && u.sender_req == m.header[2]) {
+      ++retry_stats_.duplicates_dropped;  // original still queued unmatched
+      return;
+    }
+  }
   const int tag = decode_tag(m.header[0]);
   const int context = decode_context(m.header[0]);
   const std::byte* rget_src =
@@ -358,6 +424,7 @@ void RankComm::begin_rndv_recv(const std::shared_ptr<ReqState>& r, int src,
   r->rndv_recv = std::make_shared<core::RndvRecv>(
       res_, r->view, src, sender_req, r->id, bytes, sender_chunk, rget_src);
   active_recvs_.emplace(r->id, r);
+  rts_index_.emplace(std::make_pair(src, sender_req), r->rndv_recv);
   r->rndv_recv->start();
 }
 
@@ -370,18 +437,36 @@ void RankComm::sweep_transfers() {
     if (state->rndv_send->done()) {
       state->complete = true;
       done_sends.push_back(id);
+    } else if (state->rndv_send->failed()) {
+      state->complete = true;
+      state->failed = true;
+      state->error = state->rndv_send->error();
+      done_sends.push_back(id);
     }
   }
   for (auto id : done_sends) active_sends_.erase(id);
   std::vector<std::uint64_t> done_recvs;
   for (auto& [id, state] : active_recvs_) {
     state->rndv_recv->advance();
-    if (state->rndv_recv->done()) {
+    if (state->rndv_recv->request_complete()) {
       state->complete = true;
       done_recvs.push_back(id);
     }
   }
-  for (auto id : done_recvs) active_recvs_.erase(id);
+  for (auto id : done_recvs) {
+    auto it = active_recvs_.find(id);
+    auto recv = it->second->rndv_recv;
+    active_recvs_.erase(it);
+    // A completed receiver may still owe protocol duties: retained landing
+    // slots wait for SEND_DONE, an RGET done must stay replayable. Park it
+    // in the draining map so control messages keep finding it.
+    if (!recv->drained()) draining_recvs_.emplace(id, std::move(recv));
+  }
+  std::vector<std::uint64_t> drained;
+  for (auto& [id, recv] : draining_recvs_) {
+    if (recv->drained()) drained.push_back(id);
+  }
+  for (auto id : drained) draining_recvs_.erase(id);
 }
 
 // ---------------------------------------------------------------------------

@@ -4,8 +4,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/rndv.hpp"
@@ -14,6 +17,7 @@
 #include "mpi/mpi.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/trace.hpp"
 
 namespace mv2gnc::mpisim::detail {
 
@@ -37,6 +41,10 @@ struct ReqState {
   std::uint64_t id = 0;
   bool complete = false;
   bool is_recv = false;
+  // The transfer failed permanently (reliability layer exhausted its retry
+  // budget); wait()/test() raise RequestError with `error`.
+  bool failed = false;
+  std::string error;
   Status status;
 
   // Receive-side matching criteria (world source, tag, context) and
@@ -67,7 +75,7 @@ class RankComm {
  public:
   RankComm(int rank, int size, sim::Engine& engine, cusim::CudaContext& cuda,
            netsim::Endpoint& endpoint, gpu::MemoryRegistry& registry,
-           const core::Tunables& tun);
+           const core::Tunables& tun, sim::TraceRecorder* trace = nullptr);
   ~RankComm();
   RankComm(const RankComm&) = delete;
   RankComm& operator=(const RankComm&) = delete;
@@ -78,6 +86,8 @@ class RankComm {
   sim::Engine& engine() { return engine_; }
   const core::Tunables& tunables() const { return *res_.tun; }
   core::VbufPool& vbufs() { return vbuf_pool_; }
+  /// Aggregated reliability counters (retransmissions, timeouts, stalls).
+  const core::RetryStats& retry_stats() const { return retry_stats_; }
 
   /// World group of this rank (context 0, identity mapping).
   const std::shared_ptr<const CommGroup>& world_group() const {
@@ -154,6 +164,24 @@ class RankComm {
   std::deque<UnexpectedMsg> unexpected_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ReqState>> active_sends_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ReqState>> active_recvs_;
+
+  // -- reliability bookkeeping -------------------------------------------
+  core::RetryStats retry_stats_;
+  /// Receivers whose request completed but that still owe protocol duties
+  /// (waiting for SEND_DONE to release retained slots, or keeping the RGET
+  /// done replayable). Keyed by recv request id.
+  std::unordered_map<std::uint64_t, std::shared_ptr<core::RndvRecv>>
+      draining_recvs_;
+  /// Every rendezvous receiver ever created, keyed by (source node, sender
+  /// request id): retransmitted RTSes are recognised here and answered with
+  /// the stored CTS / done instead of spawning a second receiver. Kept for
+  /// the rank's lifetime so arbitrarily late duplicates stay idempotent.
+  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<core::RndvRecv>>
+      rts_index_;
+  /// Staging slots failed/finished transfers could not release safely (an
+  /// in-flight RDMA write may still read them); freed in the destructor,
+  /// when the engine has drained every event.
+  std::vector<core::detail::StagingSlot> slot_graveyard_;
 };
 
 }  // namespace mv2gnc::mpisim::detail

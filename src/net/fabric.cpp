@@ -18,6 +18,24 @@ void Endpoint::deliver(Completion c) {
   if (wakeup_ != nullptr) wakeup_->notify();
 }
 
+sim::SimTime Endpoint::draw_jitter(const FaultSpec& spec) {
+  if (spec.jitter_ns <= 0) return 0;
+  const sim::SimTime j = static_cast<sim::SimTime>(
+      engine_.rand_below(static_cast<std::uint64_t>(spec.jitter_ns) + 1));
+  if (j > 0) ++fault_counters_.deliveries_jittered;
+  return j;
+}
+
+void Endpoint::deliver_remote(Endpoint* dst_ep,
+                              std::shared_ptr<WireMessage> msg,
+                              sim::SimTime extra_delay) {
+  engine_.schedule_after(fabric_.cost().latency_ns + extra_delay,
+                         [dst_ep, msg] {
+                           dst_ep->deliver(
+                               Completion{CqType::kRecv, 0, std::move(*msg)});
+                         });
+}
+
 bool Endpoint::poll(Completion& out) {
   if (cq_.empty()) return false;
   out = std::move(cq_.front());
@@ -40,11 +58,22 @@ std::uint64_t Endpoint::post_send(int dst, WireMessage msg) {
       c.per_msg_overhead_ns + c.wire_time(msg.payload.size() + 64);
   Endpoint* dst_ep = &fabric_.endpoint(dst);
   auto shared_msg = std::make_shared<WireMessage>(std::move(msg));
-  tx_.submit(duration, [this, wr, dst_ep, shared_msg, &c] {
+  tx_.submit(duration, [this, wr, dst, dst_ep, shared_msg] {
+    // The sender's NIC drained the WR either way; whether the network then
+    // loses the message is decided here, at drain time, so the fault
+    // sequence depends only on the deterministic event order.
     deliver(Completion{CqType::kSendComplete, wr, {}});
-    engine_.schedule_after(c.latency_ns, [dst_ep, shared_msg] {
-      dst_ep->deliver(Completion{CqType::kRecv, 0, std::move(*shared_msg)});
-    });
+    sim::SimTime extra = 0;
+    if (fabric_.faults().enabled()) {
+      const FaultSpec& spec =
+          fabric_.faults().resolve(node_, dst, shared_msg->kind);
+      if (spec.drop_send > 0.0 && engine_.rand_uniform() < spec.drop_send) {
+        ++fault_counters_.sends_dropped;
+        return;
+      }
+      extra = draw_jitter(spec);
+    }
+    deliver_remote(dst_ep, shared_msg, extra);
   });
   return wr;
 }
@@ -71,17 +100,38 @@ std::uint64_t Endpoint::post_rdma_write(int dst, const void* local,
     imm->src_node = node_;
     shared_imm = std::make_shared<WireMessage>(std::move(*imm));
   }
-  tx_.submit(duration, [this, wr, dst_ep, local, remote, bytes, shared_imm,
-                        &c] {
+  tx_.submit(duration, [this, wr, dst, dst_ep, local, remote, bytes,
+                        shared_imm] {
+    const FaultSpec* spec = nullptr;
+    if (fabric_.faults().enabled()) {
+      const int kind =
+          shared_imm ? shared_imm->kind : FaultModel::kNoKind;
+      spec = &fabric_.faults().resolve(node_, dst, kind);
+      if (spec->fail_write > 0.0 &&
+          engine_.rand_uniform() < spec->fail_write) {
+        // Transport error: nothing lands remotely, no immediate goes out,
+        // and the poster learns via a synthetic error completion.
+        ++fault_counters_.writes_failed;
+        deliver(Completion{CqType::kError, wr, {}});
+        return;
+      }
+    }
     // Data lands when the transmit drains; the remote notification follows
     // one wire latency later, so the receiver never observes the
     // notification before the payload (the RDMA ordering guarantee).
     if (bytes > 0) std::memcpy(remote, local, bytes);
     deliver(Completion{CqType::kRdmaComplete, wr, {}});
     if (shared_imm) {
-      engine_.schedule_after(c.latency_ns, [dst_ep, shared_imm] {
-        dst_ep->deliver(Completion{CqType::kRecv, 0, std::move(*shared_imm)});
-      });
+      sim::SimTime extra = 0;
+      if (spec != nullptr) {
+        if (spec->drop_imm > 0.0 &&
+            engine_.rand_uniform() < spec->drop_imm) {
+          ++fault_counters_.imms_dropped;
+          return;
+        }
+        extra = draw_jitter(*spec);
+      }
+      deliver_remote(dst_ep, shared_imm, extra);
     }
   });
   return wr;

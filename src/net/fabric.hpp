@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 
@@ -49,6 +50,9 @@ struct NetCostModel {
 struct WireMessage {
   int src_node = -1;
   int kind = 0;                     // application-level discriminator
+  std::uint64_t seq = 0;            // sender-assigned sequence number, used
+                                    // by reliable protocols to discard
+                                    // duplicate retransmissions
   std::uint64_t header[6] = {};     // small fixed header words
   std::vector<std::byte> payload;   // optional inline payload
 };
@@ -59,11 +63,13 @@ enum class CqType {
   kSendComplete,      // post_send drained; buffer reusable
   kRdmaComplete,      // post_rdma_write drained locally; buffer reusable
   kRdmaReadComplete,  // post_rdma_read data has landed locally
+  kError,             // a posted WR failed in transport (fault injection);
+                      // wr_id identifies the failed post_rdma_write
 };
 
 struct Completion {
   CqType type = CqType::kRecv;
-  std::uint64_t wr_id = 0;  // for kSendComplete / kRdmaComplete
+  std::uint64_t wr_id = 0;  // for kSendComplete / kRdmaComplete / kError
   WireMessage msg;          // for kRecv
 };
 
@@ -111,9 +117,18 @@ class Endpoint {
   std::uint64_t rdma_reads() const { return rdma_reads_; }
   sim::SimTime tx_busy_time() const { return tx_.total_busy_time(); }
 
+  /// Faults injected on operations *posted by this endpoint*.
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
  private:
   friend class Fabric;
   void deliver(Completion c);  // push to CQ + wake
+  // Schedule delivery of `msg` into dst's CQ after wire latency plus any
+  // fault-injected jitter.
+  void deliver_remote(Endpoint* dst_ep, std::shared_ptr<WireMessage> msg,
+                      sim::SimTime extra_delay);
+  // Draw the jitter for `spec` (0 if none), counting jittered deliveries.
+  sim::SimTime draw_jitter(const FaultSpec& spec);
 
   sim::Engine& engine_;
   Fabric& fabric_;
@@ -126,6 +141,7 @@ class Endpoint {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t rdma_writes_ = 0;
   std::uint64_t rdma_reads_ = 0;
+  FaultCounters fault_counters_;
 };
 
 /// The cluster interconnect: `nodes` endpoints on a full crossbar.
@@ -138,9 +154,17 @@ class Fabric {
   const NetCostModel& cost() const { return cost_; }
   sim::Engine& engine() { return engine_; }
 
+  /// Fault-injection rules shared by every endpoint. Mutate before (or
+  /// between) transfers; decisions are drawn from the engine RNG at
+  /// transmit-drain time, so a fixed Engine::seed_rng seed reproduces the
+  /// identical fault sequence.
+  FaultModel& faults() { return faults_; }
+  const FaultModel& faults() const { return faults_; }
+
  private:
   sim::Engine& engine_;
   NetCostModel cost_;
+  FaultModel faults_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 };
 

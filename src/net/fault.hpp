@@ -1,0 +1,116 @@
+// Fault injection for the netsim fabric.
+//
+// A FaultModel attached to the Fabric decides, at transmit-drain time and
+// using only the engine's seeded RNG (never wall-clock), whether each
+// operation is delivered cleanly, delayed, or lost:
+//   * drop_send   — a two-sided SEND vanishes in the network: the sender
+//                   still sees kSendComplete (its NIC drained the WR) but
+//                   the message never reaches the destination CQ;
+//   * drop_imm    — an RDMA-WRITE's payload lands but its immediate
+//                   notification is lost, so the receiver is never told;
+//   * fail_write  — an RDMA WRITE fails in transport: no bytes land, no
+//                   immediate is sent, and the sender gets a synthetic
+//                   CqType::kError completion carrying the wr_id;
+//   * jitter_ns   — delivery is delayed by an extra uniform [0, jitter_ns]
+//                   on top of the wire latency. NOTE: nonzero jitter can
+//                   reorder messages between a node pair, voiding the
+//                   fabric's FIFO guarantee — only protocols that tolerate
+//                   reordering (see docs/RELIABILITY.md) may enable it.
+//
+// Specs resolve most-specific-first: per (src,dst) pair, then per message
+// kind, then the default. Probabilities are independent per operation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace mv2gnc::netsim {
+
+/// Fault probabilities and delay bound for one (pair | kind | default) rule.
+struct FaultSpec {
+  double drop_send = 0.0;       // P(two-sided send lost in flight)
+  double drop_imm = 0.0;        // P(RDMA immediate lost; data still lands)
+  double fail_write = 0.0;      // P(RDMA write errors; no data, kError)
+  sim::SimTime jitter_ns = 0;   // extra delivery delay, uniform [0, jitter]
+
+  bool benign() const {
+    return drop_send == 0.0 && drop_imm == 0.0 && fail_write == 0.0 &&
+           jitter_ns == 0;
+  }
+};
+
+/// Counts of injected faults, kept per *sending* endpoint (the side whose
+/// transmit pipeline made the fault decision).
+struct FaultCounters {
+  std::uint64_t sends_dropped = 0;
+  std::uint64_t imms_dropped = 0;
+  std::uint64_t writes_failed = 0;
+  std::uint64_t deliveries_jittered = 0;
+
+  std::uint64_t total() const {
+    return sends_dropped + imms_dropped + writes_failed + deliveries_jittered;
+  }
+};
+
+/// Rule table: pair overrides kind overrides default. Kind matching uses the
+/// two-sided message kind (or the immediate's kind for RDMA writes carrying
+/// one); plain RDMA writes match pair/default rules only.
+class FaultModel {
+ public:
+  /// Kind wildcard for operations with no message kind (bare RDMA writes).
+  static constexpr int kNoKind = -1;
+
+  void set_default(const FaultSpec& spec) {
+    default_ = spec;
+    recompute_enabled();
+  }
+  void set_kind(int kind, const FaultSpec& spec) {
+    by_kind_[kind] = spec;
+    recompute_enabled();
+  }
+  void set_pair(int src, int dst, const FaultSpec& spec) {
+    by_pair_[{src, dst}] = spec;
+    recompute_enabled();
+  }
+
+  /// Remove every rule; the fabric reverts to perfect delivery.
+  void clear() {
+    default_ = FaultSpec{};
+    by_kind_.clear();
+    by_pair_.clear();
+    enabled_ = false;
+  }
+
+  /// True when any rule can inject a fault — the fabric's fast path skips
+  /// all RNG draws while this is false, keeping fault-free runs bit-exact
+  /// with builds that predate fault injection.
+  bool enabled() const { return enabled_; }
+
+  /// Most specific spec for this operation: pair, else kind, else default.
+  const FaultSpec& resolve(int src, int dst, int kind) const {
+    if (auto it = by_pair_.find({src, dst}); it != by_pair_.end()) {
+      return it->second;
+    }
+    if (auto it = by_kind_.find(kind); it != by_kind_.end()) {
+      return it->second;
+    }
+    return default_;
+  }
+
+ private:
+  void recompute_enabled() {
+    enabled_ = !default_.benign();
+    for (const auto& [k, s] : by_kind_) enabled_ = enabled_ || !s.benign();
+    for (const auto& [p, s] : by_pair_) enabled_ = enabled_ || !s.benign();
+  }
+
+  bool enabled_ = false;
+  FaultSpec default_;
+  std::map<int, FaultSpec> by_kind_;
+  std::map<std::pair<int, int>, FaultSpec> by_pair_;
+};
+
+}  // namespace mv2gnc::netsim

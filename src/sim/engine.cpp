@@ -129,6 +129,40 @@ void Engine::schedule_after(SimTime delay, std::function<void()> action) {
   queue_.push(detail::ScheduledEvent{at, seq_++, std::move(action)});
 }
 
+TimerId Engine::schedule_timer(SimTime at, std::function<void()> action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (at < now_) at = now_;
+  TimerId id = next_timer_id_++;
+  pending_timers_.insert(id);
+  queue_.push(detail::ScheduledEvent{at, seq_++, std::move(action), id});
+  return id;
+}
+
+bool Engine::cancel_timer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_timers_.erase(id) > 0;
+}
+
+void Engine::seed_rng(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.seed(seed);
+}
+
+std::uint64_t Engine::rand_u64() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.next();
+}
+
+double Engine::rand_uniform() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.uniform();
+}
+
+std::uint64_t Engine::rand_below(std::uint64_t bound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.below(bound);
+}
+
 void Engine::delay(SimTime d) {
   std::unique_lock<std::mutex> lock(mu_);
   detail::Process* self = current_locked();
@@ -228,6 +262,12 @@ void Engine::run() {
       detail::ScheduledEvent ev =
           std::move(const_cast<detail::ScheduledEvent&>(queue_.top()));
       queue_.pop();
+      if (ev.timer_id != 0) {
+        // Canceled timers are discarded without touching the clock: a
+        // retransmission timer armed far in the future must not stretch
+        // the fault-free run's elapsed time after its transfer completed.
+        if (pending_timers_.erase(ev.timer_id) == 0) continue;
+      }
       now_ = ev.at;
       ++events_executed_;
       // Actions run without the lock so they may freely use the public

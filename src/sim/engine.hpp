@@ -23,11 +23,18 @@
 #include <thread>
 #include <vector>
 
+#include <unordered_set>
+
+#include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace mv2gnc::sim {
 
 class Engine;
+
+/// Handle for a cancellable timer (see Engine::schedule_timer). 0 is never a
+/// valid id, so value-initialized handles are safely inert.
+using TimerId = std::uint64_t;
 
 /// Thrown by Engine::run() when every live process is blocked and no event
 /// can ever wake one of them. The message lists each stuck process and the
@@ -60,6 +67,7 @@ struct ScheduledEvent {
   SimTime at;
   std::uint64_t seq;  // FIFO tie-break for same-time events
   std::function<void()> action;
+  TimerId timer_id = 0;  // nonzero only for cancellable timers
 };
 
 struct EventOrder {
@@ -149,6 +157,30 @@ class Engine {
   /// Schedule `action` after a relative delay.
   void schedule_after(SimTime delay, std::function<void()> action);
 
+  /// Schedule a cancellable action at absolute virtual time `at`; returns a
+  /// handle for cancel_timer(). Like schedule_at, the action runs on the
+  /// scheduler thread and must be short and non-blocking — retransmission
+  /// timers only notify() a progress loop, they never retransmit in place.
+  TimerId schedule_timer(SimTime at, std::function<void()> action);
+
+  /// Cancel a timer created by schedule_timer. Returns true if the timer was
+  /// still pending (and will now never fire). A canceled timer is skipped
+  /// without advancing the virtual clock, so canceled-but-unpopped timers do
+  /// not inflate the run's elapsed time.
+  bool cancel_timer(TimerId id);
+
+  /// Seed the engine-owned deterministic RNG (fault injection, jitter).
+  void seed_rng(std::uint64_t seed);
+
+  /// Next raw 64-bit draw from the engine RNG.
+  std::uint64_t rand_u64();
+
+  /// Uniform double in [0, 1) from the engine RNG.
+  double rand_uniform();
+
+  /// Uniform integer in [0, bound) from the engine RNG (bound > 0).
+  std::uint64_t rand_below(std::uint64_t bound);
+
   /// Block the calling process for `d` virtual nanoseconds.
   void delay(SimTime d);
 
@@ -183,6 +215,9 @@ class Engine {
   detail::Process* running_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::unordered_set<TimerId> pending_timers_;
+  SplitMix64 rng_;
   std::uint64_t events_executed_ = 0;
   bool aborting_ = false;
   bool in_run_ = false;

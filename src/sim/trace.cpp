@@ -10,6 +10,28 @@ void TraceRecorder::record(int rank, const std::string& category,
   records_.push_back(TraceRecord{rank, category, begin, end});
 }
 
+void TraceRecorder::event(int rank, const std::string& category, SimTime at) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{rank, category, at, at});
+}
+
+std::uint64_t TraceRecorder::count(int rank,
+                                   const std::string& category) const {
+  std::uint64_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.rank == rank && r.category == category) ++n;
+  }
+  return n;
+}
+
+std::uint64_t TraceRecorder::count(const std::string& category) const {
+  std::uint64_t n = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.category == category) ++n;
+  }
+  return n;
+}
+
 SimTime TraceRecorder::total(int rank, const std::string& category) const {
   SimTime sum = 0;
   for (const TraceRecord& r : records_) {

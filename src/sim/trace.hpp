@@ -32,6 +32,17 @@ class TraceRecorder {
   void record(int rank, const std::string& category, SimTime begin,
               SimTime end);
 
+  /// Record a point event — a zero-duration record at `at`. Used for fault,
+  /// retransmit, and stall occurrences where only the count and timestamp
+  /// matter, not a duration.
+  void event(int rank, const std::string& category, SimTime at);
+
+  /// Number of records (intervals and events) for (rank, category).
+  std::uint64_t count(int rank, const std::string& category) const;
+
+  /// Number of records for a category across all ranks.
+  std::uint64_t count(const std::string& category) const;
+
   /// Sum of durations for (rank, category).
   SimTime total(int rank, const std::string& category) const;
 

@@ -1,0 +1,45 @@
+// Input validation for the chunking layer: ChunkPlan::make rejects
+// degenerate geometries, VbufPool rejects empty pools, and the plan's
+// arithmetic stays consistent at the boundaries it does accept.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/rndv.hpp"
+#include "core/vbuf_pool.hpp"
+
+namespace core = mv2gnc::core;
+
+TEST(ChunkPlan, ZeroTotalThrows) {
+  EXPECT_THROW(core::ChunkPlan::make(0, 64 * 1024), std::invalid_argument);
+}
+
+TEST(ChunkPlan, ZeroChunkThrows) {
+  EXPECT_THROW(core::ChunkPlan::make(1024, 0), std::invalid_argument);
+}
+
+TEST(ChunkPlan, OversizeChunkCoercesToSingleChunk) {
+  const auto plan = core::ChunkPlan::make(1000, 1 << 20);
+  EXPECT_EQ(plan.count, 1u);
+  EXPECT_EQ(plan.chunk, 1000u);
+  EXPECT_EQ(plan.bytes_of(0), 1000u);
+}
+
+TEST(ChunkPlan, ExactMultipleAndRemainder) {
+  const auto even = core::ChunkPlan::make(4096, 1024);
+  EXPECT_EQ(even.count, 4u);
+  EXPECT_EQ(even.bytes_of(3), 1024u);
+
+  const auto ragged = core::ChunkPlan::make(4097, 1024);
+  EXPECT_EQ(ragged.count, 5u);
+  EXPECT_EQ(ragged.bytes_of(4), 1u);
+  EXPECT_EQ(ragged.offset_of(4), 4096u);
+}
+
+TEST(VbufPool, ZeroCountThrows) {
+  EXPECT_THROW(core::VbufPool(0, 4096), std::invalid_argument);
+}
+
+TEST(VbufPool, ZeroBufferSizeThrows) {
+  EXPECT_THROW(core::VbufPool(4, 0), std::invalid_argument);
+}

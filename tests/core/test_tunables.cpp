@@ -91,3 +91,27 @@ TEST(Tunables, MissingFileThrows) {
   EXPECT_THROW(Tunables::from_file("/nonexistent/mv2.conf"),
                std::invalid_argument);
 }
+
+TEST(Tunables, ReliabilityKnobsRoundTrip) {
+  Tunables t;
+  t.rndv_timeout_ns = 250'000;
+  t.rndv_max_retries = 11;
+  t.rndv_backoff_factor = 1.5;
+  std::istringstream in(t.to_config_string());
+  Tunables u = Tunables::from_stream(in);
+  EXPECT_EQ(u.rndv_timeout_ns, 250'000);
+  EXPECT_EQ(u.rndv_max_retries, 11u);
+  EXPECT_DOUBLE_EQ(u.rndv_backoff_factor, 1.5);
+}
+
+TEST(Tunables, ValidationCatchesBadReliabilityKnobs) {
+  Tunables t;
+  t.rndv_timeout_ns = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.rndv_timeout_ns = -5;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.rndv_backoff_factor = 0.5;  // backoff below 1 would shrink the timeout
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}

@@ -1,0 +1,213 @@
+// FaultModel semantics at the fabric layer: seeded-deterministic drops,
+// synthetic write errors, immediate loss, delivery jitter, rule precedence,
+// and per-endpoint fault accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/fault.hpp"
+
+namespace netsim = mv2gnc::netsim;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+netsim::WireMessage make_msg(int kind, std::uint64_t h0 = 0) {
+  netsim::WireMessage m;
+  m.kind = kind;
+  m.header[0] = h0;
+  return m;
+}
+
+// Drain an endpoint's CQ, keeping only message arrivals (kRecv) — local
+// kSendComplete entries are not interesting to these tests.
+std::vector<netsim::Completion> drain(netsim::Endpoint& ep) {
+  std::vector<netsim::Completion> out;
+  netsim::Completion c;
+  while (ep.poll(c)) {
+    if (c.type == netsim::CqType::kRecv) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(FaultModel, RulePrecedencePairOverKindOverDefault) {
+  netsim::FaultModel fm;
+  EXPECT_FALSE(fm.enabled());
+  netsim::FaultSpec dflt;
+  dflt.drop_send = 0.1;
+  netsim::FaultSpec by_kind;
+  by_kind.drop_send = 0.2;
+  netsim::FaultSpec by_pair;
+  by_pair.drop_send = 0.3;
+  fm.set_default(dflt);
+  fm.set_kind(7, by_kind);
+  fm.set_pair(0, 1, by_pair);
+  EXPECT_TRUE(fm.enabled());
+  EXPECT_DOUBLE_EQ(fm.resolve(0, 1, 7).drop_send, 0.3);   // pair wins
+  EXPECT_DOUBLE_EQ(fm.resolve(1, 0, 7).drop_send, 0.2);   // kind next
+  EXPECT_DOUBLE_EQ(fm.resolve(1, 0, 9).drop_send, 0.1);   // default last
+  fm.clear();
+  EXPECT_FALSE(fm.enabled());
+  EXPECT_DOUBLE_EQ(fm.resolve(0, 1, 7).drop_send, 0.0);
+}
+
+TEST(FaultInjection, CertainDropLosesSendButSenderStillCompletes) {
+  sim::Engine eng;
+  eng.seed_rng(42);
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  netsim::FaultSpec spec;
+  spec.drop_send = 1.0;
+  fab.faults().set_default(spec);
+  int send_completes = 0;
+  eng.spawn("sender", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(0).set_wakeup(&n);
+    for (int i = 0; i < 5; ++i) fab.endpoint(0).post_send(1, make_msg(1, 7));
+    netsim::Completion c;
+    while (send_completes < 5) {
+      while (!fab.endpoint(0).poll(c)) n.wait();
+      EXPECT_EQ(c.type, netsim::CqType::kSendComplete);
+      ++send_completes;
+    }
+  });
+  eng.run();
+  EXPECT_EQ(send_completes, 5);
+  EXPECT_TRUE(drain(fab.endpoint(1)).empty());  // nothing ever arrived
+  EXPECT_EQ(fab.endpoint(0).fault_counters().sends_dropped, 5u);
+}
+
+TEST(FaultInjection, CertainWriteFailureYieldsErrorCqeAndNoData) {
+  sim::Engine eng;
+  eng.seed_rng(42);
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  netsim::FaultSpec spec;
+  spec.fail_write = 1.0;
+  fab.faults().set_default(spec);
+  std::vector<std::byte> src(256, std::byte{0xAB});
+  std::vector<std::byte> dst(256, std::byte{0x00});
+  std::uint64_t wr = 0;
+  bool got_error = false;
+  eng.spawn("sender", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(0).set_wakeup(&n);
+    wr = fab.endpoint(0).post_rdma_write(1, src.data(), dst.data(),
+                                         src.size(), make_msg(4));
+    netsim::Completion c;
+    while (!fab.endpoint(0).poll(c)) n.wait();
+    EXPECT_EQ(c.type, netsim::CqType::kError);
+    EXPECT_EQ(c.wr_id, wr);
+    got_error = true;
+  });
+  eng.run();
+  EXPECT_TRUE(got_error);
+  // No bytes landed and no immediate was delivered.
+  EXPECT_EQ(dst[0], std::byte{0x00});
+  EXPECT_TRUE(drain(fab.endpoint(1)).empty());
+  EXPECT_EQ(fab.endpoint(0).fault_counters().writes_failed, 1u);
+}
+
+TEST(FaultInjection, ImmediateDropStillLandsData) {
+  sim::Engine eng;
+  eng.seed_rng(42);
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  netsim::FaultSpec spec;
+  spec.drop_imm = 1.0;
+  fab.faults().set_default(spec);
+  std::vector<std::byte> src(64, std::byte{0x5C});
+  std::vector<std::byte> dst(64, std::byte{0x00});
+  eng.spawn("sender", [&] {
+    sim::Notifier n(eng);
+    fab.endpoint(0).set_wakeup(&n);
+    fab.endpoint(0).post_rdma_write(1, src.data(), dst.data(), src.size(),
+                                    make_msg(4));
+    netsim::Completion c;
+    while (!fab.endpoint(0).poll(c)) n.wait();
+    EXPECT_EQ(c.type, netsim::CqType::kRdmaComplete);
+  });
+  eng.run();
+  EXPECT_EQ(dst[0], std::byte{0x5C});                   // data landed
+  EXPECT_TRUE(drain(fab.endpoint(1)).empty());          // fin never told
+  EXPECT_EQ(fab.endpoint(0).fault_counters().imms_dropped, 1u);
+}
+
+TEST(FaultInjection, JitterDelaysDeliveryWithinBound) {
+  auto arrival_time = [](sim::SimTime jitter, std::uint64_t seed) {
+    sim::Engine eng;
+    eng.seed_rng(seed);
+    netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+    if (jitter > 0) {
+      netsim::FaultSpec spec;
+      spec.jitter_ns = jitter;
+      fab.faults().set_default(spec);
+    }
+    sim::SimTime arrived = -1;
+    eng.spawn("sender",
+              [&] { fab.endpoint(0).post_send(1, make_msg(1)); });
+    eng.spawn("receiver", [&] {
+      sim::Notifier n(eng);
+      fab.endpoint(1).set_wakeup(&n);
+      netsim::Completion c;
+      while (!fab.endpoint(1).poll(c)) n.wait();
+      arrived = eng.now();
+    });
+    eng.run();
+    return arrived;
+  };
+  const sim::SimTime clean = arrival_time(0, 9);
+  const sim::SimTime jittered = arrival_time(1'000'000, 9);
+  ASSERT_GE(clean, 0);
+  ASSERT_GE(jittered, 0);
+  EXPECT_GE(jittered, clean);
+  EXPECT_LE(jittered, clean + 1'000'000);
+}
+
+TEST(FaultInjection, PartialDropRateIsSeededDeterministic) {
+  auto deliveries = [](std::uint64_t seed) {
+    sim::Engine eng;
+    eng.seed_rng(seed);
+    netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+    netsim::FaultSpec spec;
+    spec.drop_send = 0.5;
+    fab.faults().set_default(spec);
+    eng.spawn("sender", [&] {
+      for (int i = 0; i < 100; ++i) {
+        fab.endpoint(0).post_send(1, make_msg(1, std::uint64_t(i)));
+      }
+    });
+    eng.run();
+    std::vector<std::uint64_t> got;
+    for (const auto& c : drain(fab.endpoint(1))) got.push_back(c.msg.header[0]);
+    return got;
+  };
+  const auto a = deliveries(1234);
+  const auto b = deliveries(1234);
+  const auto c = deliveries(99);
+  EXPECT_EQ(a, b);                       // same seed, same losses
+  EXPECT_NE(a.size(), 100u);             // some were dropped
+  EXPECT_FALSE(a.empty());               // some got through
+  EXPECT_NE(a, c);                       // different seed, different pattern
+}
+
+TEST(FaultInjection, PairRuleOnlyAffectsThatDirection) {
+  sim::Engine eng;
+  eng.seed_rng(7);
+  netsim::Fabric fab(eng, 3, netsim::NetCostModel::qdr_ib());
+  netsim::FaultSpec spec;
+  spec.drop_send = 1.0;
+  fab.faults().set_pair(0, 1, spec);
+  eng.spawn("sender", [&] {
+    fab.endpoint(0).post_send(1, make_msg(1));  // dropped
+    fab.endpoint(0).post_send(2, make_msg(1));  // delivered
+    fab.endpoint(1).post_send(0, make_msg(1));  // reverse dir: delivered
+  });
+  eng.run();
+  EXPECT_TRUE(drain(fab.endpoint(1)).empty());
+  EXPECT_EQ(drain(fab.endpoint(2)).size(), 1u);
+  EXPECT_EQ(drain(fab.endpoint(0)).size(), 1u);
+  EXPECT_EQ(fab.endpoint(0).fault_counters().sends_dropped, 1u);
+  EXPECT_EQ(fab.endpoint(1).fault_counters().sends_dropped, 0u);
+}

@@ -285,3 +285,56 @@ TEST(Engine, ManyEventsStressAndCount) {
   EXPECT_EQ(eng.now(), kSteps);
   EXPECT_GE(eng.events_executed(), static_cast<std::uint64_t>(kSteps));
 }
+
+TEST(Engine, SeededRngIsDeterministic) {
+  auto draw = [](std::uint64_t seed) {
+    sim::Engine eng;
+    eng.seed_rng(seed);
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 16; ++i) out.push_back(eng.rand_u64());
+    return out;
+  };
+  EXPECT_EQ(draw(123), draw(123));
+  EXPECT_NE(draw(123), draw(124));
+}
+
+TEST(Engine, RandHelpersStayInRange) {
+  sim::Engine eng;
+  eng.seed_rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = eng.rand_uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(eng.rand_below(17), 17u);
+  }
+  EXPECT_EQ(eng.rand_below(0), 0u);
+  EXPECT_EQ(eng.rand_below(1), 0u);
+}
+
+TEST(Engine, TimerFiresAtScheduledTime) {
+  sim::Engine eng;
+  sim::SimTime fired_at = -1;
+  eng.spawn("driver", [&] {
+    eng.schedule_timer(eng.now() + 500, [&] { fired_at = eng.now(); });
+    eng.delay(1000);
+  });
+  eng.run();
+  EXPECT_EQ(fired_at, 500);
+}
+
+TEST(Engine, CancelledTimerNeverFiresNorAdvancesClock) {
+  sim::Engine eng;
+  bool fired = false;
+  eng.spawn("driver", [&] {
+    const sim::TimerId id =
+        eng.schedule_timer(eng.now() + 10'000, [&] { fired = true; });
+    eng.delay(100);
+    EXPECT_TRUE(eng.cancel_timer(id));
+    EXPECT_FALSE(eng.cancel_timer(id));  // second cancel is a no-op
+  });
+  eng.run();
+  EXPECT_FALSE(fired);
+  // The orphaned timer event is discarded without dragging the clock out to
+  // its deadline.
+  EXPECT_EQ(eng.now(), 100);
+}

@@ -59,3 +59,24 @@ TEST(Trace, DurationHelper) {
   sim::TraceRecord r{0, "c", 100, 350};
   EXPECT_EQ(r.duration(), 250);
 }
+
+TEST(Trace, CountsPointEvents) {
+  sim::TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.event(0, "fault_timeout", 10);
+  tr.event(0, "fault_timeout", 20);
+  tr.event(1, "fault_timeout", 30);
+  tr.event(0, "fault_rts_retransmit", 40);
+  EXPECT_EQ(tr.count(0, "fault_timeout"), 2u);
+  EXPECT_EQ(tr.count(1, "fault_timeout"), 1u);
+  EXPECT_EQ(tr.count("fault_timeout"), 3u);
+  EXPECT_EQ(tr.count("fault_rts_retransmit"), 1u);
+  EXPECT_EQ(tr.count("fault_stall_fallback"), 0u);
+}
+
+TEST(Trace, EventsAreNoOpsWhenDisabled) {
+  sim::TraceRecorder tr;
+  tr.event(0, "fault_timeout", 10);
+  EXPECT_EQ(tr.count("fault_timeout"), 0u);
+  EXPECT_TRUE(tr.records().empty());
+}
