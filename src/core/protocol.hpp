@@ -34,9 +34,19 @@ enum MsgKind : int {
   kChunkAck = 5,  // h0=sender req, h1=acked chunk idx, h2=recycled slot idx
                   //   (kNoSlot if none), h3=credit seq; payload = recycled
                   //   slot address — per-chunk ack with the CREDIT fused in
-  kRndvDone = 6,  // h0=sender req — receiver-driven (RGET) completion
-  kSendDone = 7,  // h0=recv req — sender has seen every ack; the receiver
-                  //   may release its remaining landing slots
+  kRndvDone = 6,  // h0=sender req, h1=recv req — receiver-driven (RGET)
+                  //   completion
+  kSendDone = 7,  // h0=recv req — sender has seen every ack (or the RGET
+                  //   done); the receiver may release its remaining landing
+                  //   slots and forget the transfer
+  kRtsAck = 8,    // h0=sender req — the RTS arrived but no matching recv is
+                  //   posted yet; refreshes the sender's retry budget so an
+                  //   arbitrarily late recv is never mistaken for loss
+  kSendDoneAck = 9,  // h0=sender req — direct-mode receiver confirms the
+                  //   SEND_DONE, ending the sender's retransmission of it
+  kSendAbort = 10,   // h0=recv req — best-effort notice that the sender
+                  //   failed the transfer permanently; the receiver fails
+                  //   its request instead of waiting out its watchdog
   kInternal = 64, // first kind value available to higher layers
 };
 

@@ -60,6 +60,18 @@ std::size_t segments_in_range(const MsgView& msg, std::size_t bytes) {
   return static_cast<std::size_t>(static_cast<double>(total) * frac + 0.5);
 }
 
+// Absolute deadline for retry number `retries`: base timeout grown by the
+// backoff factor, clamped so an extreme retry count cannot overflow SimTime
+// (the cap is ~11 virtual days; transfers fail long before).
+sim::SimTime backoff_deadline(const Tunables& tun, std::size_t retries,
+                              sim::SimTime now) {
+  const double scale =
+      std::pow(tun.rndv_backoff_factor, static_cast<double>(retries));
+  double delay_ns = static_cast<double>(tun.rndv_timeout_ns) * scale;
+  if (!(delay_ns < 1e15)) delay_ns = 1e15;
+  return now + static_cast<sim::SimTime>(delay_ns);
+}
+
 }  // namespace
 
 ChunkPlan ChunkPlan::make(std::size_t total, std::size_t chunk) {
@@ -167,15 +179,8 @@ void RndvSend::start(std::uint64_t tag_word) {
 
 void RndvSend::arm_timer() {
   armed_epoch_ = progress_epoch_;
-  const Tunables& tun = *res_.tun;
-  const double scale =
-      std::pow(tun.rndv_backoff_factor, static_cast<double>(retries_));
-  // Clamp the backed-off delay so an extreme retry count cannot overflow
-  // SimTime (the cap is ~11 virtual days; transfers fail long before).
-  double delay_ns = static_cast<double>(tun.rndv_timeout_ns) * scale;
-  if (!(delay_ns < 1e15)) delay_ns = 1e15;
   const sim::SimTime at =
-      res_.engine->now() + static_cast<sim::SimTime>(delay_ns);
+      backoff_deadline(*res_.tun, retries_, res_.engine->now());
   sim::Notifier* n = res_.notifier;
   // The callback runs on the scheduler thread: wake the progress loop and
   // nothing else. The retransmission itself happens in-process, in
@@ -186,9 +191,32 @@ void RndvSend::arm_timer() {
 }
 
 void RndvSend::handle_timeout() {
+  if (complete_) {
+    // Only the direct-mode SEND_DONE handshake is still running; no data
+    // event can move the epoch, so every expiry is genuine.
+    ++retries_;
+    if (res_.retries != nullptr) ++res_.retries->timeouts;
+    trace_event("fault_timeout");
+    if (retries_ > res_.tun->rndv_max_retries) {
+      // Give up — the data itself was fully acked. The receiver recovers
+      // on its own: its watchdog force-drains once we fall silent.
+      done_given_up_ = true;
+      timer_.cancel();
+      return;
+    }
+    netsim::WireMessage done = done_;
+    done.seq = ctrl_seq_++;
+    res_.endpoint->post_send(dst_, std::move(done));
+    if (res_.retries != nullptr) ++res_.retries->send_done_retransmits;
+    trace_event("fault_done_retransmit");
+    arm_timer();
+    return;
+  }
   if (progress_epoch_ != armed_epoch_) {
     // The transfer moved since the deadline was armed; this expiry is
-    // stale. Fresh deadline, retry budget restored.
+    // stale. Fresh deadline, retry budget restored. An RTS_ACK from a
+    // receiver that has not posted the matching recv yet lands here too:
+    // the handshake is alive, so waiting is not failure.
     retries_ = 0;
     arm_timer();
     return;
@@ -314,11 +342,14 @@ void RndvSend::post_chunk_rdma(std::size_t i, bool retransmit) {
   wr_to_chunk_.emplace(wr, i);
   ++inflight_[i];
   posted_[i] = true;
-  note_progress();
+  // Only a FIRST posting counts as progress. A retransmission is our own
+  // doing — letting it refresh the retry budget would turn a dead data path
+  // into an infinite retransmit loop instead of a bounded failure.
+  if (!retransmit) note_progress();
 }
 
 void RndvSend::advance() {
-  if (!complete_ && !failed_ && timer_.fired()) handle_timeout();
+  if (!failed_ && !drained() && timer_.fired()) handle_timeout();
   if (complete_ || failed_) return;
   // Stage frontier: pack (if any) must have completed; a staging slot must
   // be available. Staging runs regardless of CTS — it overlaps the
@@ -384,6 +415,28 @@ void RndvSend::on_cts(const netsim::WireMessage& m) {
   advance();
 }
 
+void RndvSend::on_rts_ack() {
+  if (cts_received_ || complete_ || failed_) {
+    if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
+    return;
+  }
+  // The RTS is known delivered; the peer simply has no matching recv yet.
+  // Moving the epoch makes the pending deadline stale, which restores the
+  // retry budget — the sender keeps probing (each probe re-elicits an
+  // RTS_ACK or, once matched, the CTS) but only sustained silence counts
+  // toward permanent failure.
+  note_progress();
+}
+
+void RndvSend::on_send_done_ack() {
+  if (!done_owed_ || done_acked_) {
+    if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
+    return;
+  }
+  done_acked_ = true;
+  timer_.cancel();
+}
+
 void RndvSend::on_chunk_ack(const netsim::WireMessage& m) {
   if (complete_ || failed_) return;
   const std::size_t idx = m.header[1];
@@ -437,7 +490,10 @@ bool RndvSend::on_rdma_complete(std::uint64_t wr_id) {
   wr_to_chunk_.erase(it);
   --inflight_[i];
   ++rdma_done_;
-  note_progress();
+  // Deliberately NO note_progress(): a local transmit completion is our own
+  // event, not evidence the peer is alive — retransmitted writes would
+  // otherwise keep resetting the retry budget forever. Budget refresh comes
+  // only from receipts (CTS, acks, RTS_ACK, the RGET done).
   maybe_release_slot(i);
   if (!complete_ && !failed_ && maybe_complete()) return true;
   advance();
@@ -468,20 +524,20 @@ bool RndvSend::on_rdma_error(std::uint64_t wr_id) {
   return true;
 }
 
-void RndvSend::on_rget_done() {
+void RndvSend::on_rget_done(const netsim::WireMessage& m) {
   if (complete_ || failed_) return;
   if (rget_done_) {
     if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
     return;
   }
   rget_done_ = true;
+  peer_req_ = m.header[1];  // lets the SEND_DONE be addressed back
   note_progress();
   complete_transfer();
 }
 
 void RndvSend::complete_transfer() {
   complete_ = true;
-  timer_.cancel();
   for (std::size_t i = 0; i < plan_.count; ++i) {
     if (!slots_[i].valid()) continue;
     if (inflight_[i] > 0 && res_.slot_graveyard != nullptr) {
@@ -497,14 +553,27 @@ void RndvSend::complete_transfer() {
     res_.cuda->free(tbuf_);
     tbuf_ = nullptr;
   }
-  if (cts_received_) {
+  if (cts_received_ || rget_done_) {
     // Tell the receiver no retransmission can follow, releasing its
     // retained landing slots (and, in direct mode, its request).
-    netsim::WireMessage done;
-    done.kind = kSendDone;
+    done_.kind = kSendDone;
+    done_.header[0] = peer_req_;
+    netsim::WireMessage done = done_;
     done.seq = ctrl_seq_++;
-    done.header[0] = peer_req_;
     res_.endpoint->post_send(dst_, std::move(done));
+  }
+  // Direct mode is the one landing where the peer's request hinges on the
+  // SEND_DONE (see RndvRecv::request_complete): keep the timer running and
+  // retransmit it until the receiver's SEND_DONE_ACK. Everywhere else the
+  // message is a best-effort courtesy — the receiver's own watchdog
+  // reclaims its state if it is lost — and the receiver is not guaranteed
+  // to still be polling, so retransmitting could never terminate.
+  done_owed_ = cts_received_ && mode_ == CtsMode::kDirect;
+  if (done_owed_) {
+    retries_ = 0;
+    arm_timer();
+  } else {
+    timer_.cancel();
   }
 }
 
@@ -514,6 +583,16 @@ void RndvSend::fail(const std::string& reason) {
   timer_.cancel();
   if (res_.retries != nullptr) ++res_.retries->transfer_failures;
   trace_event("fault_transfer_failed");
+  if (cts_received_) {
+    // Best effort: a matched receiver fails immediately instead of waiting
+    // out its watchdog. If this is lost the watchdog still bounds the wait.
+    netsim::WireMessage abort;
+    abort.kind = kSendAbort;
+    abort.seq = ctrl_seq_++;
+    abort.header[0] = peer_req_;
+    res_.endpoint->post_send(dst_, std::move(abort));
+    trace_event("fault_send_abort");
+  }
   for (std::size_t i = 0; i < plan_.count; ++i) {
     if (!slots_[i].valid()) continue;
     if (inflight_[i] > 0 && res_.slot_graveyard != nullptr) {
@@ -538,7 +617,8 @@ RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
       src_(src_node),
       sender_req_(sender_req),
       req_id_(my_req_id),
-      rget_src_(rget_src) {
+      rget_src_(rget_src),
+      timer_(*res.engine) {
   const Tunables& tun = *res_.tun;
   if (tun.rget && rget_src_ != nullptr && !msg_.on_device &&
       msg_.contiguous) {
@@ -564,6 +644,7 @@ RndvRecv::~RndvRecv() {
   // Destructors must not throw, even when tearing down a transfer that an
   // engine abort interrupted mid-flight.
   try {
+    timer_.cancel();
     if (rtbuf_ != nullptr) {
       res_.cuda->free(rtbuf_);
       rtbuf_ = nullptr;
@@ -584,7 +665,83 @@ void RndvRecv::post_ctrl(netsim::WireMessage msg) {
   res_.endpoint->post_send(src_, std::move(msg));
 }
 
+void RndvRecv::arm_timer() {
+  armed_epoch_ = progress_epoch_;
+  const sim::SimTime at =
+      backoff_deadline(*res_.tun, retries_, res_.engine->now());
+  sim::Notifier* n = res_.notifier;
+  timer_.arm(at, [n] {
+    if (n != nullptr) n->notify();
+  });
+}
+
+void RndvRecv::handle_timeout() {
+  if (progress_epoch_ != armed_epoch_) {
+    // Something arrived (or local staging moved) since the deadline was
+    // armed: the transfer is alive, restore the budget.
+    retries_ = 0;
+    arm_timer();
+    return;
+  }
+  ++retries_;
+  if (res_.retries != nullptr) ++res_.retries->timeouts;
+  trace_event("fault_timeout");
+  // Twice the sender's budget: a struggling-but-alive sender always outlasts
+  // this watchdog (its retransmissions keep moving our epoch), and when it
+  // fails its best-effort SEND_ABORT deterministically beats our expiry.
+  if (retries_ > res_.tun->rndv_max_retries * 2) {
+    if (completed_ == plan_.count) {
+      // Payload fully landed; only the SEND_DONE never made it. The sender
+      // is done or dead either way — reclaim without it.
+      force_drain();
+    } else {
+      fail("rendezvous " + std::to_string(req_id_) + " from rank " +
+           std::to_string(src_) + ": sender went silent with payload "
+           "incomplete");
+    }
+    return;
+  }
+  arm_timer();
+}
+
+void RndvRecv::force_drain() {
+  send_done_ = true;
+  timer_.cancel();
+  // Safe to recycle rather than park in the graveyard: the silence that got
+  // us here spans the entire backoff budget, orders of magnitude beyond any
+  // delivery latency plus jitter, so no write posted by the sender can
+  // still be queued against these addresses.
+  for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
+  if (res_.retries != nullptr) ++res_.retries->force_drains;
+  trace_event("fault_force_drain");
+}
+
+void RndvRecv::fail(const std::string& reason) {
+  failed_ = true;
+  error_ = reason;
+  timer_.cancel();
+  if (res_.retries != nullptr) ++res_.retries->transfer_failures;
+  trace_event("fault_transfer_failed");
+  for (auto& s : slots_) {
+    if (!s.valid()) continue;
+    if (res_.slot_graveyard != nullptr) {
+      // The sender may still have writes queued against these addresses;
+      // park them until the rank tears down.
+      res_.slot_graveyard->push_back(std::move(s));
+      s = detail::StagingSlot{};
+    } else {
+      detail::release_slot(*res_.vbufs, s);
+    }
+  }
+}
+
 void RndvRecv::start() {
+  // Liveness watchdog. From here on the sender is actively driving the
+  // transfer (or retransmitting), so every receipt moves our epoch;
+  // sustained total silence for the whole backoff budget means the sender
+  // failed or the path died, and the receive must resolve bounded instead
+  // of tripping the engine's deadlock detector.
+  arm_timer();
   if (path_ == Path::kHostRget) {
     // Receiver-driven: pull the whole message in one RDMA READ; no CTS.
     rget_wr_ = res_.endpoint->post_rdma_read(src_, msg_.base, rget_src_,
@@ -635,6 +792,7 @@ void RndvRecv::start() {
 }
 
 void RndvRecv::on_duplicate_rts() {
+  note_progress();  // the sender is alive and probing
   if (path_ == Path::kHostRget) {
     if (done_sent_) {
       // Our kRndvDone was lost; replay it.
@@ -655,6 +813,7 @@ void RndvRecv::on_duplicate_rts() {
 void RndvRecv::on_chunk_fin(const netsim::WireMessage& m) {
   const std::size_t idx = m.header[1];
   if (idx >= plan_.count) throw std::logic_error("RndvRecv: bad chunk index");
+  note_progress();  // any fin — duplicate included — proves sender liveness
   if (chunks_[idx].arrived) {
     // Retransmitted write for a chunk we already have. If we already
     // drained (and acked) it, the ack was evidently lost: replay it. If it
@@ -696,6 +855,7 @@ void RndvRecv::ack_chunk(std::size_t chunk_idx) {
   }
   drained_chunk_[chunk_idx] = true;
   acks_[chunk_idx] = ack;
+  note_progress();  // local drain progress keeps the watchdog quiet
   post_ctrl(std::move(ack));
 }
 
@@ -706,47 +866,81 @@ void RndvRecv::resend_ack(std::size_t chunk_idx) {
 }
 
 void RndvRecv::on_send_done() {
+  note_progress();
   if (send_done_) {
+    if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
+  } else {
+    send_done_ = true;
+    // Every chunk is acked at the sender: no retransmitted write can target
+    // these slots any more, so they may finally return to the pool.
+    for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
+  }
+  if (path_ == Path::kHostDirect) {
+    // The sender retransmits its SEND_DONE until we confirm (our request
+    // hinges on it, so it must be reliable). Reply to duplicates too: the
+    // retransmission means our previous ack was lost.
+    netsim::WireMessage ack;
+    ack.kind = kSendDoneAck;
+    ack.header[0] = sender_req_;
+    post_ctrl(std::move(ack));
+  }
+  if (drained()) timer_.cancel();
+  advance();
+}
+
+void RndvRecv::on_send_abort() {
+  note_progress();
+  if (failed_ || send_done_) {
     if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
     return;
   }
-  send_done_ = true;
-  // Every chunk is acked at the sender: no retransmitted write can target
-  // these slots any more, so they may finally return to the pool.
-  for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
-  advance();
+  if (completed_ == plan_.count) {
+    // Everything already landed and unpacked; the sender merely never
+    // learned it. The data is good — drain, don't fail.
+    force_drain();
+    return;
+  }
+  fail("rendezvous " + std::to_string(req_id_) + " from rank " +
+       std::to_string(src_) + ": sender aborted the transfer");
 }
 
 bool RndvRecv::on_rdma_read_complete(std::uint64_t wr_id) {
   if (path_ != Path::kHostRget || wr_id != rget_wr_ || done_sent_) {
     return false;
   }
+  note_progress();
   completed_ = plan_.count;
   done_msg_.kind = kRndvDone;
   done_msg_.header[0] = sender_req_;
+  done_msg_.header[1] = req_id_;  // return address for the SEND_DONE
   done_sent_ = true;
   post_ctrl(done_msg_);
   return true;
 }
 
 bool RndvRecv::request_complete() const {
-  // Also true for direct (user-buffer) landings: a duplicate write that
-  // arrives after completion is byte-identical — the sender keeps ownership
-  // of its source buffer until every posted write has drained locally — so
-  // the application cannot observe torn data. Waiting for SEND_DONE here
-  // would deadlock if that (unacknowledged) message were lost.
+  if (failed_) return false;
+  if (path_ == Path::kHostDirect) {
+    // Direct landings go straight into the user buffer, which the
+    // application owns again (or may have freed) the moment the request
+    // completes. A duplicate write retransmitted because its CHUNK_ACK was
+    // lost could drain afterwards and overwrite whatever the application
+    // put there — so completion additionally waits for the sender's
+    // (reliable, acked) SEND_DONE, the proof that nothing can still drain.
+    // The watchdog's force_drain bounds the wait if the sender died.
+    return completed_ == plan_.count && send_done_;
+  }
   return completed_ == plan_.count;
 }
 
 bool RndvRecv::drained() const {
-  if (path_ == Path::kHostRget) {
-    // Kept alive for kRndvDone replay; freed when the rank tears down.
-    return false;
-  }
-  return request_complete() && send_done_;
+  if (failed_) return true;  // slots already parked in the graveyard
+  return completed_ == plan_.count && send_done_;
 }
 
 void RndvRecv::advance() {
+  if (!failed_ && !drained() && timer_.fired()) handle_timeout();
+  if (failed_) return;
   switch (path_) {
     case Path::kHostRget:
       return;  // driven entirely by on_rdma_read_complete

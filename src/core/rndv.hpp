@@ -32,11 +32,15 @@
 // sender owns recovery — a per-transfer deadline timer retransmits the
 // oldest unacknowledged state (RTS before the CTS arrives, unacked chunk
 // writes after) with exponential backoff, bounded by rndv_max_retries and
-// then failing the transfer cleanly. The receiver is purely reactive and
-// idempotent: duplicate RTS re-elicits the stored CTS, duplicate fins
-// re-elicit the stored ack, and landing slots are retained until the
-// sender's SEND_DONE so a late retransmitted write can never land in
-// recycled memory.
+// then failing the transfer cleanly (a best-effort SEND_ABORT tells the
+// peer). An RTS that arrives before its receive is posted is answered
+// with RTS_ACK, which refreshes the sender's budget: a late receiver is
+// not loss. The receiver answers idempotently — duplicate RTS re-elicits
+// the stored CTS, duplicate fins re-elicit the stored ack — and landing
+// slots are retained until the sender's SEND_DONE so a late retransmitted
+// write can never land in recycled memory; its own watchdog timer bounds
+// how long an established rendezvous may sit in total silence before the
+// receive fails (payload missing) or force-drains (payload complete).
 #pragma once
 
 #include <cstdint>
@@ -68,14 +72,17 @@ struct RetryStats {
   std::uint64_t cts_resent = 0;          // stored CTS replayed on dup RTS
   std::uint64_t acks_resent = 0;         // stored ack replayed on dup fin
   std::uint64_t done_resent = 0;         // RGET done replayed on dup RTS
+  std::uint64_t send_done_retransmits = 0;  // direct-mode SEND_DONE resent
   std::uint64_t timeouts = 0;            // deadline expiries counted as retry
   std::uint64_t stall_fallbacks = 0;     // vbuf-starvation watchdog firings
   std::uint64_t duplicates_dropped = 0;  // redundant control msgs ignored
   std::uint64_t transfer_failures = 0;   // transfers failed after max retries
+  std::uint64_t force_drains = 0;        // receivers drained by the watchdog
+                                         // after the peer went silent
 
   std::uint64_t total_retransmits() const {
     return rts_retransmits + chunk_retransmits + error_retransmits +
-           cts_resent + acks_resent + done_resent;
+           cts_resent + acks_resent + done_resent + send_done_retransmits;
   }
 };
 
@@ -166,18 +173,33 @@ class RndvSend {
 
   void on_cts(const netsim::WireMessage& msg);
   void on_chunk_ack(const netsim::WireMessage& msg);
+  /// The peer received our RTS but has no matching receive posted yet.
+  /// Refreshes the retry budget: an unanswered handshake whose RTS is known
+  /// delivered is a late receiver, not a lost message, and legal MPI
+  /// programs may post the matching recv arbitrarily late.
+  void on_rts_ack();
+  /// Direct mode: the receiver confirmed our SEND_DONE; stop resending it.
+  void on_send_done_ack();
   /// Returns true when the completion belonged to this transfer.
   bool on_rdma_complete(std::uint64_t wr_id);
   /// A posted write failed in transport (CqType::kError): retransmit the
   /// chunk, bounded per chunk by rndv_max_retries. Returns true when the
   /// wr_id belonged to this transfer.
   bool on_rdma_error(std::uint64_t wr_id);
-  /// RGET: the receiver pulled the data and sent kRndvDone.
-  void on_rget_done();
+  /// RGET: the receiver pulled the data and sent kRndvDone (h1 carries the
+  /// receiver's request id so the SEND_DONE can be addressed back).
+  void on_rget_done(const netsim::WireMessage& msg);
   void advance();
 
   bool done() const { return complete_; }
   bool failed() const { return failed_; }
+  /// No protocol duties remain. In direct mode completion leaves the
+  /// SEND_DONE handshake still running (the receiver's request hinges on
+  /// it); the owning RankComm keeps the transfer live until drained.
+  bool drained() const {
+    return failed_ ||
+           (complete_ && (!done_owed_ || done_acked_ || done_given_up_));
+  }
   const std::string& error() const { return error_; }
   std::uint64_t req_id() const { return req_id_; }
   const ChunkPlan& plan() const { return plan_; }
@@ -226,6 +248,10 @@ class RndvSend {
 
   // -- reliability state -------------------------------------------------
   netsim::WireMessage rts_;            // stored for retransmission
+  netsim::WireMessage done_;           // SEND_DONE, stored for retransmission
+  bool done_owed_ = false;             // direct mode: peer waits on SEND_DONE
+  bool done_acked_ = false;
+  bool done_given_up_ = false;         // SEND_DONE retry budget exhausted
   sim::DeadlineTimer timer_;
   std::uint64_t ctrl_seq_ = 0;         // stamps outgoing control messages
   std::size_t retries_ = 0;
@@ -247,9 +273,13 @@ class RndvSend {
 
 /// Receiver-side state machine, created when an RTS matches a posted
 /// receive. Sends the CTS, lands chunks, unpacks, acks each chunk (with
-/// the freed slot's re-advertisement piggybacked). Purely reactive: all
-/// loss recovery is driven by the sender's retransmissions, which this
-/// side answers idempotently.
+/// the freed slot's re-advertisement piggybacked). All loss recovery is
+/// driven by the sender's retransmissions, which this side answers
+/// idempotently; the receiver never retransmits data. Its one timer is a
+/// liveness watchdog: once the rendezvous is established the sender is
+/// actively driving, so prolonged total silence means the sender failed
+/// (or the path died) and the receive must fail bounded instead of
+/// waiting out the engine's deadlock detector.
 class RndvRecv {
  public:
   /// `rget_src` is the sender's advertised source address (from the RTS)
@@ -268,20 +298,30 @@ class RndvRecv {
   void on_chunk_fin(const netsim::WireMessage& msg);
   /// Returns true when the read completion belonged to this transfer.
   bool on_rdma_read_complete(std::uint64_t wr_id);
-  /// The sender saw every ack: release retained landing slots.
+  /// The sender saw every ack (or the RGET done): release retained landing
+  /// slots and, in direct mode, complete the request.
   void on_send_done();
   /// A retransmitted RTS for this transfer arrived: replay the stored CTS
   /// (or the RGET done) so a lost handshake message is recovered.
   void on_duplicate_rts();
+  /// Best-effort notice that the sender failed the transfer permanently:
+  /// fail the receive now rather than waiting out the watchdog.
+  void on_send_abort();
   void advance();
 
-  /// All payload data has landed and unpacked into the user buffer. Safe
-  /// even for direct (user-buffer) landings: duplicates that arrive later
-  /// are byte-identical, because the sender holds its source buffer until
-  /// every posted write drained locally.
+  /// The receive request may complete: all payload data has landed and
+  /// unpacked into the user buffer. Direct (user-buffer) landings
+  /// additionally wait for SEND_DONE — only then is it proven that no
+  /// retransmitted duplicate write can still drain into a buffer the
+  /// application owns again (or has already freed).
   bool request_complete() const;
+  /// The transfer failed permanently (sender abort, or watchdog expiry
+  /// with payload still missing).
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
   /// Nothing retained and no replay obligations remain; the owning
-  /// RankComm may drop this object.
+  /// RankComm may drop this object (keeping only its finished-transfer
+  /// key so very late duplicate RTSes stay recognizable).
   bool drained() const;
 
   std::uint64_t req_id() const { return req_id_; }
@@ -297,6 +337,15 @@ class RndvRecv {
   void resend_ack(std::size_t chunk_idx);
   void post_ctrl(netsim::WireMessage msg);
   void trace_event(const char* category);
+  void note_progress() { ++progress_epoch_; }
+  void arm_timer();
+  void handle_timeout();
+  /// The peer has been silent for the whole backoff budget: release what
+  /// is retained and stop tracking. Slots go back to the pool — by now any
+  /// write the sender ever posted has long drained, the quiet period being
+  /// orders of magnitude above wire latency plus jitter.
+  void force_drain();
+  void fail(const std::string& reason);
 
   RankResources& res_;
   MsgView msg_;
@@ -336,6 +385,12 @@ class RndvRecv {
   bool send_done_ = false;
   std::uint64_t credit_seq_ = 0;
   std::uint64_t ctrl_seq_ = 0;
+  sim::DeadlineTimer timer_;           // liveness watchdog, never retransmits
+  std::size_t retries_ = 0;
+  std::uint64_t progress_epoch_ = 1;
+  std::uint64_t armed_epoch_ = 0;
+  bool failed_ = false;
+  std::string error_;
 };
 
 }  // namespace mv2gnc::core

@@ -19,6 +19,12 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   fabric_ = std::make_unique<netsim::Fabric>(engine_, config_.ranks,
                                              config_.net_cost);
   fabric_->faults() = config_.faults;
+  // RC-transport acknowledgement of the RTS: the receiving NIC confirms
+  // delivery even while the receiving process is busy computing, so the
+  // sender can tell "RTS lost, retransmit" from "receive not yet posted,
+  // keep waiting" (echoes the sender request id from RTS header[2]).
+  fabric_->enable_delivery_receipt(
+      {core::kRts, core::kRtsAck, /*echo_header=*/2});
   for (int r = 0; r < config_.ranks; ++r) {
     devices_.push_back(std::make_unique<gpu::Device>(
         engine_, registry_, r, config_.gpu_cost,
@@ -40,6 +46,13 @@ const core::RetryStats& Cluster::retry_stats(int rank) const {
     throw std::out_of_range("retry_stats: bad rank");
   }
   return comms_[static_cast<std::size_t>(rank)]->retry_stats();
+}
+
+std::size_t Cluster::tracked_rendezvous(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("tracked_rendezvous: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->tracked_rendezvous();
 }
 
 Cluster::~Cluster() = default;

@@ -97,6 +97,10 @@ class Cluster {
   netsim::FaultModel& faults();
   /// Detailed per-rank reliability counters (valid after run()).
   const core::RetryStats& retry_stats(int rank) const;
+  /// Rendezvous receivers a rank still tracks (valid after run()). Zero
+  /// once every transfer has been garbage-collected down to its
+  /// finished-transfer record.
+  std::size_t tracked_rendezvous(int rank) const;
 
   /// Virtual time at which the last run() finished.
   sim::SimTime elapsed() const { return engine_.now(); }

@@ -289,6 +289,15 @@ void RankComm::dispatch(const netsim::Completion& c) {
       } else if (auto dit = draining_recvs_.find(m.header[0]);
                  dit != draining_recvs_.end()) {
         dit->second->on_send_done();
+      } else if (auto fit = finished_recvs_.find(m.header[0]);
+                 fit != finished_recvs_.end()) {
+        // Collected direct-mode receiver: the sender is retransmitting its
+        // SEND_DONE because our SEND_DONE_ACK was lost. Re-ack from the
+        // retained record so the sender's handshake terminates.
+        netsim::WireMessage ack;
+        ack.kind = core::kSendDoneAck;
+        ack.header[0] = fit->second.second;
+        res_.endpoint->post_send(fit->second.first, std::move(ack));
       } else {
         ++retry_stats_.duplicates_dropped;
       }
@@ -300,7 +309,37 @@ void RankComm::dispatch(const netsim::Completion& c) {
         ++retry_stats_.duplicates_dropped;
         return;
       }
-      it->second->rndv_send->on_rget_done();
+      it->second->rndv_send->on_rget_done(m);
+      return;
+    }
+    case core::kRtsAck: {
+      auto it = active_sends_.find(m.header[0]);
+      if (it == active_sends_.end()) {
+        ++retry_stats_.duplicates_dropped;
+        return;
+      }
+      it->second->rndv_send->on_rts_ack();
+      return;
+    }
+    case core::kSendDoneAck: {
+      auto it = active_sends_.find(m.header[0]);
+      if (it == active_sends_.end()) {
+        ++retry_stats_.duplicates_dropped;
+        return;
+      }
+      it->second->rndv_send->on_send_done_ack();
+      return;
+    }
+    case core::kSendAbort: {
+      if (auto it = active_recvs_.find(m.header[0]);
+          it != active_recvs_.end()) {
+        it->second->rndv_recv->on_send_abort();
+      } else if (auto dit = draining_recvs_.find(m.header[0]);
+                 dit != draining_recvs_.end()) {
+        dit->second->on_send_abort();
+      } else {
+        ++retry_stats_.duplicates_dropped;
+      }
       return;
     }
     default:
@@ -353,6 +392,13 @@ void RankComm::handle_rts(const netsim::WireMessage& m) {
     it->second->on_duplicate_rts();
     return;
   }
+  if (finished_rts_.find(key) != finished_rts_.end()) {
+    // Very late duplicate of a transfer already garbage-collected. The
+    // sender is long done (it only stops resending the RTS once answered),
+    // so no reply is owed — just never spawn a second receiver.
+    ++retry_stats_.duplicates_dropped;
+    return;
+  }
   for (const UnexpectedMsg& u : unexpected_) {
     if (u.is_rts && u.src == m.src_node && u.sender_req == m.header[2]) {
       ++retry_stats_.duplicates_dropped;  // original still queued unmatched
@@ -381,6 +427,11 @@ void RankComm::handle_rts(const netsim::WireMessage& m) {
   u.sender_chunk = m.header[3];
   u.rget_src = rget_src;
   unexpected_.push_back(std::move(u));
+  // No matching receive yet — legal MPI may post it arbitrarily late. The
+  // sender's retry budget is refreshed by the NIC-level delivery receipt
+  // (kRtsAck, see Fabric::DeliveryReceipt), which fired the moment this
+  // RTS landed in our CQ — even if this process had been busy computing
+  // instead of polling. Nothing more to do here.
 }
 
 void RankComm::deliver_eager(ReqState& r, int src, int tag,
@@ -434,21 +485,33 @@ void RankComm::sweep_transfers() {
   std::vector<std::uint64_t> done_sends;
   for (auto& [id, state] : active_sends_) {
     state->rndv_send->advance();
-    if (state->rndv_send->done()) {
-      state->complete = true;
-      done_sends.push_back(id);
-    } else if (state->rndv_send->failed()) {
+    if (state->rndv_send->failed()) {
       state->complete = true;
       state->failed = true;
       state->error = state->rndv_send->error();
       done_sends.push_back(id);
+    } else if (state->rndv_send->done() && state->rndv_send->drained()) {
+      // done() alone is not enough: a direct-mode sender still owes the
+      // (acked) SEND_DONE, and retiring it would stop the retransmission
+      // its peer's request completion hinges on.
+      state->complete = true;
+      done_sends.push_back(id);
     }
   }
-  for (auto id : done_sends) active_sends_.erase(id);
+  for (auto id : done_sends) {
+    auto it = active_sends_.find(id);
+    it->second->rndv_send.reset();
+    active_sends_.erase(it);
+  }
   std::vector<std::uint64_t> done_recvs;
   for (auto& [id, state] : active_recvs_) {
     state->rndv_recv->advance();
-    if (state->rndv_recv->request_complete()) {
+    if (state->rndv_recv->failed()) {
+      state->complete = true;
+      state->failed = true;
+      state->error = state->rndv_recv->error();
+      done_recvs.push_back(id);
+    } else if (state->rndv_recv->request_complete()) {
       state->complete = true;
       done_recvs.push_back(id);
     }
@@ -456,17 +519,33 @@ void RankComm::sweep_transfers() {
   for (auto id : done_recvs) {
     auto it = active_recvs_.find(id);
     auto recv = it->second->rndv_recv;
+    it->second->rndv_recv.reset();
     active_recvs_.erase(it);
-    // A completed receiver may still owe protocol duties: retained landing
+    // A resolved receiver may still owe protocol duties: retained landing
     // slots wait for SEND_DONE, an RGET done must stay replayable. Park it
-    // in the draining map so control messages keep finding it.
+    // in the draining map so control messages keep finding it; once nothing
+    // remains, shrink it to its finished_* record.
     if (!recv->drained()) draining_recvs_.emplace(id, std::move(recv));
+    else retire_recv(id, *recv);
   }
   std::vector<std::uint64_t> drained;
   for (auto& [id, recv] : draining_recvs_) {
+    recv->advance();  // drives the liveness watchdog toward force_drain
     if (recv->drained()) drained.push_back(id);
   }
-  for (auto id : drained) draining_recvs_.erase(id);
+  for (auto id : drained) {
+    auto it = draining_recvs_.find(id);
+    retire_recv(id, *it->second);
+    draining_recvs_.erase(it);
+  }
+}
+
+void RankComm::retire_recv(std::uint64_t recv_req,
+                           const core::RndvRecv& recv) {
+  const auto key = std::make_pair(recv.src_node(), recv.sender_req());
+  rts_index_.erase(key);
+  finished_rts_.emplace(key, recv_req);
+  finished_recvs_.emplace(recv_req, key);
 }
 
 // ---------------------------------------------------------------------------

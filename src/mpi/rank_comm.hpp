@@ -88,6 +88,12 @@ class RankComm {
   core::VbufPool& vbufs() { return vbuf_pool_; }
   /// Aggregated reliability counters (retransmissions, timeouts, stalls).
   const core::RetryStats& retry_stats() const { return retry_stats_; }
+  /// Rendezvous receivers still held live (matched or draining). Returns to
+  /// zero once every transfer is garbage-collected — the check long-running
+  /// processes rely on (see docs/RELIABILITY.md).
+  std::size_t tracked_rendezvous() const {
+    return rts_index_.size() + draining_recvs_.size();
+  }
 
   /// World group of this rank (context 0, identity mapping).
   const std::shared_ptr<const CommGroup>& world_group() const {
@@ -146,6 +152,9 @@ class RankComm {
                        std::size_t bytes, std::uint64_t sender_req,
                        std::size_t sender_chunk, const std::byte* rget_src);
   void sweep_transfers();
+  // Drop a finished receiver from the live maps, keeping only the small
+  // per-transfer record that keeps very late duplicates recognizable.
+  void retire_recv(std::uint64_t recv_req, const core::RndvRecv& recv);
   std::uint64_t next_req_id() { return req_seq_++; }
 
   int rank_;
@@ -172,12 +181,22 @@ class RankComm {
   /// done replayable). Keyed by recv request id.
   std::unordered_map<std::uint64_t, std::shared_ptr<core::RndvRecv>>
       draining_recvs_;
-  /// Every rendezvous receiver ever created, keyed by (source node, sender
-  /// request id): retransmitted RTSes are recognised here and answered with
-  /// the stored CTS / done instead of spawning a second receiver. Kept for
-  /// the rank's lifetime so arbitrarily late duplicates stay idempotent.
+  /// Live rendezvous receivers keyed by (source node, sender request id):
+  /// retransmitted RTSes are recognised here and answered with the stored
+  /// CTS / done instead of spawning a second receiver. Entries are erased
+  /// when the transfer is provably finished (drained), leaving only a
+  /// finished_* record behind.
   std::map<std::pair<int, std::uint64_t>, std::shared_ptr<core::RndvRecv>>
       rts_index_;
+  /// Garbage-collected transfers. A whole retained receiver shrinks to a
+  /// few words: enough to recognise a very late duplicate RTS (key:
+  /// (source node, sender request id)) ...
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> finished_rts_;
+  /// ... and to re-ack a retransmitted SEND_DONE whose SEND_DONE_ACK was
+  /// lost after the direct-mode receiver was collected (key: recv request
+  /// id, value: (source node, sender request id)).
+  std::unordered_map<std::uint64_t, std::pair<int, std::uint64_t>>
+      finished_recvs_;
   /// Staging slots failed/finished transfers could not release safely (an
   /// in-flight RDMA write may still read them); freed in the destructor,
   /// when the engine has drained every event.

@@ -31,9 +31,45 @@ void Endpoint::deliver_remote(Endpoint* dst_ep,
                               sim::SimTime extra_delay) {
   engine_.schedule_after(fabric_.cost().latency_ns + extra_delay,
                          [dst_ep, msg] {
+                           const DeliveryReceipt* r =
+                               dst_ep->fabric_.receipt_for(msg->kind);
+                           if (r != nullptr) dst_ep->send_receipt(*r, *msg);
                            dst_ep->deliver(
                                Completion{CqType::kRecv, 0, std::move(*msg)});
                          });
+}
+
+void Endpoint::send_receipt(const DeliveryReceipt& r,
+                            const WireMessage& m) {
+  const int dst = m.src_node;
+  if (dst < 0 || dst >= fabric_.nodes()) return;
+  WireMessage ack;
+  ack.src_node = node_;
+  ack.kind = r.receipt_kind;
+  ack.header[0] = m.header[r.echo_header];
+  const NetCostModel& c = fabric_.cost();
+  Endpoint* dst_ep = &fabric_.endpoint(dst);
+  auto shared = std::make_shared<WireMessage>(std::move(ack));
+  ++messages_sent_;
+  // The HCA generates the receipt itself: no process posts a WR, so there
+  // is no post overhead and no kSendComplete — only transmit occupancy,
+  // plus the usual fault rolls on the (this -> dst, receipt_kind) edge. A
+  // receipt kind has no receipt of its own, so this cannot recurse.
+  tx_.submit(c.per_msg_overhead_ns + c.wire_time(64),
+             [this, dst, dst_ep, shared] {
+               sim::SimTime extra = 0;
+               if (fabric_.faults().enabled()) {
+                 const FaultSpec& spec =
+                     fabric_.faults().resolve(node_, dst, shared->kind);
+                 if (spec.drop_send > 0.0 &&
+                     engine_.rand_uniform() < spec.drop_send) {
+                   ++fault_counters_.sends_dropped;
+                   return;
+                 }
+                 extra = draw_jitter(spec);
+               }
+               deliver_remote(dst_ep, shared, extra);
+             });
 }
 
 bool Endpoint::poll(Completion& out) {

@@ -21,6 +21,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "net/fault.hpp"
@@ -75,6 +76,21 @@ struct Completion {
 
 class Fabric;
 
+/// NIC-generated delivery receipt, modelling the transport-level
+/// acknowledgement of a reliable-connection HCA: whenever a message of
+/// `kind` is delivered into a destination CQ, the destination NIC
+/// immediately transmits a message of `receipt_kind` back to the origin,
+/// with header[0] echoing the original's header[echo_header]. It fires
+/// whether or not the receiving process ever polls its CQ — that is the
+/// point: it distinguishes "delivered but not yet consumed" from "lost".
+/// The receipt traverses the fabric like any send (fault rolls included)
+/// and never generates a receipt of its own.
+struct DeliveryReceipt {
+  int kind = 0;
+  int receipt_kind = 0;
+  std::size_t echo_header = 0;
+};
+
 /// Per-node NIC endpoint: transmit queue + completion queue.
 class Endpoint {
  public:
@@ -127,6 +143,9 @@ class Endpoint {
   // fault-injected jitter.
   void deliver_remote(Endpoint* dst_ep, std::shared_ptr<WireMessage> msg,
                       sim::SimTime extra_delay);
+  // NIC-side half of DeliveryReceipt: fired at delivery time for a
+  // receipt-enabled kind, from scheduler context (no process needed).
+  void send_receipt(const DeliveryReceipt& r, const WireMessage& m);
   // Draw the jitter for `spec` (0 if none), counting jittered deliveries.
   sim::SimTime draw_jitter(const FaultSpec& spec);
 
@@ -154,6 +173,20 @@ class Fabric {
   const NetCostModel& cost() const { return cost_; }
   sim::Engine& engine() { return engine_; }
 
+  /// Arm a DeliveryReceipt (see the struct doc above) for one message kind.
+  void enable_delivery_receipt(DeliveryReceipt r) {
+    if (r.echo_header >= 6 || receipt_for(r.receipt_kind) != nullptr) {
+      throw std::invalid_argument("enable_delivery_receipt: bad config");
+    }
+    receipts_.push_back(r);
+  }
+  const DeliveryReceipt* receipt_for(int kind) const {
+    for (const DeliveryReceipt& r : receipts_) {
+      if (r.kind == kind) return &r;
+    }
+    return nullptr;
+  }
+
   /// Fault-injection rules shared by every endpoint. Mutate before (or
   /// between) transfers; decisions are drawn from the engine RNG at
   /// transmit-drain time, so a fixed Engine::seed_rng seed reproduces the
@@ -165,6 +198,7 @@ class Fabric {
   sim::Engine& engine_;
   NetCostModel cost_;
   FaultModel faults_;
+  std::vector<DeliveryReceipt> receipts_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 };
 

@@ -31,10 +31,9 @@ class SplitMix64 {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
-  /// Uniform integer in [0, bound) (bound > 0; slight modulo bias is
-  /// irrelevant for jitter sampling).
-  /// Uniform draw in [0, bound). A zero bound has an empty range; return 0
-  /// rather than dividing by it.
+  /// Uniform draw in [0, bound). A zero bound has an empty range: return 0
+  /// rather than dividing by it. The slight modulo bias is irrelevant for
+  /// jitter sampling.
   std::uint64_t below(std::uint64_t bound) { return bound ? next() % bound : 0; }
 
  private:

@@ -33,7 +33,8 @@ void fault_rendezvous_control(netsim::FaultModel& fm, double drop_send,
   netsim::FaultSpec ctrl;
   ctrl.drop_send = drop_send;
   for (int kind : {core::kRts, core::kCts, core::kChunkAck, core::kRndvDone,
-                   core::kSendDone}) {
+                   core::kSendDone, core::kRtsAck, core::kSendDoneAck,
+                   core::kSendAbort}) {
     fm.set_kind(kind, ctrl);
   }
   netsim::FaultSpec data;
@@ -297,6 +298,255 @@ TEST(Reliability, RgetDoneLossIsReplayedOnDuplicateRts) {
   EXPECT_GT(snd.rts_retransmits, 0u);
   EXPECT_GT(rcv.done_resent, 0u);
   EXPECT_EQ(snd.transfer_failures, 0u);
+}
+
+TEST(Reliability, LateReceiverOutlastsRetryBudget) {
+  // A fault-free fabric, a sender whose whole retry budget spans ~1.4 ms,
+  // and a receiver that posts the matching recv only after 50 ms. The
+  // receiver's RTS_ACK must keep refreshing the sender's budget: a late
+  // receiver is legal MPI, not message loss, so the transfer succeeds.
+  ClusterConfig cfg;
+  cfg.tunables.rndv_timeout_ns = 200'000;  // 200 us
+  cfg.tunables.rndv_max_retries = 3;       // budget alone: ~1.4 ms << 50 ms
+  Cluster cluster(cfg);
+  std::size_t mismatches = 0;
+  cluster.run([&](Context& ctx) {
+    const int n = 1 << 20;
+    auto byte_t = committed(Datatype::byte());
+    std::vector<std::byte> buf(static_cast<std::size_t>(n));
+    if (ctx.rank == 0) {
+      for (int i = 0; i < n; ++i) {
+        buf[static_cast<std::size_t>(i)] =
+            static_cast<std::byte>((i * 7 + 1) & 0xFF);
+      }
+      ctx.comm.send(buf.data(), n, byte_t, 1, 0);
+    } else {
+      ctx.engine->delay(sim::milliseconds(50));  // RTS sits unexpected
+      ctx.comm.recv(buf.data(), n, byte_t, 0, 0);
+      for (int i = 0; i < n; i += 769) {
+        if (buf[static_cast<std::size_t>(i)] !=
+            static_cast<std::byte>((i * 7 + 1) & 0xFF)) {
+          ++mismatches;
+        }
+      }
+    }
+    ctx.comm.barrier();
+  });
+  EXPECT_EQ(mismatches, 0u);
+  const core::RetryStats& snd = cluster.retry_stats(0);
+  // The sender probed (far) past its nominal budget without giving up.
+  EXPECT_GT(snd.rts_retransmits, cfg.tunables.rndv_max_retries);
+  EXPECT_EQ(snd.transfer_failures, 0u);
+  EXPECT_EQ(cluster.retry_stats(1).transfer_failures, 0u);
+}
+
+TEST(Reliability, SenderFailurePropagatesAbortToMatchedReceiver) {
+  // Every chunk write's fin immediate is swallowed, so the sender exhausts
+  // its budget with the rendezvous established. The SEND_ABORT must fail
+  // the matched receive as a bounded per-request RequestError on rank 1 —
+  // not leave it blocked until the engine's deadlock detector kills the
+  // whole simulation.
+  ClusterConfig cfg;
+  cfg.rng_seed = 13;
+  cfg.tunables.rndv_timeout_ns = 200'000;
+  cfg.tunables.rndv_max_retries = 3;
+  netsim::FaultSpec swallow;
+  swallow.drop_imm = 1.0;
+  cfg.faults.set_kind(core::kChunkFin, swallow);
+  Cluster cluster(cfg);
+  bool sender_threw = false;
+  bool receiver_threw = false;
+  std::string receiver_what;
+  sim::SimTime receiver_failed_at = 0;
+  cluster.run([&](Context& ctx) {
+    const int n = 1 << 20;
+    auto byte_t = committed(Datatype::byte());
+    auto* dev = static_cast<std::byte*>(ctx.cuda->malloc(n));
+    try {
+      if (ctx.rank == 0) {
+        ctx.comm.send(dev, n, byte_t, 1, 0);
+      } else {
+        ctx.comm.recv(dev, n, byte_t, 0, 0);
+      }
+    } catch (const mpisim::RequestError& e) {
+      if (ctx.rank == 0) {
+        sender_threw = true;
+      } else {
+        receiver_threw = true;
+        receiver_what = e.what();
+        receiver_failed_at = ctx.engine->now();
+      }
+    }
+    ctx.cuda->free(dev);
+  });
+  EXPECT_TRUE(sender_threw);
+  EXPECT_TRUE(receiver_threw);
+  EXPECT_NE(receiver_what.find("abort"), std::string::npos);
+  // The abort arrives moments after the sender gives up (~3 ms of backed-off
+  // retries) — far inside the receiver's own ~25 ms watchdog budget (twice
+  // the sender's retry count).
+  EXPECT_LE(receiver_failed_at, sim::SimTime{10'000'000});
+  EXPECT_EQ(cluster.retry_stats(0).transfer_failures, 1u);
+  EXPECT_EQ(cluster.retry_stats(1).transfer_failures, 1u);
+}
+
+TEST(Reliability, ReceiverWatchdogBoundsWaitWhenAbortIsLost) {
+  // Same dead data path, but the best-effort SEND_ABORT is swallowed too.
+  // The receiver's own liveness watchdog must fail the receive once the
+  // sender has been silent for the whole backoff budget.
+  ClusterConfig cfg;
+  cfg.rng_seed = 17;
+  cfg.tunables.rndv_timeout_ns = 200'000;
+  cfg.tunables.rndv_max_retries = 3;
+  netsim::FaultSpec swallow;
+  swallow.drop_imm = 1.0;
+  cfg.faults.set_kind(core::kChunkFin, swallow);
+  netsim::FaultSpec black_hole;
+  black_hole.drop_send = 1.0;
+  cfg.faults.set_kind(core::kSendAbort, black_hole);
+  Cluster cluster(cfg);
+  bool receiver_threw = false;
+  std::string receiver_what;
+  sim::SimTime receiver_failed_at = 0;
+  cluster.run([&](Context& ctx) {
+    const int n = 1 << 20;
+    auto byte_t = committed(Datatype::byte());
+    auto* dev = static_cast<std::byte*>(ctx.cuda->malloc(n));
+    try {
+      if (ctx.rank == 0) {
+        ctx.comm.send(dev, n, byte_t, 1, 0);
+      } else {
+        ctx.comm.recv(dev, n, byte_t, 0, 0);
+      }
+    } catch (const mpisim::RequestError& e) {
+      if (ctx.rank == 1) {
+        receiver_threw = true;
+        receiver_what = e.what();
+        receiver_failed_at = ctx.engine->now();
+      }
+    }
+    ctx.cuda->free(dev);
+  });
+  EXPECT_TRUE(receiver_threw);
+  EXPECT_NE(receiver_what.find("silent"), std::string::npos);
+  // The receiver's watchdog budget is twice the sender's retry count:
+  // ~25 ms of backed-off silence before it fails the receive. Bounded —
+  // never the deadlock detector.
+  EXPECT_LE(receiver_failed_at, sim::SimTime{40'000'000});
+  EXPECT_EQ(cluster.retry_stats(1).transfer_failures, 1u);
+}
+
+TEST(Reliability, DirectModeCompletionSurvivesSendDoneLoss) {
+  // Host-contiguous landings go straight into the user buffer, so the
+  // receive may only complete once the sender's SEND_DONE proves no
+  // duplicate write can still drain into it. With 95% of SEND_DONEs lost
+  // the sender must keep retransmitting (the receiver acks it) until the
+  // handshake closes; the request still completes with intact data.
+  ClusterConfig cfg;
+  cfg.rng_seed = 29;
+  cfg.tunables.rndv_timeout_ns = 200'000;
+  cfg.tunables.rndv_max_retries = 25;
+  netsim::FaultSpec done_loss;
+  done_loss.drop_send = 0.95;
+  cfg.faults.set_kind(core::kSendDone, done_loss);
+  Cluster cluster(cfg);
+  std::size_t mismatches = 0;
+  cluster.run([&](Context& ctx) {
+    const int n = 1 << 20;  // host-contiguous 1 MB: direct (kDirect) landing
+    auto byte_t = committed(Datatype::byte());
+    std::vector<std::byte> buf(static_cast<std::size_t>(n));
+    if (ctx.rank == 0) {
+      for (int i = 0; i < n; ++i) {
+        buf[static_cast<std::size_t>(i)] =
+            static_cast<std::byte>((i * 13 + 5) & 0xFF);
+      }
+      ctx.comm.send(buf.data(), n, byte_t, 1, 0);
+    } else {
+      ctx.comm.recv(buf.data(), n, byte_t, 0, 0);
+      for (int i = 0; i < n; i += 641) {
+        if (buf[static_cast<std::size_t>(i)] !=
+            static_cast<std::byte>((i * 13 + 5) & 0xFF)) {
+          ++mismatches;
+        }
+      }
+    }
+    ctx.comm.barrier();
+  });
+  EXPECT_EQ(mismatches, 0u);
+  const core::RetryStats& snd = cluster.retry_stats(0);
+  EXPECT_GT(snd.send_done_retransmits, 0u);
+  EXPECT_EQ(snd.transfer_failures, 0u);
+  EXPECT_EQ(cluster.retry_stats(1).transfer_failures, 0u);
+}
+
+TEST(Reliability, ForceDrainCompletesDirectReceiverWhenSenderGoesSilent) {
+  // Every SEND_DONE is swallowed: the direct-mode sender eventually stops
+  // retransmitting (budget out, data fully acked — not a failure), and the
+  // receiver's watchdog force-drains, completing the request with the
+  // payload it verifiably holds. Afterwards nothing is tracked: the
+  // transfer shrank to its finished-transfer record.
+  ClusterConfig cfg;
+  cfg.rng_seed = 31;
+  cfg.tunables.rndv_timeout_ns = 200'000;
+  cfg.tunables.rndv_max_retries = 4;
+  netsim::FaultSpec black_hole;
+  black_hole.drop_send = 1.0;
+  cfg.faults.set_kind(core::kSendDone, black_hole);
+  Cluster cluster(cfg);
+  std::size_t mismatches = 0;
+  cluster.run([&](Context& ctx) {
+    const int n = 1 << 20;
+    auto byte_t = committed(Datatype::byte());
+    std::vector<std::byte> buf(static_cast<std::size_t>(n));
+    if (ctx.rank == 0) {
+      for (int i = 0; i < n; ++i) {
+        buf[static_cast<std::size_t>(i)] =
+            static_cast<std::byte>((i * 11 + 2) & 0xFF);
+      }
+      ctx.comm.send(buf.data(), n, byte_t, 1, 0);
+    } else {
+      ctx.comm.recv(buf.data(), n, byte_t, 0, 0);
+      for (int i = 0; i < n; i += 523) {
+        if (buf[static_cast<std::size_t>(i)] !=
+            static_cast<std::byte>((i * 11 + 2) & 0xFF)) {
+          ++mismatches;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_GT(cluster.retry_stats(1).force_drains, 0u);
+  EXPECT_EQ(cluster.retry_stats(0).transfer_failures, 0u);
+  EXPECT_EQ(cluster.retry_stats(1).transfer_failures, 0u);
+  EXPECT_EQ(cluster.tracked_rendezvous(1), 0u);
+}
+
+TEST(Reliability, DrainedReceiversAreGarbageCollected) {
+  // Issue: rts_index_ used to retain every rendezvous receiver (CTS/ack
+  // payloads included) for the rank's lifetime. After a batch of finished
+  // transfers the rank must track nothing — each shrinks to a few-word
+  // finished-transfer record.
+  ClusterConfig cfg;  // fault-free
+  Cluster cluster(cfg);
+  cluster.run([&](Context& ctx) {
+    auto byte_t = committed(Datatype::byte());
+    const int n = 1 << 18;  // 256 KB: rendezvous, staged device landings
+    auto* dev = static_cast<std::byte*>(ctx.cuda->malloc(n));
+    std::vector<std::byte> host(static_cast<std::size_t>(n), std::byte{5});
+    for (int iter = 0; iter < 8; ++iter) {
+      if (ctx.rank == 0) {
+        ctx.comm.send(dev, n, byte_t, 1, iter);       // staged path
+        ctx.comm.send(host.data(), n, byte_t, 1, iter);  // direct path
+      } else {
+        ctx.comm.recv(dev, n, byte_t, 0, iter);
+        ctx.comm.recv(host.data(), n, byte_t, 0, iter);
+      }
+    }
+    ctx.comm.barrier();
+    ctx.cuda->free(dev);
+  });
+  EXPECT_EQ(cluster.tracked_rendezvous(0), 0u);
+  EXPECT_EQ(cluster.tracked_rendezvous(1), 0u);
 }
 
 TEST(Reliability, FaultEventsAppearInTrace) {
