@@ -1,9 +1,14 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cuda/runtime.hpp"
 #include "gpu/device.hpp"
@@ -33,5 +38,44 @@ inline void banner(const std::string& what, const std::string& paper_ref) {
             << "# (virtual time on the simulated C2050/QDR testbed)\n"
             << "######################################################\n";
 }
+
+/// Machine-readable benchmark results. Each binary accumulates flat
+/// (key, value) metrics; when the MV2GNC_BENCH_JSON_DIR environment
+/// variable names a directory, write() emits BENCH_<name>.json there so
+/// scripts/run_benches.sh (and CI trend tooling) can diff runs without
+/// scraping the ASCII tables. Without the variable, write() is a no-op.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Returns the path written, or "" when reporting is disabled.
+  std::string write() const {
+    const char* dir = std::getenv("MV2GNC_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0') return {};
+    const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return {};
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::ostringstream v;  // default precision; no locale surprises
+      v << metrics_[i].second;
+      out << (i ? "," : "") << "\n    \"" << metrics_[i].first
+          << "\": " << v.str();
+    }
+    out << "\n  }\n}\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace mv2gnc::bench

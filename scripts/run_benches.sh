@@ -13,6 +13,9 @@ if [ ! -d "${BUILD_DIR}/bench" ]; then
   exit 1
 fi
 
+# Benches that support it drop machine-readable BENCH_<name>.json here.
+export MV2GNC_BENCH_JSON_DIR="${OUT_DIR}"
+
 for bin in "${BUILD_DIR}"/bench/*; do
   # -f guards against CMakeFiles/ and friends, which are executable dirs.
   [ -f "${bin}" ] && [ -x "${bin}" ] || continue
@@ -23,6 +26,10 @@ done
 
 echo
 echo "outputs written to ${OUT_DIR}/"
+ls "${OUT_DIR}"/BENCH_*.json >/dev/null 2>&1 && {
+  echo "json metrics:"
+  ls -1 "${OUT_DIR}"/BENCH_*.json | sed 's/^/  /'
+}
 
 # Cluster::print_stats appends a per-rank fault/retry table only when a run
 # injected faults or retransmitted anything. Surface those runs so a bench

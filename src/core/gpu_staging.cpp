@@ -1,6 +1,7 @@
 #include "core/gpu_staging.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace mv2gnc::core {
@@ -46,28 +47,32 @@ bool patterned(const MsgView& msg) {
              msg.pattern->block_bytes;
 }
 
-// Generalized device pack/unpack kernel: models per-run cost like a D2D
-// 2-D copy and performs the real gather/scatter at completion.
+// Generalized device pack/unpack kernel: a per-run gather/scatter over
+// arbitrary descriptors. Every run pays the full first-row cost — unlike a
+// uniform 2-D copy, the DMA engine cannot amortize descriptor processing
+// across irregular runs (this is exactly what the plan's sub-pattern
+// decomposition exists to avoid). The body performs the real byte moves.
 cusim::Event submit_generalized(cusim::CudaContext& ctx, cusim::Stream& stream,
                                 const MsgView& msg, std::size_t offset,
                                 std::size_t bytes, std::byte* dense,
                                 bool packing) {
   const auto& cost = ctx.device().cost();
-  const std::size_t total_segs = msg.dtype.total_segments(msg.count);
-  const double frac = msg.packed_bytes
-                          ? static_cast<double>(bytes) /
-                                static_cast<double>(msg.packed_bytes)
-                          : 0.0;
-  const auto runs = static_cast<std::int64_t>(
-      static_cast<double>(total_segs) * frac + 0.5);
-  const std::int64_t first = std::min<std::int64_t>(runs, cost.d2d_row_knee);
-  const std::int64_t steady = runs - first;
+  std::size_t runs;
+  if (msg.plan && msg.plan->packed_bytes() > 0) {
+    runs = msg.plan->segments_in_range(offset, bytes);
+  } else {
+    const std::size_t total_segs = msg.dtype.total_segments(msg.count);
+    const double frac = msg.packed_bytes
+                            ? static_cast<double>(bytes) /
+                                  static_cast<double>(msg.packed_bytes)
+                            : 0.0;
+    runs = static_cast<std::size_t>(static_cast<double>(total_segs) * frac +
+                                    0.5);
+  }
   const sim::SimTime dur =
       cost.d2d_2d_setup_ns + cost.copy_launch_ns +
-      static_cast<sim::SimTime>(static_cast<double>(first) *
-                                    cost.d2d_row_first_ns +
-                                static_cast<double>(steady) *
-                                    cost.d2d_row_steady_ns) +
+      static_cast<sim::SimTime>(static_cast<double>(runs) *
+                                cost.d2d_row_first_ns) +
       cost.transfer_time(bytes, gpu::CopyDir::kDeviceToDevice);
   void* base = msg.base;
   const mpisim::Datatype dtype = msg.dtype;
@@ -80,6 +85,75 @@ cusim::Event submit_generalized(cusim::CudaContext& ctx, cusim::Stream& stream,
     }
   });
   return ctx.record_event(stream);
+}
+
+// Batched sub-pattern pack/unpack: the plan decomposed the irregular run
+// list into a few maximal uniform (block, stride, rows) groups, so the
+// packed range becomes a short sequence of 2-D copies (plus 1-D head/tail
+// copies where a chunk boundary splits a row) instead of one degenerate
+// per-row gather.
+cusim::Event submit_subpatterned(cusim::CudaContext& ctx,
+                                 cusim::Stream& stream, const MsgView& msg,
+                                 std::size_t offset, std::size_t bytes,
+                                 std::byte* dense, bool packing) {
+  auto* base = static_cast<std::byte*>(msg.base);
+  const std::size_t end = offset + bytes;
+  const auto copy1d = [&](std::byte* strided, std::byte* packed,
+                          std::size_t n) {
+    if (packing) {
+      ctx.memcpy_async(packed, strided, n,
+                       cusim::MemcpyKind::kDeviceToDevice, stream);
+    } else {
+      ctx.memcpy_async(strided, packed, n,
+                       cusim::MemcpyKind::kDeviceToDevice, stream);
+    }
+  };
+  for (const SubPattern& sp : msg.plan->subpatterns()) {
+    const std::size_t sp_end = sp.packed_offset + sp.packed_bytes();
+    if (sp_end <= offset) continue;
+    if (sp.packed_offset >= end) break;
+    std::size_t lo = std::max(offset, sp.packed_offset) - sp.packed_offset;
+    const std::size_t hi = std::min(end, sp_end) - sp.packed_offset;
+    std::byte* d = dense + (sp.packed_offset + lo - offset);
+    std::size_t row = lo / sp.block;
+    const std::size_t rskip = lo % sp.block;
+    std::byte* const sp_base = base + sp.first_offset;
+    if (rskip != 0) {  // head: finish the split row with a 1-D copy
+      const std::size_t take = std::min(sp.block - rskip, hi - lo);
+      copy1d(sp_base + static_cast<std::int64_t>(row) * sp.stride + rskip, d,
+             take);
+      lo += take;
+      d += take;
+      ++row;
+    }
+    const std::size_t full_rows = (hi - lo) / sp.block;
+    if (full_rows > 0) {
+      std::byte* first = sp_base + static_cast<std::int64_t>(row) * sp.stride;
+      const auto stride = static_cast<std::size_t>(sp.stride);
+      if (packing) {
+        ctx.memcpy2d_async(d, sp.block, first, stride, sp.block, full_rows,
+                           cusim::MemcpyKind::kDeviceToDevice, stream);
+      } else {
+        ctx.memcpy2d_async(first, stride, d, sp.block, sp.block, full_rows,
+                           cusim::MemcpyKind::kDeviceToDevice, stream);
+      }
+      lo += full_rows * sp.block;
+      d += full_rows * sp.block;
+      row += full_rows;
+    }
+    const std::size_t tail = hi - lo;
+    if (tail > 0) {  // tail: start of a split row
+      copy1d(sp_base + static_cast<std::int64_t>(row) * sp.stride, d, tail);
+    }
+  }
+  return ctx.record_event(stream);
+}
+
+// True when the plan carries sub-patterns the batched path can drive
+// (kSingleVector plans carry exactly one, which also serves unaligned
+// slices of patterned messages).
+bool subpatterned(const MsgView& msg) {
+  return msg.plan && !msg.plan->subpatterns().empty();
 }
 
 }  // namespace
@@ -195,15 +269,11 @@ void stage_to_host_any(cusim::CudaContext& ctx, const MsgView& msg,
     return;
   }
   // Offload (or irregular layout): pack on the device, then contiguous D2H.
+  // submit_device_pack picks 2-D / batched sub-pattern / generalized from
+  // the plan, including unaligned slices.
   auto* tbuf = static_cast<std::byte*>(ctx.malloc(nbytes));
   auto& stream = ctx.default_stream();
-  if (aligned) {
-    submit_device_pack(ctx, stream, msg, 0, nbytes, tbuf).synchronize();
-  } else {
-    // Unaligned slice of a patterned (or irregular) message: generalized
-    // device gather.
-    submit_generalized(ctx, stream, msg, 0, nbytes, tbuf, true).synchronize();
-  }
+  submit_device_pack(ctx, stream, msg, 0, nbytes, tbuf).synchronize();
   ctx.memcpy(host_dst, tbuf, nbytes, cusim::MemcpyKind::kDeviceToHost);
   ctx.free(tbuf);
 }
@@ -230,11 +300,7 @@ void stage_from_host_any(cusim::CudaContext& ctx, const MsgView& msg,
   auto* tbuf = static_cast<std::byte*>(ctx.malloc(nbytes));
   ctx.memcpy(tbuf, host_src, nbytes, cusim::MemcpyKind::kHostToDevice);
   auto& stream = ctx.default_stream();
-  if (aligned) {
-    submit_device_unpack(ctx, stream, msg, 0, nbytes, tbuf).synchronize();
-  } else {
-    submit_generalized(ctx, stream, msg, 0, nbytes, tbuf, false).synchronize();
-  }
+  submit_device_unpack(ctx, stream, msg, 0, nbytes, tbuf).synchronize();
   ctx.free(tbuf);
 }
 
@@ -250,11 +316,16 @@ cusim::Event submit_device_pack(cusim::CudaContext& ctx, cusim::Stream& stream,
                      bytes, cusim::MemcpyKind::kDeviceToDevice, stream);
     return ctx.record_event(stream);
   }
-  if (patterned(msg)) {
+  if (patterned(msg) && offset % msg.pattern->block_bytes == 0 &&
+      bytes % msg.pattern->block_bytes == 0) {
     const PatternSlice s = slice_pattern(msg, offset, bytes);
     ctx.memcpy2d_async(dst_dev, s.block, s.first_block, s.stride, s.block,
                        s.rows, cusim::MemcpyKind::kDeviceToDevice, stream);
     return ctx.record_event(stream);
+  }
+  if (subpatterned(msg)) {
+    return submit_subpatterned(ctx, stream, msg, offset, bytes, dst_dev,
+                               true);
   }
   return submit_generalized(ctx, stream, msg, offset, bytes, dst_dev, true);
 }
@@ -268,11 +339,16 @@ cusim::Event submit_device_unpack(cusim::CudaContext& ctx,
                      bytes, cusim::MemcpyKind::kDeviceToDevice, stream);
     return ctx.record_event(stream);
   }
-  if (patterned(msg)) {
+  if (patterned(msg) && offset % msg.pattern->block_bytes == 0 &&
+      bytes % msg.pattern->block_bytes == 0) {
     const PatternSlice s = slice_pattern(msg, offset, bytes);
     ctx.memcpy2d_async(s.first_block, s.stride, src_dev, s.block, s.block,
                        s.rows, cusim::MemcpyKind::kDeviceToDevice, stream);
     return ctx.record_event(stream);
+  }
+  if (subpatterned(msg)) {
+    return submit_subpatterned(ctx, stream, msg, offset, bytes,
+                               const_cast<std::byte*>(src_dev), false);
   }
   return submit_generalized(ctx, stream, msg, offset, bytes,
                             const_cast<std::byte*>(src_dev), false);
@@ -317,6 +393,116 @@ cusim::Event submit_pcie_unpack_from_host(cusim::CudaContext& ctx,
   ctx.memcpy2d_async(s.first_block, s.stride, host_src, s.block, s.block,
                      s.rows, cusim::MemcpyKind::kHostToDevice, stream);
   return ctx.record_event(stream);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model-driven decisions (paper §IV-B)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Representative (row width, row count) of a `chunk`-byte slice.
+struct ChunkShape {
+  std::size_t width;
+  std::size_t rows;
+};
+
+ChunkShape chunk_shape(const MsgView& msg, std::size_t chunk) {
+  if (patterned(msg)) {
+    const std::size_t width = msg.pattern->block_bytes;
+    return {width, std::max<std::size_t>(1, chunk / width)};
+  }
+  if (msg.plan && msg.plan->total_segments() > 0 && msg.packed_bytes > 0) {
+    const auto rows = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(msg.plan->total_segments()) *
+               static_cast<double>(chunk) /
+               static_cast<double>(msg.packed_bytes)));
+    return {std::max<std::size_t>(1, chunk / rows), rows};
+  }
+  return {chunk, 1};
+}
+
+}  // namespace
+
+sim::SimTime modeled_stage_time(const gpu::GpuCostModel& cost,
+                                const MsgView& msg, std::size_t chunk,
+                                bool offload) {
+  chunk = std::min(chunk, msg.packed_bytes);
+  if (chunk == 0) return 0;
+  const sim::SimTime d2h =
+      cost.copy_time(chunk, gpu::CopyDir::kDeviceToHost);
+  const sim::SimTime h2d =
+      cost.copy_time(chunk, gpu::CopyDir::kHostToDevice);
+  if (msg.contiguous) return std::max(d2h, h2d);
+  const ChunkShape s = chunk_shape(msg, chunk);
+  if (!offload) {
+    // nc2c: the strided copy IS the PCIe crossing.
+    const sim::SimTime pack = cost.copy2d_time(
+        s.width, s.rows, gpu::CopyDir::kDeviceToHost, gpu::Layout2D::kPack,
+        /*rows_contiguous=*/false);
+    const sim::SimTime unpack = cost.copy2d_time(
+        s.width, s.rows, gpu::CopyDir::kHostToDevice, gpu::Layout2D::kUnpack,
+        /*rows_contiguous=*/false);
+    return std::max(pack, unpack);
+  }
+  // nc2c2c: device-side pack stage + contiguous PCIe stages.
+  sim::SimTime pack;
+  const bool irregular =
+      msg.plan && msg.plan->layout() == LayoutClass::kIrregular;
+  if (irregular) {
+    // Generalized gather: flat per-run cost, no descriptor amortization.
+    pack = cost.d2d_2d_setup_ns + cost.copy_launch_ns +
+           static_cast<sim::SimTime>(static_cast<double>(s.rows) *
+                                     cost.d2d_row_first_ns) +
+           cost.transfer_time(chunk, gpu::CopyDir::kDeviceToDevice);
+  } else {
+    pack = cost.copy2d_time(s.width, s.rows, gpu::CopyDir::kDeviceToDevice,
+                            gpu::Layout2D::kPack, /*rows_contiguous=*/false);
+  }
+  return std::max({pack, d2h, h2d});
+}
+
+std::size_t select_chunk_bytes(const gpu::GpuCostModel& cost,
+                               const MsgView& msg, bool offload,
+                               std::size_t fallback) {
+  const std::size_t n_total = msg.packed_bytes;
+  if (n_total == 0) return fallback;
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 8 * 1024; c <= 1024 * 1024; c *= 2) {
+    const std::size_t cand =
+        align_chunk_to_pattern(msg, std::min(c, n_total));
+    if (cand == 0) continue;
+    const std::size_t n = (n_total + cand - 1) / cand;
+    const double t =
+        static_cast<double>(n + 2) *
+        static_cast<double>(modeled_stage_time(cost, msg, cand, offload));
+    if (t < best_cost) {
+      best_cost = t;
+      best = cand;
+    }
+  }
+  return best == 0 ? fallback : best;
+}
+
+bool model_prefers_offload(const gpu::GpuCostModel& cost, const MsgView& msg) {
+  if (msg.contiguous) return false;
+  if (!patterned(msg)) return true;  // PCIe 2-D cannot express the layout
+  const std::size_t n_total = msg.packed_bytes;
+  if (n_total == 0) return false;
+  const std::size_t width = msg.pattern->block_bytes;
+  const std::size_t rows = msg.pattern->count;
+  // Blocking end-to-end comparison (Figure 2): one strided PCIe copy vs
+  // device pack followed by a contiguous PCIe copy.
+  const sim::SimTime nc2c =
+      cost.copy2d_time(width, rows, gpu::CopyDir::kDeviceToHost,
+                       gpu::Layout2D::kPack, /*rows_contiguous=*/false);
+  const sim::SimTime nc2c2c =
+      cost.copy2d_time(width, rows, gpu::CopyDir::kDeviceToDevice,
+                       gpu::Layout2D::kPack, /*rows_contiguous=*/false) +
+      cost.copy_time(n_total, gpu::CopyDir::kDeviceToHost);
+  return nc2c2c < nc2c;
 }
 
 }  // namespace mv2gnc::core

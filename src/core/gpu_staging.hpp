@@ -20,6 +20,8 @@
 
 #include "core/msg_view.hpp"
 #include "cuda/runtime.hpp"
+#include "gpu/cost_model.hpp"
+#include "sim/time.hpp"
 
 namespace mv2gnc::core {
 
@@ -97,5 +99,30 @@ void stage_from_host_any(cusim::CudaContext& ctx, const MsgView& msg,
 /// (minimum one block); returns `chunk` unchanged for pattern-less or
 /// contiguous messages.
 std::size_t align_chunk_to_pattern(const MsgView& msg, std::size_t chunk);
+
+// ---------------------------------------------------------------------------
+// Cost-model-driven per-message decisions (paper §IV-B)
+// ---------------------------------------------------------------------------
+
+/// Modeled duration of the slowest pipeline stage moving one `chunk`-byte
+/// chunk of `msg`, for the offloaded (nc2c2c: device pack + contiguous
+/// PCIe) or non-offloaded (nc2c: strided PCIe) scheme. This is the T(N/n)
+/// of the paper's (n+2)·T latency model.
+sim::SimTime modeled_stage_time(const gpu::GpuCostModel& cost,
+                                const MsgView& msg, std::size_t chunk,
+                                bool offload);
+
+/// Pipeline chunk size minimizing the §IV-B model (n+2)·T(N/n) over
+/// power-of-two candidates (8 KB .. 1 MB), each aligned to the message's
+/// pattern block. Returns `fallback` when the message is empty.
+std::size_t select_chunk_bytes(const gpu::GpuCostModel& cost,
+                               const MsgView& msg, bool offload,
+                               std::size_t fallback);
+
+/// Figure-2 scheme choice: true when packing on the device and crossing
+/// PCIe contiguously (nc2c2c) is modeled cheaper than one strided PCIe
+/// copy (nc2c), comparing blocking end-to-end costs. Irregular layouts
+/// (no usable 2-D pattern) always prefer the offload path.
+bool model_prefers_offload(const gpu::GpuCostModel& cost, const MsgView& msg);
 
 }  // namespace mv2gnc::core

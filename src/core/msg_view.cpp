@@ -16,13 +16,14 @@ MsgView MsgView::make(void* base, int count, const mpisim::Datatype& dtype,
   v.base = base;
   v.count = count;
   v.dtype = dtype;
-  v.packed_bytes = dtype.size() * static_cast<std::size_t>(count);
+  v.plan = PlanCache::instance().get(dtype, count);
+  v.packed_bytes = v.plan->packed_bytes();
   v.contiguous = dtype.is_contiguous();
   if (auto info = registry.query(base)) {
     v.on_device = true;
     v.device_id = info->device_id;
   }
-  v.pattern = (count > 0) ? dtype.vector_pattern(count) : std::nullopt;
+  v.pattern = v.plan->pattern();
   return v;
 }
 

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 
+#include "core/pack_plan.hpp"
 #include "gpu/memory_registry.hpp"
 #include "mpi/datatype.hpp"
 
@@ -22,6 +24,7 @@ struct MsgView {
   bool contiguous = false;            // dense: pack step unnecessary
   std::size_t packed_bytes = 0;       // count * dtype.size()
   std::optional<mpisim::VectorPattern> pattern;  // across all `count` elems
+  std::shared_ptr<const PackPlan> plan;          // cached transfer plan
 
   /// Build a view; classifies `base` against `registry` and requires a
   /// committed datatype (throws std::logic_error otherwise).

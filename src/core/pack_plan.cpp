@@ -1,0 +1,283 @@
+#include "core/pack_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mv2gnc::core {
+
+namespace {
+
+using mpisim::Datatype;
+using mpisim::PackCursor;
+using mpisim::Segment;
+using mpisim::VectorPattern;
+
+// FNV-1a over the canonical (flattened) layout. Constructor nesting that
+// flattens to the same segment list hashes identically: contiguous within
+// contiguous folds, vector-of-vector collapses, struct-vs-hindexed
+// spellings of one layout dedupe.
+std::uint64_t layout_signature(const Datatype& dtype) {
+  constexpr std::uint64_t kBasis = 14695981039346656037ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kBasis;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  mix(static_cast<std::uint64_t>(dtype.size()));
+  mix(static_cast<std::uint64_t>(dtype.extent()));
+  const auto& segs = dtype.segments();
+  mix(segs.size());
+  for (const Segment& s : segs) {
+    mix(static_cast<std::uint64_t>(s.offset));
+    mix(s.length);
+  }
+  return h;
+}
+
+// Expansion bound: beyond this many flattened runs the decomposition is
+// skipped and the layout is classified kIrregular outright (the generalized
+// kernel handles it; an O(runs) plan build would dwarf any win).
+constexpr std::size_t kMaxExpandedRuns = std::size_t{1} << 16;
+
+// A decomposition only beats the per-row generalized kernel when each 2-D
+// copy amortizes its launch over enough rows.
+constexpr std::size_t kMinAvgRowsPerSubPattern = 4;
+
+void append_merged(std::vector<Segment>& out, std::int64_t offset,
+                   std::size_t length) {
+  if (length == 0) return;
+  if (!out.empty() &&
+      out.back().offset + static_cast<std::int64_t>(out.back().length) ==
+          offset) {
+    out.back().length += length;
+    return;
+  }
+  out.push_back(Segment{offset, length});
+}
+
+// Greedy maximal grouping of the full flattened run list into uniform
+// (block, stride, rows) sub-patterns, in packed-stream order.
+std::vector<SubPattern> decompose(const std::vector<Segment>& full) {
+  std::vector<SubPattern> subs;
+  std::size_t i = 0;
+  std::size_t packed = 0;
+  while (i < full.size()) {
+    SubPattern sp;
+    sp.first_offset = full[i].offset;
+    sp.block = full[i].length;
+    sp.rows = 1;
+    sp.stride = static_cast<std::int64_t>(full[i].length);
+    sp.packed_offset = packed;
+    if (i + 1 < full.size() && full[i + 1].length == sp.block) {
+      const std::int64_t stride = full[i + 1].offset - full[i].offset;
+      // memcpy2d legality: positive stride no smaller than the row width.
+      if (stride >= static_cast<std::int64_t>(sp.block)) {
+        std::size_t j = i + 1;
+        while (j < full.size() && full[j].length == sp.block &&
+               full[j].offset - full[j - 1].offset == stride) {
+          ++j;
+        }
+        sp.rows = j - i;
+        sp.stride = stride;
+      }
+    }
+    packed += sp.packed_bytes();
+    i += sp.rows;
+    subs.push_back(sp);
+  }
+  return subs;
+}
+
+}  // namespace
+
+std::shared_ptr<const PackPlan> PackPlan::build(const Datatype& dtype,
+                                                int count) {
+  if (!dtype.valid() || !dtype.committed()) {
+    throw std::logic_error("PackPlan: datatype must be committed");
+  }
+  auto plan = std::shared_ptr<PackPlan>(new PackPlan());
+  plan->dtype_ = dtype;
+  plan->count_ = count;
+  plan->elem_size_ = dtype.size();
+  plan->extent_ = dtype.extent();
+  plan->packed_bytes_ =
+      plan->elem_size_ * static_cast<std::size_t>(std::max(count, 0));
+  plan->signature_ = layout_signature(dtype);
+  plan->total_segments_ = count > 0 ? dtype.total_segments(count) : 0;
+  plan->pattern_ =
+      count > 0 ? dtype.vector_pattern(count) : std::nullopt;
+
+  if (dtype.is_contiguous() || plan->packed_bytes_ == 0) {
+    plan->layout_ = LayoutClass::kContiguous;
+    return plan;
+  }
+  const bool usable_pattern =
+      plan->pattern_.has_value() && plan->pattern_->stride_bytes > 0 &&
+      static_cast<std::size_t>(plan->pattern_->stride_bytes) >=
+          plan->pattern_->block_bytes;
+  if (usable_pattern) {
+    plan->layout_ = LayoutClass::kSingleVector;
+    SubPattern sp;
+    sp.first_offset = dtype.segments().front().offset;
+    sp.rows = plan->pattern_->count;
+    sp.block = plan->pattern_->block_bytes;
+    sp.stride = plan->pattern_->stride_bytes;
+    sp.packed_offset = 0;
+    plan->subpatterns_.push_back(sp);
+    return plan;
+  }
+  if (plan->total_segments_ > kMaxExpandedRuns) {
+    plan->layout_ = LayoutClass::kIrregular;
+    return plan;
+  }
+  // Expand the flattened run list across all `count` elements (merging at
+  // abutting element seams, exactly like the committed per-element list).
+  std::vector<Segment> full;
+  full.reserve(plan->total_segments_);
+  const auto& segs = dtype.segments();
+  for (int e = 0; e < count; ++e) {
+    const std::int64_t base = static_cast<std::int64_t>(e) * plan->extent_;
+    for (const Segment& s : segs) {
+      append_merged(full, base + s.offset, s.length);
+    }
+  }
+  std::vector<SubPattern> subs = decompose(full);
+  if (subs.size() * kMinAvgRowsPerSubPattern <= full.size() ||
+      subs.size() <= 2) {
+    plan->layout_ = LayoutClass::kSubPatterned;
+    plan->subpatterns_ = std::move(subs);
+  } else {
+    plan->layout_ = LayoutClass::kIrregular;
+  }
+  return plan;
+}
+
+std::size_t PackPlan::segments_in_range(std::size_t offset,
+                                        std::size_t bytes) const {
+  if (bytes == 0 || elem_size_ == 0) return 0;
+  if (offset > packed_bytes_ || bytes > packed_bytes_ - offset) {
+    throw std::out_of_range("PackPlan::segments_in_range: range outside");
+  }
+  const std::size_t nsegs = dtype_.segments().size();
+  const auto run_index = [&](std::size_t off) {
+    const PackCursor c = dtype_.cursor_at(count_, off);
+    return c.elem * nsegs + c.seg;
+  };
+  return run_index(offset + bytes - 1) - run_index(offset) + 1;
+}
+
+std::shared_ptr<const PackPlan::ChunkCursors> PackPlan::chunk_cursors(
+    std::size_t chunk) const {
+  if (chunk == 0) throw std::invalid_argument("chunk_cursors: zero chunk");
+  if (chunk > packed_bytes_) chunk = packed_bytes_;
+  std::lock_guard<std::mutex> lock(chunk_mu_);
+  auto it = chunk_tables_.find(chunk);
+  if (it != chunk_tables_.end()) return it->second;
+  auto table = std::make_shared<ChunkCursors>();
+  table->chunk = chunk;
+  if (packed_bytes_ > 0) {
+    table->count = (packed_bytes_ + chunk - 1) / chunk;
+    table->cursors.reserve(table->count);
+    table->segments.reserve(table->count);
+    for (std::size_t i = 0; i < table->count; ++i) {
+      const std::size_t off = i * chunk;
+      const std::size_t len = std::min(chunk, packed_bytes_ - off);
+      table->cursors.push_back(dtype_.cursor_at(count_, off));
+      table->segments.push_back(segments_in_range(off, len));
+    }
+  }
+  chunk_tables_.emplace(chunk, table);
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache(256);
+  return cache;
+}
+
+void PlanCache::touch(std::list<Entry>::iterator it) {
+  if (it != lru_.begin()) lru_.splice(lru_.begin(), lru_, it);
+}
+
+void PlanCache::evict_excess() {
+  while (lru_.size() > capacity_) {
+    Entry& victim = lru_.back();
+    for (const NodeKey& k : victim.aliases) by_node_.erase(k);
+    by_sig_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const PackPlan> PlanCache::get(const mpisim::Datatype& dtype,
+                                               int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeKey nk{dtype.node_id(), count};
+  if (auto it = by_node_.find(nk); it != by_node_.end()) {
+    ++stats_.hits;
+    touch(it->second);
+    return it->second->plan;
+  }
+  // Fast path missed: build once (O(nsegs)); the build carries the
+  // canonical signature used for the dedupe tier.
+  std::shared_ptr<const PackPlan> built = PackPlan::build(dtype, count);
+  const SigKey key{built->signature(), count};
+  if (auto it = by_sig_.find(key); it != by_sig_.end()) {
+    ++stats_.hits;
+    ++stats_.signature_dedups;
+    it->second->aliases.push_back(nk);
+    it->second->pins.push_back(dtype);
+    by_node_.emplace(nk, it->second);
+    touch(it->second);
+    return it->second->plan;
+  }
+  ++stats_.misses;
+  Entry e;
+  e.key = key;
+  e.plan = std::move(built);
+  e.aliases.push_back(nk);
+  e.pins.push_back(dtype);
+  lru_.push_front(std::move(e));
+  by_sig_.emplace(key, lru_.begin());
+  by_node_.emplace(nk, lru_.begin());
+  evict_excess();
+  return lru_.front().plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void PlanCache::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<std::size_t>(cap, 1);
+  evict_excess();
+}
+
+void PlanCache::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_sig_.clear();
+  by_node_.clear();
+  stats_ = PlanCacheStats{};
+}
+
+}  // namespace mv2gnc::core

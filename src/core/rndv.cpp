@@ -60,6 +60,51 @@ std::size_t segments_in_range(const MsgView& msg, std::size_t bytes) {
   return static_cast<std::size_t>(static_cast<double>(total) * frac + 0.5);
 }
 
+// Exact memcpy count of chunk i ([off, off+bytes)) from the plan's cursor
+// table; falls back to the legacy proportional estimate without a plan.
+std::size_t chunk_segments(const MsgView& msg,
+                           const PackPlan::ChunkCursors* table, std::size_t i,
+                           std::size_t off, std::size_t bytes) {
+  if (table != nullptr && i < table->count && off == i * table->chunk) {
+    const std::size_t expect =
+        std::min(table->chunk, msg.plan->packed_bytes() - off);
+    if (bytes == expect) return table->segments[i];
+  }
+  if (msg.plan && msg.plan->packed_bytes() >= off + bytes) {
+    return msg.plan->segments_in_range(off, bytes);
+  }
+  return segments_in_range(msg, bytes);
+}
+
+// Figure-2 scheme choice for a device-resident non-contiguous message.
+bool select_offload(const RankResources& res, const MsgView& msg) {
+  const Tunables& tun = *res.tun;
+  // Irregular layouts always take the offload path: there is no single
+  // cudaMemcpy2D that can walk them across PCIe.
+  if (!has_usable_pattern(msg)) return true;
+  if (tun.scheme_select == SchemeSelect::kTunable) return tun.gpu_offload;
+  // Model-driven, with gpu_offload=false kept as a hard ablation override
+  // (the paper's nc2c measurement runs).
+  if (!tun.gpu_offload || res.cuda == nullptr) return false;
+  return model_prefers_offload(res.cuda->device().cost(), msg);
+}
+
+// Pipeline chunk size (§IV-B): one degenerate chunk at or below the
+// threshold, otherwise model-optimized or the fixed tunable.
+std::size_t select_chunk(const RankResources& res, const MsgView& msg,
+                         bool offload_path) {
+  const Tunables& tun = *res.tun;
+  if (!tun.pipelining || msg.packed_bytes <= tun.pipeline_threshold) {
+    return msg.packed_bytes;  // n = 1: degenerate (unpipelined) transfer
+  }
+  if (msg.on_device && tun.chunk_select == ChunkSelect::kModel &&
+      res.cuda != nullptr) {
+    return select_chunk_bytes(res.cuda->device().cost(), msg, offload_path,
+                              tun.chunk_bytes);
+  }
+  return align_chunk_to_pattern(msg, tun.chunk_bytes);
+}
+
 // Absolute deadline for retry number `retries`: base timeout grown by the
 // backoff factor, clamped so an extreme retry count cannot overflow SimTime
 // (the cap is ~11 virtual days; transfers fail long before).
@@ -100,9 +145,7 @@ RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
   if (msg_.on_device) {
     if (msg_.contiguous) {
       path_ = Path::kDeviceContig;
-    } else if (tun.gpu_offload || !has_usable_pattern(msg_)) {
-      // Irregular layouts always take the offload path: there is no single
-      // cudaMemcpy2D that can walk them across PCIe.
+    } else if (select_offload(res_, msg_)) {
       path_ = Path::kDeviceOffload;
     } else {
       path_ = Path::kDevicePcie;
@@ -110,13 +153,12 @@ RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
   } else {
     path_ = msg_.contiguous ? Path::kHostContig : Path::kHostPack;
   }
-  std::size_t chunk;
-  if (!tun.pipelining || msg_.packed_bytes <= tun.pipeline_threshold) {
-    chunk = msg_.packed_bytes;  // n = 1: degenerate (unpipelined) transfer
-  } else {
-    chunk = align_chunk_to_pattern(msg_, tun.chunk_bytes);
+  plan_ = ChunkPlan::make(
+      msg_.packed_bytes,
+      select_chunk(res_, msg_, path_ == Path::kDeviceOffload));
+  if (path_ == Path::kHostPack && msg_.plan && msg_.packed_bytes > 0) {
+    cursors_ = msg_.plan->chunk_cursors(plan_.chunk);
   }
-  plan_ = ChunkPlan::make(msg_.packed_bytes, chunk);
   pack_events_.resize(plan_.count);
   stage_events_.resize(plan_.count);
   slots_.resize(plan_.count);
@@ -295,8 +337,14 @@ void RndvSend::submit_stage(std::size_t i) {
     case Path::kHostPack:
       // Host packing occupies the CPU (the cost the paper's offload dodges).
       res_.engine->delay(res_.tun->host_pack_time(
-          bytes, segments_in_range(msg_, bytes)));
-      msg_.dtype.pack_bytes(msg_.base, msg_.count, off, bytes, slots_[i].ptr);
+          bytes, chunk_segments(msg_, cursors_.get(), i, off, bytes)));
+      if (cursors_ && i < cursors_->count && off == i * cursors_->chunk) {
+        msg_.dtype.pack_bytes_from(cursors_->cursors[i], msg_.base,
+                                   msg_.count, bytes, slots_[i].ptr);
+      } else {
+        msg_.dtype.pack_bytes(msg_.base, msg_.count, off, bytes,
+                              slots_[i].ptr);
+      }
       break;
     case Path::kHostContig:
       break;  // zero-copy: the RDMA reads straight from the user buffer
@@ -626,7 +674,7 @@ RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
   } else if (msg_.on_device) {
     if (msg_.contiguous) {
       path_ = Path::kDeviceContig;
-    } else if (tun.gpu_offload || !has_usable_pattern(msg_)) {
+    } else if (select_offload(res_, msg_)) {
       path_ = Path::kDeviceOffload;
     } else {
       path_ = Path::kDevicePcie;
@@ -634,7 +682,12 @@ RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
   } else {
     path_ = msg_.contiguous ? Path::kHostDirect : Path::kHostUnpack;
   }
+  // Chunking is sender-driven (carried in the RTS), so both ends slice the
+  // packed stream identically.
   plan_ = ChunkPlan::make(incoming_bytes, sender_chunk);
+  if (path_ == Path::kHostUnpack && msg_.plan && msg_.packed_bytes > 0) {
+    cursors_ = msg_.plan->chunk_cursors(plan_.chunk);
+  }
   chunks_.resize(plan_.count);
   acks_.resize(plan_.count);
   drained_chunk_.assign(plan_.count, false);
@@ -959,9 +1012,15 @@ void RndvRecv::advance() {
         const std::size_t off = plan_.offset_of(i);
         const std::size_t bytes = plan_.bytes_of(i);
         res_.engine->delay(res_.tun->host_pack_time(
-            bytes, segments_in_range(msg_, bytes)));
-        msg_.dtype.unpack_bytes(slots_[chunks_[i].slot].ptr, msg_.count, off,
-                                bytes, msg_.base);
+            bytes, chunk_segments(msg_, cursors_.get(), i, off, bytes)));
+        if (cursors_ && i < cursors_->count && off == i * cursors_->chunk) {
+          msg_.dtype.unpack_bytes_from(cursors_->cursors[i],
+                                       slots_[chunks_[i].slot].ptr,
+                                       msg_.count, bytes, msg_.base);
+        } else {
+          msg_.dtype.unpack_bytes(slots_[chunks_[i].slot].ptr, msg_.count,
+                                  off, bytes, msg_.base);
+        }
         ack_chunk(i);
         ++completed_;
       }

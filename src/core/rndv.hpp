@@ -228,6 +228,9 @@ class RndvSend {
   std::uint64_t req_id_;
   Path path_;
   ChunkPlan plan_;
+  /// Precomputed per-chunk resumable cursors (kHostPack); shared with the
+  /// plan cache, so retransmissions and repeated sends reuse them verbatim.
+  std::shared_ptr<const PackPlan::ChunkCursors> cursors_;
 
   std::byte* tbuf_ = nullptr;  // device pack buffer (kDeviceOffload)
   std::vector<cusim::Event> pack_events_;
@@ -354,6 +357,8 @@ class RndvRecv {
   std::uint64_t req_id_;
   Path path_;
   ChunkPlan plan_;
+  /// Per-chunk resumable cursors for kHostUnpack (see RndvSend::cursors_).
+  std::shared_ptr<const PackPlan::ChunkCursors> cursors_;
   const std::byte* rget_src_ = nullptr;
   std::uint64_t rget_wr_ = 0;
 

@@ -51,6 +51,20 @@ bool parse_bool(const std::string& v, const std::string& key) {
   throw std::invalid_argument("tunables: bad boolean for " + key + ": " + v);
 }
 
+ChunkSelect parse_chunk_select(const std::string& v) {
+  if (v == "model") return ChunkSelect::kModel;
+  if (v == "fixed") return ChunkSelect::kFixed;
+  throw std::invalid_argument(
+      "tunables: chunk_select must be 'model' or 'fixed', got: " + v);
+}
+
+SchemeSelect parse_scheme_select(const std::string& v) {
+  if (v == "model") return SchemeSelect::kModel;
+  if (v == "tunable") return SchemeSelect::kTunable;
+  throw std::invalid_argument(
+      "tunables: scheme_select must be 'model' or 'tunable', got: " + v);
+}
+
 std::string trim(const std::string& s) {
   const auto b = s.find_first_not_of(" \t\r");
   if (b == std::string::npos) return "";
@@ -84,6 +98,8 @@ Tunables Tunables::from_stream(std::istream& in) {
       else if (key == "vbuf_count") t.vbuf_count = std::stoull(value);
       else if (key == "recv_window") t.recv_window = std::stoull(value);
       else if (key == "gpu_offload") t.gpu_offload = parse_bool(value, key);
+      else if (key == "chunk_select") t.chunk_select = parse_chunk_select(value);
+      else if (key == "scheme_select") t.scheme_select = parse_scheme_select(value);
       else if (key == "pipelining") t.pipelining = parse_bool(value, key);
       else if (key == "rget") t.rget = parse_bool(value, key);
       else if (key == "rndv_timeout_ns") t.rndv_timeout_ns = std::stoll(value);
@@ -123,6 +139,10 @@ std::string Tunables::to_config_string() const {
      << "vbuf_count = " << vbuf_count << "\n"
      << "recv_window = " << recv_window << "\n"
      << "gpu_offload = " << (gpu_offload ? "true" : "false") << "\n"
+     << "chunk_select = "
+     << (chunk_select == ChunkSelect::kModel ? "model" : "fixed") << "\n"
+     << "scheme_select = "
+     << (scheme_select == SchemeSelect::kModel ? "model" : "tunable") << "\n"
      << "pipelining = " << (pipelining ? "true" : "false") << "\n"
      << "rget = " << (rget ? "true" : "false") << "\n"
      << "rndv_timeout_ns = " << rndv_timeout_ns << "\n"

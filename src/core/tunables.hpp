@@ -15,6 +15,18 @@
 
 namespace mv2gnc::core {
 
+/// How the pipeline chunk size is chosen per message.
+enum class ChunkSelect {
+  kModel,  // minimize the §IV-B latency model (n+2)·T_stage(N/n)
+  kFixed,  // always use chunk_bytes (the paper's configured 64 KB)
+};
+
+/// How the GPU pack scheme (nc2c vs nc2c2c) is chosen per message.
+enum class SchemeSelect {
+  kModel,    // compare modeled PCIe-2D vs device-pack+contiguous-D2H cost
+  kTunable,  // follow the gpu_offload flag unconditionally
+};
+
 struct Tunables {
   /// Messages at or below this size use the eager protocol.
   std::size_t eager_threshold = 8 * 1024;
@@ -36,7 +48,18 @@ struct Tunables {
   /// Ablation lever: offload datatype pack/unpack to the GPU (D2D2H
   /// nc2c2c). When false, strided data crosses PCIe with cudaMemcpy2D
   /// directly (D2H nc2c), the paper's non-offloaded alternative.
+  /// Consulted when scheme_select == kTunable, and as the preference when
+  /// the model considers both schemes equivalent.
   bool gpu_offload = true;
+
+  /// Per-message pipeline chunk-size policy. kModel picks the chunk that
+  /// minimizes (n+2)·T_stage(N/n) from the GPU cost model; kFixed forces
+  /// chunk_bytes. The detected-per-cluster config file of §IV-B maps to
+  /// kFixed with a measured chunk_bytes.
+  ChunkSelect chunk_select = ChunkSelect::kModel;
+
+  /// Per-message pack-scheme policy (see SchemeSelect).
+  SchemeSelect scheme_select = SchemeSelect::kModel;
 
   /// Ablation lever: overlap the transfer stages. When false the message
   /// moves as a single block (n = 1 in the paper's (n+2) model).

@@ -135,6 +135,23 @@ void Cluster::print_stats(std::ostream& os) {
       os << line;
     }
   }
+  const core::PlanCacheStats pc = plan_cache_stats();
+  if (pc.lookups() > 0) {
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "pack-plan cache (process-wide): %llu lookups, %.1f%% hits "
+                  "(%llu built, %llu deduped, %llu evicted)\n",
+                  static_cast<unsigned long long>(pc.lookups()),
+                  100.0 * pc.hit_rate(),
+                  static_cast<unsigned long long>(pc.misses),
+                  static_cast<unsigned long long>(pc.signature_dedups),
+                  static_cast<unsigned long long>(pc.evictions));
+    os << line;
+  }
+}
+
+core::PlanCacheStats Cluster::plan_cache_stats() {
+  return core::PlanCache::instance().stats();
 }
 
 void Cluster::run(std::function<void(Context&)> body) {

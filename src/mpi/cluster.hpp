@@ -107,6 +107,8 @@ class Cluster {
 
   /// Utilisation counters for one rank (valid after run()).
   RankStats rank_stats(int rank);
+  /// Counters of the process-wide datatype pack-plan cache.
+  static core::PlanCacheStats plan_cache_stats();
   /// Render a per-rank utilisation table.
   void print_stats(std::ostream& os);
 

@@ -48,6 +48,17 @@ struct TypeNode {
   std::vector<Segment> segments;
   std::vector<std::size_t> packed_prefix;  // nsegs + 1 entries
 
+  // Memoized flattened-layout facts, computed once in commit() so the
+  // per-send queries (total_segments, vector_pattern, is_contiguous) are
+  // O(1) instead of O(nsegs) scans.
+  bool seam_merges = false;     // last run of elem k abuts first of k+1
+  bool uniform_len = false;     // every run has the same length
+  bool uniform_stride = false;  // equal gap between consecutive runs
+  std::int64_t intra_stride = 0;
+  bool seam_stride_ok = false;  // inter-element seam equals intra_stride
+  // Contiguity memo for pre-commit queries: -1 unknown, else 0/1.
+  mutable int contig_memo = -1;
+
   std::int64_t extent() const { return ub - lb; }
 };
 
@@ -148,6 +159,51 @@ void emit_segments(const TypeNode& n, std::int64_t base,
       emit_segments(*n.children[0], base, out);
       return;
   }
+}
+
+// Upper bound on the number of flattened runs (before merging), used to
+// reserve() the segment vector ahead of emission. Saturates at `cap`.
+std::size_t run_upper_bound(const TypeNode& n, std::size_t cap) {
+  const auto mul = [cap](std::size_t a, std::size_t b) {
+    if (a == 0 || b == 0) return std::size_t{0};
+    return (a > cap / b) ? cap : a * b;
+  };
+  switch (n.kind) {
+    case Kind::kPredefined:
+      return 1;
+    case Kind::kContiguous:
+      return mul(static_cast<std::size_t>(n.count),
+                 run_upper_bound(*n.children[0], cap));
+    case Kind::kVector:
+      return mul(mul(static_cast<std::size_t>(n.count),
+                     static_cast<std::size_t>(n.blocklength)),
+                 run_upper_bound(*n.children[0], cap));
+    case Kind::kIndexed: {
+      std::size_t blocks = 0;
+      for (int b : n.blocklengths) {
+        blocks += static_cast<std::size_t>(b);
+        if (blocks >= cap) return cap;
+      }
+      return mul(blocks, run_upper_bound(*n.children[0], cap));
+    }
+    case Kind::kStruct: {
+      std::size_t total = 0;
+      for (std::size_t k = 0; k < n.children.size(); ++k) {
+        total += mul(static_cast<std::size_t>(n.blocklengths[k]),
+                     run_upper_bound(*n.children[k], cap));
+        if (total >= cap) return cap;
+      }
+      return total;
+    }
+    case Kind::kSubarray: {
+      std::size_t points = 1;
+      for (int s : n.subsizes) points = mul(points, static_cast<std::size_t>(s));
+      return mul(points, run_upper_bound(*n.children[0], cap));
+    }
+    case Kind::kResized:
+      return run_upper_bound(*n.children[0], cap);
+  }
+  return cap;
 }
 
 std::shared_ptr<TypeNode> predefined(const char* name, std::size_t size) {
@@ -421,16 +477,18 @@ std::int64_t Datatype::lower_bound() const { return node().lb; }
 bool Datatype::is_contiguous() const {
   const TypeNode& n = node();
   if (n.size == 0) return true;
-  if (n.committed) {
-    return n.segments.size() == 1 && n.segments[0].offset == 0 &&
-           n.segments[0].length == n.size &&
-           static_cast<std::int64_t>(n.size) == n.extent();
+  if (n.contig_memo < 0) {
+    // First query on an uncommitted tree: flatten once and memoize (the
+    // tree is immutable, so the answer never changes; commit() reuses it).
+    std::vector<Segment> segs;
+    detail::emit_segments(n, 0, segs);
+    n.contig_memo =
+        (segs.size() == 1 && segs[0].offset == 0 && segs[0].length == n.size &&
+         static_cast<std::int64_t>(n.size) == n.extent())
+            ? 1
+            : 0;
   }
-  // Conservative pre-commit check.
-  std::vector<Segment> segs;
-  detail::emit_segments(n, 0, segs);
-  return segs.size() == 1 && segs[0].offset == 0 && segs[0].length == n.size &&
-         static_cast<std::int64_t>(n.size) == n.extent();
+  return n.contig_memo == 1;
 }
 
 std::string Datatype::describe() const {
@@ -478,6 +536,10 @@ void Datatype::commit() {
   TypeNode& n = const_cast<TypeNode&>(node());
   if (n.committed) return;
   n.segments.clear();
+  // Pre-size from the run count known at construction (merging can only
+  // shrink it); the cap bounds memory for pathological trees.
+  constexpr std::size_t kReserveCap = std::size_t{1} << 22;
+  n.segments.reserve(detail::run_upper_bound(n, kReserveCap));
   detail::emit_segments(n, 0, n.segments);
   n.packed_prefix.resize(n.segments.size() + 1);
   n.packed_prefix[0] = 0;
@@ -487,6 +549,37 @@ void Datatype::commit() {
   if (n.packed_prefix.back() != n.size) {
     throw std::logic_error("datatype commit: segment sum != size");
   }
+  // Memoize the layout facts every send-path query needs.
+  const auto& segs = n.segments;
+  if (!segs.empty()) {
+    n.seam_merges =
+        segs.back().offset + static_cast<std::int64_t>(segs.back().length) ==
+        segs.front().offset + n.extent();
+    n.uniform_len = true;
+    for (const Segment& s : segs) {
+      if (s.length != segs[0].length) {
+        n.uniform_len = false;
+        break;
+      }
+    }
+    n.uniform_stride = true;
+    n.intra_stride = segs.size() > 1 ? segs[1].offset - segs[0].offset : 0;
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      if (segs[i].offset - segs[i - 1].offset != n.intra_stride) {
+        n.uniform_stride = false;
+        break;
+      }
+    }
+    const std::int64_t seam =
+        (segs[0].offset + n.extent()) - segs.back().offset;
+    n.seam_stride_ok = (seam == n.intra_stride);
+  }
+  n.contig_memo =
+      (n.size == 0 ||
+       (segs.size() == 1 && segs[0].offset == 0 && segs[0].length == n.size &&
+        static_cast<std::int64_t>(n.size) == n.extent()))
+          ? 1
+          : 0;
   n.committed = true;
 }
 
@@ -513,14 +606,9 @@ std::size_t Datatype::total_segments(int count) const {
   const TypeNode& n = committed_node(*this, node(), "total_segments");
   if (count <= 0 || n.segments.empty()) return 0;
   // Elements may merge at the seam if the last segment of element k abuts
-  // the first segment of element k+1.
-  const bool seam_merges =
-      n.segments.size() >= 1 &&
-      n.segments.back().offset +
-              static_cast<std::int64_t>(n.segments.back().length) ==
-          n.segments.front().offset + n.extent();
+  // the first segment of element k+1 (memoized at commit).
   const std::size_t per = n.segments.size();
-  if (seam_merges) {
+  if (n.seam_merges) {
     return per * static_cast<std::size_t>(count) -
            static_cast<std::size_t>(count - 1);
   }
@@ -530,34 +618,25 @@ std::size_t Datatype::total_segments(int count) const {
 std::optional<VectorPattern> Datatype::vector_pattern(int count) const {
   const TypeNode& n = committed_node(*this, node(), "vector_pattern");
   if (count <= 0 || n.segments.empty() || n.size == 0) return std::nullopt;
+  // All facts memoized at commit: this is O(1) on the send path.
   const auto& segs = n.segments;
   const std::size_t len = segs[0].length;
-  for (const Segment& s : segs) {
-    if (s.length != len) return std::nullopt;
-  }
-  std::int64_t stride = 0;
-  if (segs.size() > 1) {
-    stride = segs[1].offset - segs[0].offset;
-    for (std::size_t i = 1; i < segs.size(); ++i) {
-      if (segs[i].offset - segs[i - 1].offset != stride) return std::nullopt;
-    }
-  }
+  if (!n.uniform_len) return std::nullopt;
+  if (segs.size() > 1 && !n.uniform_stride) return std::nullopt;
   if (count == 1) {
     if (segs.size() == 1) {
       return VectorPattern{1, len, static_cast<std::int64_t>(len)};
     }
-    return VectorPattern{segs.size(), len, stride};
+    return VectorPattern{segs.size(), len, n.intra_stride};
   }
-  // Across elements the seam stride must equal the intra-element stride.
-  const std::int64_t seam =
-      (segs[0].offset + n.extent()) - segs.back().offset;
   if (segs.size() == 1) {
     // Single block per element: the seam becomes the stride.
     return VectorPattern{static_cast<std::size_t>(count), len, n.extent()};
   }
-  if (seam != stride) return std::nullopt;
+  // Across elements the seam stride must equal the intra-element stride.
+  if (!n.seam_stride_ok) return std::nullopt;
   return VectorPattern{segs.size() * static_cast<std::size_t>(count), len,
-                       stride};
+                       n.intra_stride};
 }
 
 // ---------------------------------------------------------------------------
@@ -593,52 +672,82 @@ void move_full(const TypeNode& n, XferDir dir, const void* typed_in,
   }
 }
 
-void move_bytes(const TypeNode& n, XferDir dir, const void* typed_in,
-                void* typed_out, const void* dense_in, void* dense_out,
-                int count, std::size_t pack_offset, std::size_t nbytes) {
-  const std::size_t elem_size = n.size;
-  const std::size_t total = elem_size * static_cast<std::size_t>(count);
-  if (pack_offset > total || nbytes > total - pack_offset) {
-    throw std::out_of_range("pack/unpack byte range outside message");
-  }
+// Locate packed-stream offset `pack_offset` (the one search of the ranged
+// pack path; everything downstream advances the cursor without searching).
+PackCursor cursor_for(const TypeNode& n, std::size_t pack_offset) {
+  PackCursor cur;
+  if (n.size == 0) return cur;
+  cur.elem = pack_offset / n.size;
+  const std::size_t within = pack_offset % n.size;
+  const auto it = std::upper_bound(n.packed_prefix.begin(),
+                                   n.packed_prefix.end(), within);
+  cur.seg = static_cast<std::size_t>(
+                std::distance(n.packed_prefix.begin(), it)) -
+            1;
+  cur.skip = within - n.packed_prefix[cur.seg];
+  return cur;
+}
+
+// Gather/scatter `nbytes` starting at `cur`. O(segments in range), zero
+// searches: after the first segment the cursor simply walks forward (each
+// subsequent element starts at segment 0 with no skip).
+void move_from_cursor(const TypeNode& n, XferDir dir, const void* typed_in,
+                      void* typed_out, const void* dense_in, void* dense_out,
+                      PackCursor cur, std::size_t nbytes) {
   const std::int64_t ext = n.extent();
   std::size_t remaining = nbytes;
   std::size_t dense_pos = 0;  // position within the output slice
-  std::size_t e = pack_offset / elem_size;
-  std::size_t within = pack_offset % elem_size;
+  std::size_t e = cur.elem;
+  std::size_t si = cur.seg;
+  std::size_t skip = cur.skip;
   while (remaining > 0) {
-    // Find the segment containing `within` via the prefix table.
-    const auto it = std::upper_bound(n.packed_prefix.begin(),
-                                     n.packed_prefix.end(), within);
-    std::size_t si = static_cast<std::size_t>(
-                         std::distance(n.packed_prefix.begin(), it)) -
-                     1;
     const std::int64_t elem_base = static_cast<std::int64_t>(e) * ext;
     while (remaining > 0 && si < n.segments.size()) {
       const Segment& s = n.segments[si];
-      const std::size_t seg_skip = within - n.packed_prefix[si];
-      const std::size_t avail = s.length - seg_skip;
+      const std::size_t avail = s.length - skip;
       const std::size_t take = std::min(avail, remaining);
       if (dir == XferDir::kPack) {
         std::memcpy(static_cast<std::byte*>(dense_out) + dense_pos,
                     static_cast<const std::byte*>(typed_in) + elem_base +
-                        s.offset + static_cast<std::int64_t>(seg_skip),
+                        s.offset + static_cast<std::int64_t>(skip),
                     take);
       } else {
         std::memcpy(static_cast<std::byte*>(typed_out) + elem_base +
-                        s.offset + static_cast<std::int64_t>(seg_skip),
+                        s.offset + static_cast<std::int64_t>(skip),
                     static_cast<const std::byte*>(dense_in) + dense_pos,
                     take);
       }
       dense_pos += take;
       remaining -= take;
-      within += take;
-      ++si;
+      skip += take;
+      if (skip == s.length) {
+        ++si;
+        skip = 0;
+      }
     }
     // Element exhausted; move to the next.
-    ++e;
-    within = 0;
+    if (si >= n.segments.size()) {
+      ++e;
+      si = 0;
+      skip = 0;
+    }
   }
+}
+
+void check_range(const TypeNode& n, int count, std::size_t pack_offset,
+                 std::size_t nbytes) {
+  const std::size_t total = n.size * static_cast<std::size_t>(count);
+  if (pack_offset > total || nbytes > total - pack_offset) {
+    throw std::out_of_range("pack/unpack byte range outside message");
+  }
+}
+
+void move_bytes(const TypeNode& n, XferDir dir, const void* typed_in,
+                void* typed_out, const void* dense_in, void* dense_out,
+                int count, std::size_t pack_offset, std::size_t nbytes) {
+  check_range(n, count, pack_offset, nbytes);
+  move_from_cursor(n, dir, typed_in, typed_out, dense_in, dense_out,
+                   cursor_for(n, pack_offset), nbytes);
 }
 
 }  // namespace
@@ -666,6 +775,41 @@ void Datatype::unpack_bytes(const void* src, int count,
   const TypeNode& n = committed_node(*this, node(), "unpack_bytes");
   move_bytes(n, XferDir::kUnpack, nullptr, dst, src, nullptr, count,
              pack_offset, nbytes);
+}
+
+PackCursor Datatype::cursor_at(int count, std::size_t pack_offset) const {
+  const TypeNode& n = committed_node(*this, node(), "cursor_at");
+  check_range(n, count, pack_offset, 0);
+  return cursor_for(n, pack_offset);
+}
+
+void Datatype::pack_bytes_from(const PackCursor& cur, const void* src,
+                               int count, std::size_t nbytes,
+                               void* dst) const {
+  const TypeNode& n = committed_node(*this, node(), "pack_bytes_from");
+  if (n.size == 0 && nbytes == 0) return;
+  check_range(n, count,
+              cur.elem * n.size +
+                  (cur.seg < n.packed_prefix.size() ? n.packed_prefix[cur.seg]
+                                                    : 0) +
+                  cur.skip,
+              nbytes);
+  move_from_cursor(n, XferDir::kPack, src, nullptr, nullptr, dst, cur, nbytes);
+}
+
+void Datatype::unpack_bytes_from(const PackCursor& cur, const void* src,
+                                 int count, std::size_t nbytes,
+                                 void* dst) const {
+  const TypeNode& n = committed_node(*this, node(), "unpack_bytes_from");
+  if (n.size == 0 && nbytes == 0) return;
+  check_range(n, count,
+              cur.elem * n.size +
+                  (cur.seg < n.packed_prefix.size() ? n.packed_prefix[cur.seg]
+                                                    : 0) +
+                  cur.skip,
+              nbytes);
+  move_from_cursor(n, XferDir::kUnpack, nullptr, dst, src, nullptr, cur,
+                   nbytes);
 }
 
 }  // namespace mv2gnc::mpisim

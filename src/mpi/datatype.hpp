@@ -47,6 +47,19 @@ struct VectorPattern {
 /// Array storage order for subarray types.
 enum class ArrayOrder { kC, kFortran };
 
+/// Resumable position within the packed stream of a (type, count) message:
+/// element index, segment index within that element, and bytes already
+/// consumed of that segment. A cursor fixes the starting point of a
+/// byte-ranged pack/unpack so chunked pipelines resume in O(1) instead of
+/// re-searching the prefix table per chunk.
+struct PackCursor {
+  std::size_t elem = 0;
+  std::size_t seg = 0;
+  std::size_t skip = 0;
+
+  friend bool operator==(const PackCursor&, const PackCursor&) = default;
+};
+
 namespace detail {
 struct TypeNode;
 }
@@ -139,6 +152,22 @@ class Datatype {
   /// `pack_offset` from `src` into the typed buffer `dst`.
   void unpack_bytes(const void* src, int count, std::size_t pack_offset,
                     std::size_t nbytes, void* dst) const;
+
+  // -- resumable cursors ----------------------------------------------------
+  /// Locate packed-stream offset `pack_offset` of a count-element message
+  /// (one prefix-table search; requires commit).
+  PackCursor cursor_at(int count, std::size_t pack_offset) const;
+  /// pack_bytes starting at a precomputed cursor: O(segments in range),
+  /// zero searches. The cursor must address a message of >= count elements.
+  void pack_bytes_from(const PackCursor& cur, const void* src, int count,
+                       std::size_t nbytes, void* dst) const;
+  /// Mirror of pack_bytes_from for the unpack direction.
+  void unpack_bytes_from(const PackCursor& cur, const void* src, int count,
+                         std::size_t nbytes, void* dst) const;
+
+  /// Opaque identity of the underlying (shared) type tree; equal handles
+  /// share it. Used as the pack-plan cache's fast-path key.
+  const void* node_id() const { return node_.get(); }
 
   friend bool operator==(const Datatype& a, const Datatype& b) {
     return a.node_ == b.node_;

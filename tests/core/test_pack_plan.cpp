@@ -1,0 +1,253 @@
+// Pack-plan engine: canonical signatures, the two-tier plan cache, chunk
+// cursor tables, sub-pattern decomposition, and the cost-model-driven
+// chunk/scheme selection helpers.
+#include "core/pack_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/gpu_staging.hpp"
+#include "core/msg_view.hpp"
+#include "gpu/cost_model.hpp"
+#include "gpu/memory_registry.hpp"
+#include "mpi/datatype.hpp"
+
+namespace core = mv2gnc::core;
+namespace gpu = mv2gnc::gpu;
+using core::LayoutClass;
+using core::PackPlan;
+using core::PlanCache;
+using mv2gnc::mpisim::Datatype;
+
+namespace {
+
+Datatype committed(Datatype t) {
+  t.commit();
+  return t;
+}
+
+// Two arithmetic runs of equal 16-byte blocks: genuinely irregular (no
+// single vector pattern) yet perfectly decomposable.
+Datatype two_run_hindexed(int rows_per_run = 8) {
+  std::vector<int> lens(static_cast<std::size_t>(2 * rows_per_run), 4);
+  std::vector<std::int64_t> displs;
+  for (int i = 0; i < rows_per_run; ++i) displs.push_back(i * 64);
+  for (int i = 0; i < rows_per_run; ++i) displs.push_back(4096 + i * 48);
+  return committed(Datatype::hindexed(lens, displs, Datatype::int32()));
+}
+
+}  // namespace
+
+TEST(PackPlan, ContiguousClassification) {
+  auto plan = PackPlan::build(committed(Datatype::int32()), 16);
+  EXPECT_EQ(plan->layout(), LayoutClass::kContiguous);
+  EXPECT_TRUE(plan->contiguous());
+  EXPECT_EQ(plan->packed_bytes(), 64u);
+  EXPECT_EQ(plan->total_segments(), 1u);
+}
+
+TEST(PackPlan, SingleVectorClassification) {
+  auto t = committed(Datatype::vector(64, 1, 4, Datatype::int32()));
+  auto plan = PackPlan::build(t, 1);
+  EXPECT_EQ(plan->layout(), LayoutClass::kSingleVector);
+  ASSERT_EQ(plan->subpatterns().size(), 1u);
+  EXPECT_EQ(plan->subpatterns()[0].rows, 64u);
+  EXPECT_EQ(plan->subpatterns()[0].block, 4u);
+  EXPECT_EQ(plan->subpatterns()[0].stride, 16);
+}
+
+TEST(PackPlan, SignatureFoldsContiguousNesting) {
+  auto flat = committed(Datatype::contiguous(12, Datatype::int32()));
+  auto nested = committed(
+      Datatype::contiguous(4, Datatype::contiguous(3, Datatype::int32())));
+  EXPECT_EQ(PackPlan::build(flat, 2)->signature(),
+            PackPlan::build(nested, 2)->signature());
+}
+
+TEST(PackPlan, SignatureCollapsesVectorOfVector) {
+  // hvector of 1-row vectors == the flat vector with the same stride.
+  auto flat = committed(Datatype::vector(8, 2, 4, Datatype::int32()));
+  auto nested = committed(Datatype::hvector(
+      8, 1, 16, Datatype::contiguous(2, Datatype::int32())));
+  EXPECT_EQ(PackPlan::build(flat, 1)->signature(),
+            PackPlan::build(nested, 1)->signature());
+}
+
+TEST(PackPlan, SignatureDistinguishesExtent) {
+  auto a = committed(Datatype::vector(8, 1, 4, Datatype::int32()));
+  auto b = committed(
+      Datatype::resized(Datatype::vector(8, 1, 4, Datatype::int32()), 0, 256));
+  EXPECT_NE(PackPlan::build(a, 1)->signature(),
+            PackPlan::build(b, 1)->signature());
+}
+
+TEST(PackPlan, SubPatternDecomposition) {
+  auto plan = PackPlan::build(two_run_hindexed(), 1);
+  EXPECT_EQ(plan->layout(), LayoutClass::kSubPatterned);
+  ASSERT_EQ(plan->subpatterns().size(), 2u);
+  const auto& a = plan->subpatterns()[0];
+  const auto& b = plan->subpatterns()[1];
+  EXPECT_EQ(a.rows, 8u);
+  EXPECT_EQ(a.block, 16u);
+  EXPECT_EQ(a.stride, 64);
+  EXPECT_EQ(a.packed_offset, 0u);
+  EXPECT_EQ(b.rows, 8u);
+  EXPECT_EQ(b.stride, 48);
+  EXPECT_EQ(b.first_offset, 4096);
+  EXPECT_EQ(b.packed_offset, a.packed_bytes());
+  EXPECT_EQ(a.packed_bytes() + b.packed_bytes(), plan->packed_bytes());
+}
+
+TEST(PackPlan, DegenerateListStaysIrregular) {
+  // Alternating block lengths defeat uniform grouping: every run becomes
+  // its own sub-pattern, so the plan must fall back to the generalized
+  // kernel classification.
+  std::vector<int> lens;
+  std::vector<std::int64_t> displs;
+  for (int i = 0; i < 16; ++i) {
+    lens.push_back(1 + (i % 2) * 2);
+    displs.push_back(i * 40);
+  }
+  auto t = committed(Datatype::hindexed(lens, displs, Datatype::int32()));
+  auto plan = PackPlan::build(t, 1);
+  EXPECT_EQ(plan->layout(), LayoutClass::kIrregular);
+  EXPECT_TRUE(plan->subpatterns().empty());
+}
+
+TEST(PackPlan, SegmentsInRangeIsExact) {
+  // 8 rows of 4 bytes per element, two elements. The extent is padded so
+  // the last row of one element does not abut the first row of the next
+  // (which would merge across the seam and leave 15 runs, not 16).
+  auto t = committed(Datatype::resized(
+      Datatype::vector(8, 1, 4, Datatype::int32()), 0, 120));
+  auto plan = PackPlan::build(t, 2);
+  EXPECT_EQ(plan->total_segments(), 16u);
+  EXPECT_EQ(plan->segments_in_range(0, 64), 16u);
+  EXPECT_EQ(plan->segments_in_range(0, 4), 1u);
+  EXPECT_EQ(plan->segments_in_range(4, 8), 2u);   // rows 1..2
+  EXPECT_EQ(plan->segments_in_range(2, 4), 2u);   // straddles rows 0..1
+  EXPECT_EQ(plan->segments_in_range(30, 4), 2u);  // straddles the elem seam
+  EXPECT_EQ(plan->segments_in_range(0, 0), 0u);
+  EXPECT_THROW(plan->segments_in_range(60, 8), std::out_of_range);
+}
+
+TEST(PackPlan, ChunkCursorTables) {
+  auto t = committed(Datatype::vector(8, 1, 4, Datatype::int32()));
+  auto plan = PackPlan::build(t, 4);  // 128 packed bytes
+  auto table = plan->chunk_cursors(48);
+  ASSERT_EQ(table->count, 3u);  // 48 + 48 + 32
+  EXPECT_EQ(table->cursors[0], (mv2gnc::mpisim::PackCursor{0, 0, 0}));
+  // 48 bytes = 12 rows = one element + 4 rows.
+  EXPECT_EQ(table->cursors[1], (mv2gnc::mpisim::PackCursor{1, 4, 0}));
+  EXPECT_EQ(table->cursors[2], (mv2gnc::mpisim::PackCursor{3, 0, 0}));
+  EXPECT_EQ(table->segments[0], 12u);
+  EXPECT_EQ(table->segments[1], 12u);
+  EXPECT_EQ(table->segments[2], 8u);
+  // Memoized: the same table object comes back.
+  EXPECT_EQ(plan->chunk_cursors(48).get(), table.get());
+}
+
+TEST(PlanCacheTest, NodeFastPathHits) {
+  auto& cache = PlanCache::instance();
+  cache.reset();
+  auto t = committed(Datatype::vector(16, 1, 4, Datatype::int32()));
+  auto p1 = cache.get(t, 3);
+  auto p2 = cache.get(t, 3);
+  EXPECT_EQ(p1.get(), p2.get());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  // A different count is a different plan.
+  auto p3 = cache.get(t, 4);
+  EXPECT_NE(p1.get(), p3.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PlanCacheTest, SignatureTierDedupesDistinctTrees) {
+  auto& cache = PlanCache::instance();
+  cache.reset();
+  auto a = committed(Datatype::vector(16, 1, 4, Datatype::int32()));
+  auto b = committed(Datatype::vector(16, 1, 4, Datatype::int32()));
+  ASSERT_NE(a.node_id(), b.node_id());
+  auto pa = cache.get(a, 2);
+  auto pb = cache.get(b, 2);
+  EXPECT_EQ(pa.get(), pb.get());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.signature_dedups, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  // The alias now hits the fast path.
+  cache.get(b, 2);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(PlanCacheTest, LruEvictsLeastRecentlyUsed) {
+  auto& cache = PlanCache::instance();
+  cache.reset();
+  cache.set_capacity(4);
+  std::vector<Datatype> keep;
+  for (int i = 1; i <= 8; ++i) {
+    keep.push_back(committed(Datatype::vector(i + 1, 1, 4, Datatype::int32())));
+    cache.get(keep.back(), 1);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+  // The evicted first entry rebuilds on next use.
+  cache.get(keep.front(), 1);
+  EXPECT_EQ(cache.stats().misses, 9u);
+  cache.set_capacity(256);
+  cache.reset();
+}
+
+TEST(CostSelection, ModelPrefersOffloadForFineGrainedRows) {
+  const auto cost = gpu::GpuCostModel::tesla_c2050();
+  gpu::MemoryRegistry reg;
+  std::vector<std::byte> buf(1 << 20);
+  // 4-byte rows: per-row PCIe cost dominates, offload must win (Fig. 2).
+  auto fine = committed(Datatype::vector(4096, 1, 4, Datatype::int32()));
+  auto mfine = core::MsgView::make(buf.data(), 1, fine, reg);
+  EXPECT_TRUE(core::model_prefers_offload(cost, mfine));
+  // Few huge rows: the strided PCIe copy is nearly contiguous already and
+  // the extra D2D stage only adds time.
+  auto coarse = committed(
+      Datatype::vector(4, 65536, 65536 * 2, Datatype::int32()));
+  auto mcoarse = core::MsgView::make(buf.data(), 1, coarse, reg);
+  EXPECT_FALSE(core::model_prefers_offload(cost, mcoarse));
+}
+
+TEST(CostSelection, ChunkMinimizesLatencyModel) {
+  const auto cost = gpu::GpuCostModel::tesla_c2050();
+  gpu::MemoryRegistry reg;
+  std::vector<std::byte> buf(64);
+  auto t = committed(Datatype::vector(1024, 1, 2, Datatype::int32()));
+  auto msg = core::MsgView::make(buf.data(), 1024, t, reg);  // 4 MB packed
+  const std::size_t chosen =
+      core::select_chunk_bytes(cost, msg, /*offload=*/true, 64 * 1024);
+  ASSERT_GE(chosen, 8u * 1024u);
+  ASSERT_LE(chosen, 1u << 20);
+  // The chosen chunk is no worse than every power-of-two candidate under
+  // the (n+2)·T model it is minimizing.
+  const auto model = [&](std::size_t c) {
+    const std::size_t n = (msg.packed_bytes + c - 1) / c;
+    return static_cast<double>(n + 2) *
+           static_cast<double>(core::modeled_stage_time(cost, msg, c, true));
+  };
+  for (std::size_t c = 8 * 1024; c <= (1u << 20); c *= 2) {
+    EXPECT_LE(model(chosen), model(c)) << "candidate " << c;
+  }
+}
+
+TEST(CostSelection, StageTimeScalesWithSegmentDensity) {
+  const auto cost = gpu::GpuCostModel::tesla_c2050();
+  gpu::MemoryRegistry reg;
+  std::vector<std::byte> buf(64);
+  auto fine = committed(Datatype::vector(4096, 1, 2, Datatype::int32()));
+  auto wide = committed(Datatype::vector(16, 256, 512, Datatype::int32()));
+  auto mfine = core::MsgView::make(buf.data(), 64, fine, reg);
+  auto mwide = core::MsgView::make(buf.data(), 64, wide, reg);
+  ASSERT_EQ(mfine.packed_bytes, mwide.packed_bytes);
+  EXPECT_GT(core::modeled_stage_time(cost, mfine, 64 * 1024, true),
+            core::modeled_stage_time(cost, mwide, 64 * 1024, true));
+}

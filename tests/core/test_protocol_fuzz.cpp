@@ -37,12 +37,17 @@ TEST_P(ProtocolFuzz, RandomConfigDeliversExactPayload) {
   std::mt19937 rng(GetParam().seed);
   // Random tunables within valid ranges.
   core::Tunables tun;
+  // Fixed chunking so the randomized chunk_bytes actually exercises odd
+  // chunk/message alignments (kModel would override it on device paths).
+  tun.chunk_select = core::ChunkSelect::kFixed;
   tun.chunk_bytes = 1u << (10 + rng() % 9);           // 1 KB .. 256 KB
   tun.vbuf_count = 2 + rng() % 30;                    // 2 .. 31
   tun.recv_window = 1 + rng() % tun.vbuf_count;       // 1 .. vbuf_count
   tun.eager_threshold = (rng() % 2) ? 0 : 1u << (8 + rng() % 7);
   tun.pipeline_threshold = 1u << (12 + rng() % 8);
   tun.gpu_offload = rng() % 2 == 0;
+  tun.scheme_select = (rng() % 2 == 0) ? core::SchemeSelect::kModel
+                                       : core::SchemeSelect::kTunable;
   tun.pipelining = rng() % 2 == 0;
   ASSERT_NO_THROW(tun.validate());
 

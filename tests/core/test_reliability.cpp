@@ -221,6 +221,9 @@ TEST(Reliability, StallWatchdogDegradesToPinnedSlots) {
   cfg.rng_seed = 1;
   cfg.tunables.vbuf_count = 2;
   cfg.tunables.recv_window = 2;
+  // Pool-sized 64 KB chunks: this test exercises vbuf-pool stall recovery,
+  // which model-selected (larger, pinned one-off) chunks would bypass.
+  cfg.tunables.chunk_select = core::ChunkSelect::kFixed;
   cfg.tunables.rndv_timeout_ns = 3'000;  // 3 us, well under chunk tx time
   cfg.tunables.rndv_max_retries = 200;   // never fail, only stall-recover
   Cluster cluster(cfg);

@@ -118,6 +118,7 @@ TEST(RndvPipeline, BothMechanismsCompose) {
 TEST(RndvPipeline, OddChunkSizesDeliverCorrectly) {
   for (std::size_t chunk : {12u * 1024u, 40u * 1024u, 100u * 1024u}) {
     core::Tunables tun;
+    tun.chunk_select = core::ChunkSelect::kFixed;
     tun.chunk_bytes = chunk;
     const sim::SimTime t = timed_transfer(tun, (1 << 18) + 123);
     EXPECT_GT(t, 0) << "chunk " << chunk;
@@ -126,6 +127,7 @@ TEST(RndvPipeline, OddChunkSizesDeliverCorrectly) {
 
 TEST(RndvPipeline, ChunkLargerThanMessage) {
   core::Tunables tun;
+  tun.chunk_select = core::ChunkSelect::kFixed;
   tun.chunk_bytes = 16u << 20;  // bigger than the message
   tun.pipeline_threshold = 1024;
   const sim::SimTime t = timed_transfer(tun, 1 << 16);
@@ -141,6 +143,7 @@ TEST(RndvPipeline, SixtyFourKIsNearOptimalChunk) {
   sim::SimTime at64k = 0;
   for (auto c : chunks) {
     core::Tunables tun;
+    tun.chunk_select = core::ChunkSelect::kFixed;
     tun.chunk_bytes = c;
     const sim::SimTime t = timed_transfer(tun, (4u << 20) / 4);
     best = std::min(best, t);

@@ -1,0 +1,231 @@
+// Seeded fuzz: random datatype trees x random chunk splits.
+//
+// Invariants checked per (tree, count, split):
+//   * concat(chunked pack_bytes) == whole-message pack, byte-exact;
+//   * cursor-resumed pack_bytes_from == offset-based pack_bytes;
+//   * chunked unpack round-trips byte-exact (repack == packed stream);
+//   * plans fetched from the process-wide cache produce results identical
+//     to uncached plans (cursor tables and segment counts included);
+//   * the device path (submit_device_pack/unpack: 2-D, batched sub-pattern
+//     and generalized kernels) moves the same bytes as the host pack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "core/gpu_staging.hpp"
+#include "core/msg_view.hpp"
+#include "core/pack_plan.hpp"
+#include "cuda/runtime.hpp"
+#include "gpu/device.hpp"
+#include "mpi/datatype.hpp"
+#include "sim/engine.hpp"
+
+namespace core = mv2gnc::core;
+namespace cusim = mv2gnc::cusim;
+namespace gpu = mv2gnc::gpu;
+namespace sim = mv2gnc::sim;
+using mv2gnc::mpisim::Datatype;
+using mv2gnc::mpisim::PackCursor;
+
+namespace {
+
+// Random committed tree with non-negative offsets (device-allocatable) and
+// non-overlapping segments (unpack round-trips must be well-defined).
+Datatype random_tree(std::mt19937& rng, int depth) {
+  const auto pick = [&](int n) { return static_cast<int>(rng() % n); };
+  if (depth <= 0 || pick(4) == 0) {
+    switch (pick(3)) {
+      case 0: return Datatype::byte();
+      case 1: return Datatype::int32();
+      default: return Datatype::float64();
+    }
+  }
+  Datatype child = random_tree(rng, depth - 1);
+  switch (pick(5)) {
+    case 0:
+      return Datatype::contiguous(1 + pick(4), child);
+    case 1: {
+      const int blocklen = 1 + pick(3);
+      const int stride = blocklen + pick(4);
+      return Datatype::vector(1 + pick(5), blocklen, stride, child);
+    }
+    case 2: {
+      const int blocklen = 1 + pick(3);
+      const std::int64_t stride =
+          static_cast<std::int64_t>(blocklen) * child.extent() +
+          static_cast<std::int64_t>(pick(24));
+      return Datatype::hvector(1 + pick(5), blocklen, stride, child);
+    }
+    case 3: {
+      const int n = 1 + pick(4);
+      std::vector<int> lens, displs;
+      int at = pick(3);
+      for (int i = 0; i < n; ++i) {
+        const int len = 1 + pick(3);
+        lens.push_back(len);
+        displs.push_back(at);
+        at += len + pick(3);
+      }
+      return Datatype::indexed(lens, displs, child);
+    }
+    default:
+      // Keep the child's lb and only grow the extent, so data always
+      // stays inside [lb, ub] and span_bytes() below is an upper bound.
+      return Datatype::resized(child, child.lower_bound(),
+                               child.extent() + pick(16));
+  }
+}
+
+// Bytes a send/recv buffer must cover: element i occupies
+// [i*extent + lb, i*extent + ub], and lb >= 0 for every generated tree.
+std::size_t span_bytes(const Datatype& t, int count) {
+  return static_cast<std::size_t>(
+      static_cast<std::int64_t>(count - 1) * t.extent() + t.upper_bound());
+}
+
+// Random split of [0, total) into contiguous chunks.
+std::vector<std::size_t> random_splits(std::mt19937& rng, std::size_t total) {
+  std::vector<std::size_t> cuts{0, total};
+  const int extra = static_cast<int>(rng() % 6);
+  for (int i = 0; i < extra; ++i) cuts.push_back(rng() % (total + 1));
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+std::vector<std::byte> random_bytes(std::mt19937& rng, std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng() & 0xFF);
+  return v;
+}
+
+}  // namespace
+
+TEST(PackPlanFuzz, HostChunkedPackMatchesWholeAndRoundTrips) {
+  std::mt19937 rng(20260806);
+  for (int iter = 0; iter < 60; ++iter) {
+    Datatype t = random_tree(rng, 3);
+    t.commit();
+    const int count = 1 + static_cast<int>(rng() % 3);
+    const std::size_t packed = t.size() * static_cast<std::size_t>(count);
+    if (packed == 0) continue;
+    const std::size_t span = span_bytes(t, count);
+    const std::vector<std::byte> src = random_bytes(rng, span);
+
+    std::vector<std::byte> whole(packed);
+    t.pack(src.data(), count, whole.data());
+
+    // Chunked pack, offset-based and cursor-resumed, must concat to whole.
+    const auto cuts = random_splits(rng, packed);
+    std::vector<std::byte> chunked(packed, std::byte{0xEE});
+    std::vector<std::byte> cursored(packed, std::byte{0xEE});
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const std::size_t off = cuts[i];
+      const std::size_t len = cuts[i + 1] - cuts[i];
+      t.pack_bytes(src.data(), count, off, len, chunked.data() + off);
+      const PackCursor cur = t.cursor_at(count, off);
+      t.pack_bytes_from(cur, src.data(), count, len, cursored.data() + off);
+    }
+    ASSERT_EQ(whole, chunked) << "iter " << iter << ": " << t.describe();
+    ASSERT_EQ(whole, cursored) << "iter " << iter << ": " << t.describe();
+
+    // Chunked unpack into a scratch buffer, then repack: byte-exact.
+    std::vector<std::byte> scratch(span, std::byte{0x5A});
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const std::size_t off = cuts[i];
+      const std::size_t len = cuts[i + 1] - cuts[i];
+      const PackCursor cur = t.cursor_at(count, off);
+      t.unpack_bytes_from(cur, whole.data() + off, count, len,
+                          scratch.data());
+    }
+    std::vector<std::byte> repacked(packed);
+    t.pack(scratch.data(), count, repacked.data());
+    ASSERT_EQ(whole, repacked) << "iter " << iter << ": " << t.describe();
+  }
+}
+
+TEST(PackPlanFuzz, CachedPlansMatchUncached) {
+  std::mt19937 rng(987654);
+  auto& cache = core::PlanCache::instance();
+  cache.reset();
+  for (int iter = 0; iter < 40; ++iter) {
+    Datatype t = random_tree(rng, 3);
+    t.commit();
+    const int count = 1 + static_cast<int>(rng() % 3);
+    if (t.size() == 0) continue;
+    auto cached = cache.get(t, count);
+    auto uncached = core::PackPlan::build(t, count);
+    ASSERT_EQ(cached->signature(), uncached->signature());
+    ASSERT_EQ(cached->packed_bytes(), uncached->packed_bytes());
+    ASSERT_EQ(cached->total_segments(), uncached->total_segments());
+    ASSERT_EQ(cached->layout(), uncached->layout());
+    ASSERT_EQ(cached->subpatterns().size(), uncached->subpatterns().size());
+    const std::size_t chunk = 1 + rng() % cached->packed_bytes();
+    auto ct = cached->chunk_cursors(chunk);
+    auto ut = uncached->chunk_cursors(chunk);
+    ASSERT_EQ(ct->count, ut->count);
+    ASSERT_EQ(ct->cursors, ut->cursors);
+    ASSERT_EQ(ct->segments, ut->segments);
+    // A second fetch is a hit returning the identical plan object.
+    ASSERT_EQ(cache.get(t, count).get(), cached.get());
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(PackPlanFuzz, DeviceChunkedPackMatchesHostPack) {
+  std::mt19937 rng(424242);
+  for (int iter = 0; iter < 12; ++iter) {
+    Datatype t = random_tree(rng, 3);
+    t.commit();
+    const int count = 1 + static_cast<int>(rng() % 2);
+    const std::size_t packed = t.size() * static_cast<std::size_t>(count);
+    if (packed == 0) continue;
+    const std::size_t span = span_bytes(t, count);
+
+    sim::Engine eng;
+    gpu::MemoryRegistry reg;
+    gpu::Device dev{eng, reg, 0, gpu::GpuCostModel::tesla_c2050(), 512u << 20};
+    cusim::CudaContext ctx{dev};
+    const std::vector<std::byte> src = random_bytes(rng, span);
+    std::vector<std::byte> expect(packed);
+    t.pack(src.data(), count, expect.data());
+    const auto cuts = random_splits(rng, packed);
+
+    std::vector<std::byte> dev_packed(packed);
+    std::vector<std::byte> dev_unpacked(packed);
+    eng.spawn("fuzz", [&] {
+      auto* buf = static_cast<std::byte*>(ctx.malloc(span));
+      auto* tbuf = static_cast<std::byte*>(ctx.malloc(packed));
+      ctx.memcpy(buf, src.data(), span, cusim::MemcpyKind::kHostToDevice);
+      auto msg = core::MsgView::make(buf, count, t, reg);
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        core::submit_device_pack(ctx, ctx.default_stream(), msg, cuts[i],
+                                 cuts[i + 1] - cuts[i], tbuf + cuts[i]);
+      }
+      ctx.device_synchronize();
+      ctx.memcpy(dev_packed.data(), tbuf, packed,
+                 cusim::MemcpyKind::kDeviceToHost);
+      // Scatter back into a scrubbed buffer, then gather again.
+      ctx.memset(buf, 0xA5, span);
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        core::submit_device_unpack(ctx, ctx.default_stream(), msg, cuts[i],
+                                   cuts[i + 1] - cuts[i], tbuf + cuts[i]);
+      }
+      ctx.device_synchronize();
+      core::submit_device_pack(ctx, ctx.default_stream(), msg, 0, packed,
+                               tbuf);
+      ctx.device_synchronize();
+      ctx.memcpy(dev_unpacked.data(), tbuf, packed,
+                 cusim::MemcpyKind::kDeviceToHost);
+      ctx.free(tbuf);
+      ctx.free(buf);
+    });
+    eng.run();
+    ASSERT_EQ(expect, dev_packed) << "iter " << iter << ": " << t.describe();
+    ASSERT_EQ(expect, dev_unpacked) << "iter " << iter << ": " << t.describe();
+  }
+}
