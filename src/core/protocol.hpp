@@ -47,6 +47,11 @@ enum MsgKind : int {
   kSendAbort = 10,   // h0=recv req — best-effort notice that the sender
                   //   failed the transfer permanently; the receiver fails
                   //   its request instead of waiting out its watchdog
+  kChunkAckBatch = 11,  // h0=entry count; payload = AckBatchEntry records —
+                  //   CHUNK_ACKs (credits included) coalesced within the
+                  //   ack_coalesce_window_ns delivery window into one
+                  //   control message, possibly spanning several transfers
+                  //   bound for the same peer
   kInternal = 64, // first kind value available to higher layers
 };
 
@@ -77,6 +82,43 @@ inline void* read_address(const std::vector<std::byte>& payload,
 /// Number of addresses in a payload.
 inline std::size_t address_count(const std::vector<std::byte>& payload) {
   return payload.size() / sizeof(std::uintptr_t);
+}
+
+/// One coalesced CHUNK_ACK inside a kChunkAckBatch payload: the fields of
+/// an individual kChunkAck (h0..h3 + credit address), flattened.
+struct AckBatchEntry {
+  std::uint64_t sender_req = 0;
+  std::uint64_t chunk_idx = 0;
+  std::uint64_t slot_idx = kNoSlot;  // kNoSlot: no credit rides on this ack
+  std::uint64_t credit_seq = 0;
+  void* slot_addr = nullptr;         // recycled landing address (credit)
+};
+
+inline void append_ack_entry(std::vector<std::byte>& payload,
+                             const AckBatchEntry& e) {
+  const std::uint64_t words[5] = {
+      e.sender_req, e.chunk_idx, e.slot_idx, e.credit_seq,
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(e.slot_addr))};
+  const auto* p = reinterpret_cast<const std::byte*>(words);
+  payload.insert(payload.end(), p, p + sizeof(words));
+}
+
+inline AckBatchEntry read_ack_entry(const std::vector<std::byte>& payload,
+                                    std::size_t i) {
+  std::uint64_t words[5];
+  std::memcpy(words, payload.data() + i * sizeof(words), sizeof(words));
+  AckBatchEntry e;
+  e.sender_req = words[0];
+  e.chunk_idx = words[1];
+  e.slot_idx = words[2];
+  e.credit_seq = words[3];
+  e.slot_addr = reinterpret_cast<void*>(
+      static_cast<std::uintptr_t>(words[4]));
+  return e;
+}
+
+inline std::size_t ack_entry_count(const std::vector<std::byte>& payload) {
+  return payload.size() / (5 * sizeof(std::uint64_t));
 }
 
 }  // namespace mv2gnc::core

@@ -1,6 +1,9 @@
 #include "core/rndv.hpp"
 
 #include <algorithm>
+#include <limits>
+
+#include "core/sched.hpp"
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -45,6 +48,37 @@ StagingSlot pinned_slot(cusim::CudaContext& cuda, std::size_t bytes) {
 }  // namespace detail
 
 namespace {
+
+// Scheduler-aware slot acquisition: the QoS/fairness gate rules first
+// (unless `gated` is false — guaranteed-progress slots bypass it), then the
+// pool, with the take accounted against the transfer. Oversized chunks
+// never touch the pool, so they bypass the gate too.
+detail::StagingSlot sched_acquire(RankResources& res, std::uint64_t id,
+                                  std::size_t bytes, bool gated = true) {
+  if (gated && res.sched != nullptr && bytes <= res.vbufs->buffer_bytes() &&
+      !res.sched->may_acquire(id)) {
+    return {};
+  }
+  detail::StagingSlot s = detail::acquire_slot(*res.vbufs, *res.cuda, bytes);
+  if (s.from_pool && res.sched != nullptr) res.sched->note_acquired(id);
+  return s;
+}
+
+// The transfer stopped wanting a slot (depth-capped, staging finished,
+// window advertised): drop any queued fairness turn so freed slots are
+// not held idle for it.
+void sched_withdraw(RankResources& res, std::uint64_t id) {
+  if (res.sched != nullptr) res.sched->withdraw(id);
+}
+
+// Release counterpart: returns the slot and updates the transfer's held
+// count (a no-op for pinned one-offs and unregistered transfers).
+void sched_release(RankResources& res, std::uint64_t id,
+                   detail::StagingSlot& slot) {
+  const bool pooled = slot.from_pool && slot.ptr != nullptr;
+  detail::release_slot(*res.vbufs, slot);
+  if (pooled && res.sched != nullptr) res.sched->note_released(id);
+}
 
 bool has_usable_pattern(const MsgView& msg) {
   return msg.pattern.has_value() && msg.pattern->stride_bytes > 0 &&
@@ -169,11 +203,15 @@ RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
   write_errors_.assign(plan_.count, 0);
   remote_slot_idx_.assign(plan_.count, kNoSlot);
   remote_addr_.assign(plan_.count, nullptr);
+  if (res_.sched != nullptr) {
+    res_.sched->register_transfer(req_id_, plan_.total);
+  }
 }
 
 RndvSend::~RndvSend() {
   try {
     timer_.cancel();
+    if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
     if (tbuf_ != nullptr) {
       res_.cuda->free(tbuf_);
       tbuf_ = nullptr;
@@ -189,6 +227,17 @@ void RndvSend::trace_event(const char* category) {
   }
 }
 
+void RndvSend::post_ctrl(netsim::WireMessage msg) {
+  msg.seq = ctrl_seq_++;
+  if (res_.sched != nullptr) {
+    res_.sched->note_ctrl(msg.kind);
+    // Any control message to the peer is a free ride for credits this
+    // rank's receive side is holding back for the same destination.
+    res_.sched->flush_peer(dst_);
+  }
+  res_.endpoint->post_send(dst_, std::move(msg));
+}
+
 void RndvSend::start(std::uint64_t tag_word) {
   rts_.kind = kRts;
   rts_.header[0] = tag_word;
@@ -201,9 +250,7 @@ void RndvSend::start(std::uint64_t tag_word) {
     rts_.header[4] = 1;
     rts_.header[5] = reinterpret_cast<std::uintptr_t>(msg_.base);
   }
-  netsim::WireMessage rts = rts_;
-  rts.seq = ctrl_seq_++;
-  res_.endpoint->post_send(dst_, std::move(rts));
+  post_ctrl(rts_);
   if (path_ == Path::kDeviceOffload) {
     // Offload the whole pack immediately; it overlaps the RTS/CTS
     // handshake ("the sender ... triggers multiple asynchronous memory
@@ -246,9 +293,7 @@ void RndvSend::handle_timeout() {
       timer_.cancel();
       return;
     }
-    netsim::WireMessage done = done_;
-    done.seq = ctrl_seq_++;
-    res_.endpoint->post_send(dst_, std::move(done));
+    post_ctrl(done_);
     if (res_.retries != nullptr) ++res_.retries->send_done_retransmits;
     trace_event("fault_done_retransmit");
     arm_timer();
@@ -281,9 +326,7 @@ void RndvSend::retransmit_unacked() {
     // Handshake not established (RTS, CTS or the RGET done was lost):
     // resend the stored RTS. The receiver dedups by (src, sender req) and
     // replays its CTS / done if it already answered.
-    netsim::WireMessage rts = rts_;
-    rts.seq = ctrl_seq_++;
-    res_.endpoint->post_send(dst_, std::move(rts));
+    post_ctrl(rts_);
     if (res_.retries != nullptr) ++res_.retries->rts_retransmits;
     trace_event("fault_rts_retransmit");
     return;
@@ -304,8 +347,14 @@ void RndvSend::retransmit_unacked() {
     // were lost on other transfers), degrade to a one-off pinned slot so
     // this transfer keeps moving.
     const bool needs_slot = (path_ != Path::kHostContig);
+    const bool gated =
+        res_.sched != nullptr && res_.sched->is_waiting(req_id_);
     if (needs_slot && next_stage_ < plan_.count &&
-        !slots_[next_stage_].valid() && res_.vbufs->available() == 0) {
+        !slots_[next_stage_].valid() &&
+        (res_.vbufs->available() == 0 || gated)) {
+      // Starved of staging slots — pool drained, or the fairness gate kept
+      // us queued for a full timeout (the slots it is saving us from are
+      // not coming back). Either way, degrade to a one-off pinned slot.
       force_pinned_ = true;
       if (res_.retries != nullptr) ++res_.retries->stall_fallbacks;
       trace_event("fault_stall_fallback");
@@ -385,6 +434,7 @@ void RndvSend::post_chunk_rdma(std::size_t i, bool retransmit) {
   fin.header[2] = slot_idx;
   fin.header[3] = off;
   fin.header[4] = bytes;
+  if (res_.sched != nullptr) res_.sched->note_ctrl(kChunkFin);
   const std::uint64_t wr =
       res_.endpoint->post_rdma_write(dst_, src, remote, bytes, std::move(fin));
   wr_to_chunk_.emplace(wr, i);
@@ -402,9 +452,23 @@ void RndvSend::advance() {
   // Stage frontier: pack (if any) must have completed; a staging slot must
   // be available. Staging runs regardless of CTS — it overlaps the
   // handshake.
+  const std::size_t cap = (res_.sched != nullptr)
+                              ? res_.sched->inflight_cap()
+                              : std::numeric_limits<std::size_t>::max();
   while (next_stage_ < plan_.count) {
     const std::size_t i = next_stage_;
-    if (path_ == Path::kDeviceOffload && !pack_events_[i].query()) break;
+    // Pipeline-depth cap: staged-but-unacked chunks (each pinning a slot
+    // and a spot in the transmit pipeline) stay within the scheduler's
+    // adaptive budget; acks re-drive us as they land. Either break means
+    // we are not slot-starved right now — withdraw any queued turn.
+    if (next_stage_ - acked_count_ >= cap) {
+      sched_withdraw(res_, req_id_);
+      break;
+    }
+    if (path_ == Path::kDeviceOffload && !pack_events_[i].query()) {
+      sched_withdraw(res_, req_id_);
+      break;
+    }
     const bool needs_slot = (path_ != Path::kHostContig);
     if (needs_slot && !slots_[i].valid()) {
       if (force_pinned_) {
@@ -412,24 +476,29 @@ void RndvSend::advance() {
         slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
         force_pinned_ = false;
       } else {
-        slots_[i] =
-            detail::acquire_slot(*res_.vbufs, *res_.cuda, plan_.bytes_of(i));
+        slots_[i] = sched_acquire(res_, req_id_, plan_.bytes_of(i));
       }
       if (!slots_[i].valid()) {
-        // Pool drained. If this transfer has unacked chunks holding slots,
-        // their acks free slots and re-drive us — stall. If it holds
-        // nothing, no event of ours will ever wake us: take a one-off
-        // pinned slot so every transfer is guaranteed to progress (this
-        // breaks the circular wait when concurrent receive windows have
-        // consumed the whole pool).
+        // No slot. If this transfer has unacked chunks holding slots,
+        // their acks free slots and re-drive us — stall. If the fairness
+        // gate queued us, the granted transfer's progress re-drives the
+        // rank and our next ask takes its turn (the stall watchdog bounds
+        // the wait). If it holds nothing and is not queued, no event of
+        // ours will ever wake us: take a one-off pinned slot so every
+        // transfer is guaranteed to progress (this breaks the circular
+        // wait when concurrent receive windows have consumed the pool).
         const std::size_t in_flight = next_stage_ - acked_count_;
-        if (in_flight > 0) break;
+        const bool gated =
+            res_.sched != nullptr && res_.sched->is_waiting(req_id_);
+        if (in_flight > 0 || gated) break;
         slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
       }
     }
     submit_stage(i);
     ++next_stage_;
   }
+  // Every chunk staged: this transfer asks for nothing more.
+  if (next_stage_ == plan_.count) sched_withdraw(res_, req_id_);
   // RDMA frontier: needs the CTS (remote landing addresses) and the
   // staged chunk data sitting in host memory.
   if (!cts_received_) return;
@@ -486,8 +555,19 @@ void RndvSend::on_send_done_ack() {
 }
 
 void RndvSend::on_chunk_ack(const netsim::WireMessage& m) {
+  AckBatchEntry e;
+  e.sender_req = m.header[0];
+  e.chunk_idx = m.header[1];
+  e.slot_idx = m.header[2];
+  e.credit_seq = m.header[3];
+  e.slot_addr = (m.header[2] != kNoSlot) ? read_address(m.payload, 0)
+                                         : nullptr;
+  apply_chunk_ack(e);
+}
+
+void RndvSend::apply_chunk_ack(const AckBatchEntry& e) {
   if (complete_ || failed_) return;
-  const std::size_t idx = m.header[1];
+  const std::size_t idx = e.chunk_idx;
   if (idx >= plan_.count) return;
   if (acked_[idx]) {
     if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
@@ -496,9 +576,9 @@ void RndvSend::on_chunk_ack(const netsim::WireMessage& m) {
   acked_[idx] = true;
   ++acked_count_;
   note_progress();
-  if (m.header[2] != kNoSlot) {
+  if (e.slot_idx != kNoSlot) {
     // The freed landing slot rides on the ack (the paper's CREDIT).
-    remote_slots_.emplace_back(m.header[2], read_address(m.payload, 0));
+    remote_slots_.emplace_back(e.slot_idx, e.slot_addr);
   }
   maybe_release_slot(idx);
   if (maybe_complete()) return;
@@ -527,7 +607,7 @@ void RndvSend::maybe_release_slot(std::size_t i) {
   // (possibly retransmitted) write would hand its memory to another
   // transfer mid-read.
   if (slots_[i].valid() && acked_[i] && inflight_[i] == 0) {
-    detail::release_slot(*res_.vbufs, slots_[i]);
+    sched_release(res_, req_id_, slots_[i]);
   }
 }
 
@@ -594,9 +674,13 @@ void RndvSend::complete_transfer() {
       res_.slot_graveyard->push_back(std::move(slots_[i]));
       slots_[i] = detail::StagingSlot{};
     } else {
-      detail::release_slot(*res_.vbufs, slots_[i]);
+      sched_release(res_, req_id_, slots_[i]);
     }
   }
+  // Holds no pool slots and asks for none: out of the QoS head count (a
+  // direct-mode SEND_DONE handshake may still be running; it needs no
+  // staging resources).
+  if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
   if (tbuf_ != nullptr) {
     res_.cuda->free(tbuf_);
     tbuf_ = nullptr;
@@ -606,9 +690,7 @@ void RndvSend::complete_transfer() {
     // retained landing slots (and, in direct mode, its request).
     done_.kind = kSendDone;
     done_.header[0] = peer_req_;
-    netsim::WireMessage done = done_;
-    done.seq = ctrl_seq_++;
-    res_.endpoint->post_send(dst_, std::move(done));
+    post_ctrl(done_);
   }
   // Direct mode is the one landing where the peer's request hinges on the
   // SEND_DONE (see RndvRecv::request_complete): keep the timer running and
@@ -636,9 +718,8 @@ void RndvSend::fail(const std::string& reason) {
     // out its watchdog. If this is lost the watchdog still bounds the wait.
     netsim::WireMessage abort;
     abort.kind = kSendAbort;
-    abort.seq = ctrl_seq_++;
     abort.header[0] = peer_req_;
-    res_.endpoint->post_send(dst_, std::move(abort));
+    post_ctrl(std::move(abort));
     trace_event("fault_send_abort");
   }
   for (std::size_t i = 0; i < plan_.count; ++i) {
@@ -647,9 +728,10 @@ void RndvSend::fail(const std::string& reason) {
       res_.slot_graveyard->push_back(std::move(slots_[i]));
       slots_[i] = detail::StagingSlot{};
     } else {
-      detail::release_slot(*res_.vbufs, slots_[i]);
+      sched_release(res_, req_id_, slots_[i]);
     }
   }
+  if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
 }
 
 // ===========================================================================
@@ -691,6 +773,9 @@ RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
   chunks_.resize(plan_.count);
   acks_.resize(plan_.count);
   drained_chunk_.assign(plan_.count, false);
+  if (res_.sched != nullptr) {
+    res_.sched->register_transfer(req_id_, plan_.total);
+  }
 }
 
 RndvRecv::~RndvRecv() {
@@ -698,6 +783,10 @@ RndvRecv::~RndvRecv() {
   // engine abort interrupted mid-flight.
   try {
     timer_.cancel();
+    if (res_.sched != nullptr) {
+      res_.sched->drop_pending(src_, sender_req_);
+      res_.sched->unregister_transfer(req_id_);
+    }
     if (rtbuf_ != nullptr) {
       res_.cuda->free(rtbuf_);
       rtbuf_ = nullptr;
@@ -715,6 +804,12 @@ void RndvRecv::trace_event(const char* category) {
 
 void RndvRecv::post_ctrl(netsim::WireMessage msg) {
   msg.seq = ctrl_seq_++;
+  if (res_.sched != nullptr) {
+    res_.sched->note_ctrl(msg.kind);
+    // Piggyback: pending coalesced credits for this peer must never trail
+    // a fresher control message.
+    res_.sched->flush_peer(src_);
+  }
   res_.endpoint->post_send(src_, std::move(msg));
 }
 
@@ -760,11 +855,17 @@ void RndvRecv::handle_timeout() {
 void RndvRecv::force_drain() {
   send_done_ = true;
   timer_.cancel();
+  if (res_.sched != nullptr) {
+    // A pending coalesced ack advertises a slot address as a credit; the
+    // release below recycles those addresses, so the acks must die first.
+    res_.sched->drop_pending(src_, sender_req_);
+  }
   // Safe to recycle rather than park in the graveyard: the silence that got
   // us here spans the entire backoff budget, orders of magnitude beyond any
   // delivery latency plus jitter, so no write posted by the sender can
   // still be queued against these addresses.
-  for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
+  for (auto& s : slots_) sched_release(res_, req_id_, s);
+  if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
   if (res_.retries != nullptr) ++res_.retries->force_drains;
   trace_event("fault_force_drain");
 }
@@ -775,6 +876,11 @@ void RndvRecv::fail(const std::string& reason) {
   timer_.cancel();
   if (res_.retries != nullptr) ++res_.retries->transfer_failures;
   trace_event("fault_transfer_failed");
+  if (res_.sched != nullptr) {
+    // Queued acks for this transfer advertise slots headed for the
+    // graveyard (or the pool); they must never reach the wire.
+    res_.sched->drop_pending(src_, sender_req_);
+  }
   for (auto& s : slots_) {
     if (!s.valid()) continue;
     if (res_.slot_graveyard != nullptr) {
@@ -783,9 +889,10 @@ void RndvRecv::fail(const std::string& reason) {
       res_.slot_graveyard->push_back(std::move(s));
       s = detail::StagingSlot{};
     } else {
-      detail::release_slot(*res_.vbufs, s);
+      sched_release(res_, req_id_, s);
     }
   }
+  if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
 }
 
 void RndvRecv::start() {
@@ -828,7 +935,10 @@ void RndvRecv::start() {
     const bool pool_allowed =
         (i == 0) || res_.vbufs->available() * 2 > res_.vbufs->capacity();
     if (pool_allowed) {
-      s = detail::acquire_slot(*res_.vbufs, *res_.cuda, plan_.chunk);
+      // The first slot bypasses the fairness gate: a CTS must always go
+      // out (guaranteed progress), and the reserve carved out for this
+      // transfer covers it anyway.
+      s = sched_acquire(res_, req_id_, plan_.chunk, /*gated=*/i != 0);
     }
     if (!s.valid()) {
       if (i == 0) s = detail::pinned_slot(*res_.cuda, plan_.chunk);
@@ -836,6 +946,9 @@ void RndvRecv::start() {
     }
     slots_.push_back(std::move(s));
   }
+  // The window is advertised exactly once — a denial above must not leave
+  // a stale fairness turn queued (this receiver will never re-ask).
+  sched_withdraw(res_, req_id_);
   cts_.header[2] = static_cast<std::uint64_t>(CtsMode::kStaged);
   cts_.header[3] = slots_.size();
   for (const auto& s : slots_) append_address(cts_.payload, s.ptr);
@@ -908,7 +1021,42 @@ void RndvRecv::ack_chunk(std::size_t chunk_idx) {
   }
   drained_chunk_[chunk_idx] = true;
   acks_[chunk_idx] = ack;
+  ++drained_acks_;
   note_progress();  // local drain progress keeps the watchdog quiet
+  if (res_.sched != nullptr && res_.sched->coalescing()) {
+    // Hand the ack to the coalescer: it goes out within the delivery
+    // window, batched with whatever else this rank owes the same peer
+    // (possibly acks of other transfers). Replays of a stored ack on a
+    // duplicate fin still use post_ctrl directly — recovery traffic must
+    // not sit in a batching window.
+    AckBatchEntry e;
+    e.sender_req = sender_req_;
+    e.chunk_idx = chunk_idx;
+    e.slot_idx = ack.header[2];
+    e.credit_seq = ack.header[3];
+    e.slot_addr =
+        (ack.header[2] != kNoSlot) ? slots_[ack.header[2]].ptr : nullptr;
+    // The credit valve: with half the advertised window's credits pending
+    // the sender is at risk of stalling on the coalescing timer; a
+    // one-slot window means every ack is the sender's only credit and
+    // must not idle in a batch at all. And with no other transfer active
+    // there is nothing to batch with — every held ack is pure pipeline
+    // delay — so a solo transfer flushes each credit immediately.
+    const std::size_t valve =
+        res_.sched->active_transfers() > 1
+            ? std::max<std::size_t>(1, slots_.size() / 2)
+            : 1;
+    res_.sched->queue_ack(src_, e, valve);
+    if (drained_acks_ == plan_.count) {
+      // The transfer's last ack must not sit in a batching window: our
+      // request may complete right now, the application may never drive
+      // this rank's progress loop again, and the sender's completion
+      // hinges on this ack. Flush synchronously (it carries every other
+      // ack pending for this peer with it).
+      res_.sched->flush_peer(src_);
+    }
+    return;
+  }
   post_ctrl(std::move(ack));
 }
 
@@ -925,8 +1073,11 @@ void RndvRecv::on_send_done() {
   } else {
     send_done_ = true;
     // Every chunk is acked at the sender: no retransmitted write can target
-    // these slots any more, so they may finally return to the pool.
-    for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
+    // these slots any more, so they may finally return to the pool. (The
+    // SEND_DONE also proves no ack of ours is still coalescing — the
+    // sender saw them all.)
+    for (auto& s : slots_) sched_release(res_, req_id_, s);
+    if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
   }
   if (path_ == Path::kHostDirect) {
     // The sender retransmits its SEND_DONE until we confirm (our request

@@ -63,6 +63,8 @@
 
 namespace mv2gnc::core {
 
+class TransferScheduler;
+
 /// Per-rank reliability counters, aggregated across all transfers of the
 /// rank. Zero across the board on a perfect fabric.
 struct RetryStats {
@@ -134,6 +136,11 @@ struct RankResources {
   /// the owning RankComm frees them at destruction, after the engine has
   /// drained every event.
   std::vector<detail::StagingSlot>* slot_graveyard = nullptr;
+  /// Multi-transfer progress scheduler (docs/CONCURRENCY.md): vbuf QoS and
+  /// fairness gating, adaptive pipeline depth, ack/credit coalescing and
+  /// the control-message census. Null disables all of it (legacy behavior,
+  /// identical to sched_policy=fifo with coalescing off).
+  TransferScheduler* sched = nullptr;
 };
 
 /// Chunk geometry shared by both sides (the RTS carries the sender's
@@ -173,6 +180,9 @@ class RndvSend {
 
   void on_cts(const netsim::WireMessage& msg);
   void on_chunk_ack(const netsim::WireMessage& msg);
+  /// One coalesced ack out of a kChunkAckBatch (or the fields of an
+  /// individual kChunkAck) — the shared entry point both paths reduce to.
+  void apply_chunk_ack(const AckBatchEntry& e);
   /// The peer received our RTS but has no matching receive posted yet.
   /// Refreshes the retry budget: an unanswered handshake whose RTS is known
   /// delivered is a late receiver, not a lost message, and legal MPI
@@ -210,6 +220,8 @@ class RndvSend {
 
   void submit_stage(std::size_t i);
   void post_chunk_rdma(std::size_t i, bool retransmit);
+  /// Stamp, census-count, piggyback pending credits for dst_, then post.
+  void post_ctrl(netsim::WireMessage msg);
   void maybe_release_slot(std::size_t i);
   /// Complete once every chunk is acked and no write is still queued in
   /// the transmit pipeline; returns true when the transfer completed.
@@ -387,6 +399,7 @@ class RndvRecv {
   bool done_sent_ = false;
   std::vector<netsim::WireMessage> acks_;  // stored per chunk once drained
   std::vector<bool> drained_chunk_;
+  std::size_t drained_acks_ = 0;  // chunks acked at least once
   bool send_done_ = false;
   std::uint64_t credit_seq_ = 0;
   std::uint64_t ctrl_seq_ = 0;

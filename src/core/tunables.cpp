@@ -27,8 +27,22 @@ void Tunables::validate() const {
     throw std::invalid_argument(
         "tunables: recv_window cannot exceed vbuf_count");
   }
+  if (vbuf_reserve_per_transfer > vbuf_count) {
+    throw std::invalid_argument(
+        "tunables: vbuf_reserve_per_transfer cannot exceed vbuf_count");
+  }
   if (rndv_timeout_ns <= 0) {
     throw std::invalid_argument("tunables: rndv_timeout_ns must be > 0");
+  }
+  if (ack_coalesce_window_ns < 0) {
+    throw std::invalid_argument(
+        "tunables: ack_coalesce_window_ns must be >= 0");
+  }
+  if (ack_coalesce_window_ns >= rndv_timeout_ns) {
+    // Held acks look like silence to the sender's retransmission deadline;
+    // a window at or above the timeout would retransmit every chunk.
+    throw std::invalid_argument(
+        "tunables: ack_coalesce_window_ns must be below rndv_timeout_ns");
   }
   if (rndv_backoff_factor < 1.0) {
     throw std::invalid_argument(
@@ -63,6 +77,23 @@ SchemeSelect parse_scheme_select(const std::string& v) {
   if (v == "tunable") return SchemeSelect::kTunable;
   throw std::invalid_argument(
       "tunables: scheme_select must be 'model' or 'tunable', got: " + v);
+}
+
+SchedPolicy parse_sched_policy(const std::string& v) {
+  if (v == "fifo") return SchedPolicy::kFifo;
+  if (v == "fair") return SchedPolicy::kFair;
+  if (v == "bytes") return SchedPolicy::kBytesWeighted;
+  throw std::invalid_argument(
+      "tunables: sched_policy must be 'fifo', 'fair' or 'bytes', got: " + v);
+}
+
+const char* sched_policy_name(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kFair: return "fair";
+    case SchedPolicy::kBytesWeighted: return "bytes";
+  }
+  return "fifo";
 }
 
 std::string trim(const std::string& s) {
@@ -102,6 +133,10 @@ Tunables Tunables::from_stream(std::istream& in) {
       else if (key == "scheme_select") t.scheme_select = parse_scheme_select(value);
       else if (key == "pipelining") t.pipelining = parse_bool(value, key);
       else if (key == "rget") t.rget = parse_bool(value, key);
+      else if (key == "sched_policy") t.sched_policy = parse_sched_policy(value);
+      else if (key == "vbuf_reserve_per_transfer") t.vbuf_reserve_per_transfer = std::stoull(value);
+      else if (key == "max_inflight_chunks") t.max_inflight_chunks = std::stoull(value);
+      else if (key == "ack_coalesce_window_ns") t.ack_coalesce_window_ns = std::stoll(value);
       else if (key == "rndv_timeout_ns") t.rndv_timeout_ns = std::stoll(value);
       else if (key == "rndv_max_retries") t.rndv_max_retries = std::stoull(value);
       else if (key == "rndv_backoff_factor") t.rndv_backoff_factor = std::stod(value);
@@ -145,6 +180,10 @@ std::string Tunables::to_config_string() const {
      << (scheme_select == SchemeSelect::kModel ? "model" : "tunable") << "\n"
      << "pipelining = " << (pipelining ? "true" : "false") << "\n"
      << "rget = " << (rget ? "true" : "false") << "\n"
+     << "sched_policy = " << sched_policy_name(sched_policy) << "\n"
+     << "vbuf_reserve_per_transfer = " << vbuf_reserve_per_transfer << "\n"
+     << "max_inflight_chunks = " << max_inflight_chunks << "\n"
+     << "ack_coalesce_window_ns = " << ack_coalesce_window_ns << "\n"
      << "rndv_timeout_ns = " << rndv_timeout_ns << "\n"
      << "rndv_max_retries = " << rndv_max_retries << "\n"
      << "rndv_backoff_factor = " << rndv_backoff_factor << "\n"

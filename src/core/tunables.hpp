@@ -27,6 +27,14 @@ enum class SchemeSelect {
   kTunable,  // follow the gpu_offload flag unconditionally
 };
 
+/// How concurrent transfers of one rank share the vbuf pool and the wire
+/// (see docs/CONCURRENCY.md).
+enum class SchedPolicy {
+  kFifo,           // first-grabber-wins vbuf acquisition (legacy behavior)
+  kFair,           // round-robin turns + per-transfer vbuf reservations
+  kBytesWeighted,  // like kFair, but larger transfers get overflow priority
+};
+
 struct Tunables {
   /// Messages at or below this size use the eager protocol.
   std::size_t eager_threshold = 8 * 1024;
@@ -64,6 +72,30 @@ struct Tunables {
   /// Ablation lever: overlap the transfer stages. When false the message
   /// moves as a single block (n = 1 in the paper's (n+2) model).
   bool pipelining = true;
+
+  // -- concurrency scaling (docs/CONCURRENCY.md) -------------------------
+  /// How concurrent transfers share the vbuf pool. kFifo reproduces the
+  /// single-transfer-era behavior exactly (the ablation baseline); kFair
+  /// adds per-transfer reservations, round-robin overflow turns and
+  /// adaptive pipeline depth.
+  SchedPolicy sched_policy = SchedPolicy::kFifo;
+
+  /// Fair policies: pooled vbufs held back for each active transfer so one
+  /// large transfer cannot starve the pool (shrinks automatically when
+  /// active transfers outnumber capacity / reserve).
+  std::size_t vbuf_reserve_per_transfer = 2;
+
+  /// Upper bound on staged-but-unacknowledged chunks per sending transfer.
+  /// 0 defers to recv_window under fair policies and means "unbounded"
+  /// under kFifo (legacy). Fair policies adapt the effective depth between
+  /// 1 and this bound as the pool fills and drains.
+  std::size_t max_inflight_chunks = 0;
+
+  /// CHUNK_ACK/credit coalescing window: acks accumulated for this many
+  /// virtual nanoseconds are batched into one control message (and flushed
+  /// early by any outgoing control message to the same peer). 0 sends
+  /// every ack individually (legacy).
+  sim::SimTime ack_coalesce_window_ns = 0;
 
   /// Receiver-driven rendezvous (RGET): for host-contiguous send buffers,
   /// the RTS advertises the source address and a host-contiguous receiver

@@ -44,4 +44,33 @@ void VbufPool::release(std::byte* buf) {
   free_.push_back(buf);
 }
 
+std::string VbufPool::audit() const {
+  std::size_t taken_count = 0;
+  for (bool t : taken_) taken_count += t ? 1 : 0;
+  if (taken_count + free_.size() != capacity_) {
+    return "free list (" + std::to_string(free_.size()) +
+           ") + taken bitmap (" + std::to_string(taken_count) +
+           ") do not partition capacity " + std::to_string(capacity_);
+  }
+  std::vector<bool> on_free_list(capacity_, false);
+  for (std::byte* buf : free_) {
+    const auto delta = buf - arena_.get();
+    if (delta < 0 ||
+        static_cast<std::size_t>(delta) >= capacity_ * bytes_each_ ||
+        static_cast<std::size_t>(delta) % bytes_each_ != 0) {
+      return "foreign pointer on the free list";
+    }
+    const std::size_t idx = static_cast<std::size_t>(delta) / bytes_each_;
+    if (on_free_list[idx]) {
+      return "buffer " + std::to_string(idx) + " on the free list twice";
+    }
+    if (taken_[idx]) {
+      return "buffer " + std::to_string(idx) +
+             " both free-listed and marked taken";
+    }
+    on_free_list[idx] = true;
+  }
+  return {};
+}
+
 }  // namespace mv2gnc::core

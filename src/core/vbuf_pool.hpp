@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace mv2gnc::core {
@@ -34,6 +35,12 @@ class VbufPool {
   std::size_t available() const { return free_.size(); }
   /// High-water mark of simultaneously acquired buffers.
   std::size_t high_water() const { return high_water_; }
+
+  /// Cross-check the internal accounting: free list and taken bitmap must
+  /// partition the arena exactly (no leak, no double-entry, no foreign
+  /// pointer). Returns "" when consistent, else a description of the first
+  /// violation. Reliability tests assert this after every quiesce.
+  std::string audit() const;
 
   /// Backing arena (for registration as pinned/registered memory).
   std::byte* arena() const { return arena_.get(); }

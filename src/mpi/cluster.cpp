@@ -55,6 +55,34 @@ std::size_t Cluster::tracked_rendezvous(int rank) const {
   return comms_[static_cast<std::size_t>(rank)]->tracked_rendezvous();
 }
 
+const core::SchedStats& Cluster::sched_stats(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("sched_stats: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->sched_stats();
+}
+
+std::string Cluster::vbuf_audit(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("vbuf_audit: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->vbufs().audit();
+}
+
+std::size_t Cluster::vbufs_in_use(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("vbufs_in_use: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->vbufs().in_use();
+}
+
+std::size_t Cluster::graveyard_slots(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("graveyard_slots: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->graveyard_slots();
+}
+
 Cluster::~Cluster() = default;
 
 gpu::Device& Cluster::device(int rank) {
@@ -89,6 +117,7 @@ RankStats Cluster::rank_stats(int rank) {
   s.stall_fallbacks = retries.stall_fallbacks;
   s.transfer_failures = retries.transfer_failures;
   s.faults_injected = ep.fault_counters().total();
+  s.sched = comms_[static_cast<std::size_t>(rank)]->sched_stats();
   return s;
 }
 
@@ -135,6 +164,68 @@ void Cluster::print_stats(std::ostream& os) {
       os << line;
     }
   }
+  bool any_sched = false;
+  for (int r = 0; r < config_.ranks; ++r) {
+    const core::SchedStats& ss = sched_stats(r);
+    if (ss.grants_reserve + ss.grants_overflow + ss.denials +
+            ss.acks_individual + ss.acks_coalesced >
+        0) {
+      any_sched = true;
+      break;
+    }
+  }
+  if (any_sched) {
+    os << "rank  act-hw  grants(res/ovf)  denials  q-waits  avg-qwait  "
+          "depth(-/+)  ack-ind  ack-coal  batches  piggyb  coal%\n";
+    for (int r = 0; r < config_.ranks; ++r) {
+      const core::SchedStats& ss = sched_stats(r);
+      char line[256];
+      std::snprintf(
+          line, sizeof(line),
+          "%4d %7zu %8llu/%-8llu %7llu %8llu %8.1fus %5llu/%-5llu %8llu "
+          "%9llu %8llu %7llu %5.1f\n",
+          r, ss.active_high_water,
+          static_cast<unsigned long long>(ss.grants_reserve),
+          static_cast<unsigned long long>(ss.grants_overflow),
+          static_cast<unsigned long long>(ss.denials),
+          static_cast<unsigned long long>(ss.queue_waits),
+          static_cast<double>(ss.avg_queue_wait_ns()) / 1e3,
+          static_cast<unsigned long long>(ss.depth_shrinks),
+          static_cast<unsigned long long>(ss.depth_grows),
+          static_cast<unsigned long long>(ss.acks_individual),
+          static_cast<unsigned long long>(ss.acks_coalesced),
+          static_cast<unsigned long long>(ss.ack_batches),
+          static_cast<unsigned long long>(ss.ack_piggybacks),
+          100.0 * ss.coalesce_ratio());
+      os << line;
+    }
+    // Outgoing control-message census by wire kind.
+    os << "rank   rts    cts    fin    ack   ackb   done  sdone  other  "
+          "ctrl-total\n";
+    for (int r = 0; r < config_.ranks; ++r) {
+      const core::SchedStats& ss = sched_stats(r);
+      const std::uint64_t named =
+          ss.ctrl_by_kind[core::kRts] + ss.ctrl_by_kind[core::kCts] +
+          ss.ctrl_by_kind[core::kChunkFin] + ss.ctrl_by_kind[core::kChunkAck] +
+          ss.ctrl_by_kind[core::kChunkAckBatch] +
+          ss.ctrl_by_kind[core::kRndvDone] + ss.ctrl_by_kind[core::kSendDone];
+      char line[224];
+      std::snprintf(
+          line, sizeof(line),
+          "%4d %5llu %6llu %6llu %6llu %6llu %6llu %6llu %6llu %11llu\n", r,
+          static_cast<unsigned long long>(ss.ctrl_by_kind[core::kRts]),
+          static_cast<unsigned long long>(ss.ctrl_by_kind[core::kCts]),
+          static_cast<unsigned long long>(ss.ctrl_by_kind[core::kChunkFin]),
+          static_cast<unsigned long long>(ss.ctrl_by_kind[core::kChunkAck]),
+          static_cast<unsigned long long>(
+              ss.ctrl_by_kind[core::kChunkAckBatch]),
+          static_cast<unsigned long long>(ss.ctrl_by_kind[core::kRndvDone]),
+          static_cast<unsigned long long>(ss.ctrl_by_kind[core::kSendDone]),
+          static_cast<unsigned long long>(ss.ctrl_total() - named),
+          static_cast<unsigned long long>(ss.ctrl_total()));
+      os << line;
+    }
+  }
   const core::PlanCacheStats pc = plan_cache_stats();
   if (pc.lookups() > 0) {
     char line[200];
@@ -171,8 +262,15 @@ void Cluster::run(std::function<void(Context&)> body) {
     ctx.engine = &engine_;
     ctx.trace = &trace_;
     ctx.tunables = &config_.tunables;
-    engine_.spawn("rank" + std::to_string(r),
-                  [&ctx, body, contexts] { body(ctx); });
+    detail::RankComm* comm = comms_[static_cast<std::size_t>(r)].get();
+    engine_.spawn("rank" + std::to_string(r), [&ctx, body, contexts, comm] {
+      body(ctx);
+      // MPI_Finalize analogue: the rank may still owe protocol work (a
+      // draining receiver waiting on SEND_DONE, retransmissions, coalesced
+      // acks). Keep servicing progress until it quiesces — once this
+      // thread exits, nobody pumps the recovery timers any more.
+      comm->drain_pending();
+    });
   }
   engine_.run();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/rndv.hpp"
+#include "core/sched.hpp"
 #include "core/tunables.hpp"
 #include "cuda/runtime.hpp"
 #include "gpu/cost_model.hpp"
@@ -73,6 +74,9 @@ struct RankStats {
   std::uint64_t stall_fallbacks = 0;   // vbuf-starvation watchdog firings
   std::uint64_t transfer_failures = 0; // transfers failed after max retries
   std::uint64_t faults_injected = 0;   // drops/jitters/write-fails at the NIC
+
+  // -- concurrency scheduler (see core::SchedStats for field docs) -------
+  core::SchedStats sched;
 };
 
 /// Owns the engine, devices, fabric and per-rank MPI state; runs an SPMD
@@ -101,6 +105,17 @@ class Cluster {
   /// once every transfer has been garbage-collected down to its
   /// finished-transfer record.
   std::size_t tracked_rendezvous(int rank) const;
+  /// Concurrency-scheduler counters of one rank (valid after run()).
+  const core::SchedStats& sched_stats(int rank) const;
+  /// VbufPool::audit() of one rank: "" when the pool accounting is
+  /// consistent, else a description of the first violation.
+  std::string vbuf_audit(int rank) const;
+  /// Staging buffers currently checked out of one rank's pool.
+  std::size_t vbufs_in_use(int rank) const;
+  /// Pool slots parked by failed/finished transfers, freed only at
+  /// teardown; they account exactly for any non-zero vbufs_in_use after a
+  /// quiesce (pinned one-off parks are excluded).
+  std::size_t graveyard_slots(int rank) const;
 
   /// Virtual time at which the last run() finished.
   sim::SimTime elapsed() const { return engine_.now(); }

@@ -58,7 +58,8 @@ RankComm::RankComm(int rank, int size, sim::Engine& engine,
       engine_(engine),
       registry_(registry),
       vbuf_pool_(tun.vbuf_count, tun.chunk_bytes),
-      notifier_(engine) {
+      notifier_(engine),
+      sched_(engine, vbuf_pool_, tun, endpoint) {
   // vbufs model MVAPICH2's pre-registered (pinned) staging pool.
   registry.register_pinned_host(vbuf_pool_.arena(), vbuf_pool_.arena_bytes());
   res_.engine = &engine;
@@ -80,6 +81,8 @@ RankComm::RankComm(int rank, int size, sim::Engine& engine,
   res_.trace = trace;
   res_.rank = rank;
   res_.slot_graveyard = &slot_graveyard_;
+  sched_.set_notifier(&notifier_);
+  res_.sched = &sched_;
   auto wg = std::make_shared<CommGroup>();
   wg->context = 0;
   wg->world.resize(static_cast<std::size_t>(size));
@@ -131,6 +134,8 @@ Request RankComm::isend(const void* buf, int count, const Datatype& dtype,
         view.dtype.pack(view.base, view.count, m.payload.data());
       }
     }
+    sched_.note_ctrl(core::kEager);
+    sched_.flush_peer(dst);  // credits must not trail fresher traffic
     res_.endpoint->post_send(dst, std::move(m));
     state->complete = true;  // buffered send: the payload holds a copy
     return Request(std::move(state));
@@ -203,6 +208,19 @@ bool RankComm::test(Request& req, Status* status) {
   return true;
 }
 
+void RankComm::drain_pending() {
+  const auto obligations = [this] {
+    return !active_sends_.empty() || !active_recvs_.empty() ||
+           !draining_recvs_.empty() || sched_.pending_acks() > 0;
+  };
+  while (true) {
+    progress_once();
+    if (!obligations()) return;
+    notifier_.wait("MPI finalize drain (rank " + std::to_string(rank_) +
+                   ")");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Progress engine
 // ---------------------------------------------------------------------------
@@ -211,6 +229,9 @@ void RankComm::progress_once() {
   netsim::Completion c;
   while (res_.endpoint->poll(c)) dispatch(c);
   sweep_transfers();
+  // Flush coalesced acks whose delivery window expired (the coalescing
+  // deadline timer only wakes the notifier; the send happens here).
+  sched_.poll();
 }
 
 void RankComm::dispatch(const netsim::Completion& c) {
@@ -270,6 +291,22 @@ void RankComm::dispatch(const netsim::Completion& c) {
       it->second->rndv_send->on_chunk_ack(m);
       return;
     }
+    case core::kChunkAckBatch: {
+      // Coalesced CHUNK_ACKs, possibly spanning several of our senders.
+      // Each entry applies independently; entries for retired transfers
+      // are stale duplicates, dropped like any late individual ack.
+      const std::size_t n = core::ack_entry_count(m.payload);
+      for (std::size_t i = 0; i < n; ++i) {
+        const core::AckBatchEntry e = core::read_ack_entry(m.payload, i);
+        auto it = active_sends_.find(e.sender_req);
+        if (it == active_sends_.end()) {
+          ++retry_stats_.duplicates_dropped;
+          continue;
+        }
+        it->second->rndv_send->apply_chunk_ack(e);
+      }
+      return;
+    }
     case core::kChunkFin: {
       if (auto it = active_recvs_.find(m.header[0]);
           it != active_recvs_.end()) {
@@ -297,6 +334,7 @@ void RankComm::dispatch(const netsim::Completion& c) {
         netsim::WireMessage ack;
         ack.kind = core::kSendDoneAck;
         ack.header[0] = fit->second.second;
+        sched_.note_ctrl(core::kSendDoneAck);
         res_.endpoint->post_send(fit->second.first, std::move(ack));
       } else {
         ++retry_stats_.duplicates_dropped;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/rndv.hpp"
+#include "core/sched.hpp"
 #include "cuda/runtime.hpp"
 #include "gpu/memory_registry.hpp"
 #include "mpi/mpi.hpp"
@@ -86,8 +87,24 @@ class RankComm {
   sim::Engine& engine() { return engine_; }
   const core::Tunables& tunables() const { return *res_.tun; }
   core::VbufPool& vbufs() { return vbuf_pool_; }
+  const core::VbufPool& vbufs() const { return vbuf_pool_; }
   /// Aggregated reliability counters (retransmissions, timeouts, stalls).
   const core::RetryStats& retry_stats() const { return retry_stats_; }
+  /// Concurrency-scheduler counters (QoS grants/denials, queue waits,
+  /// adaptive depth moves, ack coalescing, control-message census).
+  const core::SchedStats& sched_stats() const { return sched_.stats(); }
+  core::TransferScheduler& sched() { return sched_; }
+  /// Pool staging slots parked by failed/finished transfers; freed at
+  /// destruction (they count as in_use in the pool until then), so they
+  /// account exactly for any non-zero vbufs().in_use() after a quiesce.
+  /// One-off pinned slots parked alongside them are not counted.
+  std::size_t graveyard_slots() const {
+    std::size_t n = 0;
+    for (const auto& s : slot_graveyard_) {
+      if (s.from_pool) ++n;
+    }
+    return n;
+  }
   /// Rendezvous receivers still held live (matched or draining). Returns to
   /// zero once every transfer is garbage-collected — the check long-running
   /// processes rely on (see docs/RELIABILITY.md).
@@ -113,6 +130,18 @@ class RankComm {
                 int tag, int context = 0);
   void wait(Request& req, Status* status);
   bool test(Request& req, Status* status);
+
+  /// MPI_Finalize analogue: service the progress loop until every protocol
+  /// obligation quiesces — live senders/receivers, draining receivers
+  /// still holding staging slots against a possible retransmitted write,
+  /// and coalesced acks whose delivery window has not expired. Without
+  /// this, a control message lost after the application's last wait (e.g.
+  /// the SEND_DONE that lets a pooled receiver release its retained slots)
+  /// strands its transfer forever: the rank's thread is gone, so the
+  /// recovery timers fire into a notifier nobody waits on. Every live
+  /// obligation keeps a watchdog armed, so this loop always has a future
+  /// wake-up and terminates (force_drain/fail bound the lost-peer case).
+  void drain_pending();
 
   bool iprobe(int src, int tag, Status* status, int context = 0);
   void probe(int src, int tag, Status* status, int context = 0);
@@ -163,6 +192,7 @@ class RankComm {
   gpu::MemoryRegistry& registry_;
   core::VbufPool vbuf_pool_;
   sim::Notifier notifier_;
+  core::TransferScheduler sched_;
   core::RankResources res_;
 
   ApiStats api_stats_;

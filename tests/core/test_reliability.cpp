@@ -25,6 +25,19 @@ Datatype committed(Datatype t) {
   return t;
 }
 
+// Pool-accounting invariant, asserted after every run in this suite: the
+// vbuf arena's books must balance (audit() == "") and every slot still
+// checked out must be parked in the graveyard — slots that failed/finished
+// transfers could not release safely and that are freed only at teardown.
+// Catches double-releases, leaks and free-list corruption under faults.
+void expect_pools_quiesced(Cluster& cluster) {
+  for (int r = 0; r < cluster.config().ranks; ++r) {
+    EXPECT_EQ(cluster.vbuf_audit(r), "") << "rank " << r;
+    EXPECT_EQ(cluster.vbufs_in_use(r), cluster.graveyard_slots(r))
+        << "rank " << r;
+  }
+}
+
 // Attach a fault spec to every rendezvous control kind (RTS/CTS/ack/dones)
 // and a write-fault spec to the chunk-fin immediates. Eager traffic (used
 // by barriers) stays clean: the reliability layer covers rendezvous only.
@@ -86,6 +99,7 @@ SoakResult run_soak(const ClusterConfig& cfg, int rows) {
     ctx.comm.barrier();
     ctx.cuda->free(dev);
   });
+  expect_pools_quiesced(cluster);
   res.elapsed = cluster.elapsed();
   res.sender = cluster.retry_stats(0);
   res.receiver = cluster.retry_stats(1);
@@ -203,6 +217,7 @@ TEST(Reliability, ExhaustedRetriesFailTheRequestInBoundedSimTime) {
       failed_at = ctx.engine->now();
     }
   });
+  expect_pools_quiesced(cluster);
   EXPECT_TRUE(threw);
   EXPECT_NE(what.find("timed out"), std::string::npos);
   // Deadlines: 1ms grace + 1+2+4+8 ms of backed-off retries, plus slack.
@@ -255,6 +270,7 @@ TEST(Reliability, StallWatchdogDegradesToPinnedSlots) {
     ctx.comm.barrier();
     ctx.cuda->free(dev);
   });
+  expect_pools_quiesced(cluster);
   EXPECT_EQ(mismatches, 0u);
   EXPECT_GT(cluster.retry_stats(0).stall_fallbacks, 0u);
   EXPECT_EQ(cluster.retry_stats(0).transfer_failures, 0u);
@@ -295,6 +311,7 @@ TEST(Reliability, RgetDoneLossIsReplayedOnDuplicateRts) {
     }
     ctx.comm.barrier();
   });
+  expect_pools_quiesced(cluster);
   EXPECT_EQ(mismatches, 0u);
   const core::RetryStats& snd = cluster.retry_stats(0);
   const core::RetryStats& rcv = cluster.retry_stats(1);
@@ -335,6 +352,7 @@ TEST(Reliability, LateReceiverOutlastsRetryBudget) {
     }
     ctx.comm.barrier();
   });
+  expect_pools_quiesced(cluster);
   EXPECT_EQ(mismatches, 0u);
   const core::RetryStats& snd = cluster.retry_stats(0);
   // The sender probed (far) past its nominal budget without giving up.
@@ -382,6 +400,7 @@ TEST(Reliability, SenderFailurePropagatesAbortToMatchedReceiver) {
     }
     ctx.cuda->free(dev);
   });
+  expect_pools_quiesced(cluster);
   EXPECT_TRUE(sender_threw);
   EXPECT_TRUE(receiver_threw);
   EXPECT_NE(receiver_what.find("abort"), std::string::npos);
@@ -430,6 +449,7 @@ TEST(Reliability, ReceiverWatchdogBoundsWaitWhenAbortIsLost) {
     }
     ctx.cuda->free(dev);
   });
+  expect_pools_quiesced(cluster);
   EXPECT_TRUE(receiver_threw);
   EXPECT_NE(receiver_what.find("silent"), std::string::npos);
   // The receiver's watchdog budget is twice the sender's retry count:
@@ -475,6 +495,7 @@ TEST(Reliability, DirectModeCompletionSurvivesSendDoneLoss) {
     }
     ctx.comm.barrier();
   });
+  expect_pools_quiesced(cluster);
   EXPECT_EQ(mismatches, 0u);
   const core::RetryStats& snd = cluster.retry_stats(0);
   EXPECT_GT(snd.send_done_retransmits, 0u);
@@ -517,6 +538,7 @@ TEST(Reliability, ForceDrainCompletesDirectReceiverWhenSenderGoesSilent) {
       }
     }
   });
+  expect_pools_quiesced(cluster);
   EXPECT_EQ(mismatches, 0u);
   EXPECT_GT(cluster.retry_stats(1).force_drains, 0u);
   EXPECT_EQ(cluster.retry_stats(0).transfer_failures, 0u);
@@ -548,6 +570,7 @@ TEST(Reliability, DrainedReceiversAreGarbageCollected) {
     ctx.comm.barrier();
     ctx.cuda->free(dev);
   });
+  expect_pools_quiesced(cluster);
   EXPECT_EQ(cluster.tracked_rendezvous(0), 0u);
   EXPECT_EQ(cluster.tracked_rendezvous(1), 0u);
 }
@@ -567,6 +590,7 @@ TEST(Reliability, FaultEventsAppearInTrace) {
     }
     ctx.comm.barrier();
   });
+  expect_pools_quiesced(cluster);
   const core::RetryStats& snd = cluster.retry_stats(0);
   ASSERT_GT(snd.timeouts + snd.total_retransmits(), 0u);
   std::uint64_t traced = 0;

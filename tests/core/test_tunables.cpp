@@ -127,6 +127,54 @@ TEST(Tunables, ParserRejectsBadSelectionPolicy) {
   EXPECT_THROW(Tunables::from_stream(bad_scheme), std::invalid_argument);
 }
 
+TEST(Tunables, ConcurrencyKnobsDefaultToLegacyBehaviour) {
+  // fifo + no coalescing + uncapped depth must reproduce the pre-scheduler
+  // pipeline exactly; that is the ablation baseline.
+  Tunables t;
+  EXPECT_EQ(t.sched_policy, mv2gnc::core::SchedPolicy::kFifo);
+  EXPECT_EQ(t.max_inflight_chunks, 0u);
+  EXPECT_EQ(t.ack_coalesce_window_ns, 0);
+}
+
+TEST(Tunables, ConcurrencyKnobsRoundTrip) {
+  Tunables t;
+  t.sched_policy = mv2gnc::core::SchedPolicy::kFair;
+  t.vbuf_reserve_per_transfer = 3;
+  t.max_inflight_chunks = 6;
+  t.ack_coalesce_window_ns = 40'000;
+  std::istringstream in(t.to_config_string());
+  Tunables u = Tunables::from_stream(in);
+  EXPECT_EQ(u.sched_policy, mv2gnc::core::SchedPolicy::kFair);
+  EXPECT_EQ(u.vbuf_reserve_per_transfer, 3u);
+  EXPECT_EQ(u.max_inflight_chunks, 6u);
+  EXPECT_EQ(u.ack_coalesce_window_ns, 40'000);
+}
+
+TEST(Tunables, BytesWeightedPolicyRoundTrip) {
+  Tunables t;
+  t.sched_policy = mv2gnc::core::SchedPolicy::kBytesWeighted;
+  std::istringstream in(t.to_config_string());
+  Tunables u = Tunables::from_stream(in);
+  EXPECT_EQ(u.sched_policy, mv2gnc::core::SchedPolicy::kBytesWeighted);
+}
+
+TEST(Tunables, ParserRejectsBadSchedPolicy) {
+  std::istringstream bad("sched_policy = round_robin\n");
+  EXPECT_THROW(Tunables::from_stream(bad), std::invalid_argument);
+}
+
+TEST(Tunables, ValidationCatchesBadConcurrencyKnobs) {
+  Tunables t;
+  t.vbuf_reserve_per_transfer = t.vbuf_count + 1;  // cannot out-reserve pool
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.ack_coalesce_window_ns = -1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.ack_coalesce_window_ns = t.rndv_timeout_ns;  // would mimic ack loss
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
 TEST(Tunables, ValidationCatchesBadReliabilityKnobs) {
   Tunables t;
   t.rndv_timeout_ns = 0;

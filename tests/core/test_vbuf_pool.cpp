@@ -71,6 +71,32 @@ TEST(VbufPool, HighWaterMark) {
   EXPECT_EQ(pool.high_water(), 2u);
 }
 
+TEST(VbufPool, AuditIsCleanThroughAcquireReleaseChurn) {
+  VbufPool pool(4, 64);
+  EXPECT_EQ(pool.audit(), "");
+  std::byte* a = pool.try_acquire();
+  std::byte* b = pool.try_acquire();
+  EXPECT_EQ(pool.audit(), "");  // consistent with buffers checked out
+  pool.release(a);
+  std::byte* c = pool.try_acquire();
+  EXPECT_EQ(pool.audit(), "");
+  pool.release(b);
+  pool.release(c);
+  EXPECT_EQ(pool.audit(), "");
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(VbufPool, AuditIsCleanWhenExhausted) {
+  VbufPool pool(2, 64);
+  std::byte* a = pool.try_acquire();
+  std::byte* b = pool.try_acquire();
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+  EXPECT_EQ(pool.audit(), "");
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.audit(), "");
+}
+
 TEST(VbufPool, ZeroSizeRejected) {
   EXPECT_THROW(VbufPool(0, 64), std::invalid_argument);
   EXPECT_THROW(VbufPool(4, 0), std::invalid_argument);
