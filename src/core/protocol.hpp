@@ -17,7 +17,7 @@
 #include <cstring>
 #include <vector>
 
-#include "net/fabric.hpp"
+#include "net/wire.hpp"
 
 namespace mv2gnc::core {
 

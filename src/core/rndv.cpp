@@ -5,6 +5,7 @@
 
 #include "core/sched.hpp"
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -30,10 +31,12 @@ void release_slot(VbufPool& pool, StagingSlot& slot) {
   if (slot.ptr != nullptr) {
     if (slot.from_pool) pool.release(slot.ptr);
     else if (slot.host_owner != nullptr) slot.host_owner->free_host(slot.ptr);
+    else if (slot.device_owner != nullptr) slot.device_owner->free(slot.ptr);
   }
   slot.ptr = nullptr;
   slot.from_pool = false;
   slot.host_owner = nullptr;
+  slot.device_owner = nullptr;
 }
 
 // Pinned one-off slot, also used when the pool is empty but progress must
@@ -139,6 +142,30 @@ std::size_t select_chunk(const RankResources& res, const MsgView& msg,
   return align_chunk_to_pattern(msg, tun.chunk_bytes);
 }
 
+// A cusim IPC memory handle, flattened into a control-message payload
+// (device-direct CTS: the landing address crosses as a handle, not a raw
+// pointer, and the sender must open it).
+void append_ipc_handle(std::vector<std::byte>& payload,
+                       const cusim::IpcMemHandle& h) {
+  const std::uint64_t words[4] = {h.device, h.base, h.size, h.offset};
+  const auto* p = reinterpret_cast<const std::byte*>(words);
+  payload.insert(payload.end(), p, p + sizeof(words));
+}
+
+cusim::IpcMemHandle read_ipc_handle(const std::vector<std::byte>& payload) {
+  std::uint64_t words[4] = {};
+  if (payload.size() < sizeof(words)) {
+    throw std::logic_error("read_ipc_handle: truncated payload");
+  }
+  std::memcpy(words, payload.data(), sizeof(words));
+  cusim::IpcMemHandle h;
+  h.device = words[0];
+  h.base = words[1];
+  h.size = words[2];
+  h.offset = words[3];
+  return h;
+}
+
 // Absolute deadline for retry number `retries`: base timeout grown by the
 // backoff factor, clamped so an extreme retry count cannot overflow SimTime
 // (the cap is ~11 virtual days; transfers fail long before).
@@ -175,9 +202,13 @@ RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
       dst_(dst_node),
       req_id_(my_req_id),
       timer_(*res.engine) {
-  const Tunables& tun = *res_.tun;
   if (msg_.on_device) {
-    if (msg_.contiguous) {
+    if (res_.net != nullptr && res_.net->device_direct(dst_node)) {
+      // Intra-node fast path: the peer copy reads device memory directly,
+      // so the whole D2H staging stage drops out (collapsed pipeline).
+      path_ = msg_.contiguous ? Path::kDeviceIpcContig
+                              : Path::kDeviceIpcOffload;
+    } else if (msg_.contiguous) {
       path_ = Path::kDeviceContig;
     } else if (select_offload(res_, msg_)) {
       path_ = Path::kDeviceOffload;
@@ -189,7 +220,9 @@ RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
   }
   plan_ = ChunkPlan::make(
       msg_.packed_bytes,
-      select_chunk(res_, msg_, path_ == Path::kDeviceOffload));
+      select_chunk(res_, msg_,
+                   path_ == Path::kDeviceOffload ||
+                       path_ == Path::kDeviceIpcOffload));
   if (path_ == Path::kHostPack && msg_.plan && msg_.packed_bytes > 0) {
     cursors_ = msg_.plan->chunk_cursors(plan_.chunk);
   }
@@ -216,6 +249,10 @@ RndvSend::~RndvSend() {
       res_.cuda->free(tbuf_);
       tbuf_ = nullptr;
     }
+    if (ipc_mapped_) {
+      res_.cuda->ipc_close_mem_handle(direct_base_);
+      ipc_mapped_ = false;
+    }
     for (auto& s : slots_) detail::release_slot(*res_.vbufs, s);
   } catch (...) {  // NOLINT(bugprone-empty-catch)
   }
@@ -235,7 +272,7 @@ void RndvSend::post_ctrl(netsim::WireMessage msg) {
     // rank's receive side is holding back for the same destination.
     res_.sched->flush_peer(dst_);
   }
-  res_.endpoint->post_send(dst_, std::move(msg));
+  res_.net->post_send(dst_, std::move(msg));
 }
 
 void RndvSend::start(std::uint64_t tag_word) {
@@ -251,7 +288,7 @@ void RndvSend::start(std::uint64_t tag_word) {
     rts_.header[5] = reinterpret_cast<std::uintptr_t>(msg_.base);
   }
   post_ctrl(rts_);
-  if (path_ == Path::kDeviceOffload) {
+  if (path_ == Path::kDeviceOffload || path_ == Path::kDeviceIpcOffload) {
     // Offload the whole pack immediately; it overlaps the RTS/CTS
     // handshake ("the sender ... triggers multiple asynchronous memory
     // copies, each of which does a chunk size non-contiguous data pack").
@@ -346,7 +383,7 @@ void RndvSend::retransmit_unacked() {
     // (vbuf pool exhausted, e.g. because the acks that would recycle them
     // were lost on other transfers), degrade to a one-off pinned slot so
     // this transfer keeps moving.
-    const bool needs_slot = (path_ != Path::kHostContig);
+    const bool needs_slot = uses_staging();
     const bool gated =
         res_.sched != nullptr && res_.sched->is_waiting(req_id_);
     if (needs_slot && next_stage_ < plan_.count &&
@@ -397,6 +434,13 @@ void RndvSend::submit_stage(std::size_t i) {
       break;
     case Path::kHostContig:
       break;  // zero-copy: the RDMA reads straight from the user buffer
+    case Path::kDeviceIpcOffload:
+      // No D2H staging — the peer copy reads the packed chunk straight out
+      // of the device tbuf. The pack event doubles as the RDMA gate.
+      stage_events_[i] = pack_events_[i];
+      break;
+    case Path::kDeviceIpcContig:
+      break;  // zero staging: the peer copy reads the user buffer directly
   }
   stage_submitted_[i] = true;
   note_progress();
@@ -405,9 +449,14 @@ void RndvSend::submit_stage(std::size_t i) {
 void RndvSend::post_chunk_rdma(std::size_t i, bool retransmit) {
   const std::size_t off = plan_.offset_of(i);
   const std::size_t bytes = plan_.bytes_of(i);
-  const std::byte* src = (slots_[i].valid())
-                             ? slots_[i].ptr
-                             : static_cast<std::byte*>(msg_.base) + off;
+  const std::byte* src;
+  if (path_ == Path::kDeviceIpcOffload) {
+    src = tbuf_ + off;  // packed in place on the device; no host staging
+  } else if (slots_[i].valid()) {
+    src = slots_[i].ptr;
+  } else {
+    src = static_cast<std::byte*>(msg_.base) + off;
+  }
   void* remote = nullptr;
   std::uint64_t slot_idx = kNoSlot;
   if (retransmit) {
@@ -436,7 +485,7 @@ void RndvSend::post_chunk_rdma(std::size_t i, bool retransmit) {
   fin.header[4] = bytes;
   if (res_.sched != nullptr) res_.sched->note_ctrl(kChunkFin);
   const std::uint64_t wr =
-      res_.endpoint->post_rdma_write(dst_, src, remote, bytes, std::move(fin));
+      res_.net->post_rdma_write(dst_, src, remote, bytes, std::move(fin));
   wr_to_chunk_.emplace(wr, i);
   ++inflight_[i];
   posted_[i] = true;
@@ -465,11 +514,12 @@ void RndvSend::advance() {
       sched_withdraw(res_, req_id_);
       break;
     }
-    if (path_ == Path::kDeviceOffload && !pack_events_[i].query()) {
+    if ((path_ == Path::kDeviceOffload || path_ == Path::kDeviceIpcOffload) &&
+        !pack_events_[i].query()) {
       sched_withdraw(res_, req_id_);
       break;
     }
-    const bool needs_slot = (path_ != Path::kHostContig);
+    const bool needs_slot = uses_staging();
     if (needs_slot && !slots_[i].valid()) {
       if (force_pinned_) {
         // Stall watchdog verdict: the pool is wedged, take a pinned slot.
@@ -521,7 +571,15 @@ void RndvSend::on_cts(const netsim::WireMessage& m) {
   peer_req_ = m.header[1];
   mode_ = static_cast<CtsMode>(m.header[2]);
   if (mode_ == CtsMode::kDirect) {
-    direct_base_ = static_cast<std::byte*>(read_address(m.payload, 0));
+    if (m.header[4] == 1) {
+      // Device-direct landing: the receiver advertised a cusim IPC handle
+      // for its device buffer; open it to get a peer-copyable address.
+      direct_base_ = static_cast<std::byte*>(
+          res_.cuda->ipc_open_mem_handle(read_ipc_handle(m.payload)));
+      ipc_mapped_ = true;
+    } else {
+      direct_base_ = static_cast<std::byte*>(read_address(m.payload, 0));
+    }
   } else {
     const std::size_t n = address_count(m.payload);
     for (std::size_t i = 0; i < n; ++i) {
@@ -682,8 +740,16 @@ void RndvSend::complete_transfer() {
   // staging resources).
   if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
   if (tbuf_ != nullptr) {
+    // Safe even on the IPC path, where peer copies read the tbuf directly:
+    // maybe_complete() required every inflight write's local CQE, and the
+    // channel copies the bytes out when the transmit drains — before the
+    // CQE is delivered.
     res_.cuda->free(tbuf_);
     tbuf_ = nullptr;
+  }
+  if (ipc_mapped_) {
+    res_.cuda->ipc_close_mem_handle(direct_base_);
+    ipc_mapped_ = false;
   }
   if (cts_received_ || rget_done_) {
     // Tell the receiver no retransmission can follow, releasing its
@@ -731,6 +797,24 @@ void RndvSend::fail(const std::string& reason) {
       sched_release(res_, req_id_, slots_[i]);
     }
   }
+  if (tbuf_ != nullptr && path_ == Path::kDeviceIpcOffload &&
+      res_.slot_graveyard != nullptr) {
+    // IPC peer copies read the device tbuf at drain time; a queued write of
+    // this failed transfer may still reference it. Park it like a host slot.
+    bool writes_queued = false;
+    for (int n : inflight_) writes_queued = writes_queued || n > 0;
+    if (writes_queued) {
+      detail::StagingSlot park;
+      park.ptr = tbuf_;
+      park.device_owner = res_.cuda;
+      res_.slot_graveyard->push_back(park);
+      tbuf_ = nullptr;
+    }
+  }
+  if (ipc_mapped_) {
+    res_.cuda->ipc_close_mem_handle(direct_base_);
+    ipc_mapped_ = false;
+  }
   if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
 }
 
@@ -753,6 +837,12 @@ RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
   if (tun.rget && rget_src_ != nullptr && !msg_.on_device &&
       msg_.contiguous) {
     path_ = Path::kHostRget;
+  } else if (msg_.on_device && res_.net != nullptr &&
+             res_.net->device_direct(src_node)) {
+    // Co-located sender with a peer-copy-capable transport: the payload
+    // lands in device memory directly (user buffer when contiguous, a
+    // device-side reassembly buffer otherwise). No host staging window.
+    path_ = msg_.contiguous ? Path::kDeviceIpcDirect : Path::kDeviceIpcOffload;
   } else if (msg_.on_device) {
     if (msg_.contiguous) {
       path_ = Path::kDeviceContig;
@@ -810,7 +900,7 @@ void RndvRecv::post_ctrl(netsim::WireMessage msg) {
     // a fresher control message.
     res_.sched->flush_peer(src_);
   }
-  res_.endpoint->post_send(src_, std::move(msg));
+  res_.net->post_send(src_, std::move(msg));
 }
 
 void RndvRecv::arm_timer() {
@@ -892,6 +982,16 @@ void RndvRecv::fail(const std::string& reason) {
       sched_release(res_, req_id_, s);
     }
   }
+  if (rtbuf_ != nullptr && res_.slot_graveyard != nullptr) {
+    // Same hazard in device memory: the co-located sender's peer copies
+    // target the rtbuf through its IPC mapping, and a queued duplicate may
+    // still drain after this failure. Park it for teardown-time cudaFree.
+    detail::StagingSlot park;
+    park.ptr = rtbuf_;
+    park.device_owner = res_.cuda;
+    res_.slot_graveyard->push_back(park);
+    rtbuf_ = nullptr;
+  }
   if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
 }
 
@@ -904,7 +1004,7 @@ void RndvRecv::start() {
   arm_timer();
   if (path_ == Path::kHostRget) {
     // Receiver-driven: pull the whole message in one RDMA READ; no CTS.
-    rget_wr_ = res_.endpoint->post_rdma_read(src_, msg_.base, rget_src_,
+    rget_wr_ = res_.net->post_rdma_read(src_, msg_.base, rget_src_,
                                              plan_.total);
     return;
   }
@@ -915,6 +1015,25 @@ void RndvRecv::start() {
     cts_.header[2] = static_cast<std::uint64_t>(CtsMode::kDirect);
     cts_.header[3] = 1;
     append_address(cts_.payload, msg_.base);
+    cts_sent_ = true;
+    post_ctrl(cts_);
+    return;
+  }
+  if (path_ == Path::kDeviceIpcDirect || path_ == Path::kDeviceIpcOffload) {
+    // Intra-node device-direct landing: export an IPC handle for the
+    // landing buffer instead of advertising host staging slots. The
+    // co-located sender opens the handle and peer-copies straight in.
+    std::byte* landing;
+    if (path_ == Path::kDeviceIpcOffload) {
+      rtbuf_ = static_cast<std::byte*>(res_.cuda->malloc(plan_.total));
+      landing = rtbuf_;
+    } else {
+      landing = static_cast<std::byte*>(msg_.base);
+    }
+    cts_.header[2] = static_cast<std::uint64_t>(CtsMode::kDirect);
+    cts_.header[3] = 1;
+    cts_.header[4] = 1;  // payload carries an IPC handle, not an address
+    append_ipc_handle(cts_.payload, res_.cuda->ipc_get_mem_handle(landing));
     cts_sent_ = true;
     post_ctrl(cts_);
     return;
@@ -995,7 +1114,7 @@ void RndvRecv::on_chunk_fin(const netsim::WireMessage& m) {
       m.header[4] != plan_.bytes_of(idx)) {
     throw std::logic_error("RndvRecv: chunk geometry mismatch");
   }
-  if (path_ != Path::kHostDirect && m.header[2] >= slots_.size()) {
+  if (!direct_landing() && m.header[2] >= slots_.size()) {
     throw std::logic_error("RndvRecv: chunk fin names unknown slot");
   }
   chunks_[idx].arrived = true;
@@ -1010,7 +1129,7 @@ void RndvRecv::ack_chunk(std::size_t chunk_idx) {
   ack.header[0] = sender_req_;
   ack.header[1] = chunk_idx;
   ack.header[2] = kNoSlot;
-  if (path_ != Path::kHostDirect && slots_advertised_ < plan_.count) {
+  if (!direct_landing() && slots_advertised_ < plan_.count) {
     // Re-advertise the drained slot (the paper's CREDIT), fused onto the
     // ack so it shares the same retransmission recovery.
     const std::uint64_t slot_idx = chunks_[chunk_idx].slot;
@@ -1079,7 +1198,7 @@ void RndvRecv::on_send_done() {
     for (auto& s : slots_) sched_release(res_, req_id_, s);
     if (res_.sched != nullptr) res_.sched->unregister_transfer(req_id_);
   }
-  if (path_ == Path::kHostDirect) {
+  if (direct_landing()) {
     // The sender retransmits its SEND_DONE until we confirm (our request
     // hinges on it, so it must be reliable). Reply to duplicates too: the
     // retransmission means our previous ack was lost.
@@ -1124,7 +1243,7 @@ bool RndvRecv::on_rdma_read_complete(std::uint64_t wr_id) {
 
 bool RndvRecv::request_complete() const {
   if (failed_) return false;
-  if (path_ == Path::kHostDirect) {
+  if (path_ == Path::kHostDirect || path_ == Path::kDeviceIpcDirect) {
     // Direct landings go straight into the user buffer, which the
     // application owns again (or may have freed) the moment the request
     // completes. A duplicate write retransmitted because its CHUNK_ACK was
@@ -1132,6 +1251,8 @@ bool RndvRecv::request_complete() const {
     // put there — so completion additionally waits for the sender's
     // (reliable, acked) SEND_DONE, the proof that nothing can still drain.
     // The watchdog's force_drain bounds the wait if the sender died.
+    // (kDeviceIpcOffload is exempt: duplicates land in the protocol-owned
+    // rtbuf, which outlives the request.)
     return completed_ == plan_.count && send_done_;
   }
   return completed_ == plan_.count;
@@ -1149,12 +1270,39 @@ void RndvRecv::advance() {
     case Path::kHostRget:
       return;  // driven entirely by on_rdma_read_complete
     case Path::kHostDirect:
-      // The RDMA already landed in the user buffer; ack each arrival.
+    case Path::kDeviceIpcDirect:
+      // The write already landed in the user buffer (RDMA into host memory
+      // or a peer D2D copy through the opened IPC mapping); ack each
+      // arrival.
       for (std::size_t i = 0; i < plan_.count; ++i) {
         if (chunks_[i].arrived && !drained_chunk_[i]) {
           ack_chunk(i);
           ++completed_;
         }
+      }
+      return;
+    case Path::kDeviceIpcOffload:
+      // Peer copies land packed chunks in the device rtbuf; each arrival
+      // feeds a D2D unpack kernel. No host staging, so the ack goes out as
+      // soon as the chunk is handed to the unpack stream. The rtbuf is
+      // deliberately NOT freed when the last unpack drains: a duplicate
+      // peer copy (retransmitted because its ack was lost) may still be
+      // queued against it, so it lives until the transfer object tears
+      // down (destructor) or is parked in the graveyard (fail()).
+      while (next_unpack_ < plan_.count && chunks_[next_unpack_].arrived) {
+        const std::size_t i = next_unpack_;
+        const std::size_t off = plan_.offset_of(i);
+        chunks_[i].unpack_done =
+            submit_device_unpack(*res_.cuda, res_.unpack_stream, msg_, off,
+                                 plan_.bytes_of(i), rtbuf_ + off);
+        chunks_[i].unpack_submitted = true;
+        ack_chunk(i);
+        ++next_unpack_;
+      }
+      while (completed_ < plan_.count &&
+             chunks_[completed_].unpack_submitted &&
+             chunks_[completed_].unpack_done.query()) {
+        ++completed_;
       }
       return;
     case Path::kHostUnpack:

@@ -53,10 +53,10 @@
 #include "core/gpu_staging.hpp"
 #include "core/msg_view.hpp"
 #include "core/protocol.hpp"
+#include "core/transport.hpp"
 #include "core/tunables.hpp"
 #include "core/vbuf_pool.hpp"
 #include "cuda/runtime.hpp"
-#include "net/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/timer.hpp"
 #include "sim/trace.hpp"
@@ -97,6 +97,10 @@ struct StagingSlot {
   std::byte* ptr = nullptr;
   bool from_pool = false;
   cusim::CudaContext* host_owner = nullptr;  // set for one-off allocations
+  /// Set when `ptr` is *device* memory parked in the slot graveyard (an IPC
+  /// pack/landing buffer a failed transfer could not free: a queued peer
+  /// copy may still reference it). Freed with cudaFree at rank teardown.
+  cusim::CudaContext* device_owner = nullptr;
 
   bool valid() const { return ptr != nullptr; }
 };
@@ -114,7 +118,9 @@ StagingSlot pinned_slot(cusim::CudaContext& cuda, std::size_t bytes);
 struct RankResources {
   sim::Engine* engine = nullptr;
   cusim::CudaContext* cuda = nullptr;
-  netsim::Endpoint* endpoint = nullptr;
+  /// Per-peer wire path (fabric, or the intra-node IPC channel for
+  /// co-located ranks). The rendezvous never sees a concrete transport.
+  TransportRouter* net = nullptr;
   VbufPool* vbufs = nullptr;
   const Tunables* tun = nullptr;
   cusim::Stream pack_stream;
@@ -215,8 +221,18 @@ class RndvSend {
   const ChunkPlan& plan() const { return plan_; }
 
  private:
+  // kDeviceIpc* are the intra-node collapsed pipeline (docs/SIMULATION.md):
+  // the peer copy reads device memory directly, so the D2H staging stage
+  // (and its vbuf slots) drop out entirely.
   enum class Path { kDeviceOffload, kDevicePcie, kDeviceContig, kHostPack,
-                    kHostContig };
+                    kHostContig, kDeviceIpcOffload, kDeviceIpcContig };
+
+  /// False for the paths whose chunks leave straight from device (or user)
+  /// memory and therefore never hold a host staging slot.
+  bool uses_staging() const {
+    return path_ != Path::kHostContig && path_ != Path::kDeviceIpcOffload &&
+           path_ != Path::kDeviceIpcContig;
+  }
 
   void submit_stage(std::size_t i);
   void post_chunk_rdma(std::size_t i, bool retransmit);
@@ -254,6 +270,7 @@ class RndvSend {
   CtsMode mode_ = CtsMode::kStaged;
   std::uint64_t peer_req_ = 0;
   std::byte* direct_base_ = nullptr;
+  bool ipc_mapped_ = false;  // direct_base_ came from ipc_open_mem_handle
   std::deque<std::pair<std::uint64_t, void*>> remote_slots_;
 
   std::size_t next_stage_ = 0;
@@ -345,8 +362,20 @@ class RndvRecv {
   std::size_t incoming_bytes() const { return plan_.total; }
 
  private:
+  // kDeviceIpcDirect: a co-located sender peer-copies straight into the
+  // contiguous user buffer. kDeviceIpcOffload: it peer-copies into a device
+  // landing buffer (rtbuf_) that a D2D c2nc unpack scatters from — the
+  // intra-node collapsed pipeline; no host staging slot ever exists.
   enum class Path { kDeviceOffload, kDevicePcie, kDeviceContig, kHostUnpack,
-                    kHostDirect, kHostRget };
+                    kHostDirect, kHostRget, kDeviceIpcOffload,
+                    kDeviceIpcDirect };
+
+  /// Landings where the sender writes a buffer this side advertised whole
+  /// (no per-chunk slots, no credits; SEND_DONE is answered reliably).
+  bool direct_landing() const {
+    return path_ == Path::kHostDirect || path_ == Path::kDeviceIpcDirect ||
+           path_ == Path::kDeviceIpcOffload;
+  }
 
   void ack_chunk(std::size_t chunk_idx);
   void resend_ack(std::size_t chunk_idx);

@@ -13,11 +13,11 @@ constexpr std::size_t kGrowStreak = 8;
 
 TransferScheduler::TransferScheduler(sim::Engine& engine, VbufPool& pool,
                                      const Tunables& tun,
-                                     netsim::Endpoint& endpoint)
+                                     TransportRouter& net)
     : engine_(engine),
       pool_(pool),
       tun_(tun),
-      endpoint_(endpoint),
+      net_(net),
       ack_timer_(engine) {
   // Start at the receive window, not the optimistic ceiling: the first
   // transfer of a burst stages before its siblings register, and an
@@ -325,7 +325,7 @@ void TransferScheduler::flush_peer_impl(int peer, bool piggyback) {
     stats_.acks_coalesced += batch.size();
     note_ctrl(kChunkAckBatch);
   }
-  endpoint_.post_send(peer, std::move(msg));
+  net_.post_send(peer, std::move(msg));
   rearm_ack_timer();
 }
 

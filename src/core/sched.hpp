@@ -42,7 +42,7 @@
 #include "core/protocol.hpp"
 #include "core/tunables.hpp"
 #include "core/vbuf_pool.hpp"
-#include "net/fabric.hpp"
+#include "core/transport.hpp"
 #include "sim/engine.hpp"
 #include "sim/timer.hpp"
 
@@ -94,7 +94,7 @@ struct SchedStats {
 class TransferScheduler {
  public:
   TransferScheduler(sim::Engine& engine, VbufPool& pool, const Tunables& tun,
-                    netsim::Endpoint& endpoint);
+                    TransportRouter& net);
 
   /// Notifier poked when the ack-coalescing deadline expires, so the
   /// owning rank's progress loop runs and poll() flushes.
@@ -204,7 +204,7 @@ class TransferScheduler {
   sim::Engine& engine_;
   VbufPool& pool_;
   const Tunables& tun_;
-  netsim::Endpoint& endpoint_;
+  TransportRouter& net_;
   sim::Notifier* notifier_ = nullptr;
 
   std::unordered_map<std::uint64_t, Xfer> xfers_;

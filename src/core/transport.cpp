@@ -1,0 +1,119 @@
+#include "core/transport.hpp"
+
+#include <utility>
+
+#include "net/fabric.hpp"
+#include "net/ipc.hpp"
+
+namespace mv2gnc::core {
+
+// ===========================================================================
+// FabricTransport
+// ===========================================================================
+
+FabricTransport::FabricTransport(netsim::Endpoint& endpoint)
+    : endpoint_(endpoint) {}
+
+std::uint64_t FabricTransport::post_send(int dst, netsim::WireMessage msg) {
+  return endpoint_.post_send(dst, std::move(msg));
+}
+
+std::uint64_t FabricTransport::post_rdma_write(
+    int dst, const void* local, void* remote, std::size_t bytes,
+    std::optional<netsim::WireMessage> imm) {
+  return endpoint_.post_rdma_write(dst, local, remote, bytes, std::move(imm));
+}
+
+std::uint64_t FabricTransport::post_rdma_read(int src, void* local,
+                                              const void* remote,
+                                              std::size_t bytes) {
+  return endpoint_.post_rdma_read(src, local, remote, bytes);
+}
+
+bool FabricTransport::poll(netsim::Completion& out) {
+  return endpoint_.poll(out);
+}
+
+void FabricTransport::set_wakeup(sim::Notifier* n) {
+  endpoint_.set_wakeup(n);
+}
+
+TransportStats FabricTransport::stats() const {
+  TransportStats s;
+  s.messages_sent = endpoint_.messages_sent();
+  s.bytes_sent = endpoint_.bytes_sent();
+  s.rdma_writes = endpoint_.rdma_writes();
+  s.rdma_reads = endpoint_.rdma_reads();
+  s.busy_time = endpoint_.tx_busy_time();
+  return s;
+}
+
+// ===========================================================================
+// IpcTransport
+// ===========================================================================
+
+IpcTransport::IpcTransport(netsim::IpcPort& port) : port_(port) {}
+
+std::uint64_t IpcTransport::post_send(int dst, netsim::WireMessage msg) {
+  return port_.post_send(dst, std::move(msg));
+}
+
+std::uint64_t IpcTransport::post_rdma_write(
+    int dst, const void* local, void* remote, std::size_t bytes,
+    std::optional<netsim::WireMessage> imm) {
+  return port_.post_rdma_write(dst, local, remote, bytes, std::move(imm));
+}
+
+std::uint64_t IpcTransport::post_rdma_read(int src, void* local,
+                                           const void* remote,
+                                           std::size_t bytes) {
+  return port_.post_rdma_read(src, local, remote, bytes);
+}
+
+bool IpcTransport::poll(netsim::Completion& out) { return port_.poll(out); }
+
+void IpcTransport::set_wakeup(sim::Notifier* n) { port_.set_wakeup(n); }
+
+TransportStats IpcTransport::stats() const {
+  TransportStats s;
+  s.messages_sent = port_.messages_sent();
+  s.bytes_sent = port_.bytes_sent();
+  s.rdma_writes = port_.rdma_writes();
+  s.rdma_reads = port_.rdma_reads();
+  s.busy_time = port_.tx_busy_time();
+  return s;
+}
+
+// ===========================================================================
+// TransportRouter
+// ===========================================================================
+
+TransportRouter::TransportRouter(Transport& fallback) : fallback_(fallback) {
+  transports_.push_back(&fallback);
+}
+
+void TransportRouter::add_route(int peer, Transport& t) {
+  routes_[peer] = &t;
+  for (Transport* known : transports_) {
+    if (known == &t) return;
+  }
+  transports_.push_back(&t);
+}
+
+Transport& TransportRouter::route(int peer) const {
+  const auto it = routes_.find(peer);
+  return (it != routes_.end()) ? *it->second : fallback_;
+}
+
+bool TransportRouter::poll(netsim::Completion& out) {
+  for (Transport* t : transports_) {
+    if (t->poll(out)) return true;
+  }
+  return false;
+}
+
+void TransportRouter::set_wakeup(sim::Notifier* n) {
+  for (Transport* t : transports_) t->set_wakeup(n);
+}
+
+}  // namespace mv2gnc::core

@@ -31,6 +31,9 @@ void Tunables::validate() const {
     throw std::invalid_argument(
         "tunables: vbuf_reserve_per_transfer cannot exceed vbuf_count");
   }
+  if (ranks_per_node == 0) {
+    throw std::invalid_argument("tunables: ranks_per_node must be >= 1");
+  }
   if (rndv_timeout_ns <= 0) {
     throw std::invalid_argument("tunables: rndv_timeout_ns must be > 0");
   }
@@ -77,6 +80,13 @@ SchemeSelect parse_scheme_select(const std::string& v) {
   if (v == "tunable") return SchemeSelect::kTunable;
   throw std::invalid_argument(
       "tunables: scheme_select must be 'model' or 'tunable', got: " + v);
+}
+
+TransportSelect parse_transport_select(const std::string& v) {
+  if (v == "auto") return TransportSelect::kAuto;
+  if (v == "fabric") return TransportSelect::kFabric;
+  throw std::invalid_argument(
+      "tunables: transport_select must be 'auto' or 'fabric', got: " + v);
 }
 
 SchedPolicy parse_sched_policy(const std::string& v) {
@@ -134,6 +144,8 @@ Tunables Tunables::from_stream(std::istream& in) {
       else if (key == "pipelining") t.pipelining = parse_bool(value, key);
       else if (key == "rget") t.rget = parse_bool(value, key);
       else if (key == "sched_policy") t.sched_policy = parse_sched_policy(value);
+      else if (key == "ranks_per_node") t.ranks_per_node = std::stoull(value);
+      else if (key == "transport_select") t.transport_select = parse_transport_select(value);
       else if (key == "vbuf_reserve_per_transfer") t.vbuf_reserve_per_transfer = std::stoull(value);
       else if (key == "max_inflight_chunks") t.max_inflight_chunks = std::stoull(value);
       else if (key == "ack_coalesce_window_ns") t.ack_coalesce_window_ns = std::stoll(value);
@@ -181,6 +193,10 @@ std::string Tunables::to_config_string() const {
      << "pipelining = " << (pipelining ? "true" : "false") << "\n"
      << "rget = " << (rget ? "true" : "false") << "\n"
      << "sched_policy = " << sched_policy_name(sched_policy) << "\n"
+     << "ranks_per_node = " << ranks_per_node << "\n"
+     << "transport_select = "
+     << (transport_select == TransportSelect::kAuto ? "auto" : "fabric")
+     << "\n"
      << "vbuf_reserve_per_transfer = " << vbuf_reserve_per_transfer << "\n"
      << "max_inflight_chunks = " << max_inflight_chunks << "\n"
      << "ack_coalesce_window_ns = " << ack_coalesce_window_ns << "\n"

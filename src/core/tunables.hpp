@@ -27,6 +27,13 @@ enum class SchemeSelect {
   kTunable,  // follow the gpu_offload flag unconditionally
 };
 
+/// How the wire path to each peer is chosen (see docs/SIMULATION.md,
+/// "Node topology and transport selection").
+enum class TransportSelect {
+  kAuto,    // co-located ranks use the intra-node IPC channel, others fabric
+  kFabric,  // force every peer over the HCA (ablation / debugging)
+};
+
 /// How concurrent transfers of one rank share the vbuf pool and the wire
 /// (see docs/CONCURRENCY.md).
 enum class SchedPolicy {
@@ -102,6 +109,18 @@ struct Tunables {
   /// RDMA-READs the data directly, skipping the CTS leg. Mirrors
   /// MVAPICH2's RPUT/RGET protocol selection. Off by default (RPUT).
   bool rget = false;
+
+  // -- node topology / transport selection -------------------------------
+  /// Processes per simulated node. Ranks r with the same r / ranks_per_node
+  /// share one node (blocked placement, like mpirun -ppn). The default of 1
+  /// reproduces the paper's one-process-per-node testbed exactly: no IPC
+  /// channel exists and every byte crosses the HCA.
+  std::size_t ranks_per_node = 1;
+
+  /// Wire-path policy for co-located ranks. kAuto routes them over the
+  /// in-node IPC channel (peer D2D copies, no HCA); kFabric forces the
+  /// inter-node path everywhere, which isolates the transport's effect.
+  TransportSelect transport_select = TransportSelect::kAuto;
 
   // -- reliability -------------------------------------------------------
   /// Base retransmission timeout for rendezvous control messages: if a

@@ -110,6 +110,47 @@ void CudaContext::free_host(void* ptr) {
   host_allocs_.erase(it);
 }
 
+IpcMemHandle CudaContext::ipc_get_mem_handle(const void* ptr) const {
+  gpu::PointerInfo info;
+  try {
+    info = device_.registry().ipc_export(ptr);
+  } catch (const std::invalid_argument& e) {
+    throw CudaError(std::string("cudaIpcGetMemHandle: ") + e.what());
+  }
+  IpcMemHandle h;
+  h.device = static_cast<std::uint64_t>(info.device_id);
+  h.base = reinterpret_cast<std::uintptr_t>(info.base);
+  h.size = info.size;
+  h.offset = static_cast<std::uint64_t>(static_cast<const std::byte*>(ptr) -
+                                        static_cast<const std::byte*>(info.base));
+  return h;
+}
+
+void* CudaContext::ipc_open_mem_handle(const IpcMemHandle& handle) {
+  void* base = reinterpret_cast<void*>(static_cast<std::uintptr_t>(handle.base));
+  const auto info = device_.registry().query(base);
+  if (!info || reinterpret_cast<std::uintptr_t>(info->base) != handle.base ||
+      info->size != handle.size ||
+      static_cast<std::uint64_t>(info->device_id) != handle.device) {
+    throw CudaError(
+        "cudaIpcOpenMemHandle: handle does not name a live allocation");
+  }
+  if (handle.offset >= handle.size) {
+    throw CudaError("cudaIpcOpenMemHandle: offset outside the allocation");
+  }
+  void* ptr = static_cast<std::byte*>(base) + handle.offset;
+  ++open_ipc_[ptr];
+  return ptr;
+}
+
+void CudaContext::ipc_close_mem_handle(void* ptr) {
+  auto it = open_ipc_.find(ptr);
+  if (it == open_ipc_.end()) {
+    throw CudaError("cudaIpcCloseMemHandle: pointer was not opened here");
+  }
+  if (--it->second == 0) open_ipc_.erase(it);
+}
+
 bool CudaContext::pinned_side(const void* dst, const void* src,
                               MemcpyKind kind) const {
   switch (kind) {

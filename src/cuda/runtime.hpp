@@ -45,6 +45,16 @@ class CudaError : public std::runtime_error {
   explicit CudaError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// cudaIpcMemHandle_t analogue: an exportable name for (a pointer into) a
+/// live device allocation. Plain 64-bit words so a handle can travel in a
+/// wire-message payload between co-located ranks.
+struct IpcMemHandle {
+  std::uint64_t device = 0;  // owning device id
+  std::uint64_t base = 0;    // allocation base address
+  std::uint64_t size = 0;    // allocation size in bytes
+  std::uint64_t offset = 0;  // offset of the exported pointer within it
+};
+
 namespace detail {
 
 struct StreamState {
@@ -150,6 +160,23 @@ class CudaContext {
                       std::size_t spitch, std::size_t width,
                       std::size_t height, MemcpyKind kind, Stream& stream);
 
+  // -- CUDA IPC ---------------------------------------------------------
+  // The intra-node transport's handshake: a receiver exports a handle for
+  // its landing buffer, the co-located sender opens it and peer-copies
+  // straight into device memory without staging through the host.
+
+  /// cudaIpcGetMemHandle: export a handle for `ptr` (any pointer inside a
+  /// live device allocation; interior pointers keep their offset).
+  IpcMemHandle ipc_get_mem_handle(const void* ptr) const;
+  /// cudaIpcOpenMemHandle: validate the handle against the live allocation
+  /// it names and return the address it designates. Throws CudaError for a
+  /// stale handle (the allocation was freed or replaced).
+  void* ipc_open_mem_handle(const IpcMemHandle& handle);
+  /// cudaIpcCloseMemHandle: release one mapping from ipc_open_mem_handle.
+  void ipc_close_mem_handle(void* ptr);
+  /// Mappings currently open through this context (leak check for tests).
+  std::size_t open_ipc_handles() const { return open_ipc_.size(); }
+
   // -- streams & events -----------------------------------------------
   /// cudaStreamCreate.
   Stream create_stream();
@@ -196,6 +223,8 @@ class CudaContext {
   std::uint64_t memcpy_calls_ = 0;
   std::uint64_t memcpy2d_calls_ = 0;
   std::unordered_map<void*, std::unique_ptr<std::byte[]>> host_allocs_;
+  // Opened-IPC-mapping refcounts, keyed by the mapped pointer.
+  std::unordered_map<void*, std::uint64_t> open_ipc_;
 };
 
 }  // namespace mv2gnc::cusim

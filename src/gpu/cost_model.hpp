@@ -34,6 +34,11 @@ struct GpuCostModel {
   double h2d_bw = 5.7;   // pinned H2D over PCIe 2.0 x16
   double d2d_bw = 80.0;  // device-internal copy (C2050 DRAM ~144 GB/s peak)
 
+  // GPU-to-GPU copy between two devices behind the same PCIe root complex
+  // (cudaMemcpyPeer / CUDA-IPC): bounded by one PCIe 2.0 traversal, not by
+  // device DRAM. Consumed by the intra-node IPC transport's cost model.
+  double peer_d2d_bw = 6.0;
+
   // PCIe copies touching *pageable* host memory go through the driver's
   // internal staging buffers at roughly half bandwidth (measured behaviour
   // of CUDA 4.0-era cudaMemcpy on non-page-locked memory).

@@ -68,4 +68,14 @@ std::optional<PointerInfo> MemoryRegistry::query(const void* ptr) const {
   return std::nullopt;
 }
 
+PointerInfo MemoryRegistry::ipc_export(const void* ptr) const {
+  const auto info = query(ptr);
+  if (!info) {
+    throw std::invalid_argument(
+        "MemoryRegistry::ipc_export: pointer is not in a registered device "
+        "allocation");
+  }
+  return *info;
+}
+
 }  // namespace mv2gnc::gpu

@@ -38,6 +38,12 @@ class MemoryRegistry {
   /// Convenience: true iff `ptr` lies in some device allocation.
   bool is_device_pointer(const void* ptr) const { return query(ptr).has_value(); }
 
+  /// Handle export (the CUDA-IPC analogue): the registered range containing
+  /// `ptr`. Unlike query(), an unknown pointer is an error — host memory
+  /// has no exportable handle.
+  /// Throws std::invalid_argument when `ptr` is not device memory.
+  PointerInfo ipc_export(const void* ptr) const;
+
   /// Number of live registered ranges.
   std::size_t live_ranges() const { return ranges_.size(); }
 

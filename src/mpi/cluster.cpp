@@ -1,5 +1,6 @@
 #include "mpi/cluster.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <stdexcept>
@@ -31,11 +32,48 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         config_.device_memory_bytes));
     cuda_.push_back(std::make_unique<cusim::CudaContext>(*devices_.back()));
   }
+  // Transport bindings: every rank reaches remote peers through its fabric
+  // endpoint; the router in front of it decides per peer. Co-located ranks
+  // (ranks_per_node > 1, blocked placement) additionally share a node-local
+  // IPC channel and route each other — and themselves — over it.
+  for (int r = 0; r < config_.ranks; ++r) {
+    fabric_transports_.push_back(
+        std::make_unique<core::FabricTransport>(fabric_->endpoint(r)));
+    routers_.push_back(
+        std::make_unique<core::TransportRouter>(*fabric_transports_.back()));
+  }
+  const int rpn = static_cast<int>(config_.tunables.ranks_per_node);
+  if (rpn > 1 &&
+      config_.tunables.transport_select == core::TransportSelect::kAuto) {
+    for (int first = 0; first < config_.ranks; first += rpn) {
+      const int last = std::min(config_.ranks, first + rpn);
+      if (last - first < 2) continue;  // a lone rank needs no channel
+      auto channel = std::make_unique<netsim::IpcChannel>(
+          engine_, registry_,
+          netsim::IpcCostModel::from_gpu(config_.gpu_cost));
+      // Same RTS delivery receipt the fabric arms: the channel is lossless,
+      // but a sender whose receiver has not posted yet still needs the
+      // "handshake alive" signal to keep its retry budget fresh.
+      channel->enable_delivery_receipt(core::kRts, core::kRtsAck,
+                                       /*echo_header=*/2);
+      for (int r = first; r < last; ++r) channel->add_rank(r);
+      for (int r = first; r < last; ++r) {
+        ipc_transports_.push_back(
+            std::make_unique<core::IpcTransport>(channel->port(r)));
+        for (int peer = first; peer < last; ++peer) {
+          routers_[static_cast<std::size_t>(r)]->add_route(
+              peer, *ipc_transports_.back());
+        }
+      }
+      ipc_channels_.push_back(std::move(channel));
+    }
+  }
   // RankComms after devices: they create CUDA streams on construction.
   for (int r = 0; r < config_.ranks; ++r) {
     comms_.push_back(std::make_unique<detail::RankComm>(
         r, config_.ranks, engine_, *cuda_[static_cast<std::size_t>(r)],
-        fabric_->endpoint(r), registry_, config_.tunables, &trace_));
+        *routers_[static_cast<std::size_t>(r)], registry_, config_.tunables,
+        &trace_));
   }
 }
 
@@ -93,6 +131,20 @@ netsim::Endpoint& Cluster::endpoint(int rank) {
   return fabric_->endpoint(rank);
 }
 
+int Cluster::node_of(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("node_of: bad rank");
+  }
+  return rank / static_cast<int>(config_.tunables.ranks_per_node);
+}
+
+core::TransportRouter& Cluster::router(int rank) {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("router: bad rank");
+  }
+  return *routers_[static_cast<std::size_t>(rank)];
+}
+
 RankStats Cluster::rank_stats(int rank) {
   if (rank < 0 || rank >= config_.ranks) {
     throw std::out_of_range("rank_stats: bad rank");
@@ -117,6 +169,16 @@ RankStats Cluster::rank_stats(int rank) {
   s.stall_fallbacks = retries.stall_fallbacks;
   s.transfer_failures = retries.transfer_failures;
   s.faults_injected = ep.fault_counters().total();
+  // Everything past the router's first transport (the fabric) is an
+  // in-node channel; fold its counters into the IPC aggregate.
+  const auto& transports = routers_[static_cast<std::size_t>(rank)]->transports();
+  for (std::size_t i = 1; i < transports.size(); ++i) {
+    const core::TransportStats ts = transports[i]->stats();
+    s.ipc_messages_sent += ts.messages_sent;
+    s.ipc_copies += ts.rdma_writes + ts.rdma_reads;
+    s.ipc_bytes_sent += ts.bytes_sent;
+    s.ipc_busy += ts.busy_time;
+  }
   s.sched = comms_[static_cast<std::size_t>(rank)]->sched_stats();
   return s;
 }
@@ -139,6 +201,33 @@ void Cluster::print_stats(std::ostream& os) {
                   sim::to_ms(s.h2d_busy), sim::to_ms(s.d2d_busy),
                   sim::to_ms(s.kernel_busy), s.vbuf_high_water);
     os << line;
+  }
+  // Per-transport traffic split, shown only when some rank actually has
+  // more than one wire path (so the default topology's output is unchanged).
+  bool any_ipc = false;
+  for (int r = 0; r < config_.ranks; ++r) {
+    if (routers_[static_cast<std::size_t>(r)]->transports().size() > 1) {
+      any_ipc = true;
+      break;
+    }
+  }
+  if (any_ipc) {
+    os << "rank  transport    msgs   copies   MB-moved      busy\n";
+    for (int r = 0; r < config_.ranks; ++r) {
+      for (const core::Transport* t :
+           routers_[static_cast<std::size_t>(r)]->transports()) {
+        const core::TransportStats ts = t->stats();
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%4d  %-9s %7llu %8llu %10.2f %7.2fms\n", r, t->name(),
+                      static_cast<unsigned long long>(ts.messages_sent),
+                      static_cast<unsigned long long>(ts.rdma_writes +
+                                                      ts.rdma_reads),
+                      static_cast<double>(ts.bytes_sent) / 1e6,
+                      sim::to_ms(ts.busy_time));
+        os << line;
+      }
+    }
   }
   bool any_faults = false;
   for (int r = 0; r < config_.ranks; ++r) {

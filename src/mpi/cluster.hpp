@@ -12,6 +12,7 @@
 
 #include "core/rndv.hpp"
 #include "core/sched.hpp"
+#include "core/transport.hpp"
 #include "core/tunables.hpp"
 #include "cuda/runtime.hpp"
 #include "gpu/cost_model.hpp"
@@ -19,6 +20,7 @@
 #include "gpu/memory_registry.hpp"
 #include "mpi/mpi.hpp"
 #include "net/fabric.hpp"
+#include "net/ipc.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -75,6 +77,13 @@ struct RankStats {
   std::uint64_t transfer_failures = 0; // transfers failed after max retries
   std::uint64_t faults_injected = 0;   // drops/jitters/write-fails at the NIC
 
+  // -- intra-node IPC transport (all zero unless the topology co-locates
+  //    this rank with a peer and transport_select is kAuto) ---------------
+  std::uint64_t ipc_messages_sent = 0;  // control messages over the channel
+  std::uint64_t ipc_copies = 0;         // one-sided peer copies (wr + rd)
+  std::uint64_t ipc_bytes_sent = 0;     // bytes moved without touching the HCA
+  sim::SimTime ipc_busy = 0;            // channel transmit-pipeline busy time
+
   // -- concurrency scheduler (see core::SchedStats for field docs) -------
   core::SchedStats sched;
 };
@@ -97,6 +106,10 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   gpu::Device& device(int rank);
   netsim::Endpoint& endpoint(int rank);
+  /// Node a rank lives on (blocked placement: rank / ranks_per_node).
+  int node_of(int rank) const;
+  /// The rank's per-peer wire-path router (fabric + optional IPC).
+  core::TransportRouter& router(int rank);
   /// Live fault model of the fabric (mutable between runs of one Cluster).
   netsim::FaultModel& faults();
   /// Detailed per-rank reliability counters (valid after run()).
@@ -133,6 +146,12 @@ class Cluster {
   sim::TraceRecorder trace_;
   gpu::MemoryRegistry registry_;
   std::unique_ptr<netsim::Fabric> fabric_;
+  // One IPC channel per node that hosts >= 2 ranks (empty in the default
+  // one-process-per-node topology), plus each rank's transport bindings.
+  std::vector<std::unique_ptr<netsim::IpcChannel>> ipc_channels_;
+  std::vector<std::unique_ptr<core::FabricTransport>> fabric_transports_;
+  std::vector<std::unique_ptr<core::IpcTransport>> ipc_transports_;
+  std::vector<std::unique_ptr<core::TransportRouter>> routers_;
   std::vector<std::unique_ptr<gpu::Device>> devices_;
   std::vector<std::unique_ptr<cusim::CudaContext>> cuda_;
   std::vector<std::unique_ptr<detail::RankComm>> comms_;

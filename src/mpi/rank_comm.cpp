@@ -50,7 +50,7 @@ Datatype committed_double() {
 }  // namespace
 
 RankComm::RankComm(int rank, int size, sim::Engine& engine,
-                   cusim::CudaContext& cuda, netsim::Endpoint& endpoint,
+                   cusim::CudaContext& cuda, core::TransportRouter& net,
                    gpu::MemoryRegistry& registry, const core::Tunables& tun,
                    sim::TraceRecorder* trace)
     : rank_(rank),
@@ -59,12 +59,12 @@ RankComm::RankComm(int rank, int size, sim::Engine& engine,
       registry_(registry),
       vbuf_pool_(tun.vbuf_count, tun.chunk_bytes),
       notifier_(engine),
-      sched_(engine, vbuf_pool_, tun, endpoint) {
+      sched_(engine, vbuf_pool_, tun, net) {
   // vbufs model MVAPICH2's pre-registered (pinned) staging pool.
   registry.register_pinned_host(vbuf_pool_.arena(), vbuf_pool_.arena_bytes());
   res_.engine = &engine;
   res_.cuda = &cuda;
-  res_.endpoint = &endpoint;
+  res_.net = &net;
   res_.vbufs = &vbuf_pool_;
   res_.tun = &tun;
   res_.pack_stream = cuda.create_stream();
@@ -75,7 +75,7 @@ RankComm::RankComm(int rank, int size, sim::Engine& engine,
   res_.d2h_stream.set_wakeup(&notifier_);
   res_.h2d_stream.set_wakeup(&notifier_);
   res_.unpack_stream.set_wakeup(&notifier_);
-  endpoint.set_wakeup(&notifier_);
+  net.set_wakeup(&notifier_);
   res_.notifier = &notifier_;
   res_.retries = &retry_stats_;
   res_.trace = trace;
@@ -136,7 +136,7 @@ Request RankComm::isend(const void* buf, int count, const Datatype& dtype,
     }
     sched_.note_ctrl(core::kEager);
     sched_.flush_peer(dst);  // credits must not trail fresher traffic
-    res_.endpoint->post_send(dst, std::move(m));
+    res_.net->post_send(dst, std::move(m));
     state->complete = true;  // buffered send: the payload holds a copy
     return Request(std::move(state));
   }
@@ -227,7 +227,7 @@ void RankComm::drain_pending() {
 
 void RankComm::progress_once() {
   netsim::Completion c;
-  while (res_.endpoint->poll(c)) dispatch(c);
+  while (res_.net->poll(c)) dispatch(c);
   sweep_transfers();
   // Flush coalesced acks whose delivery window expired (the coalescing
   // deadline timer only wakes the notifier; the send happens here).
@@ -335,7 +335,7 @@ void RankComm::dispatch(const netsim::Completion& c) {
         ack.kind = core::kSendDoneAck;
         ack.header[0] = fit->second.second;
         sched_.note_ctrl(core::kSendDoneAck);
-        res_.endpoint->post_send(fit->second.first, std::move(ack));
+        res_.net->post_send(fit->second.first, std::move(ack));
       } else {
         ++retry_stats_.duplicates_dropped;
       }

@@ -16,7 +16,7 @@
 #include "cuda/runtime.hpp"
 #include "gpu/memory_registry.hpp"
 #include "mpi/mpi.hpp"
-#include "net/fabric.hpp"
+#include "core/transport.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -75,7 +75,7 @@ struct UnexpectedMsg {
 class RankComm {
  public:
   RankComm(int rank, int size, sim::Engine& engine, cusim::CudaContext& cuda,
-           netsim::Endpoint& endpoint, gpu::MemoryRegistry& registry,
+           core::TransportRouter& net, gpu::MemoryRegistry& registry,
            const core::Tunables& tun, sim::TraceRecorder* trace = nullptr);
   ~RankComm();
   RankComm(const RankComm&) = delete;

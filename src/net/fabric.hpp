@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/fault.hpp"
+#include "net/wire.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 
@@ -47,32 +48,8 @@ struct NetCostModel {
   static NetCostModel qdr_ib() { return NetCostModel{}; }
 };
 
-/// A two-sided message (control traffic and eager payloads).
-struct WireMessage {
-  int src_node = -1;
-  int kind = 0;                     // application-level discriminator
-  std::uint64_t seq = 0;            // sender-assigned sequence number, used
-                                    // by reliable protocols to discard
-                                    // duplicate retransmissions
-  std::uint64_t header[6] = {};     // small fixed header words
-  std::vector<std::byte> payload;   // optional inline payload
-};
-
-/// CQ entry types.
-enum class CqType {
-  kRecv,              // a WireMessage arrived (two-sided or RDMA immediate)
-  kSendComplete,      // post_send drained; buffer reusable
-  kRdmaComplete,      // post_rdma_write drained locally; buffer reusable
-  kRdmaReadComplete,  // post_rdma_read data has landed locally
-  kError,             // a posted WR failed in transport (fault injection);
-                      // wr_id identifies the failed post_rdma_write
-};
-
-struct Completion {
-  CqType type = CqType::kRecv;
-  std::uint64_t wr_id = 0;  // for kSendComplete / kRdmaComplete / kError
-  WireMessage msg;          // for kRecv
-};
+// WireMessage / CqType / Completion live in net/wire.hpp (shared by every
+// transport implementation).
 
 class Fabric;
 

@@ -1,0 +1,177 @@
+#include "net/ipc.hpp"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace mv2gnc::netsim {
+
+IpcPort::IpcPort(sim::Engine& engine, IpcChannel& channel, int rank)
+    : engine_(engine),
+      channel_(channel),
+      rank_(rank),
+      tx_(engine, "ipc" + std::to_string(rank) + ".tx") {}
+
+void IpcPort::deliver(Completion c) {
+  cq_.push_back(std::move(c));
+  if (wakeup_ != nullptr) wakeup_->notify();
+}
+
+void IpcPort::deliver_remote(IpcPort* dst, std::shared_ptr<WireMessage> msg) {
+  engine_.schedule_after(channel_.cost().latency_ns, [dst, msg] {
+    const IpcChannel::Receipt* r = dst->channel_.receipt_for(msg->kind);
+    if (r != nullptr) {
+      dst->send_receipt(r->receipt_kind, r->echo_header, *msg);
+    }
+    dst->deliver(Completion{CqType::kRecv, 0, std::move(*msg)});
+  });
+}
+
+void IpcPort::send_receipt(int receipt_kind, std::size_t echo_header,
+                           const WireMessage& m) {
+  const int dst = m.src_node;
+  if (!channel_.has_rank(dst)) return;
+  WireMessage ack;
+  ack.src_node = rank_;
+  ack.kind = receipt_kind;
+  ack.header[0] = m.header[echo_header];
+  const IpcCostModel& c = channel_.cost();
+  IpcPort* dst_port = &channel_.port(dst);
+  auto shared = std::make_shared<WireMessage>(std::move(ack));
+  ++messages_sent_;
+  // Channel-generated, like the HCA's transport ack: no post overhead, no
+  // kSendComplete, just transmit occupancy. A receipt kind never has a
+  // receipt of its own, so this cannot recurse.
+  tx_.submit(c.per_msg_overhead_ns + c.copy_time(64, c.host_bw),
+             [this, dst_port, shared] { deliver_remote(dst_port, shared); });
+}
+
+bool IpcPort::poll(Completion& out) {
+  if (cq_.empty()) return false;
+  out = std::move(cq_.front());
+  cq_.pop_front();
+  return true;
+}
+
+std::uint64_t IpcPort::post_send(int dst, WireMessage msg) {
+  if (!channel_.has_rank(dst)) {
+    throw std::out_of_range("IpcPort::post_send: rank " + std::to_string(dst) +
+                            " is not on this node");
+  }
+  const IpcCostModel& c = channel_.cost();
+  engine_.delay(c.post_overhead_ns);  // CPU cost of posting
+  const std::uint64_t wr = next_wr_++;
+  msg.src_node = rank_;
+  ++messages_sent_;
+  bytes_sent_ += msg.payload.size();
+  const sim::SimTime duration =
+      c.per_msg_overhead_ns + c.copy_time(msg.payload.size() + 64, c.host_bw);
+  IpcPort* dst_port = &channel_.port(dst);
+  auto shared_msg = std::make_shared<WireMessage>(std::move(msg));
+  tx_.submit(duration, [this, wr, dst_port, shared_msg] {
+    deliver(Completion{CqType::kSendComplete, wr, {}});
+    deliver_remote(dst_port, shared_msg);
+  });
+  return wr;
+}
+
+std::uint64_t IpcPort::post_rdma_write(int dst, const void* local,
+                                       void* remote, std::size_t bytes,
+                                       std::optional<WireMessage> imm) {
+  if (!channel_.has_rank(dst)) {
+    throw std::out_of_range("IpcPort::post_rdma_write: rank " +
+                            std::to_string(dst) + " is not on this node");
+  }
+  if ((local == nullptr || remote == nullptr) && bytes > 0) {
+    throw std::invalid_argument("IpcPort::post_rdma_write: null buffer");
+  }
+  const IpcCostModel& c = channel_.cost();
+  engine_.delay(c.post_overhead_ns);
+  const std::uint64_t wr = next_wr_++;
+  ++rdma_writes_;
+  bytes_sent_ += bytes;
+  const sim::SimTime duration =
+      c.per_msg_overhead_ns +
+      c.copy_time(bytes, channel_.copy_bw(local, remote));
+  IpcPort* dst_port = &channel_.port(dst);
+  std::shared_ptr<WireMessage> shared_imm;
+  if (imm) {
+    imm->src_node = rank_;
+    shared_imm = std::make_shared<WireMessage>(std::move(*imm));
+  }
+  tx_.submit(duration, [this, wr, dst_port, local, remote, bytes,
+                        shared_imm] {
+    // Data lands when the copy engine drains; the notification follows one
+    // channel latency later (same ordering guarantee as the fabric).
+    if (bytes > 0) std::memcpy(remote, local, bytes);
+    deliver(Completion{CqType::kRdmaComplete, wr, {}});
+    if (shared_imm) deliver_remote(dst_port, shared_imm);
+  });
+  return wr;
+}
+
+std::uint64_t IpcPort::post_rdma_read(int src, void* local,
+                                      const void* remote, std::size_t bytes) {
+  if (!channel_.has_rank(src)) {
+    throw std::out_of_range("IpcPort::post_rdma_read: rank " +
+                            std::to_string(src) + " is not on this node");
+  }
+  if ((local == nullptr || remote == nullptr) && bytes > 0) {
+    throw std::invalid_argument("IpcPort::post_rdma_read: null buffer");
+  }
+  const IpcCostModel& c = channel_.cost();
+  engine_.delay(c.post_overhead_ns);
+  const std::uint64_t wr = next_wr_++;
+  ++rdma_reads_;
+  IpcPort* target = &channel_.port(src);
+  const double bw = channel_.copy_bw(remote, local);
+  // Request crosses the channel, the copy serializes on the target's
+  // pipeline, completion crosses back (mirrors the fabric's read shape).
+  engine_.schedule_after(c.latency_ns, [this, target, local, remote, bytes,
+                                        wr, bw] {
+    const IpcCostModel& cc = channel_.cost();
+    target->tx_.submit(
+        cc.per_msg_overhead_ns + cc.copy_time(bytes, bw),
+        [this, local, remote, bytes, wr] {
+          engine_.schedule_after(channel_.cost().latency_ns,
+                                 [this, local, remote, bytes, wr] {
+                                   if (bytes > 0) {
+                                     std::memcpy(local, remote, bytes);
+                                   }
+                                   deliver(Completion{
+                                       CqType::kRdmaReadComplete, wr, {}});
+                                 });
+        });
+  });
+  return wr;
+}
+
+IpcChannel::IpcChannel(sim::Engine& engine,
+                       const gpu::MemoryRegistry& registry, IpcCostModel cost)
+    : engine_(engine), registry_(registry), cost_(cost) {}
+
+IpcPort& IpcChannel::add_rank(int rank) {
+  auto [it, inserted] =
+      ports_.emplace(rank, std::unique_ptr<IpcPort>{});
+  if (inserted) it->second = std::make_unique<IpcPort>(engine_, *this, rank);
+  return *it->second;
+}
+
+IpcPort& IpcChannel::port(int rank) {
+  const auto it = ports_.find(rank);
+  if (it == ports_.end()) {
+    throw std::out_of_range("IpcChannel::port: rank " + std::to_string(rank) +
+                            " is not on this node");
+  }
+  return *it->second;
+}
+
+double IpcChannel::copy_bw(const void* src, const void* dst) const {
+  const bool src_dev = registry_.is_device_pointer(src);
+  const bool dst_dev = registry_.is_device_pointer(dst);
+  if (src_dev && dst_dev) return cost_.peer_d2d_bw;
+  if (src_dev || dst_dev) return cost_.pcie_bw;
+  return cost_.host_bw;
+}
+
+}  // namespace mv2gnc::netsim

@@ -1,0 +1,185 @@
+// netsim: intra-node IPC channel.
+//
+// Ranks that the cluster topology co-locates on one node do not cross the
+// HCA: control messages travel over a shared-memory queue pair and payload
+// moves as a direct copy between the two processes' address spaces — a
+// host-side shared-memory copy, a PCIe staging copy when one end is device
+// memory, or a peer D2D copy (the CUDA-IPC path) when both ends are device
+// memory. There is no fault model and no delivery jitter: in-node
+// transports do not lose messages.
+//
+// The channel mirrors the verbs-shaped surface of net/fabric.hpp (same
+// WireMessage/Completion types, same post/poll verbs) so the transport
+// seam in core can drive either interchangeably. Work-request ids are
+// drawn from a range disjoint from the fabric's (offset by kIpcWrBase), so
+// one rank's completion dispatch can mix both transports safely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/cost_model.hpp"
+#include "gpu/memory_registry.hpp"
+#include "net/wire.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace mv2gnc::netsim {
+
+/// Timing constants of the in-node channel. Control latency models a
+/// shared-memory queue poll (no NIC, no switch); copy bandwidths are
+/// selected per transfer from the memory kinds of the two endpoints.
+struct IpcCostModel {
+  sim::SimTime latency_ns = 300;         // queue-pair delivery
+  sim::SimTime per_msg_overhead_ns = 150;  // descriptor/doorbell processing
+  sim::SimTime post_overhead_ns = 100;   // CPU cost of posting
+  double host_bw = 10.0;                 // host<->host shared-memory GB/s
+  double pcie_bw = 5.5;                  // one end device: PCIe copy
+  double peer_d2d_bw = 6.0;              // device<->device peer copy (P2P)
+
+  sim::SimTime copy_time(std::size_t bytes, double bw) const {
+    return static_cast<sim::SimTime>(static_cast<double>(bytes) / bw);
+  }
+
+  /// Derive the copy bandwidths from the node's GPU model (peer copies run
+  /// over the same PCIe fabric the staged pipeline uses).
+  static IpcCostModel from_gpu(const gpu::GpuCostModel& g) {
+    IpcCostModel c;
+    c.pcie_bw = (g.d2h_bw < g.h2d_bw) ? g.d2h_bw : g.h2d_bw;
+    c.peer_d2d_bw = g.peer_d2d_bw;
+    return c;
+  }
+};
+
+/// First work-request id an IpcPort hands out. The fabric Endpoint counts
+/// up from 1; keeping the IPC range disjoint means a rank driving both
+/// transports never sees a wr_id collision.
+inline constexpr std::uint64_t kIpcWrBase = 1ull << 48;
+
+class IpcChannel;
+
+/// One rank's attachment to the node's IPC channel: a transmit pipeline
+/// (FIFO) plus a completion queue, like a NIC endpoint minus the faults.
+class IpcPort {
+ public:
+  IpcPort(sim::Engine& engine, IpcChannel& channel, int rank);
+  IpcPort(const IpcPort&) = delete;
+  IpcPort& operator=(const IpcPort&) = delete;
+
+  /// Post a two-sided SEND to co-located rank `dst`.
+  std::uint64_t post_send(int dst, WireMessage msg);
+
+  /// Post a one-sided copy of `bytes` from `local` into `remote` (an
+  /// address owned by co-located rank `dst`); the copy lands when the
+  /// transmit drains, and `imm` (if any) arrives one channel latency
+  /// later, preserving the RDMA ordering guarantee.
+  std::uint64_t post_rdma_write(int dst, const void* local, void* remote,
+                                std::size_t bytes,
+                                std::optional<WireMessage> imm = std::nullopt);
+
+  /// Post a one-sided read of `bytes` from `remote` (owned by co-located
+  /// rank `src`) into `local`.
+  std::uint64_t post_rdma_read(int src, void* local, const void* remote,
+                               std::size_t bytes);
+
+  /// Drain one completion; false if the CQ is empty.
+  bool poll(Completion& out);
+
+  void set_wakeup(sim::Notifier* n) { wakeup_ = n; }
+
+  int rank() const { return rank_; }
+
+  // -- statistics ------------------------------------------------------
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t rdma_writes() const { return rdma_writes_; }
+  std::uint64_t rdma_reads() const { return rdma_reads_; }
+  sim::SimTime tx_busy_time() const { return tx_.total_busy_time(); }
+
+ private:
+  friend class IpcChannel;
+  void deliver(Completion c);  // push to CQ + wake
+  void deliver_remote(IpcPort* dst, std::shared_ptr<WireMessage> msg);
+  // Channel-level half of a delivery receipt (see Fabric::DeliveryReceipt):
+  // fired at delivery time, from scheduler context.
+  void send_receipt(int receipt_kind, std::size_t echo_header,
+                    const WireMessage& m);
+
+  sim::Engine& engine_;
+  IpcChannel& channel_;
+  int rank_;
+  sim::FifoResource tx_;
+  std::deque<Completion> cq_;
+  sim::Notifier* wakeup_ = nullptr;
+  std::uint64_t next_wr_ = kIpcWrBase + 1;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t rdma_writes_ = 0;
+  std::uint64_t rdma_reads_ = 0;
+};
+
+/// One node's in-node interconnect: a port per co-located rank. Ports are
+/// created up front (add_rank) so the address map is fixed before traffic
+/// flows. The channel consults the MemoryRegistry to classify each copy's
+/// endpoints (host / device) and picks the matching bandwidth.
+class IpcChannel {
+ public:
+  IpcChannel(sim::Engine& engine, const gpu::MemoryRegistry& registry,
+             IpcCostModel cost);
+
+  /// Attach rank `rank` to this node's channel.
+  IpcPort& add_rank(int rank);
+  IpcPort& port(int rank);
+  bool has_rank(int rank) const { return ports_.count(rank) != 0; }
+
+  const IpcCostModel& cost() const { return cost_; }
+  sim::Engine& engine() { return engine_; }
+
+  /// Bandwidth for a copy between `src` and `dst` based on where the two
+  /// buffers live: device<->device takes the peer D2D path, one device end
+  /// stages over PCIe, host<->host is a shared-memory copy.
+  double copy_bw(const void* src, const void* dst) const;
+
+  /// Arm a delivery receipt for one message kind (same contract as
+  /// Fabric::enable_delivery_receipt): whenever a `kind` message is
+  /// delivered, the channel immediately sends `receipt_kind` back to the
+  /// origin with header[0] echoing the original's header[echo_header].
+  /// The channel is lossless, but the receipt still matters — it tells a
+  /// sender whose receiver has not posted the matching recv yet that the
+  /// handshake is alive, exactly like the fabric's NIC-level ack.
+  void enable_delivery_receipt(int kind, int receipt_kind,
+                               std::size_t echo_header) {
+    if (echo_header >= 6 || receipt_for(receipt_kind) != nullptr) {
+      throw std::invalid_argument("enable_delivery_receipt: bad config");
+    }
+    receipts_.push_back(Receipt{kind, receipt_kind, echo_header});
+  }
+
+ private:
+  friend class IpcPort;
+  struct Receipt {
+    int kind = 0;
+    int receipt_kind = 0;
+    std::size_t echo_header = 0;
+  };
+  const Receipt* receipt_for(int kind) const {
+    for (const Receipt& r : receipts_) {
+      if (r.kind == kind) return &r;
+    }
+    return nullptr;
+  }
+
+  sim::Engine& engine_;
+  const gpu::MemoryRegistry& registry_;
+  IpcCostModel cost_;
+  std::vector<Receipt> receipts_;
+  std::unordered_map<int, std::unique_ptr<IpcPort>> ports_;
+};
+
+}  // namespace mv2gnc::netsim

@@ -49,6 +49,11 @@ TEST_P(ProtocolFuzz, RandomConfigDeliversExactPayload) {
   tun.scheme_select = (rng() % 2 == 0) ? core::SchemeSelect::kModel
                                        : core::SchemeSelect::kTunable;
   tun.pipelining = rng() % 2 == 0;
+  // Topology dimension: one process per node (pure fabric), or both ranks
+  // co-located (pure intra-node IPC — rpn 2 and 4 both fold the two ranks
+  // onto node 0, exercising the peer-copy paths under every knob above).
+  const std::size_t rpn_options[] = {1, 2, 4};
+  tun.ranks_per_node = rpn_options[rng() % 3];
   ASSERT_NO_THROW(tun.validate());
 
   // Random message shape.
@@ -98,7 +103,8 @@ TEST_P(ProtocolFuzz, RandomConfigDeliversExactPayload) {
                                 seg.length),
                     0)
               << "seed " << GetParam().seed << " rows " << rows
-              << " chunk " << tun.chunk_bytes;
+              << " chunk " << tun.chunk_bytes << " rpn "
+              << tun.ranks_per_node;
         }
       }
     }

@@ -186,3 +186,21 @@ TEST(Tunables, ValidationCatchesBadReliabilityKnobs) {
   t.rndv_backoff_factor = 0.5;  // backoff below 1 would shrink the timeout
   EXPECT_THROW(t.validate(), std::invalid_argument);
 }
+
+TEST(Tunables, TopologyKnobsRoundTrip) {
+  Tunables t;
+  t.ranks_per_node = 4;
+  t.transport_select = mv2gnc::core::TransportSelect::kFabric;
+  std::istringstream in(t.to_config_string());
+  Tunables u = Tunables::from_stream(in);
+  EXPECT_EQ(u.ranks_per_node, 4u);
+  EXPECT_EQ(u.transport_select, mv2gnc::core::TransportSelect::kFabric);
+}
+
+TEST(Tunables, TopologyKnobsValidated) {
+  Tunables t;
+  t.ranks_per_node = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  std::istringstream bad(std::string("transport_select = hca\n"));
+  EXPECT_THROW(Tunables::from_stream(bad), std::invalid_argument);
+}

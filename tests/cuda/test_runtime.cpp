@@ -284,3 +284,76 @@ TEST(CudaRuntime, NullStreamOperationsThrow) {
     EXPECT_THROW(e.query(), cusim::CudaError);
   });
 }
+
+// ---------------------------------------------------------------------------
+// CUDA IPC handles (intra-node transport handshake).
+// ---------------------------------------------------------------------------
+
+TEST(CudaIpc, HandleRoundTripsThroughOpen) {
+  run_sim([](sim::Engine&, cusim::CudaContext& ctx) {
+    void* dev = ctx.malloc(4096);
+    const cusim::IpcMemHandle h = ctx.ipc_get_mem_handle(dev);
+    EXPECT_EQ(h.offset, 0u);
+    EXPECT_EQ(h.size, 4096u);
+    void* mapped = ctx.ipc_open_mem_handle(h);
+    EXPECT_EQ(mapped, dev);
+    EXPECT_EQ(ctx.open_ipc_handles(), 1u);
+    ctx.ipc_close_mem_handle(mapped);
+    EXPECT_EQ(ctx.open_ipc_handles(), 0u);
+    ctx.free(dev);
+  });
+}
+
+TEST(CudaIpc, InteriorPointerKeepsOffset) {
+  run_sim([](sim::Engine&, cusim::CudaContext& ctx) {
+    auto* dev = static_cast<std::byte*>(ctx.malloc(4096));
+    const cusim::IpcMemHandle h = ctx.ipc_get_mem_handle(dev + 100);
+    EXPECT_EQ(h.offset, 100u);
+    void* mapped = ctx.ipc_open_mem_handle(h);
+    EXPECT_EQ(mapped, dev + 100);
+    ctx.ipc_close_mem_handle(mapped);
+    ctx.free(dev);
+  });
+}
+
+TEST(CudaIpc, HostPointerRejected) {
+  run_sim([](sim::Engine&, cusim::CudaContext& ctx) {
+    std::vector<std::byte> host(64);
+    EXPECT_THROW(ctx.ipc_get_mem_handle(host.data()), cusim::CudaError);
+  });
+}
+
+TEST(CudaIpc, StaleHandleRejected) {
+  run_sim([](sim::Engine&, cusim::CudaContext& ctx) {
+    void* dev = ctx.malloc(4096);
+    const cusim::IpcMemHandle h = ctx.ipc_get_mem_handle(dev);
+    ctx.free(dev);
+    // The allocation the handle names is gone; opening it must fail even if
+    // a new allocation happens to reuse the address range.
+    EXPECT_THROW(ctx.ipc_open_mem_handle(h), cusim::CudaError);
+  });
+}
+
+TEST(CudaIpc, CloseOfUnknownMappingThrows) {
+  run_sim([](sim::Engine&, cusim::CudaContext& ctx) {
+    void* dev = ctx.malloc(64);
+    EXPECT_THROW(ctx.ipc_close_mem_handle(dev), cusim::CudaError);
+    ctx.free(dev);
+  });
+}
+
+TEST(CudaIpc, OpenIsRefcounted) {
+  run_sim([](sim::Engine&, cusim::CudaContext& ctx) {
+    void* dev = ctx.malloc(256);
+    const cusim::IpcMemHandle h = ctx.ipc_get_mem_handle(dev);
+    void* a = ctx.ipc_open_mem_handle(h);
+    void* b = ctx.ipc_open_mem_handle(h);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(ctx.open_ipc_handles(), 1u);  // one mapping, two refs
+    ctx.ipc_close_mem_handle(a);
+    EXPECT_EQ(ctx.open_ipc_handles(), 1u);
+    ctx.ipc_close_mem_handle(b);
+    EXPECT_EQ(ctx.open_ipc_handles(), 0u);
+    ctx.free(dev);
+  });
+}

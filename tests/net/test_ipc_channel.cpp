@@ -1,0 +1,213 @@
+// Intra-node IPC channel semantics: lossless delivery over the shared
+// queue pair, one-sided peer copies with bandwidth chosen from where the
+// endpoints live, delivery receipts, and wr-id disjointness with the
+// fabric's range.
+#include "net/ipc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gpu/memory_registry.hpp"
+#include "net/fabric.hpp"
+
+namespace netsim = mv2gnc::netsim;
+namespace gpu = mv2gnc::gpu;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+netsim::WireMessage make_msg(int kind, std::uint64_t h0 = 0,
+                             std::vector<std::byte> payload = {}) {
+  netsim::WireMessage m;
+  m.kind = kind;
+  m.header[0] = h0;
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace
+
+TEST(IpcChannel, SendDeliversWithSourceStamped) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  netsim::IpcChannel ch(eng, reg, netsim::IpcCostModel{});
+  ch.add_rank(0);
+  ch.add_rank(1);
+  bool got = false;
+  eng.spawn("sender", [&] { ch.port(0).post_send(1, make_msg(7, 42)); });
+  eng.spawn("receiver", [&] {
+    sim::Notifier n(eng);
+    ch.port(1).set_wakeup(&n);
+    netsim::Completion c;
+    while (!ch.port(1).poll(c)) n.wait();
+    EXPECT_EQ(c.type, netsim::CqType::kRecv);
+    EXPECT_EQ(c.msg.kind, 7);
+    EXPECT_EQ(c.msg.header[0], 42u);
+    EXPECT_EQ(c.msg.src_node, 0);
+    got = true;
+  });
+  eng.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(ch.port(0).messages_sent(), 1u);
+}
+
+TEST(IpcChannel, WrIdsDisjointFromFabricRange) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  netsim::IpcChannel ch(eng, reg, netsim::IpcCostModel{});
+  ch.add_rank(0);
+  ch.add_rank(1);
+  eng.spawn("sender", [&] {
+    const std::uint64_t wr = ch.port(0).post_send(1, make_msg(1));
+    EXPECT_GT(wr, netsim::kIpcWrBase);
+  });
+  eng.run();
+}
+
+TEST(IpcChannel, RdmaWritePlacesBytesBeforeImmediate) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  netsim::IpcChannel ch(eng, reg, netsim::IpcCostModel{});
+  ch.add_rank(0);
+  ch.add_rank(1);
+  std::vector<std::byte> src(4096);
+  std::vector<std::byte> dst(4096, std::byte{0});
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i * 7 & 0xFF);
+  }
+  eng.spawn("writer", [&] {
+    ch.port(0).post_rdma_write(1, src.data(), dst.data(), src.size(),
+                               make_msg(9, 1234));
+  });
+  eng.spawn("target", [&] {
+    sim::Notifier n(eng);
+    ch.port(1).set_wakeup(&n);
+    netsim::Completion c;
+    while (!ch.port(1).poll(c)) n.wait();
+    ASSERT_EQ(c.type, netsim::CqType::kRecv);
+    EXPECT_EQ(c.msg.kind, 9);
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+  });
+  eng.run();
+  EXPECT_EQ(ch.port(0).rdma_writes(), 1u);
+  EXPECT_EQ(ch.port(0).bytes_sent(), src.size());
+}
+
+TEST(IpcChannel, CopyBandwidthFollowsEndpointResidency) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  netsim::IpcCostModel cost;
+  cost.host_bw = 10.0;
+  cost.pcie_bw = 5.0;
+  cost.peer_d2d_bw = 6.5;
+  netsim::IpcChannel ch(eng, reg, cost);
+  // Two fake device allocations registered directly with the registry.
+  alignas(64) static std::byte dev_a[256];
+  alignas(64) static std::byte dev_b[256];
+  alignas(64) static std::byte host[256];
+  reg.register_range(dev_a, sizeof(dev_a), /*device_id=*/0);
+  reg.register_range(dev_b, sizeof(dev_b), /*device_id=*/1);
+  EXPECT_DOUBLE_EQ(ch.copy_bw(dev_a, dev_b), 6.5);  // peer D2D
+  EXPECT_DOUBLE_EQ(ch.copy_bw(dev_a, host), 5.0);   // one device end: PCIe
+  EXPECT_DOUBLE_EQ(ch.copy_bw(host, dev_b), 5.0);
+  EXPECT_DOUBLE_EQ(ch.copy_bw(host, host), 10.0);   // shared memory
+}
+
+TEST(IpcChannel, PeerCopyIsFasterThanPcieStagedCopy) {
+  // The whole point of the fast path: a D2D peer copy of N bytes must beat
+  // the same N bytes staged D2H + H2D over PCIe.
+  netsim::IpcCostModel cost = netsim::IpcCostModel::from_gpu(
+      mv2gnc::gpu::GpuCostModel::tesla_c2050());
+  const std::size_t n = 1 << 20;
+  const sim::SimTime peer = cost.copy_time(n, cost.peer_d2d_bw);
+  const sim::SimTime staged = 2 * cost.copy_time(n, cost.pcie_bw);
+  EXPECT_LT(peer, staged);
+}
+
+TEST(IpcChannel, DeliveryReceiptEchoesHeader) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  netsim::IpcChannel ch(eng, reg, netsim::IpcCostModel{});
+  ch.add_rank(0);
+  ch.add_rank(1);
+  constexpr int kProbe = 40;
+  constexpr int kProbeAck = 41;
+  ch.enable_delivery_receipt(kProbe, kProbeAck, /*echo_header=*/2);
+  bool acked = false;
+  eng.spawn("sender", [&] {
+    auto m = make_msg(kProbe);
+    m.header[2] = 777;
+    ch.port(0).post_send(1, std::move(m));
+    sim::Notifier n(eng);
+    ch.port(0).set_wakeup(&n);
+    netsim::Completion c;
+    for (;;) {
+      if (!ch.port(0).poll(c)) {
+        n.wait();
+        continue;
+      }
+      if (c.type == netsim::CqType::kRecv && c.msg.kind == kProbeAck) {
+        EXPECT_EQ(c.msg.header[0], 777u);
+        acked = true;
+        return;
+      }
+    }
+  });
+  eng.spawn("receiver", [&] {
+    sim::Notifier n(eng);
+    ch.port(1).set_wakeup(&n);
+    netsim::Completion c;
+    while (!ch.port(1).poll(c)) n.wait();
+    EXPECT_EQ(c.msg.kind, kProbe);
+  });
+  eng.run();
+  EXPECT_TRUE(acked);
+}
+
+TEST(IpcChannel, ReceiptConfigValidated) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  netsim::IpcChannel ch(eng, reg, netsim::IpcCostModel{});
+  EXPECT_THROW(ch.enable_delivery_receipt(1, 2, 6), std::invalid_argument);
+}
+
+TEST(IpcChannel, UnknownRankRejected) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  netsim::IpcChannel ch(eng, reg, netsim::IpcCostModel{});
+  ch.add_rank(3);
+  EXPECT_TRUE(ch.has_rank(3));
+  EXPECT_FALSE(ch.has_rank(4));
+  EXPECT_THROW(ch.port(4), std::out_of_range);
+}
+
+TEST(IpcChannel, RdmaReadPullsBytes) {
+  sim::Engine eng;
+  gpu::MemoryRegistry reg;
+  netsim::IpcChannel ch(eng, reg, netsim::IpcCostModel{});
+  ch.add_rank(0);
+  ch.add_rank(1);
+  std::vector<std::byte> remote(512, std::byte{0x5A});
+  std::vector<std::byte> local(512, std::byte{0});
+  eng.spawn("reader", [&] {
+    sim::Notifier n(eng);
+    ch.port(0).set_wakeup(&n);
+    const std::uint64_t wr =
+        ch.port(0).post_rdma_read(1, local.data(), remote.data(), local.size());
+    netsim::Completion c;
+    for (;;) {
+      if (!ch.port(0).poll(c)) {
+        n.wait();
+        continue;
+      }
+      if (c.type == netsim::CqType::kRdmaReadComplete) {
+        EXPECT_EQ(c.wr_id, wr);
+        EXPECT_EQ(std::memcmp(local.data(), remote.data(), local.size()), 0);
+        return;
+      }
+    }
+  });
+  eng.run();
+}
