@@ -1,0 +1,138 @@
+// Topology-aware collectives: the topology-oblivious baseline (flat
+// single-level algorithms with every hop on the fabric, as in the
+// one-HCA-per-message era) versus the two-level hierarchical variants
+// that run the intra-node phases over the node's IPC channel and stripe
+// the inter-node leg across the members' HCAs. 8 ranks, blocked onto
+// nodes at 2 and 4 ranks per node, swept across the Figure-5 message
+// sizes. Same framing as bench_transport: "forced fabric" vs IPC-aware.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/reporting.hpp"
+#include "bench_util.hpp"
+#include "mpi/cluster.hpp"
+
+namespace bench = mv2gnc::bench;
+namespace apps = mv2gnc::apps;
+namespace core = mv2gnc::core;
+namespace mpisim = mv2gnc::mpisim;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+constexpr int kRanks = 8;
+
+mpisim::ClusterConfig config(int rpn, core::CollSelect coll,
+                             core::TransportSelect transport) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.tunables.ranks_per_node = static_cast<std::size_t>(rpn);
+  cfg.tunables.coll_select = coll;
+  cfg.tunables.transport_select = transport;
+  return cfg;
+}
+
+enum class Op { kAllreduce, kAllgather };
+
+// Virtual time for `iters` back-to-back collectives of `bytes` per rank.
+sim::SimTime measure(Op op, std::size_t bytes, int rpn,
+                     core::CollSelect coll, core::TransportSelect transport,
+                     int iters) {
+  mpisim::Cluster cluster(config(rpn, coll, transport));
+  cluster.run([&](mpisim::Context& ctx) {
+    if (op == Op::kAllreduce) {
+      const int count = static_cast<int>(bytes / sizeof(double));
+      std::vector<double> in(static_cast<std::size_t>(count),
+                             static_cast<double>(ctx.rank));
+      std::vector<double> out(static_cast<std::size_t>(count));
+      for (int i = 0; i < iters; ++i) {
+        ctx.comm.allreduce_sum(in.data(), out.data(), count);
+      }
+    } else {
+      auto dt = mpisim::Datatype::byte();
+      dt.commit();
+      const int count = static_cast<int>(bytes);
+      std::vector<std::byte> in(bytes, std::byte{0x5A});
+      std::vector<std::byte> out(bytes * kRanks);
+      for (int i = 0; i < iters; ++i) {
+        ctx.comm.allgather(in.data(), count, dt, out.data());
+      }
+    }
+  });
+  return cluster.elapsed();
+}
+
+void sweep(bench::JsonReport& report, Op op, const char* name, int rpn,
+           const std::vector<std::size_t>& sizes) {
+  apps::Table table(std::string(name) + ", 8 ranks, " + std::to_string(rpn) +
+                        " ranks/node",
+                    {"size", "flat, fabric-only (us)", "two-level (us)",
+                     "improvement"});
+  for (std::size_t s : sizes) {
+    const int iters = s >= (1u << 20) ? 2 : 4;
+    const sim::SimTime flat = measure(op, s, rpn, core::CollSelect::kFlat,
+                                      core::TransportSelect::kFabric, iters);
+    const sim::SimTime hier = measure(op, s, rpn, core::CollSelect::kHier,
+                                      core::TransportSelect::kAuto, iters);
+    table.add_row({apps::format_bytes(s), apps::format_us(flat),
+                   apps::format_us(hier),
+                   apps::format_improvement(static_cast<double>(flat),
+                                            static_cast<double>(hier))});
+    const std::string key =
+        std::string(name) + "_rpn" + std::to_string(rpn) + "_" +
+        std::to_string(s);
+    report.add("flat_us_" + key, static_cast<double>(flat) / 1000.0);
+    report.add("hier_us_" + key, static_cast<double>(hier) / 1000.0);
+  }
+  table.print(std::cout);
+}
+
+// One run with the per-collective and per-transport counter tables, so the
+// phase split (intra over IPC, leader over the HCA) is visible at a glance.
+void show_coll_stats() {
+  mpisim::Cluster cluster(
+      config(4, core::CollSelect::kAuto, core::TransportSelect::kAuto));
+  cluster.run([](mpisim::Context& ctx) {
+    std::vector<double> in(32768, 1.0);
+    std::vector<double> out(32768);
+    ctx.comm.allreduce_sum(in.data(), out.data(), 32768);
+    auto dt = mpisim::Datatype::byte();
+    dt.commit();
+    std::vector<std::byte> mine(65536);
+    std::vector<std::byte> all(65536 * kRanks);
+    ctx.comm.allgather(mine.data(), 65536, dt, all.data());
+    ctx.comm.barrier();
+  });
+  std::cout << "\nPer-collective counters (coll_select=auto, 8 ranks on 2 "
+               "nodes):\n";
+  cluster.print_stats(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Two-level hierarchical collectives vs flat (8 ranks, blocked nodes)",
+      "MVAPICH2-style shared-memory collectives over the transport seam");
+  bench::JsonReport report("collectives");
+  const std::vector<std::size_t> sizes{16,    64,     256,     1024,
+                                       4096,  16384,  65536,   262144,
+                                       1048576, 4194304};
+  for (const int rpn : {2, 4}) {
+    sweep(report, Op::kAllreduce, "allreduce", rpn, sizes);
+    sweep(report, Op::kAllgather, "allgather", rpn, sizes);
+  }
+  show_coll_stats();
+  const std::string json = report.write();
+  if (!json.empty()) std::cout << "\njson metrics: " << json << "\n";
+  std::cout << "\nExpected: the two-level variants beat the flat algorithms "
+               "at every size.\nThe intra-node phases ride the lossless IPC "
+               "channel instead of looping\nthrough the HCA, and the "
+               "inter-node leg is striped across the members,\nso each "
+               "fabric round carries 1/n of the bytes through n HCAs in "
+               "parallel.\n(Flat with IPC-routed p2p already captures part "
+               "of the win; the striping\nstill beats it once messages "
+               "leave the latency regime.)\n";
+  return 0;
+}

@@ -89,6 +89,23 @@ TransportSelect parse_transport_select(const std::string& v) {
       "tunables: transport_select must be 'auto' or 'fabric', got: " + v);
 }
 
+CollSelect parse_coll_select(const std::string& v) {
+  if (v == "auto") return CollSelect::kAuto;
+  if (v == "flat") return CollSelect::kFlat;
+  if (v == "hier") return CollSelect::kHier;
+  throw std::invalid_argument(
+      "tunables: coll_select must be 'auto', 'flat' or 'hier', got: " + v);
+}
+
+const char* coll_select_name(CollSelect s) {
+  switch (s) {
+    case CollSelect::kAuto: return "auto";
+    case CollSelect::kFlat: return "flat";
+    case CollSelect::kHier: return "hier";
+  }
+  return "auto";
+}
+
 SchedPolicy parse_sched_policy(const std::string& v) {
   if (v == "fifo") return SchedPolicy::kFifo;
   if (v == "fair") return SchedPolicy::kFair;
@@ -146,6 +163,7 @@ Tunables Tunables::from_stream(std::istream& in) {
       else if (key == "sched_policy") t.sched_policy = parse_sched_policy(value);
       else if (key == "ranks_per_node") t.ranks_per_node = std::stoull(value);
       else if (key == "transport_select") t.transport_select = parse_transport_select(value);
+      else if (key == "coll_select") t.coll_select = parse_coll_select(value);
       else if (key == "vbuf_reserve_per_transfer") t.vbuf_reserve_per_transfer = std::stoull(value);
       else if (key == "max_inflight_chunks") t.max_inflight_chunks = std::stoull(value);
       else if (key == "ack_coalesce_window_ns") t.ack_coalesce_window_ns = std::stoll(value);
@@ -197,6 +215,7 @@ std::string Tunables::to_config_string() const {
      << "transport_select = "
      << (transport_select == TransportSelect::kAuto ? "auto" : "fabric")
      << "\n"
+     << "coll_select = " << coll_select_name(coll_select) << "\n"
      << "vbuf_reserve_per_transfer = " << vbuf_reserve_per_transfer << "\n"
      << "max_inflight_chunks = " << max_inflight_chunks << "\n"
      << "ack_coalesce_window_ns = " << ack_coalesce_window_ns << "\n"

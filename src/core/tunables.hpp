@@ -34,6 +34,14 @@ enum class TransportSelect {
   kFabric,  // force every peer over the HCA (ablation / debugging)
 };
 
+/// How collective algorithms are chosen per call (see docs/COLLECTIVES.md).
+enum class CollSelect {
+  kAuto,  // two-level when the topology co-locates ranks and the cost model
+          // favors the intra-node leg (mirrors scheme_select = model)
+  kFlat,  // force single-level algorithms (the one-process-per-node paper era)
+  kHier,  // force the two-level path wherever a comm spans >1 rank on a node
+};
+
 /// How concurrent transfers of one rank share the vbuf pool and the wire
 /// (see docs/CONCURRENCY.md).
 enum class SchedPolicy {
@@ -121,6 +129,12 @@ struct Tunables {
   /// in-node IPC channel (peer D2D copies, no HCA); kFabric forces the
   /// inter-node path everywhere, which isolates the transport's effect.
   TransportSelect transport_select = TransportSelect::kAuto;
+
+  /// Collective-algorithm policy: flat single-level algorithms vs MVAPICH2
+  /// style two-level (intra-node leg over the IPC transport, leader leg
+  /// over the fabric). kAuto consults the topology and the cost hints the
+  /// cluster derives from its GPU/IPC models (docs/COLLECTIVES.md).
+  CollSelect coll_select = CollSelect::kAuto;
 
   // -- reliability -------------------------------------------------------
   /// Base retransmission timeout for rendezvous control messages: if a

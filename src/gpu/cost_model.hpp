@@ -39,6 +39,17 @@ struct GpuCostModel {
   // device DRAM. Consumed by the intra-node IPC transport's cost model.
   double peer_d2d_bw = 6.0;
 
+  // Host<->host copies between *co-located processes* (the intra-node IPC
+  // transport's host leg). Small transfers bounce through a double-buffered
+  // shared-memory segment — two memcpys, so roughly half the single-stream
+  // copy rate — while transfers at or above shm_cma_threshold use a
+  // single-copy cross-memory attach (CMA: process_vm_readv / KNEM) that
+  // runs at one DRAM stream. Westmere-era measurements put the pair near
+  // 4.8 / 11 GB/s with the switch-over at the usual 64 KB pipeline block.
+  double shm_host_bw = 4.8;
+  double cma_host_bw = 11.0;
+  std::size_t shm_cma_threshold = 64 * 1024;
+
   // PCIe copies touching *pageable* host memory go through the driver's
   // internal staging buffers at roughly half bandwidth (measured behaviour
   // of CUDA 4.0-era cudaMemcpy on non-page-locked memory).

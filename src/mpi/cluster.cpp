@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "mpi/coll.hpp"
 #include "mpi/rank_comm.hpp"
 
 namespace mv2gnc::mpisim {
@@ -75,6 +76,19 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         *routers_[static_cast<std::size_t>(r)], registry_, config_.tunables,
         &trace_));
   }
+  // Feed each rank's collectives engine the cost facts coll_select = auto
+  // weighs: the fabric's wire parameters against the node-local channel's
+  // (mirroring how scheme_select = model reads the GPU cost model).
+  {
+    const netsim::IpcCostModel ipc =
+        netsim::IpcCostModel::from_gpu(config_.gpu_cost);
+    detail::CollCostHints hints;
+    hints.fabric_bw = config_.net_cost.bw;
+    hints.fabric_latency_ns = config_.net_cost.latency_ns;
+    hints.ipc_host_bw = ipc.cma_host_bw;
+    hints.ipc_latency_ns = ipc.latency_ns;
+    for (auto& comm : comms_) comm->coll().set_cost_hints(hints);
+  }
 }
 
 netsim::FaultModel& Cluster::faults() { return fabric_->faults(); }
@@ -98,6 +112,13 @@ const core::SchedStats& Cluster::sched_stats(int rank) const {
     throw std::out_of_range("sched_stats: bad rank");
   }
   return comms_[static_cast<std::size_t>(rank)]->sched_stats();
+}
+
+const detail::CollStats& Cluster::coll_stats(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("coll_stats: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->coll().stats();
 }
 
 std::string Cluster::vbuf_audit(int rank) const {
@@ -225,6 +246,50 @@ void Cluster::print_stats(std::ostream& os) {
                                                       ts.rdma_reads),
                       static_cast<double>(ts.bytes_sent) / 1e6,
                       sim::to_ms(ts.busy_time));
+        os << line;
+      }
+    }
+  }
+  // Collective-operation census, aggregated over ranks: shown next to the
+  // per-transport split (same gate), since it explains where the IPC-side
+  // traffic above comes from.
+  if (any_ipc) {
+    detail::CollStats agg;
+    auto add = [](detail::CollOpStats& a, const detail::CollOpStats& b) {
+      a.calls += b.calls;
+      a.hier_calls += b.hier_calls;
+      a.bytes_sent += b.bytes_sent;
+      a.intra_phases += b.intra_phases;
+      a.leader_phases += b.leader_phases;
+    };
+    for (int r = 0; r < config_.ranks; ++r) {
+      const detail::CollStats& cs = coll_stats(r);
+      add(agg.barrier, cs.barrier);
+      add(agg.bcast, cs.bcast);
+      add(agg.allreduce, cs.allreduce);
+      add(agg.allgather, cs.allgather);
+      add(agg.alltoall, cs.alltoall);
+      add(agg.gather, cs.gather);
+      add(agg.scatter, cs.scatter);
+    }
+    if (agg.total_calls() > 0) {
+      os << "collective   calls    hier   MB-sent  intra-ph  leader-ph\n";
+      const std::pair<const char*, const detail::CollOpStats*> rows[] = {
+          {"barrier", &agg.barrier},     {"bcast", &agg.bcast},
+          {"allreduce", &agg.allreduce}, {"allgather", &agg.allgather},
+          {"alltoall", &agg.alltoall},   {"gather", &agg.gather},
+          {"scatter", &agg.scatter},
+      };
+      for (const auto& [name, op] : rows) {
+        if (op->calls == 0) continue;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-10s %7llu %7llu %9.2f %9llu %10llu\n", name,
+                      static_cast<unsigned long long>(op->calls),
+                      static_cast<unsigned long long>(op->hier_calls),
+                      static_cast<double>(op->bytes_sent) / 1e6,
+                      static_cast<unsigned long long>(op->intra_phases),
+                      static_cast<unsigned long long>(op->leader_phases));
         os << line;
       }
     }

@@ -26,6 +26,10 @@
 
 namespace mv2gnc::mpisim {
 
+namespace detail {
+struct CollStats;
+}  // namespace detail
+
 struct ClusterConfig {
   int ranks = 2;
   gpu::GpuCostModel gpu_cost = gpu::GpuCostModel::tesla_c2050();
@@ -120,6 +124,9 @@ class Cluster {
   std::size_t tracked_rendezvous(int rank) const;
   /// Concurrency-scheduler counters of one rank (valid after run()).
   const core::SchedStats& sched_stats(int rank) const;
+  /// Per-collective counters of one rank (calls, two-level calls, bytes,
+  /// intra/leader phases; valid after run()).
+  const detail::CollStats& coll_stats(int rank) const;
   /// VbufPool::audit() of one rank: "" when the pool accounting is
   /// consistent, else a description of the first violation.
   std::string vbuf_audit(int rank) const;

@@ -1,0 +1,126 @@
+// Collectives engine: flat (single-level) and MVAPICH2-style two-level
+// hierarchical algorithms over the transport seam.
+//
+// Flat algorithms treat the communicator as one ring/tree/butterfly:
+// dissemination barrier, binomial bcast, recursive-doubling allreduce,
+// ring allgather and pairwise-exchange alltoall. When the cluster topology
+// co-locates ranks (ranks_per_node > 1, blocked placement), the two-level
+// variants split every collective into intra-node phases — which the
+// TransportRouter carries over the node's IPC channel — and an inter-node
+// phase that is the only traffic crossing the fabric. On rectangular
+// topologies the inter-node phase is striped: allreduce reduce-scatters in
+// the node, butterflies each slice among counterpart members (all n HCAs
+// in parallel, 1/n of the bytes each) and reassembles with an intra
+// allgather; allgather runs n parallel member rings, each carrying its
+// stripe of every node's superblock. Ragged groups fall back to
+// leader-based variants. Selection is per call via the coll_select
+// tunable; kAuto consults the topology and the cost hints the Cluster
+// derives from its fabric and IPC models. See docs/COLLECTIVES.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mpi/rank_comm.hpp"
+#include "sim/time.hpp"
+
+namespace mv2gnc::mpisim::detail {
+
+/// Counters of one collective operation, summed over every call this rank
+/// took part in (surfaced by Cluster::print_stats).
+struct CollOpStats {
+  std::uint64_t calls = 0;          // invocations on this rank
+  std::uint64_t hier_calls = 0;     // of which took the two-level path
+  std::uint64_t bytes_sent = 0;     // payload bytes this rank isend()ed
+  std::uint64_t intra_phases = 0;   // node-local phases this rank executed
+  std::uint64_t leader_phases = 0;  // cluster-wide / leader phases executed
+};
+
+struct CollStats {
+  CollOpStats barrier, bcast, allreduce, allgather, alltoall, gather, scatter;
+
+  std::uint64_t total_calls() const {
+    return barrier.calls + bcast.calls + allreduce.calls + allgather.calls +
+           alltoall.calls + gather.calls + scatter.calls;
+  }
+};
+
+/// Cost facts CollSelect::kAuto consults, derived by the Cluster from its
+/// fabric and IPC cost models (mirroring how scheme_select = model reads
+/// the GPU cost model). Defaults match the stock QDR-IB + C2050 testbed so
+/// a bare RankComm still selects sensibly in unit tests.
+struct CollCostHints {
+  double fabric_bw = 3.2;                // GB/s across the HCA
+  sim::SimTime fabric_latency_ns = 1500;
+  double ipc_host_bw = 11.0;             // in-node CMA large-copy rate
+  sim::SimTime ipc_latency_ns = 300;
+};
+
+/// One rank's collective-algorithm engine; owned by its RankComm. All
+/// communication goes through the owner's isend/irecv/wait, so eager vs
+/// rendezvous protocol choice, reliability and transport routing apply to
+/// collective traffic exactly as to point-to-point traffic.
+class CollEngine {
+ public:
+  explicit CollEngine(RankComm& comm) : comm_(comm) {}
+  CollEngine(const CollEngine&) = delete;
+  CollEngine& operator=(const CollEngine&) = delete;
+
+  void set_cost_hints(const CollCostHints& h) { hints_ = h; }
+  const CollCostHints& cost_hints() const { return hints_; }
+  const CollStats& stats() const { return stats_; }
+
+  void barrier(const CommGroup& g);
+  void bcast(void* buf, int count, const Datatype& dtype, int root,
+             const CommGroup& g);
+  void allreduce_doubles(const double* sendbuf, double* recvbuf, int count,
+                         bool take_max, const CommGroup& g);
+  void allgather(const void* sendbuf, int count, const Datatype& dtype,
+                 void* recvbuf, const CommGroup& g);
+  void alltoall(const void* sendbuf, void* recvbuf, int count,
+                const Datatype& dtype, const CommGroup& g);
+  void gather(const void* sendbuf, int count, const Datatype& dtype,
+              void* recvbuf, int root, const CommGroup& g);
+  void scatter(const void* sendbuf, void* recvbuf, int count,
+               const Datatype& dtype, int root, const CommGroup& g);
+
+ private:
+  /// Node map of one communicator: nodes appear in order of first
+  /// appearance by comm rank, members in ascending comm rank, the leader
+  /// is the lowest comm rank on the node. Every member computes the same
+  /// map, so phase schedules agree without negotiation.
+  struct Topology {
+    std::vector<int> node_of;               // comm rank -> dense node index
+    std::vector<std::vector<int>> members;  // node index -> comm ranks
+    std::vector<int> leaders;               // node index -> leading comm rank
+    int my_node = 0;
+    bool multi_rank_node = false;  // some node hosts >= 2 comm ranks
+
+    int num_nodes() const { return static_cast<int>(members.size()); }
+  };
+  Topology map_nodes(const CommGroup& g) const;
+  bool use_hier(const Topology& t, std::size_t bytes) const;
+
+  // Primitives shared between the flat path and the leader/intra legs.
+  // They run over an ordered subgroup of comm ranks; `me` is this rank's
+  // index within `ranks`.
+  void dissemination(CollOpStats& op, const CommGroup& g,
+                     const std::vector<int>& ranks, int me, int tag_base);
+  void binomial_bcast(CollOpStats& op, const CommGroup& g,
+                      const std::vector<int>& ranks, int me, int root_idx,
+                      void* buf, int count, const Datatype& dtype, int tag);
+  void rd_allreduce(CollOpStats& op, const CommGroup& g,
+                    const std::vector<int>& ranks, int me, double* recvbuf,
+                    int count, bool take_max);
+
+  Request isend_counted(CollOpStats& op, const void* buf, int count,
+                        const Datatype& dtype, int dst_world, int tag,
+                        int context);
+
+  RankComm& comm_;
+  CollCostHints hints_;
+  CollStats stats_;
+};
+
+}  // namespace mv2gnc::mpisim::detail

@@ -290,8 +290,7 @@ void Communicator::scatter(const void* sendbuf, void* recvbuf, int count,
 
 void Communicator::allgather(const void* sendbuf, int count,
                              const Datatype& dtype, void* recvbuf) {
-  impl().gather(sendbuf, count, dtype, recvbuf, 0, group());
-  impl().bcast(recvbuf, count * size(), dtype, 0, group());
+  impl().allgather(sendbuf, count, dtype, recvbuf, group());
 }
 
 void Communicator::alltoall(const void* sendbuf, void* recvbuf, int count,
@@ -330,8 +329,7 @@ Communicator Communicator::split(int color, int key) {
   }();
   std::array<std::int32_t, 3> mine{color, key, impl().next_context_hint()};
   std::vector<std::int32_t> all(static_cast<std::size_t>(p) * 3);
-  impl().gather(mine.data(), 3, int_t, all.data(), 0, g);
-  impl().bcast(all.data(), 3 * p, int_t, 0, g);
+  impl().allgather(mine.data(), 3, int_t, all.data(), g);
 
   // Context base: one past the largest hint anywhere in the parent, so all
   // members agree and fresh ids never collide with live ones.

@@ -183,7 +183,10 @@ class Communicator {
   // -- collectives ---------------------------------------------------------
   // All collectives are built on the point-to-point layer, so buffers may
   // live in GPU device memory (GPU-aware collectives — the "more
-  // applications" direction of the paper's future work).
+  // applications" direction of the paper's future work). When the topology
+  // co-locates ranks, two-level (intra-node + leader) variants run the
+  // node-local phase over the IPC transport; see docs/COLLECTIVES.md and
+  // the coll_select tunable.
 
   /// MPI_Barrier (dissemination algorithm).
   void barrier();
@@ -200,7 +203,8 @@ class Communicator {
   /// MPI_Scatter: the inverse of gather (sendbuf significant at root).
   void scatter(const void* sendbuf, void* recvbuf, int count,
                const Datatype& dtype, int root);
-  /// MPI_Allgather = gather to 0 + bcast.
+  /// MPI_Allgather (ring): every rank ends with all p blocks, no root
+  /// round-trip.
   void allgather(const void* sendbuf, int count, const Datatype& dtype,
                  void* recvbuf);
   /// MPI_Alltoall (pairwise exchange): block j of sendbuf goes to rank j;

@@ -7,19 +7,11 @@
 
 #include "core/gpu_staging.hpp"
 #include "core/protocol.hpp"
+#include "mpi/coll.hpp"
 
 namespace mv2gnc::mpisim::detail {
 
 namespace {
-
-// Internal (negative) tags used by collectives; wildcard receives never
-// match them.
-constexpr int kTagBarrier = -100;
-constexpr int kTagBcast = -200;
-constexpr int kTagReduce = -300;
-constexpr int kTagGather = -400;
-constexpr int kTagScatter = -500;
-constexpr int kTagAlltoall = -600;
 
 std::uint64_t encode_envelope(int context, int tag) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(context))
@@ -33,18 +25,6 @@ int decode_tag(std::uint64_t word) {
 
 int decode_context(std::uint64_t word) {
   return static_cast<std::int32_t>(static_cast<std::uint32_t>(word >> 32));
-}
-
-Datatype committed_byte() {
-  Datatype t = Datatype::byte();
-  t.commit();
-  return t;
-}
-
-Datatype committed_double() {
-  Datatype t = Datatype::float64();
-  t.commit();
-  return t;
 }
 
 }  // namespace
@@ -89,6 +69,7 @@ RankComm::RankComm(int rank, int size, sim::Engine& engine,
   for (int i = 0; i < size; ++i) wg->world[static_cast<std::size_t>(i)] = i;
   wg->my_rank = rank;
   world_group_ = std::move(wg);
+  coll_ = std::make_unique<CollEngine>(*this);
 }
 
 RankComm::~RankComm() {
@@ -658,150 +639,41 @@ void RankComm::unpack(const void* inbuf, std::size_t insize,
 }
 
 // ---------------------------------------------------------------------------
-// Collectives
+// Collectives (forwarders into the engine)
 // ---------------------------------------------------------------------------
 
-void RankComm::barrier(const CommGroup& g) {
-  static const Datatype byte_t = committed_byte();
-  const int p = g.size();
-  char token = 0;
-  int round = 0;
-  for (int mask = 1; mask < p; mask <<= 1, ++round) {
-    const int dst = g.world[static_cast<std::size_t>((g.my_rank + mask) % p)];
-    const int src =
-        g.world[static_cast<std::size_t>((g.my_rank - mask + p) % p)];
-    Request sreq =
-        isend(&token, 1, byte_t, dst, kTagBarrier - round, g.context);
-    Request rreq =
-        irecv(&token, 1, byte_t, src, kTagBarrier - round, g.context);
-    wait(sreq, nullptr);
-    wait(rreq, nullptr);
-  }
-}
+void RankComm::barrier(const CommGroup& g) { coll_->barrier(g); }
 
 void RankComm::bcast(void* buf, int count, const Datatype& dtype, int root,
                      const CommGroup& g) {
-  const int p = g.size();
-  if (p == 1) return;
-  const int relative = (g.my_rank - root + p) % p;
-  auto world_of = [&](int rel) {
-    return g.world[static_cast<std::size_t>((rel + root) % p)];
-  };
-  int mask = 1;
-  while (mask < p) {
-    if (relative & mask) {
-      Request r = irecv(buf, count, dtype, world_of(relative - mask),
-                        kTagBcast, g.context);
-      wait(r, nullptr);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (relative + mask < p) {
-      Request sr = isend(buf, count, dtype, world_of(relative + mask),
-                         kTagBcast, g.context);
-      wait(sr, nullptr);
-    }
-    mask >>= 1;
-  }
-}
-
-void RankComm::gather(const void* sendbuf, int count, const Datatype& dtype,
-                      void* recvbuf, int root, const CommGroup& g) {
-  // Linear gather; self-delivery goes through the normal p2p path so
-  // device buffers work uniformly.
-  const std::size_t block =
-      static_cast<std::size_t>(dtype.extent()) * static_cast<std::size_t>(count);
-  const int root_world = g.world[static_cast<std::size_t>(root)];
-  Request sreq = isend(sendbuf, count, dtype, root_world, kTagGather,
-                       g.context);
-  if (g.my_rank == root) {
-    std::vector<Request> rreqs;
-    rreqs.reserve(static_cast<std::size_t>(g.size()));
-    for (int i = 0; i < g.size(); ++i) {
-      rreqs.push_back(irecv(static_cast<std::byte*>(recvbuf) +
-                                static_cast<std::size_t>(i) * block,
-                            count, dtype, g.world[static_cast<std::size_t>(i)],
-                            kTagGather, g.context));
-    }
-    for (Request& r : rreqs) wait(r, nullptr);
-  }
-  wait(sreq, nullptr);
-}
-
-void RankComm::scatter(const void* sendbuf, void* recvbuf, int count,
-                       const Datatype& dtype, int root, const CommGroup& g) {
-  const std::size_t block =
-      static_cast<std::size_t>(dtype.extent()) * static_cast<std::size_t>(count);
-  const int root_world = g.world[static_cast<std::size_t>(root)];
-  Request rreq = irecv(recvbuf, count, dtype, root_world, kTagScatter,
-                       g.context);
-  if (g.my_rank == root) {
-    std::vector<Request> sreqs;
-    sreqs.reserve(static_cast<std::size_t>(g.size()));
-    for (int i = 0; i < g.size(); ++i) {
-      sreqs.push_back(isend(static_cast<const std::byte*>(sendbuf) +
-                                static_cast<std::size_t>(i) * block,
-                            count, dtype, g.world[static_cast<std::size_t>(i)],
-                            kTagScatter, g.context));
-    }
-    for (Request& sr : sreqs) wait(sr, nullptr);
-  }
-  wait(rreq, nullptr);
-}
-
-void RankComm::alltoall(const void* sendbuf, void* recvbuf, int count,
-                        const Datatype& dtype, const CommGroup& g) {
-  const std::size_t block =
-      static_cast<std::size_t>(dtype.extent()) * static_cast<std::size_t>(count);
-  const int p = g.size();
-  std::vector<Request> reqs;
-  reqs.reserve(static_cast<std::size_t>(2 * p));
-  for (int i = 0; i < p; ++i) {
-    reqs.push_back(irecv(static_cast<std::byte*>(recvbuf) +
-                             static_cast<std::size_t>(i) * block,
-                         count, dtype, g.world[static_cast<std::size_t>(i)],
-                         kTagAlltoall, g.context));
-  }
-  for (int j = 0; j < p; ++j) {
-    // Stagger send order (rank r starts with its right neighbour) so the
-    // pairwise exchanges spread across the fabric instead of all ranks
-    // hammering rank 0 first.
-    const int dst = (g.my_rank + 1 + j) % p;
-    reqs.push_back(isend(static_cast<const std::byte*>(sendbuf) +
-                             static_cast<std::size_t>(dst) * block,
-                         count, dtype, g.world[static_cast<std::size_t>(dst)],
-                         kTagAlltoall, g.context));
-  }
-  for (Request& r : reqs) wait(r, nullptr);
+  coll_->bcast(buf, count, dtype, root, g);
 }
 
 void RankComm::allreduce_doubles(const double* sendbuf, double* recvbuf,
                                  int count, bool take_max,
                                  const CommGroup& g) {
-  static const Datatype double_t = committed_double();
-  std::copy(sendbuf, sendbuf + count, recvbuf);
-  if (g.size() == 1) return;
-  if (g.my_rank == 0) {
-    std::vector<double> tmp(static_cast<std::size_t>(count));
-    for (int src = 1; src < g.size(); ++src) {
-      Request r = irecv(tmp.data(), count, double_t,
-                        g.world[static_cast<std::size_t>(src)], kTagReduce,
-                        g.context);
-      wait(r, nullptr);
-      for (int i = 0; i < count; ++i) {
-        recvbuf[i] = take_max ? std::max(recvbuf[i], tmp[i])
-                              : recvbuf[i] + tmp[i];
-      }
-    }
-  } else {
-    Request sr = isend(recvbuf, count, double_t, g.world[0], kTagReduce,
-                       g.context);
-    wait(sr, nullptr);
-  }
-  bcast(recvbuf, count, double_t, 0, g);
+  coll_->allreduce_doubles(sendbuf, recvbuf, count, take_max, g);
+}
+
+void RankComm::allgather(const void* sendbuf, int count,
+                         const Datatype& dtype, void* recvbuf,
+                         const CommGroup& g) {
+  coll_->allgather(sendbuf, count, dtype, recvbuf, g);
+}
+
+void RankComm::gather(const void* sendbuf, int count, const Datatype& dtype,
+                      void* recvbuf, int root, const CommGroup& g) {
+  coll_->gather(sendbuf, count, dtype, recvbuf, root, g);
+}
+
+void RankComm::scatter(const void* sendbuf, void* recvbuf, int count,
+                       const Datatype& dtype, int root, const CommGroup& g) {
+  coll_->scatter(sendbuf, recvbuf, count, dtype, root, g);
+}
+
+void RankComm::alltoall(const void* sendbuf, void* recvbuf, int count,
+                        const Datatype& dtype, const CommGroup& g) {
+  coll_->alltoall(sendbuf, recvbuf, count, dtype, g);
 }
 
 }  // namespace mv2gnc::mpisim::detail

@@ -22,6 +22,8 @@
 
 namespace mv2gnc::mpisim::detail {
 
+class CollEngine;
+
 /// Membership of one communicator: comm rank i is world rank world[i].
 struct CommGroup {
   int context = 0;              // matching context id
@@ -152,17 +154,26 @@ class RankComm {
               void* outbuf, int count, const Datatype& dtype);
 
   // Collectives run over a CommGroup (roots are comm-relative ranks).
+  // All algorithm choice lives in the CollEngine (mpi/coll.hpp); these
+  // forwarders keep the call surface the Communicator layer sees stable.
   void barrier(const CommGroup& g);
   void bcast(void* buf, int count, const Datatype& dtype, int root,
              const CommGroup& g);
   void allreduce_doubles(const double* sendbuf, double* recvbuf, int count,
                          bool take_max, const CommGroup& g);
+  void allgather(const void* sendbuf, int count, const Datatype& dtype,
+                 void* recvbuf, const CommGroup& g);
   void gather(const void* sendbuf, int count, const Datatype& dtype,
               void* recvbuf, int root, const CommGroup& g);
   void scatter(const void* sendbuf, void* recvbuf, int count,
                const Datatype& dtype, int root, const CommGroup& g);
   void alltoall(const void* sendbuf, void* recvbuf, int count,
                 const Datatype& dtype, const CommGroup& g);
+
+  /// The collectives engine (algorithm selection, topology map, per-op
+  /// counters). The Cluster feeds it cost hints after construction.
+  CollEngine& coll() { return *coll_; }
+  const CollEngine& coll() const { return *coll_; }
 
  private:
   // One pass over all pending work; never blocks.
@@ -196,6 +207,7 @@ class RankComm {
   core::RankResources res_;
 
   ApiStats api_stats_;
+  std::unique_ptr<CollEngine> coll_;
   std::shared_ptr<const CommGroup> world_group_;
   int next_context_ = 1;
   std::uint64_t req_seq_ = 1;

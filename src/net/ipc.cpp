@@ -92,7 +92,7 @@ std::uint64_t IpcPort::post_rdma_write(int dst, const void* local,
   bytes_sent_ += bytes;
   const sim::SimTime duration =
       c.per_msg_overhead_ns +
-      c.copy_time(bytes, channel_.copy_bw(local, remote));
+      c.copy_time(bytes, channel_.copy_bw(local, remote, bytes));
   IpcPort* dst_port = &channel_.port(dst);
   std::shared_ptr<WireMessage> shared_imm;
   if (imm) {
@@ -124,7 +124,7 @@ std::uint64_t IpcPort::post_rdma_read(int src, void* local,
   const std::uint64_t wr = next_wr_++;
   ++rdma_reads_;
   IpcPort* target = &channel_.port(src);
-  const double bw = channel_.copy_bw(remote, local);
+  const double bw = channel_.copy_bw(remote, local, bytes);
   // Request crosses the channel, the copy serializes on the target's
   // pipeline, completion crosses back (mirrors the fabric's read shape).
   engine_.schedule_after(c.latency_ns, [this, target, local, remote, bytes,
@@ -166,12 +166,14 @@ IpcPort& IpcChannel::port(int rank) {
   return *it->second;
 }
 
-double IpcChannel::copy_bw(const void* src, const void* dst) const {
+double IpcChannel::copy_bw(const void* src, const void* dst,
+                           std::size_t bytes) const {
   const bool src_dev = registry_.is_device_pointer(src);
   const bool dst_dev = registry_.is_device_pointer(dst);
   if (src_dev && dst_dev) return cost_.peer_d2d_bw;
   if (src_dev || dst_dev) return cost_.pcie_bw;
-  return cost_.host_bw;
+  return bytes >= cost_.shm_cma_threshold ? cost_.cma_host_bw
+                                          : cost_.shm_host_bw;
 }
 
 }  // namespace mv2gnc::netsim

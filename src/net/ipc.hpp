@@ -39,20 +39,33 @@ struct IpcCostModel {
   sim::SimTime latency_ns = 300;         // queue-pair delivery
   sim::SimTime per_msg_overhead_ns = 150;  // descriptor/doorbell processing
   sim::SimTime post_overhead_ns = 100;   // CPU cost of posting
-  double host_bw = 10.0;                 // host<->host shared-memory GB/s
+  double host_bw = 10.0;                 // control/eager queue-pair GB/s
   double pcie_bw = 5.5;                  // one end device: PCIe copy
   double peer_d2d_bw = 6.0;              // device<->device peer copy (P2P)
+
+  // Host<->host *payload* copies (one-sided writes/reads between the two
+  // processes' address spaces): double-buffered shm below the threshold,
+  // single-copy cross-memory attach (CMA) at or above it. Calibrated in
+  // gpu::GpuCostModel (see shm_host_bw there); the flat host_bw above only
+  // prices the control queue pair and eager payloads riding it.
+  double shm_host_bw = 4.8;
+  double cma_host_bw = 11.0;
+  std::size_t shm_cma_threshold = 64 * 1024;
 
   sim::SimTime copy_time(std::size_t bytes, double bw) const {
     return static_cast<sim::SimTime>(static_cast<double>(bytes) / bw);
   }
 
   /// Derive the copy bandwidths from the node's GPU model (peer copies run
-  /// over the same PCIe fabric the staged pipeline uses).
+  /// over the same PCIe fabric the staged pipeline uses; the host leg
+  /// inherits the model's calibrated shm/CMA pair).
   static IpcCostModel from_gpu(const gpu::GpuCostModel& g) {
     IpcCostModel c;
     c.pcie_bw = (g.d2h_bw < g.h2d_bw) ? g.d2h_bw : g.h2d_bw;
     c.peer_d2d_bw = g.peer_d2d_bw;
+    c.shm_host_bw = g.shm_host_bw;
+    c.cma_host_bw = g.cma_host_bw;
+    c.shm_cma_threshold = g.shm_cma_threshold;
     return c;
   }
 };
@@ -141,10 +154,11 @@ class IpcChannel {
   const IpcCostModel& cost() const { return cost_; }
   sim::Engine& engine() { return engine_; }
 
-  /// Bandwidth for a copy between `src` and `dst` based on where the two
-  /// buffers live: device<->device takes the peer D2D path, one device end
-  /// stages over PCIe, host<->host is a shared-memory copy.
-  double copy_bw(const void* src, const void* dst) const;
+  /// Bandwidth for a copy of `bytes` between `src` and `dst` based on where
+  /// the two buffers live: device<->device takes the peer D2D path, one
+  /// device end stages over PCIe, and host<->host picks double-buffered shm
+  /// vs single-copy CMA by size (shm_cma_threshold).
+  double copy_bw(const void* src, const void* dst, std::size_t bytes) const;
 
   /// Arm a delivery receipt for one message kind (same contract as
   /// Fabric::enable_delivery_receipt): whenever a `kind` message is

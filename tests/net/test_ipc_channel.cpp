@@ -102,6 +102,9 @@ TEST(IpcChannel, CopyBandwidthFollowsEndpointResidency) {
   cost.host_bw = 10.0;
   cost.pcie_bw = 5.0;
   cost.peer_d2d_bw = 6.5;
+  cost.shm_host_bw = 4.0;
+  cost.cma_host_bw = 11.5;
+  cost.shm_cma_threshold = 1024;
   netsim::IpcChannel ch(eng, reg, cost);
   // Two fake device allocations registered directly with the registry.
   alignas(64) static std::byte dev_a[256];
@@ -109,10 +112,14 @@ TEST(IpcChannel, CopyBandwidthFollowsEndpointResidency) {
   alignas(64) static std::byte host[256];
   reg.register_range(dev_a, sizeof(dev_a), /*device_id=*/0);
   reg.register_range(dev_b, sizeof(dev_b), /*device_id=*/1);
-  EXPECT_DOUBLE_EQ(ch.copy_bw(dev_a, dev_b), 6.5);  // peer D2D
-  EXPECT_DOUBLE_EQ(ch.copy_bw(dev_a, host), 5.0);   // one device end: PCIe
-  EXPECT_DOUBLE_EQ(ch.copy_bw(host, dev_b), 5.0);
-  EXPECT_DOUBLE_EQ(ch.copy_bw(host, host), 10.0);   // shared memory
+  EXPECT_DOUBLE_EQ(ch.copy_bw(dev_a, dev_b, 256), 6.5);  // peer D2D
+  EXPECT_DOUBLE_EQ(ch.copy_bw(dev_a, host, 256), 5.0);   // one device end
+  EXPECT_DOUBLE_EQ(ch.copy_bw(host, dev_b, 256), 5.0);
+  // Host<->host splits by size: double-buffered shm below the threshold,
+  // single-copy CMA at or above it.
+  EXPECT_DOUBLE_EQ(ch.copy_bw(host, host, 256), 4.0);
+  EXPECT_DOUBLE_EQ(ch.copy_bw(host, host, 1024), 11.5);
+  EXPECT_DOUBLE_EQ(ch.copy_bw(host, host, 1 << 20), 11.5);
 }
 
 TEST(IpcChannel, PeerCopyIsFasterThanPcieStagedCopy) {
