@@ -85,7 +85,9 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     detail::CollCostHints hints;
     hints.fabric_bw = config_.net_cost.bw;
     hints.fabric_latency_ns = config_.net_cost.latency_ns;
-    hints.ipc_host_bw = ipc.cma_host_bw;
+    hints.ipc_shm_bw = ipc.shm_host_bw;
+    hints.ipc_cma_bw = ipc.cma_host_bw;
+    hints.ipc_cma_threshold = ipc.shm_cma_threshold;
     hints.ipc_latency_ns = ipc.latency_ns;
     for (auto& comm : comms_) comm->coll().set_cost_hints(hints);
   }
@@ -119,6 +121,13 @@ const detail::CollStats& Cluster::coll_stats(int rank) const {
     throw std::out_of_range("coll_stats: bad rank");
   }
   return comms_[static_cast<std::size_t>(rank)]->coll().stats();
+}
+
+const detail::CollCostHints& Cluster::coll_cost_hints(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("coll_cost_hints: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->coll().cost_hints();
 }
 
 std::string Cluster::vbuf_audit(int rank) const {

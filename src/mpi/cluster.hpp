@@ -27,6 +27,7 @@
 namespace mv2gnc::mpisim {
 
 namespace detail {
+struct CollCostHints;
 struct CollStats;
 }  // namespace detail
 
@@ -127,6 +128,9 @@ class Cluster {
   /// Per-collective counters of one rank (calls, two-level calls, bytes,
   /// intra/leader phases; valid after run()).
   const detail::CollStats& coll_stats(int rank) const;
+  /// Cost facts the rank's coll_select = auto consults (derived from the
+  /// fabric and IPC cost models at construction).
+  const detail::CollCostHints& coll_cost_hints(int rank) const;
   /// VbufPool::audit() of one rank: "" when the pool accounting is
   /// consistent, else a description of the first violation.
   std::string vbuf_audit(int rank) const;

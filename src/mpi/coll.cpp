@@ -88,7 +88,11 @@ Request CollEngine::isend_counted(CollOpStats& op, const void* buf, int count,
 
 CollEngine::Topology CollEngine::map_nodes(const CommGroup& g) const {
   Topology t;
-  const int rpn = static_cast<int>(comm_.tunables().ranks_per_node);
+  // Tunables::validate() rejects ranks_per_node == 0, but a RankComm can be
+  // handed tunables that never went through it (mutated in place by a test
+  // or bench); clamp rather than divide by zero.
+  const int rpn =
+      std::max(1, static_cast<int>(comm_.tunables().ranks_per_node));
   const int p = g.size();
   t.node_of.resize(static_cast<std::size_t>(p));
   std::vector<int> phys;  // dense index -> physical node id
@@ -122,25 +126,37 @@ bool CollEngine::use_hier(const Topology& t, std::size_t bytes) const {
   // Without the IPC channel the "intra-node" leg rides the fabric too, so
   // the split only adds phases.
   if (tun.transport_select != core::TransportSelect::kAuto) return false;
+  // Every rank must reach the same verdict or the group mixes algorithms
+  // (mismatched tags, deadlock), so the sketch below may only consume
+  // rank-invariant inputs: t.members is identical on every member (the map
+  // is a pure function of the group), t.my_node is NOT. On ragged
+  // topologies there is no single per-node member count and the striped
+  // schemes don't apply; stay flat rather than guess.
+  const int uniform = uniform_node_size(t.members);
+  if (uniform < 2) return false;
   // Butterfly-shaped cost sketch from the hints. The flat algorithms
   // already route co-located hops over IPC, so the flat estimate charges
   // fabric rounds only for the across-node part of the butterfly. The
   // two-level estimate pays two extra intra phases (reduce-scatter +
   // allgather) but stripes the inter-node leg across every member's HCA,
-  // so each fabric round carries 1/n of the bytes.
+  // so each fabric round carries 1/n of the bytes. Host-copy rates follow
+  // the IPC channel's shm-vs-CMA size split: flat intra rounds move the
+  // whole payload, the striped intra phases move 1/n slices.
   const double bytes_d = static_cast<double>(bytes);
-  const double n = static_cast<double>(
-      t.members[static_cast<std::size_t>(t.my_node)].size());
+  const double n = static_cast<double>(uniform);
   const double nodes = static_cast<double>(t.num_nodes());
   auto rounds = [](double x) {
     return std::ceil(std::log2(std::max(x, 1.0)));
   };
   const double fab = static_cast<double>(hints_.fabric_latency_ns);
   const double ipc = static_cast<double>(hints_.ipc_latency_ns);
+  const double flat_ipc_bw = hints_.ipc_host_bw(bytes);
+  const double hier_ipc_bw =
+      hints_.ipc_host_bw(bytes / static_cast<std::size_t>(uniform));
   const double flat = rounds(nodes) * (fab + bytes_d / hints_.fabric_bw) +
-                      rounds(n) * (ipc + bytes_d / hints_.ipc_host_bw);
+                      rounds(n) * (ipc + bytes_d / flat_ipc_bw);
   const double hier =
-      2.0 * (ipc + (bytes_d * (n - 1.0) / n) / hints_.ipc_host_bw) +
+      2.0 * (ipc + (bytes_d * (n - 1.0) / n) / hier_ipc_bw) +
       rounds(nodes) * (fab + (bytes_d / n) / hints_.fabric_bw);
   return hier < flat;
 }

@@ -53,8 +53,16 @@ struct CollStats {
 struct CollCostHints {
   double fabric_bw = 3.2;                // GB/s across the HCA
   sim::SimTime fabric_latency_ns = 1500;
-  double ipc_host_bw = 11.0;             // in-node CMA large-copy rate
+  double ipc_shm_bw = 4.8;               // in-node copy rate below threshold
+  double ipc_cma_bw = 11.0;              // in-node CMA large-copy rate
+  std::size_t ipc_cma_threshold = 64 * 1024;
   sim::SimTime ipc_latency_ns = 300;
+
+  /// Host-copy rate of one in-node transfer, mirroring
+  /// netsim::IpcChannel::copy_bw's shm-vs-CMA size split.
+  double ipc_host_bw(std::size_t bytes) const {
+    return bytes >= ipc_cma_threshold ? ipc_cma_bw : ipc_shm_bw;
+  }
 };
 
 /// One rank's collective-algorithm engine; owned by its RankComm. All

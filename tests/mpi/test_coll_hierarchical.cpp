@@ -116,6 +116,11 @@ std::vector<std::vector<std::byte>> run_workload(const ClusterConfig& cfg) {
     // Blocked halves (consecutive ranks stay together -> co-located).
     auto blocked = ctx.comm.split(ctx.rank / (ctx.size / 2), ctx.rank);
     exercise(blocked, 3);
+    // Uneven 3/5 split: at rpn = 2 this leaves ragged groups (a 2+1 node
+    // layout and a 1+2+2 one), where every rank must still reach the same
+    // flat-vs-hier verdict despite sitting on differently-sized nodes.
+    auto ragged = ctx.comm.split(ctx.rank < 3 ? 0 : 1, ctx.rank);
+    exercise(ragged, 4);
   });
   return traces;
 }
@@ -237,6 +242,61 @@ TEST(HierColl, TwoLevelPathEngagesOnlyWhenCoLocated) {
       EXPECT_EQ(cluster.coll_stats(r).barrier.hier_calls, 0u);
     }
   }
+}
+
+TEST(HierColl, AutoIsRankInvariantOnRaggedTopology) {
+  // Regression: a 2+1 ragged comm at a bandwidth-regime payload. The old
+  // auto sketch read the caller's own node size, so the 2-rank node chose
+  // hier while the singleton chose flat -> mismatched algorithms/tags and
+  // a deadlock. The decision is now a pure function of the (identical)
+  // node map: on ragged topologies auto must stay flat on every rank and
+  // the collectives must complete with correct results.
+  Cluster cluster(workload_config(3, 2, core::CollSelect::kAuto));
+  cluster.run([](Context& ctx) {
+    std::vector<double> in(4096, static_cast<double>(ctx.rank + 1));
+    std::vector<double> out(4096);
+    ctx.comm.allreduce_sum(in.data(), out.data(), 4096);
+    for (double v : out) ASSERT_EQ(v, 6.0);  // 1 + 2 + 3
+
+    auto ints = committed(Datatype::int32());
+    std::vector<std::int32_t> mine(4096, ctx.rank);
+    std::vector<std::int32_t> all(3 * 4096);
+    ctx.comm.allgather(mine.data(), 4096, ints, all.data());
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r) * 4096], r);
+    }
+
+    std::vector<std::int32_t> a2a_in(3 * 4096, ctx.rank);
+    std::vector<std::int32_t> a2a_out(3 * 4096);
+    ctx.comm.alltoall(a2a_in.data(), a2a_out.data(), 4096, ints);
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_EQ(a2a_out[static_cast<std::size_t>(r) * 4096], r);
+    }
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.coll_stats(r).allreduce.hier_calls, 0u) << "rank " << r;
+    EXPECT_EQ(cluster.coll_stats(r).allgather.hier_calls, 0u) << "rank " << r;
+    EXPECT_EQ(cluster.coll_stats(r).alltoall.hier_calls, 0u) << "rank " << r;
+  }
+}
+
+TEST(HierColl, CostHintsMirrorIpcModelSizeSplit) {
+  // The auto sketch must see both in-node copy rates and the shm/CMA
+  // threshold the IPC channel actually models, not just the large-copy
+  // rate (which overestimates sub-threshold payloads by ~2.3x).
+  ClusterConfig cfg;
+  cfg.ranks = 2;
+  cfg.tunables.ranks_per_node = 2;
+  cfg.gpu_cost.shm_host_bw = 3.0;
+  cfg.gpu_cost.cma_host_bw = 9.0;
+  cfg.gpu_cost.shm_cma_threshold = 4096;
+  Cluster cluster(cfg);
+  const mpisim::detail::CollCostHints& h = cluster.coll_cost_hints(0);
+  EXPECT_EQ(h.ipc_shm_bw, 3.0);
+  EXPECT_EQ(h.ipc_cma_bw, 9.0);
+  EXPECT_EQ(h.ipc_cma_threshold, 4096u);
+  EXPECT_EQ(h.ipc_host_bw(4095), 3.0);
+  EXPECT_EQ(h.ipc_host_bw(4096), 9.0);
 }
 
 TEST(HierColl, IntraNodeTrafficRidesIpcChannel) {
