@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full chaos sweep: the three-seed fault matrix soak plus the seeded chaos,
+# IPC-reliability and failover test suites. CI runs only the one-seed
+# `chaos_smoke` target; this is the pre-release / soak-debugging variant.
+# Usage: scripts/run_chaos_sweep.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="chaos_results"
+mkdir -p "${OUT_DIR}"
+
+if [ ! -x "${BUILD_DIR}/bench/bench_chaos_soak" ]; then
+  echo "error: ${BUILD_DIR}/bench/bench_chaos_soak not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} && cmake --build ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+export MV2GNC_BENCH_JSON_DIR="${OUT_DIR}"
+
+status=0
+
+echo "== bench_chaos_soak (full three-seed matrix) =="
+"${BUILD_DIR}/bench/bench_chaos_soak" | tee "${OUT_DIR}/bench_chaos_soak.txt" \
+  || status=$?
+
+# The deterministic fault-domain test suites, rerun here so a sweep failure
+# comes with the matching unit-level diagnosis in the same output dir.
+for t in test_chaos test_ipc_reliability test_core_transport_failover; do
+  bin="${BUILD_DIR}/tests/${t}"
+  if [ ! -x "${bin}" ]; then
+    echo "warning: ${bin} missing, skipped" >&2
+    continue
+  fi
+  echo "== ${t} =="
+  "${bin}" | tee "${OUT_DIR}/${t}.txt" || status=$?
+done
+
+echo
+if [ "${status}" -eq 0 ]; then
+  echo "chaos sweep clean — outputs in ${OUT_DIR}/"
+else
+  echo "chaos sweep FAILED (see ${OUT_DIR}/)" >&2
+fi
+exit "${status}"

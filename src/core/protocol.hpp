@@ -52,6 +52,11 @@ enum MsgKind : int {
                   //   ack_coalesce_window_ns delivery window into one
                   //   control message, possibly spanning several transfers
                   //   bound for the same peer
+  kCollAbort = 12,  // h0=communicator context, h1=collective sequence number
+                  //   within that context, h2=origin world rank — the
+                  //   COLL_ABORT wave (docs/RELIABILITY.md): a rank whose
+                  //   collective failed tells every group member to abandon
+                  //   the operation instead of blocking on it
   kInternal = 64, // first kind value available to higher layers
 };
 

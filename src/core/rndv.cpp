@@ -724,6 +724,7 @@ void RndvSend::on_rget_done(const netsim::WireMessage& m) {
 
 void RndvSend::complete_transfer() {
   complete_ = true;
+  res_.net->note_success(dst_);  // failover health: the path delivered
   for (std::size_t i = 0; i < plan_.count; ++i) {
     if (!slots_[i].valid()) continue;
     if (inflight_[i] > 0 && res_.slot_graveyard != nullptr) {
@@ -774,9 +775,7 @@ void RndvSend::complete_transfer() {
 }
 
 void RndvSend::fail(const std::string& reason) {
-  failed_ = true;
-  error_ = reason;
-  timer_.cancel();
+  res_.net->note_failure(dst_);  // failover health: retry budget exhausted
   if (res_.retries != nullptr) ++res_.retries->transfer_failures;
   trace_event("fault_transfer_failed");
   if (cts_received_) {
@@ -788,6 +787,32 @@ void RndvSend::fail(const std::string& reason) {
     post_ctrl(std::move(abort));
     trace_event("fault_send_abort");
   }
+  abandon(reason);
+}
+
+void RndvSend::cancel(const std::string& reason) {
+  if (failed_ || (done() && drained())) return;
+  trace_event("fault_send_canceled");
+  // Retraction, best effort but always sent: a canceled send whose RTS is
+  // parked unmatched in the peer's unexpected queue would otherwise be
+  // re-acked on every retransmission, resetting our retry budget forever
+  // (the ack legitimately means "handshake alive" for a receiver that just
+  // has not posted yet). header[1] carries our request id so the peer can
+  // purge the parked RTS even though it never assigned a receiver id.
+  netsim::WireMessage abort;
+  abort.kind = kSendAbort;
+  abort.header[0] = peer_req_;  // 0 until a CTS arrived
+  abort.header[1] = req_id_;
+  post_ctrl(std::move(abort));
+  abandon(reason);
+}
+
+// Shared terminal path of fail() and cancel(): mark failed, stop the
+// watchdog, and dispose of staging state safely against late writes.
+void RndvSend::abandon(const std::string& reason) {
+  failed_ = true;
+  error_ = reason;
+  timer_.cancel();
   for (std::size_t i = 0; i < plan_.count; ++i) {
     if (!slots_[i].valid()) continue;
     if (inflight_[i] > 0 && res_.slot_graveyard != nullptr) {
@@ -945,6 +970,9 @@ void RndvRecv::handle_timeout() {
 void RndvRecv::force_drain() {
   send_done_ = true;
   timer_.cancel();
+  // Failover health: the payload made it, but the peer went silent before
+  // closing the handshake — count it against the path.
+  res_.net->note_failure(src_);
   if (res_.sched != nullptr) {
     // A pending coalesced ack advertises a slot address as a credit; the
     // release below recycles those addresses, so the acks must die first.
@@ -961,11 +989,26 @@ void RndvRecv::force_drain() {
 }
 
 void RndvRecv::fail(const std::string& reason) {
+  res_.net->note_failure(src_);  // failover health
+  if (res_.retries != nullptr) ++res_.retries->transfer_failures;
+  trace_event("fault_transfer_failed");
+  abandon(reason);
+}
+
+void RndvRecv::cancel(const std::string& reason) {
+  if (failed_) return;
+  trace_event("fault_recv_canceled");
+  // No retraction message exists for a receiver; the peer's own abort (it
+  // cancels its matching send, or its COLL_ABORT wave arrives) or its
+  // retry budget bounds the sender side.
+  abandon(reason);
+}
+
+// Shared terminal path of fail() and cancel().
+void RndvRecv::abandon(const std::string& reason) {
   failed_ = true;
   error_ = reason;
   timer_.cancel();
-  if (res_.retries != nullptr) ++res_.retries->transfer_failures;
-  trace_event("fault_transfer_failed");
   if (res_.sched != nullptr) {
     // Queued acks for this transfer advertise slots headed for the
     // graveyard (or the pool); they must never reach the wire.
@@ -1191,6 +1234,7 @@ void RndvRecv::on_send_done() {
     if (res_.retries != nullptr) ++res_.retries->duplicates_dropped;
   } else {
     send_done_ = true;
+    res_.net->note_success(src_);  // failover health: full round trip closed
     // Every chunk is acked at the sender: no retransmitted write can target
     // these slots any more, so they may finally return to the pool. (The
     // SEND_DONE also proves no ack of ours is still coalescing — the

@@ -220,6 +220,14 @@ class RndvSend {
   std::uint64_t req_id() const { return req_id_; }
   const ChunkPlan& plan() const { return plan_; }
 
+  /// Abandon the transfer without charging the path's failover health or
+  /// the failure counters: the owner no longer wants the data (an aborted
+  /// collective). Sends a best-effort SEND_ABORT retraction so the peer
+  /// drops anything it holds for this transfer — including an unmatched
+  /// RTS in its unexpected queue, whose periodic re-ack would otherwise
+  /// keep this sender's retry budget resetting forever.
+  void cancel(const std::string& reason);
+
  private:
   // kDeviceIpc* are the intra-node collapsed pipeline (docs/SIMULATION.md):
   // the peer copy reads device memory directly, so the D2H staging stage
@@ -248,6 +256,7 @@ class RndvSend {
   void retransmit_unacked();
   void complete_transfer();
   void fail(const std::string& reason);
+  void abandon(const std::string& reason);
   void trace_event(const char* category);
 
   RankResources& res_;
@@ -356,6 +365,11 @@ class RndvRecv {
   /// key so very late duplicate RTSes stay recognizable).
   bool drained() const;
 
+  /// Abandon the receive without charging failover health or the failure
+  /// counters (an aborted collective no longer wants the payload). The
+  /// peer's own cancel/abort — or its retry budget — bounds its side.
+  void cancel(const std::string& reason);
+
   std::uint64_t req_id() const { return req_id_; }
   std::uint64_t sender_req() const { return sender_req_; }
   int src_node() const { return src_; }
@@ -390,6 +404,7 @@ class RndvRecv {
   /// orders of magnitude above wire latency plus jitter.
   void force_drain();
   void fail(const std::string& reason);
+  void abandon(const std::string& reason);
 
   RankResources& res_;
   MsgView msg_;

@@ -100,9 +100,47 @@ void TransportRouter::add_route(int peer, Transport& t) {
   transports_.push_back(&t);
 }
 
+void TransportRouter::set_failover(std::uint64_t demote_after,
+                                   std::uint64_t restore_after) {
+  demote_after_ = demote_after;
+  restore_after_ = restore_after;
+}
+
+void TransportRouter::note_failure(int peer) {
+  if (demote_after_ == 0) return;
+  if (routes_.find(peer) == routes_.end()) return;  // fallback-only peer
+  PeerHealth& h = health_[peer];
+  h.successes = 0;
+  ++h.failures;
+  if (!h.demoted && h.failures >= demote_after_) {
+    h.demoted = true;
+    h.failures = 0;
+    ++h.demotions;
+  }
+}
+
+void TransportRouter::note_success(int peer) {
+  if (demote_after_ == 0) return;
+  if (routes_.find(peer) == routes_.end()) return;
+  PeerHealth& h = health_[peer];
+  h.failures = 0;
+  if (!h.demoted) return;
+  ++h.successes;
+  if (h.successes >= restore_after_) {
+    h.demoted = false;
+    h.successes = 0;
+    ++h.restores;
+  }
+}
+
 Transport& TransportRouter::route(int peer) const {
   const auto it = routes_.find(peer);
-  return (it != routes_.end()) ? *it->second : fallback_;
+  if (it == routes_.end()) return fallback_;
+  if (demote_after_ != 0) {
+    const auto hit = health_.find(peer);
+    if (hit != health_.end() && hit->second.demoted) return fallback_;
+  }
+  return *it->second;
 }
 
 bool TransportRouter::poll(netsim::Completion& out) {

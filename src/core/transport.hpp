@@ -138,10 +138,31 @@ class IpcTransport final : public Transport {
   netsim::IpcPort& port_;
 };
 
+/// Health record of one routed peer, fed by the reliability layer
+/// (note_failure on a permanent transfer failure or force-drain,
+/// note_success on a completed transfer). Failure/success counts are
+/// *consecutive* streaks — either event resets the other's streak — so
+/// demotion and restore both require sustained evidence (hysteresis).
+struct PeerHealth {
+  std::uint64_t failures = 0;    // consecutive failed transfers
+  std::uint64_t successes = 0;   // consecutive completed transfers
+  std::uint64_t demotions = 0;   // times the peer was demoted to fallback
+  std::uint64_t restores = 0;    // times the routed path was restored
+  bool demoted = false;          // currently forced onto the fallback
+};
+
 /// Per-rank routing table: which Transport carries traffic to each peer.
 /// Unrouted peers use the fallback (the fabric). The router exposes the
 /// same posting surface as a Transport so protocol code holds exactly one
 /// handle to the wire.
+///
+/// With set_failover armed, the router also acts as a health tracker: a
+/// peer whose routed (non-fallback) path keeps failing is demoted to the
+/// fallback after `demote_after` consecutive failures, and optimistically
+/// restored after `restore_after` consecutive successes — the successes
+/// ride the fallback, so a restore is a re-probe of the routed path, not
+/// proof it healed. Disabled by default: route() is untouched and the
+/// note_* calls are no-ops, keeping pre-failover runs bit-exact.
 class TransportRouter {
  public:
   /// `fallback` carries every peer without an explicit route. It is also
@@ -151,6 +172,21 @@ class TransportRouter {
   /// Route all traffic for `peer` over `t` (registers `t` for polling on
   /// first use). Call during setup, before any traffic flows.
   void add_route(int peer, Transport& t);
+
+  /// Arm failover: demote a routed peer to the fallback after
+  /// `demote_after` consecutive transfer failures, restore it after
+  /// `restore_after` consecutive successes. `demote_after == 0` disables
+  /// failover entirely (the default).
+  void set_failover(std::uint64_t demote_after, std::uint64_t restore_after);
+
+  /// Reliability-layer verdict on one transfer involving `peer`.
+  void note_failure(int peer);
+  void note_success(int peer);
+
+  /// Health table for stats printing (peers that ever saw a verdict).
+  const std::unordered_map<int, PeerHealth>& peer_health() const {
+    return health_;
+  }
 
   Transport& route(int peer) const;
   /// The peer's transport supports direct device-memory landings.
@@ -185,6 +221,10 @@ class TransportRouter {
   Transport& fallback_;
   std::vector<Transport*> transports_;
   std::unordered_map<int, Transport*> routes_;
+  // Failover state (inert while demote_after_ == 0).
+  std::uint64_t demote_after_ = 0;
+  std::uint64_t restore_after_ = 3;
+  std::unordered_map<int, PeerHealth> health_;
 };
 
 }  // namespace mv2gnc::core

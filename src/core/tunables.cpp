@@ -51,6 +51,24 @@ void Tunables::validate() const {
     throw std::invalid_argument(
         "tunables: rndv_backoff_factor must be >= 1.0");
   }
+  if (rank_skew_ns < 0) {
+    throw std::invalid_argument("tunables: rank_skew_ns must be >= 0");
+  }
+  if (rank_stall_prob < 0.0 || rank_stall_prob > 1.0) {
+    throw std::invalid_argument(
+        "tunables: rank_stall_prob must be in [0, 1]");
+  }
+  if (rank_stall_ns < 0) {
+    throw std::invalid_argument("tunables: rank_stall_ns must be >= 0");
+  }
+  if (transport_restore_threshold == 0) {
+    throw std::invalid_argument(
+        "tunables: transport_restore_threshold must be >= 1");
+  }
+  if (coll_watchdog_factor < 1.0) {
+    throw std::invalid_argument(
+        "tunables: coll_watchdog_factor must be >= 1.0");
+  }
   if (host_pack_bw <= 0.0) {
     throw std::invalid_argument("tunables: host_pack_bw must be positive");
   }
@@ -170,6 +188,12 @@ Tunables Tunables::from_stream(std::istream& in) {
       else if (key == "rndv_timeout_ns") t.rndv_timeout_ns = std::stoll(value);
       else if (key == "rndv_max_retries") t.rndv_max_retries = std::stoull(value);
       else if (key == "rndv_backoff_factor") t.rndv_backoff_factor = std::stod(value);
+      else if (key == "rank_skew_ns") t.rank_skew_ns = std::stoll(value);
+      else if (key == "rank_stall_prob") t.rank_stall_prob = std::stod(value);
+      else if (key == "rank_stall_ns") t.rank_stall_ns = std::stoll(value);
+      else if (key == "transport_failover_threshold") t.transport_failover_threshold = std::stoull(value);
+      else if (key == "transport_restore_threshold") t.transport_restore_threshold = std::stoull(value);
+      else if (key == "coll_watchdog_factor") t.coll_watchdog_factor = std::stod(value);
       else if (key == "host_pack_bw") t.host_pack_bw = std::stod(value);
       else if (key == "host_seg_overhead_ns") t.host_seg_overhead_ns = std::stod(value);
       else {
@@ -222,6 +246,14 @@ std::string Tunables::to_config_string() const {
      << "rndv_timeout_ns = " << rndv_timeout_ns << "\n"
      << "rndv_max_retries = " << rndv_max_retries << "\n"
      << "rndv_backoff_factor = " << rndv_backoff_factor << "\n"
+     << "rank_skew_ns = " << rank_skew_ns << "\n"
+     << "rank_stall_prob = " << rank_stall_prob << "\n"
+     << "rank_stall_ns = " << rank_stall_ns << "\n"
+     << "transport_failover_threshold = " << transport_failover_threshold
+     << "\n"
+     << "transport_restore_threshold = " << transport_restore_threshold
+     << "\n"
+     << "coll_watchdog_factor = " << coll_watchdog_factor << "\n"
      << "host_pack_bw = " << host_pack_bw << "\n"
      << "host_seg_overhead_ns = " << host_seg_overhead_ns << "\n";
   return os.str();

@@ -149,6 +149,34 @@ struct Tunables {
   /// Timeout multiplier applied after each retry (exponential backoff).
   double rndv_backoff_factor = 2.0;
 
+  // -- fault injection / failover (docs/RELIABILITY.md) ------------------
+  /// Startup skew: each rank delays a seeded uniform [0, rank_skew_ns]
+  /// before entering its body — models non-synchronized process launch.
+  sim::SimTime rank_skew_ns = 0;
+
+  /// Per-progress-iteration stall probability: with this probability a
+  /// rank pauses for a seeded uniform [0, rank_stall_ns] inside its
+  /// progress loop — models OS noise / a late CPU. 0 disables (and skips
+  /// all RNG draws, keeping fault-free runs bit-exact).
+  double rank_stall_prob = 0.0;
+
+  /// Upper bound of one injected stall window.
+  sim::SimTime rank_stall_ns = 0;
+
+  /// Transport failover: demote a routed (IPC) peer to the fabric after
+  /// this many consecutive transfer failures. 0 disables failover (the
+  /// default — route tables never change at runtime).
+  std::size_t transport_failover_threshold = 0;
+
+  /// Consecutive successful transfers (over any path) before a demoted
+  /// peer's routed path is optimistically restored.
+  std::size_t transport_restore_threshold = 3;
+
+  /// Collective liveness watchdog: each blocking wait inside a collective
+  /// gets a deadline of this factor times the p2p layer's worst-case
+  /// retry budget. Expiry aborts the collective instead of hanging.
+  double coll_watchdog_factor = 4.0;
+
   // -- host datatype-processing cost model -------------------------------
   /// Effective bandwidth of a strided host-side pack/unpack (GB/s).
   double host_pack_bw = 3.0;

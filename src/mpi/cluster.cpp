@@ -42,6 +42,9 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         std::make_unique<core::FabricTransport>(fabric_->endpoint(r)));
     routers_.push_back(
         std::make_unique<core::TransportRouter>(*fabric_transports_.back()));
+    routers_.back()->set_failover(
+        config_.tunables.transport_failover_threshold,
+        config_.tunables.transport_restore_threshold);
   }
   const int rpn = static_cast<int>(config_.tunables.ranks_per_node);
   if (rpn > 1 &&
@@ -52,11 +55,13 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       auto channel = std::make_unique<netsim::IpcChannel>(
           engine_, registry_,
           netsim::IpcCostModel::from_gpu(config_.gpu_cost));
-      // Same RTS delivery receipt the fabric arms: the channel is lossless,
-      // but a sender whose receiver has not posted yet still needs the
-      // "handshake alive" signal to keep its retry budget fresh.
+      // Same RTS delivery receipt the fabric arms: even on a fault-free
+      // channel, a sender whose receiver has not posted yet still needs
+      // the "handshake alive" signal to keep its retry budget fresh — and
+      // with ipc_faults armed the channel is no longer lossless at all.
       channel->enable_delivery_receipt(core::kRts, core::kRtsAck,
                                        /*echo_header=*/2);
+      channel->faults() = config_.ipc_faults;
       for (int r = first; r < last; ++r) channel->add_rank(r);
       for (int r = first; r < last; ++r) {
         ipc_transports_.push_back(
@@ -76,6 +81,15 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         *routers_[static_cast<std::size_t>(r)], registry_, config_.tunables,
         &trace_));
   }
+  for (const auto& [rank, when] : config_.crash_at) {
+    if (rank < 0 || rank >= config_.ranks) {
+      throw std::invalid_argument("Cluster: crash_at names a bad rank");
+    }
+    if (when < 0) {
+      throw std::invalid_argument("Cluster: crash_at time must be >= 0");
+    }
+    comms_[static_cast<std::size_t>(rank)]->set_crash_time(when);
+  }
   // Feed each rank's collectives engine the cost facts coll_select = auto
   // weighs: the fabric's wire parameters against the node-local channel's
   // (mirroring how scheme_select = model reads the GPU cost model).
@@ -94,6 +108,28 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
 }
 
 netsim::FaultModel& Cluster::faults() { return fabric_->faults(); }
+
+netsim::IpcChannel* Cluster::ipc_channel(int rank) {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("ipc_channel: bad rank");
+  }
+  for (auto& ch : ipc_channels_) {
+    if (ch->has_rank(rank)) return ch.get();
+  }
+  return nullptr;
+}
+
+Cluster::FaultStats Cluster::fault_stats(int rank) {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("fault_stats: bad rank");
+  }
+  FaultStats f;
+  f.fabric = fabric_->endpoint(rank).fault_counters();
+  if (netsim::IpcChannel* ch = ipc_channel(rank)) {
+    f.ipc = ch->port(rank).fault_counters();
+  }
+  return f;
+}
 
 const core::RetryStats& Cluster::retry_stats(int rank) const {
   if (rank < 0 || rank >= config_.ranks) {
@@ -199,6 +235,7 @@ RankStats Cluster::rank_stats(int rank) {
   s.stall_fallbacks = retries.stall_fallbacks;
   s.transfer_failures = retries.transfer_failures;
   s.faults_injected = ep.fault_counters().total();
+  s.ipc_faults_injected = fault_stats(rank).ipc.total();
   // Everything past the router's first transport (the fabric) is an
   // in-node channel; fold its counters into the IPC aggregate.
   const auto& transports = routers_[static_cast<std::size_t>(rank)]->transports();
@@ -327,6 +364,45 @@ void Cluster::print_stats(std::ostream& os) {
       os << line;
     }
   }
+  // IPC fault + transport failover table: shown only when the in-node
+  // channel actually injected faults or the router's health tracker acted,
+  // so every fault-free (and failover-disabled) run prints exactly as
+  // before.
+  bool any_ipc_faults = false;
+  for (int r = 0; r < config_.ranks; ++r) {
+    const auto& health = routers_[static_cast<std::size_t>(r)]->peer_health();
+    std::uint64_t actions = 0;
+    for (const auto& [peer, h] : health) {
+      actions += h.demotions + h.restores + (h.demoted ? 1 : 0);
+    }
+    if (fault_stats(r).ipc.total() + actions > 0) {
+      any_ipc_faults = true;
+      break;
+    }
+  }
+  if (any_ipc_faults) {
+    os << "rank  ipc-faults  demotions  restores  demoted-now\n";
+    for (int r = 0; r < config_.ranks; ++r) {
+      std::uint64_t demotions = 0;
+      std::uint64_t restores = 0;
+      std::uint64_t demoted_now = 0;
+      const auto& health =
+          routers_[static_cast<std::size_t>(r)]->peer_health();
+      for (const auto& [peer, h] : health) {
+        demotions += h.demotions;
+        restores += h.restores;
+        if (h.demoted) ++demoted_now;
+      }
+      char line[160];
+      std::snprintf(line, sizeof(line), "%4d %11llu %10llu %9llu %12llu\n",
+                    r,
+                    static_cast<unsigned long long>(fault_stats(r).ipc.total()),
+                    static_cast<unsigned long long>(demotions),
+                    static_cast<unsigned long long>(restores),
+                    static_cast<unsigned long long>(demoted_now));
+      os << line;
+    }
+  }
   bool any_sched = false;
   for (int r = 0; r < config_.ranks; ++r) {
     const core::SchedStats& ss = sched_stats(r);
@@ -426,13 +502,30 @@ void Cluster::run(std::function<void(Context&)> body) {
     ctx.trace = &trace_;
     ctx.tunables = &config_.tunables;
     detail::RankComm* comm = comms_[static_cast<std::size_t>(r)].get();
-    engine_.spawn("rank" + std::to_string(r), [&ctx, body, contexts, comm] {
-      body(ctx);
-      // MPI_Finalize analogue: the rank may still owe protocol work (a
-      // draining receiver waiting on SEND_DONE, retransmissions, coalesced
-      // acks). Keep servicing progress until it quiesces — once this
-      // thread exits, nobody pumps the recovery timers any more.
-      comm->drain_pending();
+    engine_.spawn("rank" + std::to_string(r),
+                  [this, &ctx, body, contexts, comm] {
+      // Seeded startup skew: each rank enters the body at an independent
+      // random offset in [0, rank_skew_ns], modelling the launch jitter of
+      // a real job. Off (0) by default so fault-free runs are unchanged.
+      const sim::SimTime skew = config_.tunables.rank_skew_ns;
+      if (skew > 0) {
+        engine_.delay(static_cast<sim::SimTime>(
+            engine_.rand_below(static_cast<std::uint64_t>(skew) + 1)));
+      }
+      try {
+        body(ctx);
+        // MPI_Finalize analogue: the rank may still owe protocol work (a
+        // draining receiver waiting on SEND_DONE, retransmissions,
+        // coalesced acks). Keep servicing progress until it quiesces —
+        // once this thread exits, nobody pumps the recovery timers any
+        // more.
+        comm->drain_pending();
+      } catch (const detail::RankCrashed&) {
+        // Crash-stop injection (ClusterConfig::crash_at): the rank
+        // vanishes silently — no drain, no error. Its peers resolve the
+        // loss through retry budgets, force-drain watchdogs and the
+        // collective abort protocol.
+      }
     });
   }
   engine_.run();

@@ -8,6 +8,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/rndv.hpp"
@@ -41,6 +42,16 @@ struct ClusterConfig {
   bool trace_enabled = false;
   /// Fault-injection model copied into the fabric (benign by default).
   netsim::FaultModel faults;
+  /// Fault-injection model copied into every node-local IPC channel
+  /// (benign by default). Lets a chaos run make the in-node path lossy
+  /// independently of — or together with — the fabric.
+  netsim::FaultModel ipc_faults;
+  /// Crash-stop injection: each (rank, time) entry makes that rank vanish
+  /// at the given virtual time — it stops making progress mid-transfer,
+  /// sends nothing further (not even an abort), and is not drained at
+  /// finalize. Surviving ranks must resolve via their own retry budgets
+  /// and the collective abort protocol (docs/RELIABILITY.md).
+  std::vector<std::pair<int, sim::SimTime>> crash_at;
   /// Seed of the engine's deterministic RNG (fault rolls, jitter draws).
   /// Same seed + same workload = same schedule, faults included.
   std::uint64_t rng_seed = 1;
@@ -88,6 +99,7 @@ struct RankStats {
   std::uint64_t ipc_copies = 0;         // one-sided peer copies (wr + rd)
   std::uint64_t ipc_bytes_sent = 0;     // bytes moved without touching the HCA
   sim::SimTime ipc_busy = 0;            // channel transmit-pipeline busy time
+  std::uint64_t ipc_faults_injected = 0;  // drops/jitters/fails at the channel
 
   // -- concurrency scheduler (see core::SchedStats for field docs) -------
   core::SchedStats sched;
@@ -117,6 +129,16 @@ class Cluster {
   core::TransportRouter& router(int rank);
   /// Live fault model of the fabric (mutable between runs of one Cluster).
   netsim::FaultModel& faults();
+  /// The node-local IPC channel serving a rank, or nullptr when the
+  /// topology gives it none. Exposes the channel's live FaultModel and
+  /// per-port FaultCounters to chaos harnesses.
+  netsim::IpcChannel* ipc_channel(int rank);
+  /// Injected-fault counters of one rank, split by wire path.
+  struct FaultStats {
+    netsim::FaultCounters fabric;  // this rank's HCA (Endpoint)
+    netsim::FaultCounters ipc;     // this rank's IPC port (if any)
+  };
+  FaultStats fault_stats(int rank);
   /// Detailed per-rank reliability counters (valid after run()).
   const core::RetryStats& retry_stats(int rank) const;
   /// Rendezvous receivers a rank still tracks (valid after run()). Zero

@@ -83,7 +83,146 @@ Request CollEngine::isend_counted(CollOpStats& op, const void* buf, int count,
                                   const Datatype& dtype, int dst_world,
                                   int tag, int context) {
   op.bytes_sent += dtype.size() * static_cast<std::size_t>(count);
-  return comm_.isend(buf, count, dtype, dst_world, tag, context);
+  Request r = comm_.isend(buf, count, dtype, dst_world, tag, context);
+  inflight_.push_back(r);
+  return r;
+}
+
+Request CollEngine::irecv_track(void* buf, int count, const Datatype& dtype,
+                                int src, int tag, int context) {
+  Request r = comm_.irecv(buf, count, dtype, src, tag, context);
+  inflight_.push_back(r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Abort protocol (docs/RELIABILITY.md, "Collective abort")
+// ---------------------------------------------------------------------------
+
+sim::SimTime CollEngine::watchdog_budget() const {
+  const core::Tunables& tun = comm_.tunables();
+  // The p2p layer's worst case: a receiver watchdog spends twice the
+  // sender's budget (see RndvRecv::handle_timeout), i.e. the backoff
+  // series up to 2 * rndv_max_retries. Scale by coll_watchdog_factor so a
+  // struggling-but-recovering transfer never trips the collective
+  // watchdog before the p2p layer has resolved it one way or the other.
+  // Saturate like backoff_deadline in rndv.cpp: generous retry configs
+  // (large rndv_max_retries with exponential backoff) would overflow
+  // SimTime; a ~11-virtual-day deadline is "never" for any simulation.
+  constexpr double kCapNs = 1e15;
+  double budget = 0.0;
+  double step = static_cast<double>(tun.rndv_timeout_ns);
+  for (std::size_t i = 0; i <= 2 * tun.rndv_max_retries; ++i) {
+    budget += step;
+    step *= tun.rndv_backoff_factor;
+    if (!(budget < kCapNs)) break;
+  }
+  budget *= tun.coll_watchdog_factor;
+  if (!(budget < kCapNs)) budget = kCapNs;
+  return static_cast<sim::SimTime>(budget);
+}
+
+void CollEngine::cwait(Request& r) {
+  comm_.coll_wait(r, nullptr, cur_context_, cur_seq_,
+                  comm_.engine().now() + wait_budget_);
+}
+
+void CollEngine::abort_collective(const CommGroup& g, std::uint64_t seq,
+                                  int origin) {
+  // Order matters: park the scratch before the wave goes out, so even if
+  // posting the wave itself threw, no freed buffer could back a still-
+  // posted receive of the abandoned operation.
+  comm_.park_scratch(std::move(scratch_));
+  scratch_.clear();
+  comm_.coll_send_abort_wave(g, seq, origin);
+  // Withdraw every still-open request of the abandoned operation. Receives
+  // are local; sends retract their RTS from the peer (RndvSend::cancel).
+  // Without this, an isend whose matching receive will never be posted —
+  // its peer aborted the same collective — stays alive indefinitely and
+  // strands finalize's drain_pending.
+  for (Request& r : inflight_) comm_.cancel_request(r);
+  inflight_.clear();
+}
+
+template <typename Fn>
+void CollEngine::run_guarded(const CommGroup& g, Fn&& body) {
+  // Throws RequestError immediately when the context is already poisoned
+  // by an earlier abort — before any message goes out.
+  const std::uint64_t seq = comm_.coll_begin(g.context);
+  cur_context_ = g.context;
+  cur_seq_ = seq;
+  wait_budget_ = watchdog_budget();
+  try {
+    body();
+    scratch_.clear();  // completed: nothing can deliver into scratch anymore
+    inflight_.clear();
+  } catch (const RequestError& e) {
+    // A p2p leg of this collective failed permanently: this rank is the
+    // abort origin.
+    abort_collective(g, seq, comm_.rank());
+    throw RequestError("collective #" + std::to_string(seq) +
+                       " on context " + std::to_string(g.context) +
+                       " aborted (origin rank " + std::to_string(comm_.rank()) +
+                       "): " + e.what());
+  } catch (const CollAbortObserved& a) {
+    // Another rank aborted (possibly an earlier collective whose wave
+    // raced ahead); forward the wave — redundant receipts are idempotent,
+    // and forwarding covers members whose copy was dropped.
+    abort_collective(g, a.seq, a.origin);
+    throw RequestError("collective #" + std::to_string(seq) +
+                       " on context " + std::to_string(g.context) +
+                       " aborted by COLL_ABORT wave from rank " +
+                       std::to_string(a.origin));
+  } catch (const CollWatchdogExpired&) {
+    abort_collective(g, seq, comm_.rank());
+    throw RequestError("collective #" + std::to_string(seq) +
+                       " on context " + std::to_string(g.context) +
+                       " aborted: liveness watchdog expired (origin rank " +
+                       std::to_string(comm_.rank()) + ")");
+  }
+  // RankCrashed deliberately passes through untouched: a crashed rank
+  // sends no wave — its peers detect the silence themselves.
+}
+
+void CollEngine::barrier(const CommGroup& g) {
+  run_guarded(g, [&] { barrier_impl(g); });
+}
+
+void CollEngine::bcast(void* buf, int count, const Datatype& dtype, int root,
+                       const CommGroup& g) {
+  run_guarded(g, [&] { bcast_impl(buf, count, dtype, root, g); });
+}
+
+void CollEngine::allreduce_doubles(const double* sendbuf, double* recvbuf,
+                                   int count, bool take_max,
+                                   const CommGroup& g) {
+  run_guarded(g,
+              [&] { allreduce_impl(sendbuf, recvbuf, count, take_max, g); });
+}
+
+void CollEngine::allgather(const void* sendbuf, int count,
+                           const Datatype& dtype, void* recvbuf,
+                           const CommGroup& g) {
+  run_guarded(g,
+              [&] { allgather_impl(sendbuf, count, dtype, recvbuf, g); });
+}
+
+void CollEngine::alltoall(const void* sendbuf, void* recvbuf, int count,
+                          const Datatype& dtype, const CommGroup& g) {
+  run_guarded(g,
+              [&] { alltoall_impl(sendbuf, recvbuf, count, dtype, g); });
+}
+
+void CollEngine::gather(const void* sendbuf, int count, const Datatype& dtype,
+                        void* recvbuf, int root, const CommGroup& g) {
+  run_guarded(
+      g, [&] { gather_impl(sendbuf, count, dtype, recvbuf, root, g); });
+}
+
+void CollEngine::scatter(const void* sendbuf, void* recvbuf, int count,
+                         const Datatype& dtype, int root, const CommGroup& g) {
+  run_guarded(
+      g, [&] { scatter_impl(sendbuf, recvbuf, count, dtype, root, g); });
 }
 
 CollEngine::Topology CollEngine::map_nodes(const CommGroup& g) const {
@@ -170,7 +309,7 @@ void CollEngine::dissemination(CollOpStats& op, const CommGroup& g,
                                int tag_base) {
   static const Datatype byte_t = committed_byte();
   const int p = static_cast<int>(ranks.size());
-  char token = 0;
+  char* token = scratch<char>(1);
   int round = 0;
   for (int mask = 1; mask < p; mask <<= 1, ++round) {
     const int dst =
@@ -180,11 +319,11 @@ void CollEngine::dissemination(CollOpStats& op, const CommGroup& g,
         g.world[static_cast<std::size_t>(ranks[static_cast<std::size_t>(
             (me - mask + p) % p)])];
     Request sreq =
-        isend_counted(op, &token, 1, byte_t, dst, tag_base - round, g.context);
-    Request rreq = comm_.irecv(&token, 1, byte_t, src, tag_base - round,
+        isend_counted(op, token, 1, byte_t, dst, tag_base - round, g.context);
+    Request rreq = irecv_track(token, 1, byte_t, src, tag_base - round,
                                g.context);
-    comm_.wait(sreq, nullptr);
-    comm_.wait(rreq, nullptr);
+    cwait(sreq);
+    cwait(rreq);
   }
 }
 
@@ -202,9 +341,9 @@ void CollEngine::binomial_bcast(CollOpStats& op, const CommGroup& g,
   int mask = 1;
   while (mask < p) {
     if (relative & mask) {
-      Request r = comm_.irecv(buf, count, dtype, world_of(relative - mask),
+      Request r = irecv_track(buf, count, dtype, world_of(relative - mask),
                               tag, g.context);
-      comm_.wait(r, nullptr);
+      cwait(r);
       break;
     }
     mask <<= 1;
@@ -214,7 +353,7 @@ void CollEngine::binomial_bcast(CollOpStats& op, const CommGroup& g,
     if (relative + mask < p) {
       Request sr = isend_counted(op, buf, count, dtype,
                                  world_of(relative + mask), tag, g.context);
-      comm_.wait(sr, nullptr);
+      cwait(sr);
     }
     mask >>= 1;
   }
@@ -230,7 +369,7 @@ void CollEngine::rd_allreduce(CollOpStats& op, const CommGroup& g,
     return g.world[static_cast<std::size_t>(
         ranks[static_cast<std::size_t>(idx)])];
   };
-  std::vector<double> tmp(static_cast<std::size_t>(count));
+  double* tmp = scratch<double>(static_cast<std::size_t>(count));
   int pof2 = 1;
   while (pof2 * 2 <= p) pof2 *= 2;
   const int rem = p - pof2;
@@ -242,13 +381,13 @@ void CollEngine::rd_allreduce(CollOpStats& op, const CommGroup& g,
     if (me % 2 == 0) {
       Request s = isend_counted(op, recvbuf, count, double_t, world_of(me + 1),
                                 kTagAllreducePair - 0, g.context);
-      comm_.wait(s, nullptr);
+      cwait(s);
       newrank = -1;
     } else {
-      Request r = comm_.irecv(tmp.data(), count, double_t, world_of(me - 1),
+      Request r = irecv_track(tmp, count, double_t, world_of(me - 1),
                               kTagAllreducePair - 0, g.context);
-      comm_.wait(r, nullptr);
-      reduce_into(recvbuf, tmp.data(), count, take_max);
+      cwait(r);
+      reduce_into(recvbuf, tmp, count, take_max);
       newrank = me / 2;
     }
   } else {
@@ -260,24 +399,24 @@ void CollEngine::rd_allreduce(CollOpStats& op, const CommGroup& g,
       const int newdst = newrank ^ mask;
       const int dst_idx = newdst < rem ? newdst * 2 + 1 : newdst + rem;
       const int dst = world_of(dst_idx);
-      Request rr = comm_.irecv(tmp.data(), count, double_t, dst,
+      Request rr = irecv_track(tmp, count, double_t, dst,
                                kTagAllreduceRd - round, g.context);
       Request sr = isend_counted(op, recvbuf, count, double_t, dst,
                                  kTagAllreduceRd - round, g.context);
-      comm_.wait(sr, nullptr);
-      comm_.wait(rr, nullptr);
-      reduce_into(recvbuf, tmp.data(), count, take_max);
+      cwait(sr);
+      cwait(rr);
+      reduce_into(recvbuf, tmp, count, take_max);
     }
   }
   if (me < 2 * rem) {
     if (me % 2 == 0) {
-      Request r = comm_.irecv(recvbuf, count, double_t, world_of(me + 1),
+      Request r = irecv_track(recvbuf, count, double_t, world_of(me + 1),
                               kTagAllreducePair - 1, g.context);
-      comm_.wait(r, nullptr);
+      cwait(r);
     } else {
       Request s = isend_counted(op, recvbuf, count, double_t, world_of(me - 1),
                                 kTagAllreducePair - 1, g.context);
-      comm_.wait(s, nullptr);
+      cwait(s);
     }
   }
 }
@@ -286,7 +425,7 @@ void CollEngine::rd_allreduce(CollOpStats& op, const CommGroup& g,
 // Barrier
 // ---------------------------------------------------------------------------
 
-void CollEngine::barrier(const CommGroup& g) {
+void CollEngine::barrier_impl(const CommGroup& g) {
   CollOpStats& op = stats_.barrier;
   ++op.calls;
   const Topology t = map_nodes(g);
@@ -297,7 +436,7 @@ void CollEngine::barrier(const CommGroup& g) {
   }
   ++op.hier_calls;
   static const Datatype byte_t = committed_byte();
-  char token = 0;
+  char* token = scratch<char>(1);
   const std::vector<int>& mem = t.members[static_cast<std::size_t>(t.my_node)];
   const int leader = t.leaders[static_cast<std::size_t>(t.my_node)];
   // Intra fan-in: every member reports to its node leader.
@@ -307,16 +446,16 @@ void CollEngine::barrier(const CommGroup& g) {
       std::vector<Request> rs;
       for (int m : mem) {
         if (m == leader) continue;
-        rs.push_back(comm_.irecv(&token, 1, byte_t,
+        rs.push_back(irecv_track(token, 1, byte_t,
                                  g.world[static_cast<std::size_t>(m)],
                                  kTagBarrierFan - 0, g.context));
       }
-      for (Request& r : rs) comm_.wait(r, nullptr);
+      for (Request& r : rs) cwait(r);
     } else {
-      Request s = isend_counted(op, &token, 1, byte_t,
+      Request s = isend_counted(op, token, 1, byte_t,
                                 g.world[static_cast<std::size_t>(leader)],
                                 kTagBarrierFan - 0, g.context);
-      comm_.wait(s, nullptr);
+      cwait(s);
     }
   }
   // Leader dissemination across nodes (the only fabric traffic).
@@ -331,16 +470,16 @@ void CollEngine::barrier(const CommGroup& g) {
       std::vector<Request> ss;
       for (int m : mem) {
         if (m == leader) continue;
-        ss.push_back(isend_counted(op, &token, 1, byte_t,
+        ss.push_back(isend_counted(op, token, 1, byte_t,
                                    g.world[static_cast<std::size_t>(m)],
                                    kTagBarrierFan - 1, g.context));
       }
-      for (Request& s : ss) comm_.wait(s, nullptr);
+      for (Request& s : ss) cwait(s);
     } else {
-      Request r = comm_.irecv(&token, 1, byte_t,
+      Request r = irecv_track(token, 1, byte_t,
                               g.world[static_cast<std::size_t>(leader)],
                               kTagBarrierFan - 1, g.context);
-      comm_.wait(r, nullptr);
+      cwait(r);
     }
   }
 }
@@ -349,7 +488,7 @@ void CollEngine::barrier(const CommGroup& g) {
 // Bcast
 // ---------------------------------------------------------------------------
 
-void CollEngine::bcast(void* buf, int count, const Datatype& dtype, int root,
+void CollEngine::bcast_impl(void* buf, int count, const Datatype& dtype, int root,
                        const CommGroup& g) {
   CollOpStats& op = stats_.bcast;
   ++op.calls;
@@ -385,7 +524,7 @@ void CollEngine::bcast(void* buf, int count, const Datatype& dtype, int root,
 // Allreduce (doubles, sum/max)
 // ---------------------------------------------------------------------------
 
-void CollEngine::allreduce_doubles(const double* sendbuf, double* recvbuf,
+void CollEngine::allreduce_impl(const double* sendbuf, double* recvbuf,
                                    int count, bool take_max,
                                    const CommGroup& g) {
   CollOpStats& op = stats_.allreduce;
@@ -423,7 +562,7 @@ void CollEngine::allreduce_doubles(const double* sendbuf, double* recvbuf,
         mem[static_cast<std::size_t>((me_local + 1) % n)])];
     const int left = g.world[static_cast<std::size_t>(
         mem[static_cast<std::size_t>((me_local - 1 + n) % n)])];
-    std::vector<double> tmp(static_cast<std::size_t>(q + (r ? 1 : 0)));
+    double* tmp = scratch<double>(static_cast<std::size_t>(q + (r ? 1 : 0)));
     // Phase A: ring reduce-scatter. At step s member i forwards the
     // partial slice (i - s - 1) mod n and folds the arriving slice
     // (i - s - 2) mod n, so slice j circles the ring accumulating in a
@@ -432,14 +571,14 @@ void CollEngine::allreduce_doubles(const double* sendbuf, double* recvbuf,
     for (int s = 0; s < n - 1; ++s) {
       const int sj = ((me_local - s - 1) % n + n) % n;
       const int rj = ((me_local - s - 2) % n + n) % n;
-      Request rr = comm_.irecv(tmp.data(), slice_len(rj), double_t, left,
+      Request rr = irecv_track(tmp, slice_len(rj), double_t, left,
                                kTagAllreduceRs - s, g.context);
       Request sr = isend_counted(op, recvbuf + slice_start(sj), slice_len(sj),
                                  double_t, right, kTagAllreduceRs - s,
                                  g.context);
-      comm_.wait(sr, nullptr);
-      comm_.wait(rr, nullptr);
-      reduce_into(recvbuf + slice_start(rj), tmp.data(), slice_len(rj),
+      cwait(sr);
+      cwait(rr);
+      reduce_into(recvbuf + slice_start(rj), tmp, slice_len(rj),
                   take_max);
     }
     // Phase B: per-stripe butterfly over the fabric. Counterpart members
@@ -460,13 +599,13 @@ void CollEngine::allreduce_doubles(const double* sendbuf, double* recvbuf,
     for (int s = 0; s < n - 1; ++s) {
       const int sj = ((me_local - s) % n + n) % n;
       const int rj = ((me_local - s - 1) % n + n) % n;
-      Request rr = comm_.irecv(recvbuf + slice_start(rj), slice_len(rj),
+      Request rr = irecv_track(recvbuf + slice_start(rj), slice_len(rj),
                                double_t, left, kTagAllreduceAg - s, g.context);
       Request sr = isend_counted(op, recvbuf + slice_start(sj), slice_len(sj),
                                  double_t, right, kTagAllreduceAg - s,
                                  g.context);
-      comm_.wait(sr, nullptr);
-      comm_.wait(rr, nullptr);
+      cwait(sr);
+      cwait(rr);
     }
     return;
   }
@@ -475,20 +614,20 @@ void CollEngine::allreduce_doubles(const double* sendbuf, double* recvbuf,
   if (mem.size() > 1) {
     ++op.intra_phases;
     if (g.my_rank == leader) {
-      std::vector<double> tmp(static_cast<std::size_t>(count));
+      double* tmp = scratch<double>(static_cast<std::size_t>(count));
       for (int m : mem) {
         if (m == leader) continue;
-        Request r = comm_.irecv(tmp.data(), count, double_t,
+        Request r = irecv_track(tmp, count, double_t,
                                 g.world[static_cast<std::size_t>(m)],
                                 kTagReduce, g.context);
-        comm_.wait(r, nullptr);
-        reduce_into(recvbuf, tmp.data(), count, take_max);
+        cwait(r);
+        reduce_into(recvbuf, tmp, count, take_max);
       }
     } else {
       Request s = isend_counted(op, recvbuf, count, double_t,
                                 g.world[static_cast<std::size_t>(leader)],
                                 kTagReduce, g.context);
-      comm_.wait(s, nullptr);
+      cwait(s);
     }
   }
   // Leader butterfly over the fabric.
@@ -509,7 +648,7 @@ void CollEngine::allreduce_doubles(const double* sendbuf, double* recvbuf,
 // Allgather
 // ---------------------------------------------------------------------------
 
-void CollEngine::allgather(const void* sendbuf, int count,
+void CollEngine::allgather_impl(const void* sendbuf, int count,
                            const Datatype& dtype, void* recvbuf,
                            const CommGroup& g) {
   CollOpStats& op = stats_.allgather;
@@ -524,14 +663,14 @@ void CollEngine::allgather(const void* sendbuf, int count,
   // tag kTagAgBlock - r; a given ordered pair carries a block at most once
   // per call, so the envelope (src, tag, context) stays unambiguous.
   {
-    Request rr = comm_.irecv(out + static_cast<std::size_t>(my) * block,
+    Request rr = irecv_track(out + static_cast<std::size_t>(my) * block,
                              count, dtype, g.world[static_cast<std::size_t>(my)],
                              kTagAgBlock - my, g.context);
     Request sr = isend_counted(op, sendbuf, count, dtype,
                                g.world[static_cast<std::size_t>(my)],
                                kTagAgBlock - my, g.context);
-    comm_.wait(sr, nullptr);
-    comm_.wait(rr, nullptr);
+    cwait(sr);
+    cwait(rr);
   }
   if (p == 1) return;
   const Topology t = map_nodes(g);
@@ -544,15 +683,15 @@ void CollEngine::allgather(const void* sendbuf, int count,
     for (int s = 0; s < p - 1; ++s) {
       const int sendb = (my - s + p) % p;
       const int recvb = (my - s - 1 + p) % p;
-      Request rr = comm_.irecv(out + static_cast<std::size_t>(recvb) * block,
+      Request rr = irecv_track(out + static_cast<std::size_t>(recvb) * block,
                                count, dtype, left, kTagAgBlock - recvb,
                                g.context);
       Request sr = isend_counted(op,
                                  out + static_cast<std::size_t>(sendb) * block,
                                  count, dtype, right, kTagAgBlock - sendb,
                                  g.context);
-      comm_.wait(sr, nullptr);
-      comm_.wait(rr, nullptr);
+      cwait(sr);
+      cwait(rr);
     }
     return;
   }
@@ -573,15 +712,15 @@ void CollEngine::allgather(const void* sendbuf, int count,
       const int sendb = mem[static_cast<std::size_t>((me_local - s + n) % n)];
       const int recvb =
           mem[static_cast<std::size_t>((me_local - s - 1 + n) % n)];
-      Request rr = comm_.irecv(out + static_cast<std::size_t>(recvb) * block,
+      Request rr = irecv_track(out + static_cast<std::size_t>(recvb) * block,
                                count, dtype, left, kTagAgBlock - recvb,
                                g.context);
       Request sr = isend_counted(op,
                                  out + static_cast<std::size_t>(sendb) * block,
                                  count, dtype, right, kTagAgBlock - sendb,
                                  g.context);
-      comm_.wait(sr, nullptr);
-      comm_.wait(rr, nullptr);
+      cwait(sr);
+      cwait(rr);
     }
   }
   if (L == 1) return;
@@ -608,13 +747,13 @@ void CollEngine::allgather(const void* sendbuf, int count,
       const std::vector<int>& rnode =
           t.members[static_cast<std::size_t>((d - s - 1 + L) % L)];
       const int mb = rnode[static_cast<std::size_t>(me_local)];
-      stripe.push_back(comm_.irecv(out + static_cast<std::size_t>(mb) * block,
+      stripe.push_back(irecv_track(out + static_cast<std::size_t>(mb) * block,
                                    count, dtype, leftc, kTagAgBlock - mb,
                                    g.context));
       for (int v = 0; v < n; ++v) {
         if (v == me_local) continue;
         const int b = rnode[static_cast<std::size_t>(v)];
-        others.push_back(comm_.irecv(
+        others.push_back(irecv_track(
             out + static_cast<std::size_t>(b) * block, count, dtype,
             g.world[static_cast<std::size_t>(mem[static_cast<std::size_t>(v)])],
             kTagAgBlock - b, g.context));
@@ -628,7 +767,7 @@ void CollEngine::allgather(const void* sendbuf, int count,
                                     out + static_cast<std::size_t>(sb) * block,
                                     count, dtype, rightc, kTagAgBlock - sb,
                                     g.context));
-      comm_.wait(stripe[static_cast<std::size_t>(s)], nullptr);
+      cwait(stripe[static_cast<std::size_t>(s)]);
       const int rb = t.members[static_cast<std::size_t>((d - s - 1 + L) % L)]
                               [static_cast<std::size_t>(me_local)];
       for (int v = 0; v < n; ++v) {
@@ -639,8 +778,8 @@ void CollEngine::allgather(const void* sendbuf, int count,
             kTagAgBlock - rb, g.context));
       }
     }
-    for (Request& qr : sends) comm_.wait(qr, nullptr);
-    for (Request& qr : others) comm_.wait(qr, nullptr);
+    for (Request& qr : sends) cwait(qr);
+    for (Request& qr : others) cwait(qr);
     return;
   }
   // Phase B, ragged fallback: leaders ring node superblocks over the
@@ -658,7 +797,7 @@ void CollEngine::allgather(const void* sendbuf, int count,
       const int recv_node = (t.my_node - s - 1 + L) % L;
       std::vector<Request> step;
       for (int b : t.members[static_cast<std::size_t>(recv_node)]) {
-        step.push_back(comm_.irecv(out + static_cast<std::size_t>(b) * block,
+        step.push_back(irecv_track(out + static_cast<std::size_t>(b) * block,
                                    count, dtype, left, kTagAgBlock - b,
                                    g.context));
       }
@@ -667,7 +806,7 @@ void CollEngine::allgather(const void* sendbuf, int count,
             op, out + static_cast<std::size_t>(b) * block, count, dtype,
             right, kTagAgBlock - b, g.context));
       }
-      for (Request& q : step) comm_.wait(q, nullptr);
+      for (Request& q : step) cwait(q);
       for (int m : mem) {
         if (m == my) continue;
         for (int b : t.members[static_cast<std::size_t>(recv_node)]) {
@@ -678,7 +817,7 @@ void CollEngine::allgather(const void* sendbuf, int count,
         }
       }
     }
-    for (Request& q : forwards) comm_.wait(q, nullptr);
+    for (Request& q : forwards) cwait(q);
   } else {
     // Members: every off-node block arrives from the node leader.
     const int leader_world = g.world[static_cast<std::size_t>(
@@ -687,12 +826,12 @@ void CollEngine::allgather(const void* sendbuf, int count,
     for (int node = 0; node < L; ++node) {
       if (node == t.my_node) continue;
       for (int b : t.members[static_cast<std::size_t>(node)]) {
-        rs.push_back(comm_.irecv(out + static_cast<std::size_t>(b) * block,
+        rs.push_back(irecv_track(out + static_cast<std::size_t>(b) * block,
                                  count, dtype, leader_world, kTagAgBlock - b,
                                  g.context));
       }
     }
-    for (Request& q : rs) comm_.wait(q, nullptr);
+    for (Request& q : rs) cwait(q);
   }
 }
 
@@ -700,7 +839,7 @@ void CollEngine::allgather(const void* sendbuf, int count,
 // Alltoall
 // ---------------------------------------------------------------------------
 
-void CollEngine::alltoall(const void* sendbuf, void* recvbuf, int count,
+void CollEngine::alltoall_impl(const void* sendbuf, void* recvbuf, int count,
                           const Datatype& dtype, const CommGroup& g) {
   CollOpStats& op = stats_.alltoall;
   ++op.calls;
@@ -712,15 +851,15 @@ void CollEngine::alltoall(const void* sendbuf, void* recvbuf, int count,
   auto* out = static_cast<std::byte*>(recvbuf);
   // Diagonal block through the p2p self path.
   {
-    Request rr = comm_.irecv(out + static_cast<std::size_t>(my) * block,
+    Request rr = irecv_track(out + static_cast<std::size_t>(my) * block,
                              count, dtype, g.world[static_cast<std::size_t>(my)],
                              kTagAlltoall, g.context);
     Request sr = isend_counted(op, in + static_cast<std::size_t>(my) * block,
                                count, dtype,
                                g.world[static_cast<std::size_t>(my)],
                                kTagAlltoall, g.context);
-    comm_.wait(sr, nullptr);
-    comm_.wait(rr, nullptr);
+    cwait(sr);
+    cwait(rr);
   }
   if (p == 1) return;
   const Topology t = map_nodes(g);
@@ -757,15 +896,15 @@ void CollEngine::alltoall(const void* sendbuf, void* recvbuf, int count,
     } else {
       ++op.leader_phases;
     }
-    Request rr = comm_.irecv(out + static_cast<std::size_t>(src) * block,
+    Request rr = irecv_track(out + static_cast<std::size_t>(src) * block,
                              count, dtype, g.world[static_cast<std::size_t>(src)],
                              kTagAlltoallStep - s, g.context);
     Request sr = isend_counted(op, in + static_cast<std::size_t>(dst) * block,
                                count, dtype,
                                g.world[static_cast<std::size_t>(dst)],
                                kTagAlltoallStep - s, g.context);
-    comm_.wait(sr, nullptr);
-    comm_.wait(rr, nullptr);
+    cwait(sr);
+    cwait(rr);
   }
 }
 
@@ -773,7 +912,7 @@ void CollEngine::alltoall(const void* sendbuf, void* recvbuf, int count,
 // Gather / scatter (linear, root-rooted; no hierarchical variant)
 // ---------------------------------------------------------------------------
 
-void CollEngine::gather(const void* sendbuf, int count, const Datatype& dtype,
+void CollEngine::gather_impl(const void* sendbuf, int count, const Datatype& dtype,
                         void* recvbuf, int root, const CommGroup& g) {
   CollOpStats& op = stats_.gather;
   ++op.calls;
@@ -789,18 +928,18 @@ void CollEngine::gather(const void* sendbuf, int count, const Datatype& dtype,
     std::vector<Request> rreqs;
     rreqs.reserve(static_cast<std::size_t>(g.size()));
     for (int i = 0; i < g.size(); ++i) {
-      rreqs.push_back(comm_.irecv(static_cast<std::byte*>(recvbuf) +
+      rreqs.push_back(irecv_track(static_cast<std::byte*>(recvbuf) +
                                       static_cast<std::size_t>(i) * block,
                                   count, dtype,
                                   g.world[static_cast<std::size_t>(i)],
                                   kTagGather, g.context));
     }
-    for (Request& r : rreqs) comm_.wait(r, nullptr);
+    for (Request& r : rreqs) cwait(r);
   }
-  comm_.wait(sreq, nullptr);
+  cwait(sreq);
 }
 
-void CollEngine::scatter(const void* sendbuf, void* recvbuf, int count,
+void CollEngine::scatter_impl(const void* sendbuf, void* recvbuf, int count,
                          const Datatype& dtype, int root, const CommGroup& g) {
   CollOpStats& op = stats_.scatter;
   ++op.calls;
@@ -808,7 +947,7 @@ void CollEngine::scatter(const void* sendbuf, void* recvbuf, int count,
   const std::size_t block = static_cast<std::size_t>(dtype.extent()) *
                             static_cast<std::size_t>(count);
   const int root_world = g.world[static_cast<std::size_t>(root)];
-  Request rreq = comm_.irecv(recvbuf, count, dtype, root_world, kTagScatter,
+  Request rreq = irecv_track(recvbuf, count, dtype, root_world, kTagScatter,
                              g.context);
   if (g.my_rank == root) {
     std::vector<Request> sreqs;
@@ -821,9 +960,9 @@ void CollEngine::scatter(const void* sendbuf, void* recvbuf, int count,
                                     g.world[static_cast<std::size_t>(i)],
                                     kTagScatter, g.context));
     }
-    for (Request& sr : sreqs) comm_.wait(sr, nullptr);
+    for (Request& sr : sreqs) cwait(sr);
   }
-  comm_.wait(rreq, nullptr);
+  cwait(rreq);
 }
 
 }  // namespace mv2gnc::mpisim::detail

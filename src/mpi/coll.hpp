@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mpi/rank_comm.hpp"
@@ -69,6 +70,16 @@ struct CollCostHints {
 /// communication goes through the owner's isend/irecv/wait, so eager vs
 /// rendezvous protocol choice, reliability and transport routing apply to
 /// collective traffic exactly as to point-to-point traffic.
+///
+/// Hang-free guarantee (docs/RELIABILITY.md, "Collective abort"): every
+/// blocking wait inside a collective runs through coll_wait with a
+/// liveness watchdog, and any failure — a p2p transfer exhausting its
+/// retry budget, an incoming COLL_ABORT wave, or watchdog expiry — aborts
+/// the whole operation: the rank broadcasts the wave to the group, parks
+/// its scratch buffers (stale messages of the abandoned operation may
+/// still deliver into them), poisons the communicator context (per-step
+/// tags are reused across calls, so no later collective on it is safe)
+/// and surfaces a clean RequestError. No surviving rank blocks forever.
 class CollEngine {
  public:
   explicit CollEngine(RankComm& comm) : comm_(comm) {}
@@ -110,6 +121,46 @@ class CollEngine {
   Topology map_nodes(const CommGroup& g) const;
   bool use_hier(const Topology& t, std::size_t bytes) const;
 
+  // Un-guarded algorithm bodies (one per public op).
+  void barrier_impl(const CommGroup& g);
+  void bcast_impl(void* buf, int count, const Datatype& dtype, int root,
+                  const CommGroup& g);
+  void allreduce_impl(const double* sendbuf, double* recvbuf, int count,
+                      bool take_max, const CommGroup& g);
+  void allgather_impl(const void* sendbuf, int count, const Datatype& dtype,
+                      void* recvbuf, const CommGroup& g);
+  void alltoall_impl(const void* sendbuf, void* recvbuf, int count,
+                     const Datatype& dtype, const CommGroup& g);
+  void gather_impl(const void* sendbuf, int count, const Datatype& dtype,
+                   void* recvbuf, int root, const CommGroup& g);
+  void scatter_impl(const void* sendbuf, void* recvbuf, int count,
+                    const Datatype& dtype, int root, const CommGroup& g);
+
+  /// Run one collective body under the abort protocol: registers the call
+  /// with coll_begin (throws if the context is poisoned), converts any
+  /// failure inside into an abort wave + clean RequestError, and releases
+  /// (or parks) the scratch buffers.
+  template <typename Fn>
+  void run_guarded(const CommGroup& g, Fn&& body);
+  /// Watchdogged wait used by every algorithm step (see coll_wait).
+  void cwait(Request& r);
+  /// Worst-case p2p retry budget (sender plus receiver watchdog backoff
+  /// series) times coll_watchdog_factor: the deadline of one cwait.
+  sim::SimTime watchdog_budget() const;
+  void abort_collective(const CommGroup& g, std::uint64_t seq, int origin);
+
+  /// Allocate collective scratch that survives an abort: kept in scratch_
+  /// while the op runs, freed on normal completion, parked in the owning
+  /// RankComm on abort (stale messages may still deliver into it). Stack
+  /// temporaries must never back a posted receive in a collective.
+  template <typename T>
+  T* scratch(std::size_t n) {
+    auto v = std::make_shared<std::vector<T>>(n);
+    T* p = v->data();
+    scratch_.push_back(std::move(v));
+    return p;
+  }
+
   // Primitives shared between the flat path and the leader/intra legs.
   // They run over an ordered subgroup of comm ranks; `me` is this rank's
   // index within `ranks`.
@@ -125,10 +176,29 @@ class CollEngine {
   Request isend_counted(CollOpStats& op, const void* buf, int count,
                         const Datatype& dtype, int dst_world, int tag,
                         int context);
+  /// irecv that registers the request in inflight_ (as isend_counted does
+  /// for sends) so abort_collective can cancel it. Every receive a
+  /// collective body posts must go through this wrapper.
+  Request irecv_track(void* buf, int count, const Datatype& dtype, int src,
+                      int tag, int context);
 
   RankComm& comm_;
   CollCostHints hints_;
   CollStats stats_;
+
+  // Abort-protocol state of the collective currently on this rank's stack
+  // (collectives never nest, so one slot suffices).
+  int cur_context_ = 0;
+  std::uint64_t cur_seq_ = 0;
+  sim::SimTime wait_budget_ = 0;
+  std::vector<std::shared_ptr<void>> scratch_;
+  // Every request the running collective posted (shared handles; cheap).
+  // Cleared on normal completion; on abort each one is canceled — an
+  // abandoned isend whose matching receive will never be posted (the peer
+  // aborted too) would otherwise retransmit its RTS forever, because the
+  // peer's unmatched-RTS ack keeps resetting the sender's retry budget,
+  // and finalize's drain_pending would never return.
+  std::vector<Request> inflight_;
 };
 
 }  // namespace mv2gnc::mpisim::detail

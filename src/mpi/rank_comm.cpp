@@ -39,7 +39,8 @@ RankComm::RankComm(int rank, int size, sim::Engine& engine,
       registry_(registry),
       vbuf_pool_(tun.vbuf_count, tun.chunk_bytes),
       notifier_(engine),
-      sched_(engine, vbuf_pool_, tun, net) {
+      sched_(engine, vbuf_pool_, tun, net),
+      crash_timer_(engine) {
   // vbufs model MVAPICH2's pre-registered (pinned) staging pool.
   registry.register_pinned_host(vbuf_pool_.arena(), vbuf_pool_.arena_bytes());
   res_.engine = &engine;
@@ -189,6 +190,36 @@ bool RankComm::test(Request& req, Status* status) {
   return true;
 }
 
+void RankComm::cancel_request(Request& req) {
+  if (!req.valid()) return;
+  ReqState& s = *req.state_;
+  if (s.complete) return;
+  static const std::string kReason = "canceled: collective aborted";
+  if (s.is_recv) {
+    // A posted-but-unmatched receive is purely local: withdraw it.
+    for (auto it = posted_recvs_.begin(); it != posted_recvs_.end(); ++it) {
+      if (it->get() == &s) {
+        posted_recvs_.erase(it);
+        s.complete = true;
+        s.failed = true;
+        s.error = kReason;
+        return;
+      }
+    }
+    if (auto it = active_recvs_.find(s.id); it != active_recvs_.end()) {
+      it->second->rndv_recv->cancel(kReason);
+      sweep_transfers();
+    }
+    return;
+  }
+  // Eager sends complete at post time and were filtered above; only an
+  // in-flight rendezvous send can still be open.
+  if (auto it = active_sends_.find(s.id); it != active_sends_.end()) {
+    it->second->rndv_send->cancel(kReason);
+    sweep_transfers();
+  }
+}
+
 void RankComm::drain_pending() {
   const auto obligations = [this] {
     return !active_sends_.empty() || !active_recvs_.empty() ||
@@ -203,10 +234,113 @@ void RankComm::drain_pending() {
 }
 
 // ---------------------------------------------------------------------------
+// Process faults / collective abort
+// ---------------------------------------------------------------------------
+
+void RankComm::set_crash_time(sim::SimTime t) {
+  crash_at_ = t;
+  // Wake-up only: the crash itself happens at the next progress entry, so
+  // a rank blocked in notifier_.wait still dies on schedule.
+  crash_timer_.arm(t, [this] { notifier_.notify(); });
+}
+
+std::uint64_t RankComm::coll_begin(int context) {
+  CollAbortState& st = coll_abort_[context];
+  const std::uint64_t seq = st.started++;
+  if (st.aborted && st.abort_seq <= seq) {
+    throw RequestError(
+        "collective #" + std::to_string(seq) + " on context " +
+        std::to_string(context) + " aborted: an earlier collective failed " +
+        "(origin rank " + std::to_string(st.origin) +
+        ") and poisoned the context");
+  }
+  return seq;
+}
+
+void RankComm::coll_wait(Request& req, Status* status, int context,
+                         std::uint64_t seq, sim::SimTime deadline) {
+  if (!req.valid()) throw std::invalid_argument("coll_wait: null request");
+  ReqState& s = *req.state_;
+  const auto abort_check = [&] {
+    const auto it = coll_abort_.find(context);
+    if (it != coll_abort_.end() && it->second.aborted &&
+        it->second.abort_seq <= seq) {
+      throw CollAbortObserved{it->second.abort_seq, it->second.origin};
+    }
+  };
+  // Liveness watchdog: guarantees a future wake-up, so a surviving rank
+  // whose peer died (and whose abort wave was lost) resolves bounded
+  // instead of tripping the engine's deadlock detector. RAII: canceled on
+  // every exit path, and a canceled timer is skipped without advancing the
+  // virtual clock, so fault-free runs stay bit-exact.
+  sim::DeadlineTimer watchdog(engine_);
+  watchdog.arm(deadline, [this] { notifier_.notify(); });
+  while (!s.complete) {
+    abort_check();
+    progress_once();
+    if (s.complete) break;
+    if (engine_.now() >= deadline) throw CollWatchdogExpired{};
+    notifier_.wait("collective progress (rank " + std::to_string(rank_) +
+                   ")");
+  }
+  abort_check();
+  if (s.failed) throw RequestError(s.error);
+  if (status != nullptr && s.is_recv) *status = s.status;
+}
+
+void RankComm::coll_note_abort(int context, std::uint64_t seq, int origin) {
+  CollAbortState& st = coll_abort_[context];
+  if (!st.aborted || seq < st.abort_seq) {
+    st.aborted = true;
+    st.abort_seq = seq;
+    st.origin = origin;
+  }
+}
+
+void RankComm::coll_send_abort_wave(const CommGroup& g, std::uint64_t seq,
+                                    int origin) {
+  coll_note_abort(g.context, seq, origin);
+  CollAbortState& st = coll_abort_[g.context];
+  if (st.wave_sent) return;  // one wave per context is enough: state is sticky
+  st.wave_sent = true;
+  for (int i = 0; i < g.size(); ++i) {
+    const int w = g.world[static_cast<std::size_t>(i)];
+    if (w == rank_) continue;
+    netsim::WireMessage m;
+    m.kind = core::kCollAbort;
+    m.header[0] =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.context));
+    m.header[1] = seq;
+    m.header[2] =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin));
+    sched_.note_ctrl(core::kCollAbort);
+    sched_.flush_peer(w);
+    res_.net->post_send(w, std::move(m));
+  }
+}
+
+void RankComm::park_scratch(std::vector<std::shared_ptr<void>> scratch) {
+  for (auto& p : scratch) scratch_graveyard_.push_back(std::move(p));
+}
+
+// ---------------------------------------------------------------------------
 // Progress engine
 // ---------------------------------------------------------------------------
 
 void RankComm::progress_once() {
+  // Injected crash-stop: takes effect at the first progress entry at or
+  // after the armed time (the crash timer wakes a blocked rank so this
+  // check is always reached).
+  if (crash_at_ >= 0 && engine_.now() >= crash_at_) throw RankCrashed{};
+  // Injected stall: a seeded pause modeling OS noise / a late CPU. Both
+  // knobs default to zero, in which case no RNG is drawn and fault-free
+  // runs stay bit-exact.
+  const core::Tunables& tun = *res_.tun;
+  if (tun.rank_stall_prob > 0.0 && tun.rank_stall_ns > 0 &&
+      engine_.rand_uniform() < tun.rank_stall_prob) {
+    engine_.delay(static_cast<sim::SimTime>(engine_.rand_below(
+        static_cast<std::uint64_t>(tun.rank_stall_ns) + 1)));
+  }
   netsim::Completion c;
   while (res_.net->poll(c)) dispatch(c);
   sweep_transfers();
@@ -356,9 +490,38 @@ void RankComm::dispatch(const netsim::Completion& c) {
       } else if (auto dit = draining_recvs_.find(m.header[0]);
                  dit != draining_recvs_.end()) {
         dit->second->on_send_abort();
+      } else if (m.header[1] != 0) {
+        // Retraction from a canceled sender (RndvSend::cancel): no
+        // receiver was ever assigned, but its RTS may be parked in the
+        // unexpected queue. Purge it — otherwise every duplicate RTS
+        // would be re-acked (keeping a dead handshake "alive"), and a
+        // future receive on a reused tag could match a rendezvous whose
+        // sender is gone.
+        bool purged = false;
+        for (auto uit = unexpected_.begin(); uit != unexpected_.end();
+             ++uit) {
+          if (uit->is_rts && uit->src == m.src_node &&
+              uit->sender_req == m.header[1]) {
+            unexpected_.erase(uit);
+            purged = true;
+            break;
+          }
+        }
+        if (!purged) ++retry_stats_.duplicates_dropped;
       } else {
         ++retry_stats_.duplicates_dropped;
       }
+      return;
+    }
+    case core::kCollAbort: {
+      // COLL_ABORT wave: needs no matching — the abort state is sticky per
+      // context and checked by every collective wait. Receipt is
+      // idempotent (coll_note_abort keeps the earliest sequence).
+      coll_note_abort(static_cast<int>(static_cast<std::int32_t>(
+                          static_cast<std::uint32_t>(m.header[0]))),
+                      m.header[1],
+                      static_cast<int>(static_cast<std::int32_t>(
+                          static_cast<std::uint32_t>(m.header[2]))));
       return;
     }
     default:

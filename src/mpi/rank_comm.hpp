@@ -18,11 +18,30 @@
 #include "mpi/mpi.hpp"
 #include "core/transport.hpp"
 #include "sim/engine.hpp"
+#include "sim/timer.hpp"
 #include "sim/trace.hpp"
 
 namespace mv2gnc::mpisim::detail {
 
 class CollEngine;
+
+/// Internal control-flow signal: this rank's injected crash time arrived.
+/// Thrown out of the progress loop and caught by Cluster::run, which lets
+/// the rank go silent (no drain, no abort wave — a crashed process sends
+/// nothing). Never escapes to the application.
+struct RankCrashed {};
+
+/// Internal: coll_wait observed a COLL_ABORT wave covering the collective
+/// it was waiting in. Caught by CollEngine::run_guarded.
+struct CollAbortObserved {
+  std::uint64_t seq = 0;  // earliest aborted collective on the context
+  int origin = -1;        // world rank that started the wave
+};
+
+/// Internal: coll_wait's liveness watchdog expired — the collective made
+/// no progress for the whole p2p worst-case retry budget times
+/// coll_watchdog_factor. Caught by CollEngine::run_guarded.
+struct CollWatchdogExpired {};
 
 /// Membership of one communicator: comm rank i is world rank world[i].
 struct CommGroup {
@@ -133,6 +152,14 @@ class RankComm {
   void wait(Request& req, Status* status);
   bool test(Request& req, Status* status);
 
+  /// Abandon an in-flight request whose result is no longer wanted (the
+  /// collective that owns it aborted). An unmatched posted receive is
+  /// simply withdrawn; an active rendezvous is canceled at the protocol
+  /// level (see RndvSend::cancel — the retraction is what keeps an
+  /// abandoned send from staying "alive" forever on its peer's RTS acks,
+  /// which would strand drain_pending). No-op on complete requests.
+  void cancel_request(Request& req);
+
   /// MPI_Finalize analogue: service the progress loop until every protocol
   /// obligation quiesces — live senders/receivers, draining receivers
   /// still holding staging slots against a possible retransmitted write,
@@ -174,6 +201,37 @@ class RankComm {
   /// counters). The Cluster feeds it cost hints after construction.
   CollEngine& coll() { return *coll_; }
   const CollEngine& coll() const { return *coll_; }
+
+  // -- process-fault injection (docs/RELIABILITY.md) ---------------------
+  /// Arm a crash-stop at virtual time `t`: the next progress-loop entry at
+  /// or after `t` throws RankCrashed and the rank goes silent. A timer
+  /// wakes the notifier at `t` so even a blocked rank notices.
+  void set_crash_time(sim::SimTime t);
+
+  // -- collective abort protocol (driven by CollEngine) ------------------
+  /// Account the start of one collective on `context`; returns its
+  /// sequence number. Throws RequestError if the context is poisoned (a
+  /// collective at or before this point aborted: per-step tags are reused
+  /// across calls, so no later collective on the context is safe).
+  std::uint64_t coll_begin(int context);
+  /// wait() plus abort/liveness checks: returns normally on completion,
+  /// throws RequestError on p2p transfer failure, CollAbortObserved once a
+  /// COLL_ABORT wave covering `seq` is recorded, CollWatchdogExpired when
+  /// virtual time passes `deadline` with the request still pending.
+  void coll_wait(Request& req, Status* status, int context,
+                 std::uint64_t seq, sim::SimTime deadline);
+  /// Record an abort of collective `seq` on `context` (local failure or
+  /// incoming wave); keeps the earliest aborted sequence.
+  void coll_note_abort(int context, std::uint64_t seq, int origin);
+  /// Broadcast kCollAbort to every other member of `g` (once per context)
+  /// and record the abort locally.
+  void coll_send_abort_wave(const CommGroup& g, std::uint64_t seq,
+                            int origin);
+  /// Keep an aborted collective's scratch buffers alive until the rank
+  /// tears down: stale messages of the abandoned operation may still
+  /// deliver into them (via still-posted receives) long after the
+  /// collective call unwound.
+  void park_scratch(std::vector<std::shared_ptr<void>> scratch);
 
  private:
   // One pass over all pending work; never blocks.
@@ -243,6 +301,22 @@ class RankComm {
   /// in-flight RDMA write may still read them); freed in the destructor,
   /// when the engine has drained every event.
   std::vector<core::detail::StagingSlot> slot_graveyard_;
+
+  // -- process faults / collective abort ---------------------------------
+  /// Per-context collective accounting and abort state. Sticky: once a
+  /// context aborts it stays poisoned (see coll_begin).
+  struct CollAbortState {
+    std::uint64_t started = 0;   // collectives begun on this context
+    bool aborted = false;
+    std::uint64_t abort_seq = 0; // earliest aborted collective sequence
+    int origin = -1;             // world rank that failed first
+    bool wave_sent = false;      // this rank already broadcast the wave
+  };
+  std::unordered_map<int, CollAbortState> coll_abort_;
+  /// Scratch buffers of aborted collectives (see park_scratch).
+  std::vector<std::shared_ptr<void>> scratch_graveyard_;
+  sim::SimTime crash_at_ = -1;   // injected crash-stop time (<0: never)
+  sim::DeadlineTimer crash_timer_;
 };
 
 }  // namespace mv2gnc::mpisim::detail

@@ -1,8 +1,9 @@
-// Fault injection for the netsim fabric.
+// Fault injection for the netsim transports (fabric and in-node IPC).
 //
-// A FaultModel attached to the Fabric decides, at transmit-drain time and
-// using only the engine's seeded RNG (never wall-clock), whether each
-// operation is delivered cleanly, delayed, or lost:
+// A FaultModel attached to a transport (Fabric or IpcChannel) decides, at
+// transmit-drain time and using only the engine's seeded RNG (never
+// wall-clock), whether each operation is delivered cleanly, delayed, or
+// lost:
 //   * drop_send   — a two-sided SEND vanishes in the network: the sender
 //                   still sees kSendComplete (its NIC drained the WR) but
 //                   the message never reaches the destination CQ;
@@ -14,11 +15,13 @@
 //   * jitter_ns   — delivery is delayed by an extra uniform [0, jitter_ns]
 //                   on top of the wire latency. NOTE: nonzero jitter can
 //                   reorder messages between a node pair, voiding the
-//                   fabric's FIFO guarantee — only protocols that tolerate
-//                   reordering (see docs/RELIABILITY.md) may enable it.
+//                   transport's FIFO guarantee — only protocols that
+//                   tolerate reordering (see docs/RELIABILITY.md) may
+//                   enable it.
 //
-// Specs resolve most-specific-first: per (src,dst) pair, then per message
-// kind, then the default. Probabilities are independent per operation.
+// Specs resolve most-specific-first: per (src,dst,kind) triple, then per
+// (src,dst) pair, then per message kind, then the default. Probabilities
+// are independent per operation.
 #pragma once
 
 #include <cstdint>
@@ -55,9 +58,10 @@ struct FaultCounters {
   }
 };
 
-/// Rule table: pair overrides kind overrides default. Kind matching uses the
-/// two-sided message kind (or the immediate's kind for RDMA writes carrying
-/// one); plain RDMA writes match pair/default rules only.
+/// Rule table: pair+kind overrides pair overrides kind overrides default.
+/// Kind matching uses the two-sided message kind (or the immediate's kind
+/// for RDMA writes carrying one); plain RDMA writes match pair/default
+/// rules only.
 class FaultModel {
  public:
   /// Kind wildcard for operations with no message kind (bare RDMA writes).
@@ -75,22 +79,37 @@ class FaultModel {
     by_pair_[{src, dst}] = spec;
     recompute_enabled();
   }
+  /// Most-specific tier: one message kind on one directed pair — lets a
+  /// sweep target e.g. CTS loss on a single IPC pair without touching any
+  /// other traffic.
+  void set_pair_kind(int src, int dst, int kind, const FaultSpec& spec) {
+    by_pair_kind_[{{src, dst}, kind}] = spec;
+    recompute_enabled();
+  }
 
-  /// Remove every rule; the fabric reverts to perfect delivery.
+  /// Remove every rule; the transport reverts to perfect delivery.
   void clear() {
     default_ = FaultSpec{};
     by_kind_.clear();
     by_pair_.clear();
+    by_pair_kind_.clear();
     enabled_ = false;
   }
 
-  /// True when any rule can inject a fault — the fabric's fast path skips
-  /// all RNG draws while this is false, keeping fault-free runs bit-exact
-  /// with builds that predate fault injection.
+  /// True when any rule can inject a fault — the transport's fast path
+  /// skips all RNG draws while this is false, keeping fault-free runs
+  /// bit-exact with builds that predate fault injection.
   bool enabled() const { return enabled_; }
 
-  /// Most specific spec for this operation: pair, else kind, else default.
+  /// Most specific spec for this operation: pair+kind, else pair, else
+  /// kind, else default.
   const FaultSpec& resolve(int src, int dst, int kind) const {
+    if (!by_pair_kind_.empty()) {
+      if (auto it = by_pair_kind_.find({{src, dst}, kind});
+          it != by_pair_kind_.end()) {
+        return it->second;
+      }
+    }
     if (auto it = by_pair_.find({src, dst}); it != by_pair_.end()) {
       return it->second;
     }
@@ -105,12 +124,16 @@ class FaultModel {
     enabled_ = !default_.benign();
     for (const auto& [k, s] : by_kind_) enabled_ = enabled_ || !s.benign();
     for (const auto& [p, s] : by_pair_) enabled_ = enabled_ || !s.benign();
+    for (const auto& [pk, s] : by_pair_kind_) {
+      enabled_ = enabled_ || !s.benign();
+    }
   }
 
   bool enabled_ = false;
   FaultSpec default_;
   std::map<int, FaultSpec> by_kind_;
   std::map<std::pair<int, int>, FaultSpec> by_pair_;
+  std::map<std::pair<std::pair<int, int>, int>, FaultSpec> by_pair_kind_;
 };
 
 }  // namespace mv2gnc::netsim

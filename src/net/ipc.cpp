@@ -17,14 +17,27 @@ void IpcPort::deliver(Completion c) {
   if (wakeup_ != nullptr) wakeup_->notify();
 }
 
-void IpcPort::deliver_remote(IpcPort* dst, std::shared_ptr<WireMessage> msg) {
-  engine_.schedule_after(channel_.cost().latency_ns, [dst, msg] {
-    const IpcChannel::Receipt* r = dst->channel_.receipt_for(msg->kind);
-    if (r != nullptr) {
-      dst->send_receipt(r->receipt_kind, r->echo_header, *msg);
-    }
-    dst->deliver(Completion{CqType::kRecv, 0, std::move(*msg)});
-  });
+sim::SimTime IpcPort::draw_jitter(const FaultSpec& spec) {
+  if (spec.jitter_ns <= 0) return 0;
+  const sim::SimTime j = static_cast<sim::SimTime>(
+      engine_.rand_below(static_cast<std::uint64_t>(spec.jitter_ns) + 1));
+  if (j > 0) ++fault_counters_.deliveries_jittered;
+  return j;
+}
+
+void IpcPort::deliver_remote(IpcPort* dst, std::shared_ptr<WireMessage> msg,
+                             sim::SimTime extra_delay) {
+  engine_.schedule_after(channel_.cost().latency_ns + extra_delay,
+                         [dst, msg] {
+                           const IpcChannel::Receipt* r =
+                               dst->channel_.receipt_for(msg->kind);
+                           if (r != nullptr) {
+                             dst->send_receipt(r->receipt_kind,
+                                               r->echo_header, *msg);
+                           }
+                           dst->deliver(
+                               Completion{CqType::kRecv, 0, std::move(*msg)});
+                         });
 }
 
 void IpcPort::send_receipt(int receipt_kind, std::size_t echo_header,
@@ -40,10 +53,24 @@ void IpcPort::send_receipt(int receipt_kind, std::size_t echo_header,
   auto shared = std::make_shared<WireMessage>(std::move(ack));
   ++messages_sent_;
   // Channel-generated, like the HCA's transport ack: no post overhead, no
-  // kSendComplete, just transmit occupancy. A receipt kind never has a
+  // kSendComplete, just transmit occupancy — plus the usual fault rolls on
+  // the (this -> dst, receipt_kind) edge. A receipt kind never has a
   // receipt of its own, so this cannot recurse.
   tx_.submit(c.per_msg_overhead_ns + c.copy_time(64, c.host_bw),
-             [this, dst_port, shared] { deliver_remote(dst_port, shared); });
+             [this, dst, dst_port, shared] {
+               sim::SimTime extra = 0;
+               if (channel_.faults().enabled()) {
+                 const FaultSpec& spec =
+                     channel_.faults().resolve(rank_, dst, shared->kind);
+                 if (spec.drop_send > 0.0 &&
+                     engine_.rand_uniform() < spec.drop_send) {
+                   ++fault_counters_.sends_dropped;
+                   return;
+                 }
+                 extra = draw_jitter(spec);
+               }
+               deliver_remote(dst_port, shared, extra);
+             });
 }
 
 bool IpcPort::poll(Completion& out) {
@@ -68,9 +95,23 @@ std::uint64_t IpcPort::post_send(int dst, WireMessage msg) {
       c.per_msg_overhead_ns + c.copy_time(msg.payload.size() + 64, c.host_bw);
   IpcPort* dst_port = &channel_.port(dst);
   auto shared_msg = std::make_shared<WireMessage>(std::move(msg));
-  tx_.submit(duration, [this, wr, dst_port, shared_msg] {
+  tx_.submit(duration, [this, wr, dst, dst_port, shared_msg] {
+    // The queue pair drained the descriptor either way; whether the
+    // message then reaches the peer is decided here, at drain time, so
+    // the fault sequence depends only on the deterministic event order
+    // (same placement as the fabric's Endpoint).
     deliver(Completion{CqType::kSendComplete, wr, {}});
-    deliver_remote(dst_port, shared_msg);
+    sim::SimTime extra = 0;
+    if (channel_.faults().enabled()) {
+      const FaultSpec& spec =
+          channel_.faults().resolve(rank_, dst, shared_msg->kind);
+      if (spec.drop_send > 0.0 && engine_.rand_uniform() < spec.drop_send) {
+        ++fault_counters_.sends_dropped;
+        return;
+      }
+      extra = draw_jitter(spec);
+    }
+    deliver_remote(dst_port, shared_msg, extra);
   });
   return wr;
 }
@@ -99,13 +140,40 @@ std::uint64_t IpcPort::post_rdma_write(int dst, const void* local,
     imm->src_node = rank_;
     shared_imm = std::make_shared<WireMessage>(std::move(*imm));
   }
-  tx_.submit(duration, [this, wr, dst_port, local, remote, bytes,
+  tx_.submit(duration, [this, wr, dst, dst_port, local, remote, bytes,
                         shared_imm] {
+    const FaultSpec* spec = nullptr;
+    if (channel_.faults().enabled()) {
+      const int kind = shared_imm ? shared_imm->kind : FaultModel::kNoKind;
+      spec = &channel_.faults().resolve(rank_, dst, kind);
+      if (spec->fail_write > 0.0 &&
+          engine_.rand_uniform() < spec->fail_write) {
+        // Copy/map error (a failed CUDA-IPC mapping, a faulted CMA copy):
+        // nothing lands, no notification goes out, and the poster learns
+        // via a synthetic error completion — the same CqType::kError the
+        // fabric surfaces, so the reliability layer retransmits out of
+        // its staging slot regardless of transport.
+        ++fault_counters_.writes_failed;
+        deliver(Completion{CqType::kError, wr, {}});
+        return;
+      }
+    }
     // Data lands when the copy engine drains; the notification follows one
     // channel latency later (same ordering guarantee as the fabric).
     if (bytes > 0) std::memcpy(remote, local, bytes);
     deliver(Completion{CqType::kRdmaComplete, wr, {}});
-    if (shared_imm) deliver_remote(dst_port, shared_imm);
+    if (shared_imm) {
+      sim::SimTime extra = 0;
+      if (spec != nullptr) {
+        if (spec->drop_imm > 0.0 &&
+            engine_.rand_uniform() < spec->drop_imm) {
+          ++fault_counters_.imms_dropped;
+          return;
+        }
+        extra = draw_jitter(*spec);
+      }
+      deliver_remote(dst_port, shared_imm, extra);
+    }
   });
   return wr;
 }

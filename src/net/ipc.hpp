@@ -5,8 +5,13 @@
 // moves as a direct copy between the two processes' address spaces — a
 // host-side shared-memory copy, a PCIe staging copy when one end is device
 // memory, or a peer D2D copy (the CUDA-IPC path) when both ends are device
-// memory. There is no fault model and no delivery jitter: in-node
-// transports do not lose messages.
+// memory. The channel carries the same FaultModel as the fabric (benign by
+// default): in-node delivery is lossless until a rule is installed, after
+// which seeded drops (including delivery receipts), synthetic copy/map
+// errors (CqType::kError) and per-pair delivery jitter apply exactly as
+// they do at the HCA — so the reliability layer's retransmit/backoff/abort
+// guarantees can be exercised over IPC too (see docs/RELIABILITY.md).
+// Rules resolve on (src rank, dst rank, message kind).
 //
 // The channel mirrors the verbs-shaped surface of net/fabric.hpp (same
 // WireMessage/Completion types, same post/poll verbs) so the transport
@@ -26,6 +31,7 @@
 
 #include "gpu/cost_model.hpp"
 #include "gpu/memory_registry.hpp"
+#include "net/fault.hpp"
 #include "net/wire.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -78,7 +84,8 @@ inline constexpr std::uint64_t kIpcWrBase = 1ull << 48;
 class IpcChannel;
 
 /// One rank's attachment to the node's IPC channel: a transmit pipeline
-/// (FIFO) plus a completion queue, like a NIC endpoint minus the faults.
+/// (FIFO) plus a completion queue, shaped like a NIC endpoint — including
+/// the channel's fault model, rolled at transmit-drain time.
 class IpcPort {
  public:
   IpcPort(sim::Engine& engine, IpcChannel& channel, int rank);
@@ -114,15 +121,20 @@ class IpcPort {
   std::uint64_t rdma_writes() const { return rdma_writes_; }
   std::uint64_t rdma_reads() const { return rdma_reads_; }
   sim::SimTime tx_busy_time() const { return tx_.total_busy_time(); }
+  /// Faults this port's transmit pipeline injected (same accounting side
+  /// as Endpoint::fault_counters: the sender decides).
+  const FaultCounters& fault_counters() const { return fault_counters_; }
 
  private:
   friend class IpcChannel;
   void deliver(Completion c);  // push to CQ + wake
-  void deliver_remote(IpcPort* dst, std::shared_ptr<WireMessage> msg);
+  void deliver_remote(IpcPort* dst, std::shared_ptr<WireMessage> msg,
+                      sim::SimTime extra_delay = 0);
   // Channel-level half of a delivery receipt (see Fabric::DeliveryReceipt):
   // fired at delivery time, from scheduler context.
   void send_receipt(int receipt_kind, std::size_t echo_header,
                     const WireMessage& m);
+  sim::SimTime draw_jitter(const FaultSpec& spec);
 
   sim::Engine& engine_;
   IpcChannel& channel_;
@@ -135,6 +147,7 @@ class IpcPort {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t rdma_writes_ = 0;
   std::uint64_t rdma_reads_ = 0;
+  FaultCounters fault_counters_;
 };
 
 /// One node's in-node interconnect: a port per co-located rank. Ports are
@@ -154,6 +167,12 @@ class IpcChannel {
   const IpcCostModel& cost() const { return cost_; }
   sim::Engine& engine() { return engine_; }
 
+  /// Live fault model of the channel (benign by default — perfect in-node
+  /// delivery). Rules resolve on (src rank, dst rank, kind), mirroring
+  /// Fabric::faults().
+  FaultModel& faults() { return faults_; }
+  const FaultModel& faults() const { return faults_; }
+
   /// Bandwidth for a copy of `bytes` between `src` and `dst` based on where
   /// the two buffers live: device<->device takes the peer D2D path, one
   /// device end stages over PCIe, and host<->host picks double-buffered shm
@@ -164,9 +183,10 @@ class IpcChannel {
   /// Fabric::enable_delivery_receipt): whenever a `kind` message is
   /// delivered, the channel immediately sends `receipt_kind` back to the
   /// origin with header[0] echoing the original's header[echo_header].
-  /// The channel is lossless, but the receipt still matters — it tells a
-  /// sender whose receiver has not posted the matching recv yet that the
-  /// handshake is alive, exactly like the fabric's NIC-level ack.
+  /// Even on a fault-free channel the receipt matters — it tells a sender
+  /// whose receiver has not posted the matching recv yet that the
+  /// handshake is alive, exactly like the fabric's NIC-level ack. Under a
+  /// fault model, receipts roll the same drop/jitter dice as any send.
   void enable_delivery_receipt(int kind, int receipt_kind,
                                std::size_t echo_header) {
     if (echo_header >= 6 || receipt_for(receipt_kind) != nullptr) {
@@ -192,6 +212,7 @@ class IpcChannel {
   sim::Engine& engine_;
   const gpu::MemoryRegistry& registry_;
   IpcCostModel cost_;
+  FaultModel faults_;
   std::vector<Receipt> receipts_;
   std::unordered_map<int, std::unique_ptr<IpcPort>> ports_;
 };

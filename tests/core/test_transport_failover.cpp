@@ -1,0 +1,88 @@
+// TransportRouter health tracking: consecutive-streak bookkeeping,
+// hysteresis on demote/restore, and the disabled-by-default guarantee.
+#include <gtest/gtest.h>
+
+#include "core/transport.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace core = mv2gnc::core;
+namespace netsim = mv2gnc::netsim;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+// Two distinct transports over one fabric; identity (address) is all the
+// routing assertions need.
+struct RouterRig {
+  sim::Engine eng;
+  netsim::Fabric fab{eng, 2, netsim::NetCostModel::qdr_ib()};
+  core::FabricTransport fallback{fab.endpoint(0)};
+  core::FabricTransport routed{fab.endpoint(1)};
+  core::TransportRouter router{fallback};
+  RouterRig() { router.add_route(1, routed); }
+};
+
+}  // namespace
+
+TEST(TransportFailover, HysteresisDemotesAfterConsecutiveFailures) {
+  RouterRig rig;
+  rig.router.set_failover(/*demote_after=*/2, /*restore_after=*/2);
+  EXPECT_EQ(&rig.router.route(1), &rig.routed);
+  rig.router.note_failure(1);
+  EXPECT_EQ(&rig.router.route(1), &rig.routed);  // one failure: not enough
+  rig.router.note_success(1);                    // success resets the streak
+  rig.router.note_failure(1);
+  EXPECT_EQ(&rig.router.route(1), &rig.routed);
+  rig.router.note_failure(1);  // second *consecutive* failure: demote
+  EXPECT_EQ(&rig.router.route(1), &rig.fallback);
+  const core::PeerHealth& h = rig.router.peer_health().at(1);
+  EXPECT_TRUE(h.demoted);
+  EXPECT_EQ(h.demotions, 1u);
+  EXPECT_EQ(h.restores, 0u);
+}
+
+TEST(TransportFailover, HysteresisRestoresAfterConsecutiveSuccesses) {
+  RouterRig rig;
+  rig.router.set_failover(2, 2);
+  rig.router.note_failure(1);
+  rig.router.note_failure(1);
+  ASSERT_EQ(&rig.router.route(1), &rig.fallback);
+  rig.router.note_success(1);
+  EXPECT_EQ(&rig.router.route(1), &rig.fallback);  // one success: still shy
+  rig.router.note_failure(1);                      // failure resets the streak
+  rig.router.note_success(1);
+  EXPECT_EQ(&rig.router.route(1), &rig.fallback);
+  rig.router.note_success(1);  // second consecutive success: restore
+  EXPECT_EQ(&rig.router.route(1), &rig.routed);
+  const core::PeerHealth& h = rig.router.peer_health().at(1);
+  EXPECT_FALSE(h.demoted);
+  EXPECT_EQ(h.demotions, 1u);
+  EXPECT_EQ(h.restores, 1u);
+  // The cycle can repeat: demote again from a restored state.
+  rig.router.note_failure(1);
+  rig.router.note_failure(1);
+  EXPECT_EQ(&rig.router.route(1), &rig.fallback);
+  EXPECT_EQ(rig.router.peer_health().at(1).demotions, 2u);
+}
+
+TEST(TransportFailover, DisabledByDefaultNeverReroutes) {
+  RouterRig rig;  // no set_failover: demote_after == 0 means disabled
+  for (int i = 0; i < 16; ++i) rig.router.note_failure(1);
+  EXPECT_EQ(&rig.router.route(1), &rig.routed);
+  auto it = rig.router.peer_health().find(1);
+  if (it != rig.router.peer_health().end()) {
+    EXPECT_FALSE(it->second.demoted);
+    EXPECT_EQ(it->second.demotions, 0u);
+  }
+}
+
+TEST(TransportFailover, FallbackOnlyPeerIsUnaffected) {
+  // Health events for a peer with no dedicated route must not crash and
+  // must not change its (fallback) routing.
+  RouterRig rig;
+  rig.router.set_failover(1, 1);
+  rig.router.note_failure(0);
+  rig.router.note_failure(0);
+  EXPECT_EQ(&rig.router.route(0), &rig.fallback);
+}

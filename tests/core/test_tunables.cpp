@@ -35,6 +35,52 @@ TEST(Tunables, ValidationCatchesBadValues) {
   EXPECT_THROW(t.validate(), std::invalid_argument);
 }
 
+TEST(Tunables, ValidationCatchesBadFaultKnobs) {
+  Tunables t;
+  t.rank_stall_prob = -0.1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.rank_stall_prob = 1.5;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.rank_stall_ns = -1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.rank_skew_ns = -1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.transport_restore_threshold = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.coll_watchdog_factor = 0.5;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  // Boundary values are legal: probabilities may be exactly 0 or 1, the
+  // failover threshold 0 means "disabled".
+  t = Tunables{};
+  t.rank_stall_prob = 1.0;
+  t.transport_failover_threshold = 0;
+  t.coll_watchdog_factor = 1.0;
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Tunables, FaultKnobsRoundTrip) {
+  Tunables t;
+  t.rank_skew_ns = 25'000;
+  t.rank_stall_prob = 0.125;
+  t.rank_stall_ns = 4'000;
+  t.transport_failover_threshold = 5;
+  t.transport_restore_threshold = 7;
+  t.coll_watchdog_factor = 6.5;
+  std::istringstream in(t.to_config_string());
+  Tunables u = Tunables::from_stream(in);
+  EXPECT_EQ(u.rank_skew_ns, 25'000);
+  EXPECT_DOUBLE_EQ(u.rank_stall_prob, 0.125);
+  EXPECT_EQ(u.rank_stall_ns, 4'000);
+  EXPECT_EQ(u.transport_failover_threshold, 5u);
+  EXPECT_EQ(u.transport_restore_threshold, 7u);
+  EXPECT_DOUBLE_EQ(u.coll_watchdog_factor, 6.5);
+}
+
 TEST(Tunables, HostPackTimeModel) {
   Tunables t;
   t.host_pack_bw = 2.0;           // 2 bytes/ns

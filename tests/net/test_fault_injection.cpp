@@ -55,6 +55,53 @@ TEST(FaultModel, RulePrecedencePairOverKindOverDefault) {
   EXPECT_DOUBLE_EQ(fm.resolve(0, 1, 7).drop_send, 0.0);
 }
 
+TEST(FaultModel, PairKindRuleOutranksPairAndKind) {
+  // Full precedence tier, most specific first: pair+kind beats pair beats
+  // kind beats default — and removal of the top rule falls through to the
+  // next one, not to zero.
+  netsim::FaultModel fm;
+  netsim::FaultSpec dflt, by_kind, by_pair, by_pair_kind;
+  dflt.drop_send = 0.1;
+  by_kind.drop_send = 0.2;
+  by_pair.drop_send = 0.3;
+  by_pair_kind.drop_send = 0.4;
+  fm.set_default(dflt);
+  fm.set_kind(7, by_kind);
+  fm.set_pair(0, 1, by_pair);
+  fm.set_pair_kind(0, 1, 7, by_pair_kind);
+  EXPECT_TRUE(fm.enabled());
+  EXPECT_DOUBLE_EQ(fm.resolve(0, 1, 7).drop_send, 0.4);  // pair+kind wins
+  EXPECT_DOUBLE_EQ(fm.resolve(0, 1, 9).drop_send, 0.3);  // other kind: pair
+  EXPECT_DOUBLE_EQ(fm.resolve(1, 0, 7).drop_send, 0.2);  // other dir: kind
+  EXPECT_DOUBLE_EQ(fm.resolve(1, 0, 9).drop_send, 0.1);  // default last
+  // A pair+kind rule alone keeps the model enabled.
+  fm.clear();
+  fm.set_pair_kind(2, 3, 5, by_pair_kind);
+  EXPECT_TRUE(fm.enabled());
+  EXPECT_DOUBLE_EQ(fm.resolve(2, 3, 5).drop_send, 0.4);
+  EXPECT_DOUBLE_EQ(fm.resolve(2, 3, 6).drop_send, 0.0);
+  fm.clear();
+  EXPECT_FALSE(fm.enabled());
+}
+
+TEST(FaultInjection, PairKindRuleDropsOnlyThatKindOnThatPath) {
+  sim::Engine eng;
+  eng.seed_rng(11);
+  netsim::Fabric fab(eng, 3, netsim::NetCostModel::qdr_ib());
+  netsim::FaultSpec spec;
+  spec.drop_send = 1.0;
+  fab.faults().set_pair_kind(0, 1, /*kind=*/7, spec);
+  eng.spawn("sender", [&] {
+    fab.endpoint(0).post_send(1, make_msg(7));  // dropped: pair+kind match
+    fab.endpoint(0).post_send(1, make_msg(8));  // other kind: delivered
+    fab.endpoint(0).post_send(2, make_msg(7));  // other dst: delivered
+  });
+  eng.run();
+  EXPECT_EQ(drain(fab.endpoint(1)).size(), 1u);
+  EXPECT_EQ(drain(fab.endpoint(2)).size(), 1u);
+  EXPECT_EQ(fab.endpoint(0).fault_counters().sends_dropped, 1u);
+}
+
 TEST(FaultInjection, CertainDropLosesSendButSenderStillCompletes) {
   sim::Engine eng;
   eng.seed_rng(42);
