@@ -78,4 +78,17 @@ class JsonReport {
   std::vector<std::pair<std::string, double>> metrics_;
 };
 
+/// Append an engine's execution-throughput counters under `prefix`: events
+/// executed, wall-clock seconds spent inside run(), events per wall second
+/// and wall seconds per simulated virtual second. Call while the Cluster
+/// (or Engine) that ran the cell is still alive.
+inline void add_engine_throughput(JsonReport& report, const std::string& prefix,
+                                  const sim::Engine& engine) {
+  report.add(prefix + "_events",
+             static_cast<double>(engine.events_executed()));
+  report.add(prefix + "_wall_s", engine.run_wall_seconds());
+  report.add(prefix + "_events_per_s", engine.events_per_wall_second());
+  report.add(prefix + "_wall_per_virtual_s", engine.wall_per_virtual_second());
+}
+
 }  // namespace mv2gnc::bench

@@ -19,7 +19,8 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   trace_.set_enabled(config_.trace_enabled);
   engine_.seed_rng(config_.rng_seed);
   fabric_ = std::make_unique<netsim::Fabric>(engine_, config_.ranks,
-                                             config_.net_cost);
+                                             config_.net_cost,
+                                             config_.topology);
   fabric_->faults() = config_.faults;
   // RC-transport acknowledgement of the RTS: the receiving NIC confirms
   // delivery even while the receiving process is busy computing, so the
@@ -268,6 +269,66 @@ void Cluster::print_stats(std::ostream& os) {
                   sim::to_ms(s.h2d_busy), sim::to_ms(s.d2d_busy),
                   sim::to_ms(s.kernel_busy), s.vbuf_high_water);
     os << line;
+  }
+  // Inter-switch link occupancy. Only the fat-tree topology has shared
+  // links, so every crossbar run (the default) prints exactly as before.
+  const std::vector<netsim::LinkStats> links = fabric_->link_stats();
+  if (!links.empty()) {
+    const netsim::FabricTopology& topo = fabric_->topology();
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "fabric links (fat-tree: %d ports/leaf, %d uplinks/leaf, "
+                  "oversubscription %.1f:1)\n",
+                  topo.leaf_ports, topo.uplinks(), topo.oversubscription);
+    os << head;
+    std::vector<const netsim::LinkStats*> active;
+    for (const netsim::LinkStats& l : links) {
+      if (l.ops > 0) active.push_back(&l);
+    }
+    std::sort(active.begin(), active.end(),
+              [](const netsim::LinkStats* a, const netsim::LinkStats* b) {
+                if (a->busy_total != b->busy_total) {
+                  return a->busy_total > b->busy_total;
+                }
+                if (a->up != b->up) return a->up;
+                if (a->leaf != b->leaf) return a->leaf < b->leaf;
+                return a->index < b->index;
+              });
+    os << "link              ops  contended   MB-crossed      busy  "
+          "wait-total  peak-backlog\n";
+    constexpr std::size_t kMaxLinkRows = 16;  // busiest first; rest summed
+    netsim::LinkStats tot;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const netsim::LinkStats& l = *active[i];
+      tot.ops += l.ops;
+      tot.contended_ops += l.contended_ops;
+      tot.bytes += l.bytes;
+      tot.busy_total += l.busy_total;
+      tot.wait_total += l.wait_total;
+      if (l.peak_backlog > tot.peak_backlog) tot.peak_backlog = l.peak_backlog;
+      if (i >= kMaxLinkRows) continue;
+      char line[200];
+      std::snprintf(line, sizeof(line),
+                    "leaf%03d.%s%-3d %8llu %10llu %12.2f %7.2fms %8.2fms "
+                    "%11.2fms\n",
+                    l.leaf, l.up ? "up" : "dn", l.index,
+                    static_cast<unsigned long long>(l.ops),
+                    static_cast<unsigned long long>(l.contended_ops),
+                    static_cast<double>(l.bytes) / 1e6,
+                    sim::to_ms(l.busy_total), sim::to_ms(l.wait_total),
+                    sim::to_ms(l.peak_backlog));
+      os << line;
+    }
+    char totline[200];
+    std::snprintf(totline, sizeof(totline),
+                  "all %zu links     %8llu %10llu %12.2f %7.2fms %8.2fms "
+                  "%11.2fms\n",
+                  active.size(), static_cast<unsigned long long>(tot.ops),
+                  static_cast<unsigned long long>(tot.contended_ops),
+                  static_cast<double>(tot.bytes) / 1e6,
+                  sim::to_ms(tot.busy_total), sim::to_ms(tot.wait_total),
+                  sim::to_ms(tot.peak_backlog));
+    os << totline;
   }
   // Per-transport traffic split, shown only when some rank actually has
   // more than one wire path (so the default topology's output is unchanged).

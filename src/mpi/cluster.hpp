@@ -36,6 +36,10 @@ struct ClusterConfig {
   int ranks = 2;
   gpu::GpuCostModel gpu_cost = gpu::GpuCostModel::tesla_c2050();
   netsim::NetCostModel net_cost = netsim::NetCostModel::qdr_ib();
+  /// Switch topology of the fabric. The default crossbar has no shared
+  /// links and is byte-identical with builds that predate the topology
+  /// model; fat_tree() adds leaf/spine link contention (bench_scaleout).
+  netsim::FabricTopology topology;
   core::Tunables tunables;
   /// Device DRAM per GPU (the paper's C2050 has 3 GB).
   std::size_t device_memory_bytes = 3ull << 30;

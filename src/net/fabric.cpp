@@ -27,10 +27,13 @@ sim::SimTime Endpoint::draw_jitter(const FaultSpec& spec) {
 }
 
 void Endpoint::deliver_remote(Endpoint* dst_ep,
-                              std::shared_ptr<WireMessage> msg,
+                              std::unique_ptr<WireMessage> msg,
                               sim::SimTime extra_delay) {
+  // The message is owned by the event itself (move-captured): one
+  // allocation carries it from post to delivery, with none of the
+  // control-block churn a shared_ptr chain would add per chunk.
   engine_.schedule_after(fabric_.cost().latency_ns + extra_delay,
-                         [dst_ep, msg] {
+                         [dst_ep, msg = std::move(msg)]() mutable {
                            const DeliveryReceipt* r =
                                dst_ep->fabric_.receipt_for(msg->kind);
                            if (r != nullptr) dst_ep->send_receipt(*r, *msg);
@@ -49,18 +52,18 @@ void Endpoint::send_receipt(const DeliveryReceipt& r,
   ack.header[0] = m.header[r.echo_header];
   const NetCostModel& c = fabric_.cost();
   Endpoint* dst_ep = &fabric_.endpoint(dst);
-  auto shared = std::make_shared<WireMessage>(std::move(ack));
+  auto owned = std::make_unique<WireMessage>(std::move(ack));
   ++messages_sent_;
   // The HCA generates the receipt itself: no process posts a WR, so there
   // is no post overhead and no kSendComplete — only transmit occupancy,
   // plus the usual fault rolls on the (this -> dst, receipt_kind) edge. A
   // receipt kind has no receipt of its own, so this cannot recurse.
   tx_.submit(c.per_msg_overhead_ns + c.wire_time(64),
-             [this, dst, dst_ep, shared] {
+             [this, dst, dst_ep, msg = std::move(owned)]() mutable {
                sim::SimTime extra = 0;
                if (fabric_.faults().enabled()) {
                  const FaultSpec& spec =
-                     fabric_.faults().resolve(node_, dst, shared->kind);
+                     fabric_.faults().resolve(node_, dst, msg->kind);
                  if (spec.drop_send > 0.0 &&
                      engine_.rand_uniform() < spec.drop_send) {
                    ++fault_counters_.sends_dropped;
@@ -68,7 +71,8 @@ void Endpoint::send_receipt(const DeliveryReceipt& r,
                  }
                  extra = draw_jitter(spec);
                }
-               deliver_remote(dst_ep, shared, extra);
+               extra += fabric_.traverse(node_, dst, 64);
+               deliver_remote(dst_ep, std::move(msg), extra);
              });
 }
 
@@ -93,23 +97,26 @@ std::uint64_t Endpoint::post_send(int dst, WireMessage msg) {
   const sim::SimTime duration =
       c.per_msg_overhead_ns + c.wire_time(msg.payload.size() + 64);
   Endpoint* dst_ep = &fabric_.endpoint(dst);
-  auto shared_msg = std::make_shared<WireMessage>(std::move(msg));
-  tx_.submit(duration, [this, wr, dst, dst_ep, shared_msg] {
+  auto owned_msg = std::make_unique<WireMessage>(std::move(msg));
+  tx_.submit(duration, [this, wr, dst, dst_ep,
+                        m = std::move(owned_msg)]() mutable {
     // The sender's NIC drained the WR either way; whether the network then
     // loses the message is decided here, at drain time, so the fault
     // sequence depends only on the deterministic event order.
     deliver(Completion{CqType::kSendComplete, wr, {}});
     sim::SimTime extra = 0;
     if (fabric_.faults().enabled()) {
-      const FaultSpec& spec =
-          fabric_.faults().resolve(node_, dst, shared_msg->kind);
+      const FaultSpec& spec = fabric_.faults().resolve(node_, dst, m->kind);
       if (spec.drop_send > 0.0 && engine_.rand_uniform() < spec.drop_send) {
         ++fault_counters_.sends_dropped;
         return;
       }
       extra = draw_jitter(spec);
     }
-    deliver_remote(dst_ep, shared_msg, extra);
+    // Dropped messages never reach the switch fabric's shared links; a
+    // delivered one queues behind whatever else its route is carrying.
+    extra += fabric_.traverse(node_, dst, m->payload.size() + 64);
+    deliver_remote(dst_ep, std::move(m), extra);
   });
   return wr;
 }
@@ -131,17 +138,16 @@ std::uint64_t Endpoint::post_rdma_write(int dst, const void* local,
   bytes_sent_ += bytes;
   const sim::SimTime duration = c.per_msg_overhead_ns + c.wire_time(bytes);
   Endpoint* dst_ep = &fabric_.endpoint(dst);
-  std::shared_ptr<WireMessage> shared_imm;
+  std::unique_ptr<WireMessage> owned_imm;
   if (imm) {
     imm->src_node = node_;
-    shared_imm = std::make_shared<WireMessage>(std::move(*imm));
+    owned_imm = std::make_unique<WireMessage>(std::move(*imm));
   }
   tx_.submit(duration, [this, wr, dst, dst_ep, local, remote, bytes,
-                        shared_imm] {
+                        imm_msg = std::move(owned_imm)]() mutable {
     const FaultSpec* spec = nullptr;
     if (fabric_.faults().enabled()) {
-      const int kind =
-          shared_imm ? shared_imm->kind : FaultModel::kNoKind;
+      const int kind = imm_msg ? imm_msg->kind : FaultModel::kNoKind;
       spec = &fabric_.faults().resolve(node_, dst, kind);
       if (spec->fail_write > 0.0 &&
           engine_.rand_uniform() < spec->fail_write) {
@@ -157,17 +163,22 @@ std::uint64_t Endpoint::post_rdma_write(int dst, const void* local,
     // notification before the payload (the RDMA ordering guarantee).
     if (bytes > 0) std::memcpy(remote, local, bytes);
     deliver(Completion{CqType::kRdmaComplete, wr, {}});
-    if (shared_imm) {
-      sim::SimTime extra = 0;
+    // The written payload crosses the switch fabric whether or not an
+    // immediate follows; its queuing delay pushes the notification back,
+    // so a receiver never learns of data the shared links have not
+    // carried yet.
+    const sim::SimTime link_delay = fabric_.traverse(node_, dst, bytes + 64);
+    if (imm_msg) {
+      sim::SimTime extra = link_delay;
       if (spec != nullptr) {
         if (spec->drop_imm > 0.0 &&
             engine_.rand_uniform() < spec->drop_imm) {
           ++fault_counters_.imms_dropped;
           return;
         }
-        extra = draw_jitter(*spec);
+        extra += draw_jitter(*spec);
       }
-      deliver_remote(dst_ep, shared_imm, extra);
+      deliver_remote(dst_ep, std::move(imm_msg), extra);
     }
   });
   return wr;
@@ -195,9 +206,12 @@ std::uint64_t Endpoint::post_rdma_read(int src, void* local,
                                         wr, &c] {
     target->tx_.submit(
         c.per_msg_overhead_ns + c.wire_time(bytes),
-        [this, local, remote, bytes, wr, &c] {
-          engine_.schedule_after(c.latency_ns, [this, local, remote, bytes,
-                                                wr] {
+        [this, target, local, remote, bytes, wr, &c] {
+          // The response data crosses the switch fabric target -> reader.
+          const sim::SimTime link_delay =
+              fabric_.traverse(target->node_, node_, bytes + 64);
+          engine_.schedule_after(c.latency_ns + link_delay,
+                                 [this, local, remote, bytes, wr] {
             if (bytes > 0) std::memcpy(local, remote, bytes);
             deliver(Completion{CqType::kRdmaReadComplete, wr, {}});
           });
@@ -206,13 +220,92 @@ std::uint64_t Endpoint::post_rdma_read(int src, void* local,
   return wr;
 }
 
-Fabric::Fabric(sim::Engine& engine, int nodes, NetCostModel cost)
-    : engine_(engine), cost_(cost) {
+Fabric::Fabric(sim::Engine& engine, int nodes, NetCostModel cost,
+               FabricTopology topology)
+    : engine_(engine), cost_(cost), topology_(topology) {
   if (nodes <= 0) throw std::invalid_argument("Fabric: nodes must be > 0");
+  topology_.validate();
+  if (topology_.kind == FabricTopology::Kind::kFatTree) {
+    uplinks_per_leaf_ = topology_.uplinks();
+    const int leaves =
+        (nodes + topology_.leaf_ports - 1) / topology_.leaf_ports;
+    const std::size_t n_links =
+        static_cast<std::size_t>(leaves) *
+        static_cast<std::size_t>(uplinks_per_leaf_);
+    up_.resize(n_links);
+    down_.resize(n_links);
+  }
   endpoints_.reserve(static_cast<std::size_t>(nodes));
   for (int n = 0; n < nodes; ++n) {
     endpoints_.push_back(std::make_unique<Endpoint>(engine, *this, n));
   }
+}
+
+sim::SimTime Fabric::cross_link(Link& l, sim::SimTime arrival,
+                                sim::SimTime wire, std::size_t bytes) {
+  const sim::SimTime start = arrival > l.busy_until ? arrival : l.busy_until;
+  const sim::SimTime backlog = start - arrival;
+  l.busy_until = start + wire;
+  l.busy_total += wire;
+  l.bytes += bytes;
+  ++l.ops;
+  if (backlog > 0) {
+    ++l.contended_ops;
+    l.wait_total += backlog;
+    if (backlog > l.peak_backlog) l.peak_backlog = backlog;
+  }
+  return start;
+}
+
+sim::SimTime Fabric::traverse(int src, int dst, std::size_t bytes) {
+  if (up_.empty()) return 0;  // crossbar: no shared links
+  const int src_leaf = src / topology_.leaf_ports;
+  const int dst_leaf = dst / topology_.leaf_ports;
+  if (src_leaf == dst_leaf) return 0;  // same edge switch, dedicated path
+  // D-mod-k static routing: the uplink (== spine) is picked from the
+  // destination alone, so every packet for one dst funnels through the
+  // same spine — deterministic, and it produces the incast hot-spot a
+  // hashed ECMP fabric shows on average.
+  const int u = dst % uplinks_per_leaf_;
+  const sim::SimTime now = engine_.now();
+  const sim::SimTime wire = cost_.wire_time(bytes);
+  // Cut-through accounting: serialization on the switch links overlaps the
+  // sender's own transmit serialization, so an idle path adds zero delay
+  // (single-flow fat tree == crossbar, which keeps the calibrated
+  // baselines meaningful). Only queuing behind *other* flows on a shared
+  // link delays delivery.
+  sim::SimTime t = now;
+  t = cross_link(
+      up_[static_cast<std::size_t>(src_leaf * uplinks_per_leaf_ + u)], t,
+      wire, bytes);
+  t = cross_link(
+      down_[static_cast<std::size_t>(dst_leaf * uplinks_per_leaf_ + u)], t,
+      wire, bytes);
+  return t - now;
+}
+
+std::vector<LinkStats> Fabric::link_stats() const {
+  std::vector<LinkStats> out;
+  out.reserve(up_.size() + down_.size());
+  const auto snap = [&](const std::vector<Link>& links, bool is_up) {
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const Link& l = links[i];
+      LinkStats s;
+      s.leaf = static_cast<int>(i) / uplinks_per_leaf_;
+      s.index = static_cast<int>(i) % uplinks_per_leaf_;
+      s.up = is_up;
+      s.ops = l.ops;
+      s.contended_ops = l.contended_ops;
+      s.bytes = l.bytes;
+      s.busy_total = l.busy_total;
+      s.wait_total = l.wait_total;
+      s.peak_backlog = l.peak_backlog;
+      out.push_back(s);
+    }
+  };
+  snap(up_, true);
+  snap(down_, false);
+  return out;
 }
 
 Endpoint& Fabric::endpoint(int node) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/fault.hpp"
+#include "net/topology.hpp"
 #include "net/wire.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -118,7 +119,7 @@ class Endpoint {
   void deliver(Completion c);  // push to CQ + wake
   // Schedule delivery of `msg` into dst's CQ after wire latency plus any
   // fault-injected jitter.
-  void deliver_remote(Endpoint* dst_ep, std::shared_ptr<WireMessage> msg,
+  void deliver_remote(Endpoint* dst_ep, std::unique_ptr<WireMessage> msg,
                       sim::SimTime extra_delay);
   // NIC-side half of DeliveryReceipt: fired at delivery time for a
   // receipt-enabled kind, from scheduler context (no process needed).
@@ -140,28 +141,49 @@ class Endpoint {
   FaultCounters fault_counters_;
 };
 
-/// The cluster interconnect: `nodes` endpoints on a full crossbar.
+/// The cluster interconnect: `nodes` endpoints, by default on a full
+/// crossbar (no shared links); see FabricTopology for the fat-tree model.
 class Fabric {
  public:
-  Fabric(sim::Engine& engine, int nodes, NetCostModel cost);
+  Fabric(sim::Engine& engine, int nodes, NetCostModel cost,
+         FabricTopology topology = {});
 
   Endpoint& endpoint(int node);
   int nodes() const { return static_cast<int>(endpoints_.size()); }
   const NetCostModel& cost() const { return cost_; }
+  const FabricTopology& topology() const { return topology_; }
   sim::Engine& engine() { return engine_; }
+
+  /// Charge one message's path through the switch fabric at the current
+  /// virtual time and return the extra delivery delay it queued for
+  /// (cut-through: an uncontended traversal costs nothing on top of the
+  /// wire latency; contention on a shared up/down link delays delivery by
+  /// the backlog in front of it). Crossbar: always 0, touches nothing.
+  /// Deterministic — uses only the clock and the dst-indexed route.
+  sim::SimTime traverse(int src, int dst, std::size_t bytes);
+
+  /// Snapshot of every inter-switch link's counters, up-links first
+  /// (empty on a crossbar).
+  std::vector<LinkStats> link_stats() const;
 
   /// Arm a DeliveryReceipt (see the struct doc above) for one message kind.
   void enable_delivery_receipt(DeliveryReceipt r) {
-    if (r.echo_header >= 6 || receipt_for(r.receipt_kind) != nullptr) {
+    if (r.kind < 0 || r.echo_header >= 6 ||
+        receipt_for(r.receipt_kind) != nullptr) {
       throw std::invalid_argument("enable_delivery_receipt: bad config");
     }
+    if (receipt_index_.size() <= static_cast<std::size_t>(r.kind)) {
+      receipt_index_.resize(static_cast<std::size_t>(r.kind) + 1, -1);
+    }
+    receipt_index_[static_cast<std::size_t>(r.kind)] =
+        static_cast<std::int16_t>(receipts_.size());
     receipts_.push_back(r);
   }
+  /// O(1) kind-indexed lookup — this runs on every message delivery.
   const DeliveryReceipt* receipt_for(int kind) const {
-    for (const DeliveryReceipt& r : receipts_) {
-      if (r.kind == kind) return &r;
-    }
-    return nullptr;
+    if (static_cast<unsigned>(kind) >= receipt_index_.size()) return nullptr;
+    const std::int16_t i = receipt_index_[static_cast<std::size_t>(kind)];
+    return i >= 0 ? &receipts_[static_cast<std::size_t>(i)] : nullptr;
   }
 
   /// Fault-injection rules shared by every endpoint. Mutate before (or
@@ -172,10 +194,34 @@ class Fabric {
   const FaultModel& faults() const { return faults_; }
 
  private:
+  // One shared serialization resource inside the switch fabric. Same
+  // busy-until arithmetic as sim::FifoResource, but a plain struct — a
+  // 256-rank fat tree has hundreds of these and they sit on the
+  // per-transmit fast path.
+  struct Link {
+    sim::SimTime busy_until = 0;
+    sim::SimTime busy_total = 0;
+    sim::SimTime wait_total = 0;
+    sim::SimTime peak_backlog = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t contended_ops = 0;
+    std::uint64_t bytes = 0;
+  };
+  // Serialize `wire` time on `l` for a message arriving at `arrival`;
+  // returns the instant the message starts crossing (== arrival when the
+  // link is idle).
+  static sim::SimTime cross_link(Link& l, sim::SimTime arrival,
+                                 sim::SimTime wire, std::size_t bytes);
+
   sim::Engine& engine_;
   NetCostModel cost_;
+  FabricTopology topology_;
+  int uplinks_per_leaf_ = 0;
+  std::vector<Link> up_;    // [leaf * uplinks + u]: leaf -> spine u
+  std::vector<Link> down_;  // [leaf * uplinks + u]: spine u -> leaf
   FaultModel faults_;
   std::vector<DeliveryReceipt> receipts_;
+  std::vector<std::int16_t> receipt_index_;  // kind -> receipts_ index, -1
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 };
 

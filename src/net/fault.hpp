@@ -94,7 +94,13 @@ class FaultModel {
     by_pair_.clear();
     by_pair_kind_.clear();
     enabled_ = false;
+    has_rules_ = false;
   }
+
+  /// True when no kind/pair/pair+kind rule is installed, so resolve() is a
+  /// single branch returning the default spec. The no-faults configuration
+  /// every benchmark baseline runs never touches the three rule maps.
+  bool empty() const { return !has_rules_; }
 
   /// True when any rule can inject a fault — the transport's fast path
   /// skips all RNG draws while this is false, keeping fault-free runs
@@ -104,6 +110,7 @@ class FaultModel {
   /// Most specific spec for this operation: pair+kind, else pair, else
   /// kind, else default.
   const FaultSpec& resolve(int src, int dst, int kind) const {
+    if (!has_rules_) return default_;  // zero map probes on the fast path
     if (!by_pair_kind_.empty()) {
       if (auto it = by_pair_kind_.find({{src, dst}, kind});
           it != by_pair_kind_.end()) {
@@ -127,9 +134,12 @@ class FaultModel {
     for (const auto& [pk, s] : by_pair_kind_) {
       enabled_ = enabled_ || !s.benign();
     }
+    has_rules_ =
+        !by_kind_.empty() || !by_pair_.empty() || !by_pair_kind_.empty();
   }
 
   bool enabled_ = false;
+  bool has_rules_ = false;
   FaultSpec default_;
   std::map<int, FaultSpec> by_kind_;
   std::map<std::pair<int, int>, FaultSpec> by_pair_;

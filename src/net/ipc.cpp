@@ -25,10 +25,12 @@ sim::SimTime IpcPort::draw_jitter(const FaultSpec& spec) {
   return j;
 }
 
-void IpcPort::deliver_remote(IpcPort* dst, std::shared_ptr<WireMessage> msg,
+void IpcPort::deliver_remote(IpcPort* dst, std::unique_ptr<WireMessage> msg,
                              sim::SimTime extra_delay) {
+  // Move-captured by the delivery event: one allocation per message, no
+  // shared_ptr control-block churn (same shape as Endpoint::deliver_remote).
   engine_.schedule_after(channel_.cost().latency_ns + extra_delay,
-                         [dst, msg] {
+                         [dst, msg = std::move(msg)]() mutable {
                            const IpcChannel::Receipt* r =
                                dst->channel_.receipt_for(msg->kind);
                            if (r != nullptr) {
@@ -50,18 +52,18 @@ void IpcPort::send_receipt(int receipt_kind, std::size_t echo_header,
   ack.header[0] = m.header[echo_header];
   const IpcCostModel& c = channel_.cost();
   IpcPort* dst_port = &channel_.port(dst);
-  auto shared = std::make_shared<WireMessage>(std::move(ack));
+  auto owned = std::make_unique<WireMessage>(std::move(ack));
   ++messages_sent_;
   // Channel-generated, like the HCA's transport ack: no post overhead, no
   // kSendComplete, just transmit occupancy — plus the usual fault rolls on
   // the (this -> dst, receipt_kind) edge. A receipt kind never has a
   // receipt of its own, so this cannot recurse.
   tx_.submit(c.per_msg_overhead_ns + c.copy_time(64, c.host_bw),
-             [this, dst, dst_port, shared] {
+             [this, dst, dst_port, msg = std::move(owned)]() mutable {
                sim::SimTime extra = 0;
                if (channel_.faults().enabled()) {
                  const FaultSpec& spec =
-                     channel_.faults().resolve(rank_, dst, shared->kind);
+                     channel_.faults().resolve(rank_, dst, msg->kind);
                  if (spec.drop_send > 0.0 &&
                      engine_.rand_uniform() < spec.drop_send) {
                    ++fault_counters_.sends_dropped;
@@ -69,7 +71,7 @@ void IpcPort::send_receipt(int receipt_kind, std::size_t echo_header,
                  }
                  extra = draw_jitter(spec);
                }
-               deliver_remote(dst_port, shared, extra);
+               deliver_remote(dst_port, std::move(msg), extra);
              });
 }
 
@@ -94,8 +96,9 @@ std::uint64_t IpcPort::post_send(int dst, WireMessage msg) {
   const sim::SimTime duration =
       c.per_msg_overhead_ns + c.copy_time(msg.payload.size() + 64, c.host_bw);
   IpcPort* dst_port = &channel_.port(dst);
-  auto shared_msg = std::make_shared<WireMessage>(std::move(msg));
-  tx_.submit(duration, [this, wr, dst, dst_port, shared_msg] {
+  auto owned_msg = std::make_unique<WireMessage>(std::move(msg));
+  tx_.submit(duration, [this, wr, dst, dst_port,
+                        m = std::move(owned_msg)]() mutable {
     // The queue pair drained the descriptor either way; whether the
     // message then reaches the peer is decided here, at drain time, so
     // the fault sequence depends only on the deterministic event order
@@ -103,15 +106,14 @@ std::uint64_t IpcPort::post_send(int dst, WireMessage msg) {
     deliver(Completion{CqType::kSendComplete, wr, {}});
     sim::SimTime extra = 0;
     if (channel_.faults().enabled()) {
-      const FaultSpec& spec =
-          channel_.faults().resolve(rank_, dst, shared_msg->kind);
+      const FaultSpec& spec = channel_.faults().resolve(rank_, dst, m->kind);
       if (spec.drop_send > 0.0 && engine_.rand_uniform() < spec.drop_send) {
         ++fault_counters_.sends_dropped;
         return;
       }
       extra = draw_jitter(spec);
     }
-    deliver_remote(dst_port, shared_msg, extra);
+    deliver_remote(dst_port, std::move(m), extra);
   });
   return wr;
 }
@@ -135,16 +137,16 @@ std::uint64_t IpcPort::post_rdma_write(int dst, const void* local,
       c.per_msg_overhead_ns +
       c.copy_time(bytes, channel_.copy_bw(local, remote, bytes));
   IpcPort* dst_port = &channel_.port(dst);
-  std::shared_ptr<WireMessage> shared_imm;
+  std::unique_ptr<WireMessage> owned_imm;
   if (imm) {
     imm->src_node = rank_;
-    shared_imm = std::make_shared<WireMessage>(std::move(*imm));
+    owned_imm = std::make_unique<WireMessage>(std::move(*imm));
   }
   tx_.submit(duration, [this, wr, dst, dst_port, local, remote, bytes,
-                        shared_imm] {
+                        imm_msg = std::move(owned_imm)]() mutable {
     const FaultSpec* spec = nullptr;
     if (channel_.faults().enabled()) {
-      const int kind = shared_imm ? shared_imm->kind : FaultModel::kNoKind;
+      const int kind = imm_msg ? imm_msg->kind : FaultModel::kNoKind;
       spec = &channel_.faults().resolve(rank_, dst, kind);
       if (spec->fail_write > 0.0 &&
           engine_.rand_uniform() < spec->fail_write) {
@@ -162,7 +164,7 @@ std::uint64_t IpcPort::post_rdma_write(int dst, const void* local,
     // channel latency later (same ordering guarantee as the fabric).
     if (bytes > 0) std::memcpy(remote, local, bytes);
     deliver(Completion{CqType::kRdmaComplete, wr, {}});
-    if (shared_imm) {
+    if (imm_msg) {
       sim::SimTime extra = 0;
       if (spec != nullptr) {
         if (spec->drop_imm > 0.0 &&
@@ -172,7 +174,7 @@ std::uint64_t IpcPort::post_rdma_write(int dst, const void* local,
         }
         extra = draw_jitter(*spec);
       }
-      deliver_remote(dst_port, shared_imm, extra);
+      deliver_remote(dst_port, std::move(imm_msg), extra);
     }
   });
   return wr;

@@ -128,7 +128,7 @@ class IpcPort {
  private:
   friend class IpcChannel;
   void deliver(Completion c);  // push to CQ + wake
-  void deliver_remote(IpcPort* dst, std::shared_ptr<WireMessage> msg,
+  void deliver_remote(IpcPort* dst, std::unique_ptr<WireMessage> msg,
                       sim::SimTime extra_delay = 0);
   // Channel-level half of a delivery receipt (see Fabric::DeliveryReceipt):
   // fired at delivery time, from scheduler context.
@@ -189,9 +189,15 @@ class IpcChannel {
   /// fault model, receipts roll the same drop/jitter dice as any send.
   void enable_delivery_receipt(int kind, int receipt_kind,
                                std::size_t echo_header) {
-    if (echo_header >= 6 || receipt_for(receipt_kind) != nullptr) {
+    if (kind < 0 || echo_header >= 6 ||
+        receipt_for(receipt_kind) != nullptr) {
       throw std::invalid_argument("enable_delivery_receipt: bad config");
     }
+    if (receipt_index_.size() <= static_cast<std::size_t>(kind)) {
+      receipt_index_.resize(static_cast<std::size_t>(kind) + 1, -1);
+    }
+    receipt_index_[static_cast<std::size_t>(kind)] =
+        static_cast<std::int16_t>(receipts_.size());
     receipts_.push_back(Receipt{kind, receipt_kind, echo_header});
   }
 
@@ -202,11 +208,12 @@ class IpcChannel {
     int receipt_kind = 0;
     std::size_t echo_header = 0;
   };
+  // O(1) kind-indexed lookup, mirroring Fabric::receipt_for — it runs on
+  // every channel delivery.
   const Receipt* receipt_for(int kind) const {
-    for (const Receipt& r : receipts_) {
-      if (r.kind == kind) return &r;
-    }
-    return nullptr;
+    if (static_cast<unsigned>(kind) >= receipt_index_.size()) return nullptr;
+    const std::int16_t i = receipt_index_[static_cast<std::size_t>(kind)];
+    return i >= 0 ? &receipts_[static_cast<std::size_t>(i)] : nullptr;
   }
 
   sim::Engine& engine_;
@@ -214,6 +221,7 @@ class IpcChannel {
   IpcCostModel cost_;
   FaultModel faults_;
   std::vector<Receipt> receipts_;
+  std::vector<std::int16_t> receipt_index_;  // kind -> receipts_ index, -1
   std::unordered_map<int, std::unique_ptr<IpcPort>> ports_;
 };
 

@@ -1,0 +1,91 @@
+// netsim: interconnect topology descriptions.
+//
+// The default fabric is a full crossbar — every pair of endpoints gets a
+// dedicated path and the only serialization point is the sender's transmit
+// FIFO (the model the paper's 8-node testbed justifies, and the
+// byte-identical baseline every regression md5 is pinned to). The fat-tree
+// model adds the thing real clusters pay for at scale: a two-level
+// leaf/spine fabric whose inter-switch links are *shared* serialization
+// resources, so incast hot-spots and oversubscribed alltoalls slow down
+// while nearest-neighbour traffic inside a leaf does not.
+//
+// Routing is deterministic (dst-indexed uplink choice, the classic D-mod-k
+// static route): same inputs => same link crossings => same contention =>
+// bit-reproducible runs. See docs/SIMULATION.md, "Switch topology and link
+// contention".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace mv2gnc::netsim {
+
+/// Shape of the inter-node interconnect.
+struct FabricTopology {
+  enum class Kind {
+    kCrossbar,  // dedicated path per pair; no shared links (default)
+    kFatTree,   // two-level leaf/spine with shared up/down links
+  };
+
+  Kind kind = Kind::kCrossbar;
+
+  /// Fat tree: endpoints attached to each edge ("leaf") switch. Traffic
+  /// between two endpoints on the same leaf never touches a shared link.
+  int leaf_ports = 8;
+
+  /// Fat tree: down-bandwidth : up-bandwidth ratio at each edge switch.
+  /// 1.0 is fully provisioned (one uplink per port); 2.0 is the classic
+  /// cost-reduced 2:1 fabric with half the uplinks.
+  double oversubscription = 1.0;
+
+  /// Uplinks per leaf switch implied by the oversubscription ratio
+  /// (rounded, floored at 1). Each uplink u leads to spine switch u.
+  int uplinks() const {
+    const double ratio = oversubscription > 0.0 ? oversubscription : 1.0;
+    const int u =
+        static_cast<int>(static_cast<double>(leaf_ports) / ratio + 0.5);
+    return u < 1 ? 1 : u;
+  }
+
+  void validate() const {
+    if (kind == Kind::kCrossbar) return;
+    if (leaf_ports < 1) {
+      throw std::invalid_argument("FabricTopology: leaf_ports must be >= 1");
+    }
+    if (oversubscription <= 0.0) {
+      throw std::invalid_argument(
+          "FabricTopology: oversubscription must be > 0");
+    }
+  }
+
+  static FabricTopology crossbar() { return {}; }
+  static FabricTopology fat_tree(int leaf_ports, double oversubscription = 1.0) {
+    FabricTopology t;
+    t.kind = Kind::kFatTree;
+    t.leaf_ports = leaf_ports;
+    t.oversubscription = oversubscription;
+    return t;
+  }
+};
+
+/// Counters of one inter-switch link (an edge switch's up- or down-link to
+/// one spine), snapshot via Fabric::link_stats(). A link is a shared
+/// serialization resource: `busy_total` is serialization time consumed,
+/// `wait_total` / `peak_backlog` measure queuing behind earlier messages
+/// (the contention the crossbar cannot express), and `contended_ops`
+/// counts crossings that had to wait at all.
+struct LinkStats {
+  int leaf = 0;        // edge switch index (endpoint / leaf_ports)
+  int index = 0;       // uplink index == spine switch index
+  bool up = true;      // true: leaf -> spine; false: spine -> leaf
+  std::uint64_t ops = 0;
+  std::uint64_t contended_ops = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime busy_total = 0;
+  sim::SimTime wait_total = 0;
+  sim::SimTime peak_backlog = 0;
+};
+
+}  // namespace mv2gnc::netsim

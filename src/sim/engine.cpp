@@ -101,8 +101,9 @@ Engine::~Engine() {
 }
 
 SimTime Engine::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return now_;
+  // Lock-free: the clock only moves in dispatch, and the reader is almost
+  // always the token-holding process, which cannot race the dispatcher.
+  return now_.load(std::memory_order_relaxed);
 }
 
 void Engine::spawn(std::string name, std::function<void()> body) {
@@ -117,21 +118,24 @@ void Engine::spawn(std::string name, std::function<void()> body) {
   p->thread = std::thread([this, p] { trampoline(p); });
 }
 
-void Engine::schedule_at(SimTime at, std::function<void()> action) {
+void Engine::schedule_at(SimTime at, SmallFn action) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (at < now_) at = now_;
+  const SimTime t = now_.load(std::memory_order_relaxed);
+  if (at < t) at = t;
   queue_.push(detail::ScheduledEvent{at, seq_++, std::move(action)});
 }
 
-void Engine::schedule_after(SimTime delay, std::function<void()> action) {
+void Engine::schedule_after(SimTime delay, SmallFn action) {
   std::lock_guard<std::mutex> lock(mu_);
-  SimTime at = (delay < 0) ? now_ : now_ + delay;
+  const SimTime t = now_.load(std::memory_order_relaxed);
+  const SimTime at = (delay < 0) ? t : t + delay;
   queue_.push(detail::ScheduledEvent{at, seq_++, std::move(action)});
 }
 
-TimerId Engine::schedule_timer(SimTime at, std::function<void()> action) {
+TimerId Engine::schedule_timer(SimTime at, SmallFn action) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (at < now_) at = now_;
+  const SimTime t = now_.load(std::memory_order_relaxed);
+  if (at < t) at = t;
   TimerId id = next_timer_id_++;
   pending_timers_.insert(id);
   queue_.push(detail::ScheduledEvent{at, seq_++, std::move(action), id});
@@ -166,8 +170,9 @@ std::uint64_t Engine::rand_below(std::uint64_t bound) {
 void Engine::delay(SimTime d) {
   std::unique_lock<std::mutex> lock(mu_);
   detail::Process* self = current_locked();
-  SimTime at = now_ + (d < 0 ? 0 : d);
-  // The action runs on the scheduler thread without the lock held.
+  const SimTime at =
+      now_.load(std::memory_order_relaxed) + (d < 0 ? 0 : d);
+  // The action runs in scheduler context without the lock held.
   queue_.push(detail::ScheduledEvent{at, seq_++, [this, self] {
                                        std::lock_guard<std::mutex> l(mu_);
                                        make_ready_locked(self);
@@ -202,12 +207,69 @@ void Engine::block_current_locked(std::unique_lock<std::mutex>& lock,
   self->state = detail::ProcState::kBlocked;
   self->wait_reason = reason;
   running_ = nullptr;
-  scheduler_cv_.notify_one();
+  // Dispatch inline: this thread runs due events and hands the token on
+  // before it sleeps. If an event makes `self` ready again, the token comes
+  // straight back (resume_token already set) and the cv wait never blocks —
+  // zero OS context switches for the common block-then-wake-at-once cycle.
+  dispatch_locked(lock, self);
   self->cv.wait(lock, [self] { return self->resume_token; });
   self->resume_token = false;
   self->state = detail::ProcState::kRunning;
   running_ = self;
   if (aborting_) throw ProcessAborted{};
+}
+
+void Engine::dispatch_locked(std::unique_lock<std::mutex>& lock,
+                             detail::Process* self) {
+  // Precondition: the token is free (running_ == nullptr) and this thread
+  // holds the lock. Exactly one thread can be here at a time, because only
+  // the thread that released the token (or run(), when nothing holds it)
+  // calls dispatch.
+  for (;;) {
+    if (aborting_ || first_error_) {
+      // Teardown owns scheduling from here; wake run()/abort_all.
+      main_cv_.notify_all();
+      return;
+    }
+    if (!ready_.empty()) {
+      detail::Process* p = ready_.front();
+      ready_.pop_front();
+      if (p->state != detail::ProcState::kReady) continue;
+      p->state = detail::ProcState::kRunning;
+      running_ = p;
+      p->resume_token = true;
+      // Handing the token back to the dispatching process itself needs no
+      // notify: its upcoming cv.wait sees resume_token and returns at once.
+      if (p != self) p->cv.notify_one();
+      return;
+    }
+    if (!queue_.empty()) {
+      detail::ScheduledEvent ev =
+          std::move(const_cast<detail::ScheduledEvent&>(queue_.top()));
+      queue_.pop();
+      if (ev.timer_id != 0) {
+        // Canceled timers are discarded without touching the clock: a
+        // retransmission timer armed far in the future must not stretch
+        // the fault-free run's elapsed time after its transfer completed.
+        if (pending_timers_.erase(ev.timer_id) == 0) continue;
+      }
+      now_.store(ev.at, std::memory_order_relaxed);
+      ++events_executed_;
+      // Actions run without the lock so they may freely use the public
+      // API (trigger flags, notify, schedule). Nothing else is runnable
+      // while an action executes (the token is free and every process is
+      // blocked or waiting), so this is race-free.
+      lock.unlock();
+      ev.action();
+      lock.lock();
+      continue;
+    }
+    // No runnable process and no pending event: the simulation is over —
+    // run() decides whether that means "finished" or "deadlocked".
+    sim_stopped_ = true;
+    main_cv_.notify_all();
+    return;
+  }
 }
 
 void Engine::trampoline(detail::Process* p) {
@@ -218,7 +280,7 @@ void Engine::trampoline(detail::Process* p) {
     if (aborting_) {
       p->state = detail::ProcState::kFinished;
       running_ = nullptr;
-      scheduler_cv_.notify_one();
+      main_cv_.notify_all();
       return;
     }
     p->state = detail::ProcState::kRunning;
@@ -232,79 +294,63 @@ void Engine::trampoline(detail::Process* p) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   p->state = detail::ProcState::kFinished;
   if (running_ == p) running_ = nullptr;
-  scheduler_cv_.notify_one();
+  if (aborting_ || first_error_) {
+    // Teardown (or a sibling's exception) is in charge; just report in.
+    main_cv_.notify_all();
+    return;
+  }
+  // Keep the simulation moving: the finishing thread dispatches onward.
+  dispatch_locked(lock, nullptr);
 }
 
 void Engine::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   if (in_run_) throw std::logic_error("Engine::run() is not reentrant");
   in_run_ = true;
-  for (;;) {
-    if (first_error_) {
-      abort_all_locked(lock);
-      break;
-    }
-    if (!ready_.empty()) {
-      detail::Process* p = ready_.front();
-      ready_.pop_front();
-      if (p->state != detail::ProcState::kReady) continue;
-      p->state = detail::ProcState::kRunning;
-      running_ = p;
-      p->resume_token = true;
-      p->cv.notify_one();
-      scheduler_cv_.wait(lock, [this] { return running_ == nullptr; });
-      continue;
-    }
-    if (!queue_.empty()) {
-      detail::ScheduledEvent ev =
-          std::move(const_cast<detail::ScheduledEvent&>(queue_.top()));
-      queue_.pop();
-      if (ev.timer_id != 0) {
-        // Canceled timers are discarded without touching the clock: a
-        // retransmission timer armed far in the future must not stretch
-        // the fault-free run's elapsed time after its transfer completed.
-        if (pending_timers_.erase(ev.timer_id) == 0) continue;
-      }
-      now_ = ev.at;
-      ++events_executed_;
-      // Actions run without the lock so they may freely use the public
-      // API (trigger flags, notify, schedule). Nothing else is runnable
-      // while the scheduler executes an action, so this is race-free.
-      lock.unlock();
-      ev.action();
-      lock.lock();
-      continue;
-    }
-    // No runnable process and no pending event: either everything finished
-    // or the system is deadlocked.
-    bool any_blocked = false;
-    std::ostringstream diag;
-    for (const auto& p : processes_) {
-      if (p->state == detail::ProcState::kBlocked) {
-        any_blocked = true;
-        diag << "\n  process '" << p->name << "' blocked on: "
-             << p->wait_reason;
-      }
-    }
-    if (any_blocked) {
-      abort_all_locked(lock);
-      in_run_ = false;
-      throw DeadlockError("simulation deadlock at t=" + format_time(now_) +
-                          diag.str());
-    }
-    break;
-  }
-  in_run_ = false;
+  sim_stopped_ = false;
+  const auto accumulate_wall = [&] {
+    wall_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  };
+  // Kick the simulation off, then sleep until it stops: the processes
+  // themselves keep the dispatch loop running between here and there.
+  dispatch_locked(lock, nullptr);
+  main_cv_.wait(lock, [this] { return sim_stopped_ || first_error_; });
   if (first_error_) {
+    abort_all_locked(lock);
+    in_run_ = false;
+    accumulate_wall();
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;
     lock.unlock();
     join_all();
     std::rethrow_exception(err);
   }
+  // Quiescent: everything finished, or every live process is stuck.
+  bool any_blocked = false;
+  std::ostringstream diag;
+  for (const auto& p : processes_) {
+    if (p->state == detail::ProcState::kBlocked) {
+      any_blocked = true;
+      diag << "\n  process '" << p->name << "' blocked on: "
+           << p->wait_reason;
+    }
+  }
+  if (any_blocked) {
+    abort_all_locked(lock);
+    in_run_ = false;
+    accumulate_wall();
+    throw DeadlockError(
+        "simulation deadlock at t=" +
+        format_time(now_.load(std::memory_order_relaxed)) + diag.str());
+  }
+  in_run_ = false;
+  accumulate_wall();
 }
 
 void Engine::abort_all_locked(std::unique_lock<std::mutex>& lock) {
@@ -320,7 +366,7 @@ void Engine::abort_all_locked(std::unique_lock<std::mutex>& lock) {
       }
     }
     if (!any_alive) break;
-    scheduler_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    main_cv_.wait_for(lock, std::chrono::milliseconds(1));
   }
 }
 

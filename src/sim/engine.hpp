@@ -6,11 +6,23 @@
 // condition (EventFlag / Notifier / Channel). Between process slices the
 // engine pops the earliest pending event and advances the virtual clock.
 //
+// Scheduling is dispatch-inline: there is no separate scheduler thread.
+// Whichever thread gives the token back (a blocking process, a finishing
+// process, or run() itself at the start) runs the dispatch loop in place —
+// executing due events and handing the token straight to the next ready
+// process. That halves the OS context switches per process slice compared
+// to bouncing through a dedicated scheduler thread, which is what makes
+// many-hundred-rank clusters tractable on the virtual clock (see
+// docs/SIMULATION.md). The dispatch order (ready FIFO first, then the
+// earliest event, seq-ordered within a timestamp) is exactly the order the
+// former scheduler-thread loop used, so virtual timings are unchanged.
+//
 // The payoff is that code written against the simulated CUDA/MPI APIs looks
 // like ordinary blocking code, while the whole run is bit-deterministic:
 // same inputs => same event order => same virtual timings.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -26,6 +38,7 @@
 #include <unordered_set>
 
 #include "sim/rng.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace mv2gnc::sim {
@@ -66,7 +79,7 @@ struct Process {
 struct ScheduledEvent {
   SimTime at;
   std::uint64_t seq;  // FIFO tie-break for same-time events
-  std::function<void()> action;
+  SmallFn action;     // inline storage: no heap allocation per event
   TimerId timer_id = 0;  // nonzero only for cancellable timers
 };
 
@@ -150,18 +163,18 @@ class Engine {
   void run();
 
   /// Schedule `action` at absolute virtual time `at` (must be >= now()).
-  /// Actions run on the scheduler thread with the engine lock held; they
-  /// must be short and must not block.
-  void schedule_at(SimTime at, std::function<void()> action);
+  /// Actions run in scheduler context (no process holds the run token while
+  /// one executes); they must be short and must not block.
+  void schedule_at(SimTime at, SmallFn action);
 
   /// Schedule `action` after a relative delay.
-  void schedule_after(SimTime delay, std::function<void()> action);
+  void schedule_after(SimTime delay, SmallFn action);
 
   /// Schedule a cancellable action at absolute virtual time `at`; returns a
-  /// handle for cancel_timer(). Like schedule_at, the action runs on the
-  /// scheduler thread and must be short and non-blocking — retransmission
+  /// handle for cancel_timer(). Like schedule_at, the action runs in
+  /// scheduler context and must be short and non-blocking — retransmission
   /// timers only notify() a progress loop, they never retransmit in place.
-  TimerId schedule_timer(SimTime at, std::function<void()> action);
+  TimerId schedule_timer(SimTime at, SmallFn action);
 
   /// Cancel a timer created by schedule_timer. Returns true if the timer was
   /// still pending (and will now never fire). A canceled timer is skipped
@@ -190,6 +203,25 @@ class Engine {
   /// Total number of events executed so far (diagnostic).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Wall-clock seconds spent inside run() so far (real time — the only
+  /// place the simulator looks at a wall clock; diagnostics only).
+  double run_wall_seconds() const { return wall_seconds_; }
+
+  /// Engine throughput: events executed per wall-clock second inside
+  /// run(). 0 before the first run() returns.
+  double events_per_wall_second() const {
+    return wall_seconds_ > 0.0
+               ? static_cast<double>(events_executed_) / wall_seconds_
+               : 0.0;
+  }
+
+  /// Wall-clock seconds burned per simulated (virtual) second — the
+  /// scale-out cost metric bench_scaleout tracks. 0 until the clock moves.
+  double wall_per_virtual_second() const {
+    const double virt = to_sec(now());
+    return virt > 0.0 ? wall_seconds_ / virt : 0.0;
+  }
+
  private:
   friend class EventFlag;
   friend class Notifier;
@@ -201,26 +233,37 @@ class Engine {
   // Blocks the calling process; `reason` shows up in deadlock reports.
   void block_current_locked(std::unique_lock<std::mutex>& lock,
                             const std::string& reason);
+  // The dispatch loop: run due events and hand the token to the next ready
+  // process, or declare the simulation stopped (quiescent). Called by
+  // whichever thread just released the token; `self` is the calling
+  // process (nullptr from run() or a finished process) so a self-handoff
+  // can skip the condition-variable round trip.
+  void dispatch_locked(std::unique_lock<std::mutex>& lock,
+                       detail::Process* self);
   void trampoline(detail::Process* p);
   void abort_all_locked(std::unique_lock<std::mutex>& lock);
   void join_all();
 
   mutable std::mutex mu_;
-  std::condition_variable scheduler_cv_;
+  std::condition_variable main_cv_;  // run()/abort wait here for progress
   std::vector<std::unique_ptr<detail::Process>> processes_;
   std::deque<detail::Process*> ready_;
   std::priority_queue<detail::ScheduledEvent, std::vector<detail::ScheduledEvent>,
                       detail::EventOrder>
       queue_;
   detail::Process* running_ = nullptr;
-  SimTime now_ = 0;
+  // Written only in dispatch (under mu_); read lock-free by now() from the
+  // token-holding process, so ordinary loads suffice.
+  std::atomic<SimTime> now_{0};
   std::uint64_t seq_ = 0;
   TimerId next_timer_id_ = 1;
   std::unordered_set<TimerId> pending_timers_;
   SplitMix64 rng_;
   std::uint64_t events_executed_ = 0;
+  double wall_seconds_ = 0.0;
   bool aborting_ = false;
   bool in_run_ = false;
+  bool sim_stopped_ = false;  // dispatch found nothing left to run
   std::exception_ptr first_error_;
 };
 

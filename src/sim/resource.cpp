@@ -10,13 +10,12 @@ namespace mv2gnc::sim {
 FifoResource::FifoResource(Engine& engine, std::string name)
     : engine_(engine), name_(std::move(name)) {}
 
-SimTime FifoResource::submit(SimTime duration,
-                             std::function<void()> on_complete) {
+SimTime FifoResource::submit(SimTime duration, SmallFn on_complete) {
   return submit_after(0, duration, std::move(on_complete));
 }
 
 SimTime FifoResource::submit_after(SimTime earliest_start, SimTime duration,
-                                   std::function<void()> on_complete) {
+                                   SmallFn on_complete) {
   if (duration < 0) duration = 0;
   const SimTime start =
       std::max({engine_.now(), busy_until_, earliest_start});

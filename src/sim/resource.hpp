@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace mv2gnc::sim {
@@ -27,13 +27,13 @@ class FifoResource {
   FifoResource(Engine& engine, std::string name);
 
   /// Enqueue an operation. Returns its absolute completion time.
-  SimTime submit(SimTime duration, std::function<void()> on_complete = {});
+  SimTime submit(SimTime duration, SmallFn on_complete = {});
 
   /// Enqueue an operation that may not start before `earliest_start`
   /// (used to express cross-resource ordering, e.g. CUDA stream order when
   /// consecutive stream operations land on different engines).
   SimTime submit_after(SimTime earliest_start, SimTime duration,
-                       std::function<void()> on_complete = {});
+                       SmallFn on_complete = {});
 
   /// Time at which the queue drains (>= now when busy).
   SimTime busy_until() const { return busy_until_; }

@@ -1,0 +1,126 @@
+// SmallFn: a move-only callable for the engine's hot paths.
+//
+// Every scheduled event and every FifoResource completion used to be a
+// std::function<void()>, and almost every one of them captures more than
+// std::function's tiny inline buffer holds — so a 256-rank run paid one
+// heap allocation (and one free) per event. SmallFn keeps 72 bytes of
+// inline storage, enough for every capture the simulator creates (a this
+// pointer, a few ints, a unique_ptr or two), and only falls back to the
+// heap for oversized or alignment-exotic callables. Being move-only is the
+// point, not a limitation: it lets completion lambdas own their payload
+// via unique_ptr instead of the shared_ptr churn std::function's
+// copyability used to force.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mv2gnc::sim {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. 72 + the 8-byte ops pointer keeps sizeof
+  /// (SmallFn) at 80, so a ScheduledEvent stays within two cache lines.
+  static constexpr std::size_t kInlineBytes = 72;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &kOps<Fn, true>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kOps<Fn, false>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invoke. Undefined on an empty SmallFn (like std::function, minus the
+  /// bad_function_call ceremony the engine never relied on).
+  void operator()() { ops_->call(buf_); }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    // Move-construct dst's buffer from src's and end src's lifetime —
+    // one vtable hop instead of separate move + destroy.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn, bool Inline>
+  static constexpr Ops kOps = {
+      [](void* b) {
+        if constexpr (Inline) {
+          (*std::launder(reinterpret_cast<Fn*>(b)))();
+        } else {
+          (**std::launder(reinterpret_cast<Fn**>(b)))();
+        }
+      },
+      [](void* dst, void* src) {
+        if constexpr (Inline) {
+          Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        } else {
+          // Heap-backed: steal the pointer.
+          ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+        }
+      },
+      [](void* b) {
+        if constexpr (Inline) {
+          std::launder(reinterpret_cast<Fn*>(b))->~Fn();
+        } else {
+          delete *std::launder(reinterpret_cast<Fn**>(b));
+        }
+      },
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mv2gnc::sim

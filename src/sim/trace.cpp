@@ -4,19 +4,8 @@
 
 namespace mv2gnc::sim {
 
-void TraceRecorder::record(int rank, const std::string& category,
-                           SimTime begin, SimTime end) {
-  if (!enabled_) return;
-  records_.push_back(TraceRecord{rank, category, begin, end});
-}
-
-void TraceRecorder::event(int rank, const std::string& category, SimTime at) {
-  if (!enabled_) return;
-  records_.push_back(TraceRecord{rank, category, at, at});
-}
-
 std::uint64_t TraceRecorder::count(int rank,
-                                   const std::string& category) const {
+                                   std::string_view category) const {
   std::uint64_t n = 0;
   for (const TraceRecord& r : records_) {
     if (r.rank == rank && r.category == category) ++n;
@@ -24,7 +13,7 @@ std::uint64_t TraceRecorder::count(int rank,
   return n;
 }
 
-std::uint64_t TraceRecorder::count(const std::string& category) const {
+std::uint64_t TraceRecorder::count(std::string_view category) const {
   std::uint64_t n = 0;
   for (const TraceRecord& r : records_) {
     if (r.category == category) ++n;
@@ -32,7 +21,7 @@ std::uint64_t TraceRecorder::count(const std::string& category) const {
   return n;
 }
 
-SimTime TraceRecorder::total(int rank, const std::string& category) const {
+SimTime TraceRecorder::total(int rank, std::string_view category) const {
   SimTime sum = 0;
   for (const TraceRecord& r : records_) {
     if (r.rank == rank && r.category == category) sum += r.duration();
@@ -40,7 +29,7 @@ SimTime TraceRecorder::total(int rank, const std::string& category) const {
   return sum;
 }
 
-SimTime TraceRecorder::total(const std::string& category) const {
+SimTime TraceRecorder::total(std::string_view category) const {
   SimTime sum = 0;
   for (const TraceRecord& r : records_) {
     if (r.category == category) sum += r.duration();

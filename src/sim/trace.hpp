@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -28,26 +29,34 @@ class TraceRecorder {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
-  /// Record an interval (no-op while disabled).
-  void record(int rank, const std::string& category, SimTime begin,
-              SimTime end);
+  /// Record an interval. No-op while disabled — and genuinely free: the
+  /// string_view signature plus the inline enabled check mean a disabled
+  /// call site constructs no std::string temporary and pays one branch.
+  void record(int rank, std::string_view category, SimTime begin,
+              SimTime end) {
+    if (!enabled_) return;
+    records_.push_back(TraceRecord{rank, std::string(category), begin, end});
+  }
 
   /// Record a point event — a zero-duration record at `at`. Used for fault,
   /// retransmit, and stall occurrences where only the count and timestamp
   /// matter, not a duration.
-  void event(int rank, const std::string& category, SimTime at);
+  void event(int rank, std::string_view category, SimTime at) {
+    if (!enabled_) return;
+    records_.push_back(TraceRecord{rank, std::string(category), at, at});
+  }
 
   /// Number of records (intervals and events) for (rank, category).
-  std::uint64_t count(int rank, const std::string& category) const;
+  std::uint64_t count(int rank, std::string_view category) const;
 
   /// Number of records for a category across all ranks.
-  std::uint64_t count(const std::string& category) const;
+  std::uint64_t count(std::string_view category) const;
 
   /// Sum of durations for (rank, category).
-  SimTime total(int rank, const std::string& category) const;
+  SimTime total(int rank, std::string_view category) const;
 
   /// Sum of durations for a category across all ranks.
-  SimTime total(const std::string& category) const;
+  SimTime total(std::string_view category) const;
 
   /// Distinct categories seen for `rank`, in first-seen order.
   std::vector<std::string> categories(int rank) const;

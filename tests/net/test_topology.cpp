@@ -1,0 +1,257 @@
+// Fat-tree topology semantics: deterministic D-mod-k routing, shared-link
+// queuing, cut-through equivalence with the crossbar on uncontended paths,
+// and the per-link stats surfaced through Cluster::print_stats.
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+#include "net/fabric.hpp"
+
+namespace mpisim = mv2gnc::mpisim;
+namespace netsim = mv2gnc::netsim;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+netsim::WireMessage make_msg(int kind, std::vector<std::byte> payload = {}) {
+  netsim::WireMessage m;
+  m.kind = kind;
+  m.payload = std::move(payload);
+  return m;
+}
+
+// Runs one sender per (src, dst) pair, all posting simultaneously, and
+// records the virtual arrival time of each dst's first kRecv.
+std::vector<sim::SimTime> arrival_times(
+    netsim::Fabric& fab, sim::Engine& eng,
+    const std::vector<std::pair<int, int>>& flows, std::size_t bytes) {
+  std::vector<sim::SimTime> arrivals(flows.size(), 0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto [src, dst] = flows[i];
+    eng.spawn("s" + std::to_string(src), [&fab, src, dst, bytes] {
+      fab.endpoint(src).post_send(dst,
+                                  make_msg(1, std::vector<std::byte>(bytes)));
+    });
+    eng.spawn("r" + std::to_string(dst), [&fab, &eng, &arrivals, i, dst] {
+      sim::Notifier n(eng);
+      fab.endpoint(dst).set_wakeup(&n);
+      netsim::Completion c;
+      for (;;) {
+        if (fab.endpoint(dst).poll(c)) {
+          if (c.type == netsim::CqType::kRecv) break;
+        } else {
+          n.wait();
+        }
+      }
+      arrivals[i] = eng.now();
+      fab.endpoint(dst).set_wakeup(nullptr);
+    });
+  }
+  eng.run();
+  return arrivals;
+}
+
+}  // namespace
+
+TEST(FabricTopology, UplinksFollowOversubscription) {
+  EXPECT_EQ(netsim::FabricTopology::fat_tree(8, 1.0).uplinks(), 8);
+  EXPECT_EQ(netsim::FabricTopology::fat_tree(8, 2.0).uplinks(), 4);
+  EXPECT_EQ(netsim::FabricTopology::fat_tree(8, 4.0).uplinks(), 2);
+  // Floors at one uplink no matter how harsh the ratio.
+  EXPECT_EQ(netsim::FabricTopology::fat_tree(2, 16.0).uplinks(), 1);
+}
+
+TEST(FabricTopology, ValidateRejectsBadFatTrees) {
+  EXPECT_NO_THROW(netsim::FabricTopology::crossbar().validate());
+  EXPECT_NO_THROW(netsim::FabricTopology::fat_tree(8, 2.0).validate());
+  EXPECT_THROW(netsim::FabricTopology::fat_tree(0, 2.0).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(netsim::FabricTopology::fat_tree(8, 0.0).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(netsim::FabricTopology::fat_tree(8, -1.0).validate(),
+               std::invalid_argument);
+}
+
+TEST(FabricTopology, CrossbarHasNoSharedLinks) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 4, netsim::NetCostModel::qdr_ib());
+  EXPECT_EQ(fab.topology().kind, netsim::FabricTopology::Kind::kCrossbar);
+  EXPECT_TRUE(fab.link_stats().empty());
+  // traverse is a no-op: no delay, no state.
+  EXPECT_EQ(fab.traverse(0, 3, 1 << 20), 0);
+  EXPECT_TRUE(fab.link_stats().empty());
+}
+
+TEST(FabricTopology, SameLeafTrafficNeverTouchesSharedLinks) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 8, netsim::NetCostModel::qdr_ib(),
+                     netsim::FabricTopology::fat_tree(4, 2.0));
+  EXPECT_EQ(fab.traverse(0, 3, 1 << 20), 0);  // both on leaf 0
+  for (const netsim::LinkStats& l : fab.link_stats()) EXPECT_EQ(l.ops, 0u);
+}
+
+TEST(FabricTopology, SingleFlowCrossLeafMatchesCrossbarTiming) {
+  // Cut-through accounting: an uncontended fat-tree path adds zero delay,
+  // so a lone cross-leaf message lands at exactly the crossbar instant.
+  const std::size_t kBytes = 64 * 1024;
+  sim::SimTime crossbar_at = 0;
+  {
+    sim::Engine eng;
+    netsim::Fabric fab(eng, 16, netsim::NetCostModel::qdr_ib());
+    crossbar_at = arrival_times(fab, eng, {{0, 9}}, kBytes)[0];
+  }
+  sim::SimTime fat_at = 0;
+  {
+    sim::Engine eng;
+    netsim::Fabric fab(eng, 16, netsim::NetCostModel::qdr_ib(),
+                       netsim::FabricTopology::fat_tree(8, 2.0));
+    fat_at = arrival_times(fab, eng, {{0, 9}}, kBytes)[0];
+    // The flow did cross a leaf boundary: both links saw it.
+    std::uint64_t ops = 0;
+    for (const netsim::LinkStats& l : fab.link_stats()) ops += l.ops;
+    EXPECT_EQ(ops, 2u);  // one up-link crossing + one down-link crossing
+  }
+  EXPECT_GT(crossbar_at, 0);
+  EXPECT_EQ(fat_at, crossbar_at);
+}
+
+TEST(FabricTopology, TwoFlowsSharingAnUplinkQueueBehindEachOther) {
+  // leaf_ports=2, 2:1 oversubscription => exactly one uplink per leaf.
+  // Flows 0->2 and 1->3 both cross from leaf 0 to leaf 1 through it; the
+  // later drain queues for exactly one wire time of the earlier one.
+  const std::size_t kBytes = 64 * 1024;
+  const netsim::NetCostModel cost = netsim::NetCostModel::qdr_ib();
+  const std::vector<std::pair<int, int>> flows = {{0, 2}, {1, 3}};
+  std::vector<sim::SimTime> xbar;
+  {
+    sim::Engine eng;
+    netsim::Fabric fab(eng, 4, cost);
+    xbar = arrival_times(fab, eng, flows, kBytes);
+  }
+  std::vector<sim::SimTime> fat;
+  sim::SimTime wait_total = 0;
+  std::uint64_t contended = 0;
+  {
+    sim::Engine eng;
+    netsim::Fabric fab(eng, 4, cost,
+                       netsim::FabricTopology::fat_tree(2, 2.0));
+    fat = arrival_times(fab, eng, flows, kBytes);
+    for (const netsim::LinkStats& l : fab.link_stats()) {
+      wait_total += l.wait_total;
+      contended += l.contended_ops;
+    }
+  }
+  // Both flows drain their (independent) NICs at the same instant on the
+  // crossbar and arrive together; on the fat tree the first is untouched
+  // and the second waits one serialization of the first on the uplink.
+  EXPECT_EQ(xbar[0], xbar[1]);
+  EXPECT_EQ(fat[0], xbar[0]);
+  EXPECT_EQ(fat[1], xbar[1] + cost.wire_time(kBytes + 64));
+  EXPECT_EQ(contended, 1u);
+  EXPECT_EQ(wait_total, cost.wire_time(kBytes + 64));
+}
+
+TEST(FabricTopology, IncastFunnelsThroughOneUplinkDeterministically) {
+  // Every rank of leaf 1 fires at node 0: D-mod-k sends all of it through
+  // spine 0 — the classic hot-spot. The queuing accumulates on leaf 1's
+  // up-link; by the time flows reach the down-link they are already spaced
+  // one serialization apart, so it stays busy but never backs up.
+  const std::size_t kBytes = 32 * 1024;
+  const netsim::NetCostModel cost = netsim::NetCostModel::qdr_ib();
+  const std::vector<std::pair<int, int>> flows = {
+      {4, 0}, {5, 0}, {6, 0}, {7, 0}};
+  auto run_once = [&](std::vector<netsim::LinkStats>& stats_out) {
+    sim::Engine eng;
+    netsim::Fabric fab(eng, 8, cost,
+                       netsim::FabricTopology::fat_tree(4, 2.0));
+    std::vector<sim::SimTime> arrivals(1, 0);
+    for (const auto [src, dst] : flows) {
+      eng.spawn("s" + std::to_string(src), [&fab, src, dst, kBytes] {
+        fab.endpoint(src).post_send(
+            dst, make_msg(1, std::vector<std::byte>(kBytes)));
+      });
+    }
+    eng.spawn("sink", [&] {
+      sim::Notifier n(eng);
+      fab.endpoint(0).set_wakeup(&n);
+      netsim::Completion c;
+      int got = 0;
+      while (got < 4) {
+        if (fab.endpoint(0).poll(c)) {
+          if (c.type == netsim::CqType::kRecv) ++got;
+        } else {
+          n.wait();
+        }
+      }
+      arrivals[0] = eng.now();
+    });
+    eng.run();
+    stats_out = fab.link_stats();
+    return arrivals[0];
+  };
+  std::vector<netsim::LinkStats> s1;
+  std::vector<netsim::LinkStats> s2;
+  const sim::SimTime t1 = run_once(s1);
+  const sim::SimTime t2 = run_once(s2);
+  EXPECT_EQ(t1, t2);  // bit-reproducible, link state included
+  ASSERT_EQ(s1.size(), s2.size());
+  const sim::SimTime wire = cost.wire_time(kBytes + 64);
+  bool saw_hot_uplink = false;
+  bool saw_spaced_downlink = false;
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].ops, s2[i].ops);
+    EXPECT_EQ(s1[i].bytes, s2[i].bytes);
+    EXPECT_EQ(s1[i].wait_total, s2[i].wait_total);
+    if (s1[i].up && s1[i].leaf == 1 && s1[i].index == 0) {
+      saw_hot_uplink = true;
+      EXPECT_EQ(s1[i].ops, 4u);
+      EXPECT_EQ(s1[i].busy_total, 4 * wire);
+      // Three of the four crossings queued; the deepest behind all three
+      // predecessors.
+      EXPECT_EQ(s1[i].contended_ops, 3u);
+      EXPECT_EQ(s1[i].wait_total, 6 * wire);
+      EXPECT_EQ(s1[i].peak_backlog, 3 * wire);
+    }
+    if (!s1[i].up && s1[i].leaf == 0 && s1[i].index == 0) {
+      saw_spaced_downlink = true;
+      EXPECT_EQ(s1[i].ops, 4u);
+      EXPECT_EQ(s1[i].busy_total, 4 * wire);
+      EXPECT_EQ(s1[i].contended_ops, 0u);  // up-link already spaced them
+    }
+  }
+  EXPECT_TRUE(saw_hot_uplink);
+  EXPECT_TRUE(saw_spaced_downlink);
+}
+
+TEST(FabricTopology, ClusterPrintStatsShowsFabricLinksOnlyForFatTree) {
+  auto run_cluster = [](bool fat_tree) {
+    mpisim::ClusterConfig cfg;
+    cfg.ranks = 16;
+    if (fat_tree) cfg.topology = netsim::FabricTopology::fat_tree(8, 2.0);
+    mpisim::Cluster cluster(cfg);
+    cluster.run([](mpisim::Context& ctx) {
+      // Every rank sends one rendezvous-sized message across the leaf
+      // boundary (rank XOR 8 lives on the other leaf of an 8-port tree).
+      auto dt = mpisim::Datatype::byte();
+      dt.commit();
+      std::vector<std::byte> tx(32 * 1024, std::byte{0x11});
+      std::vector<std::byte> rx(32 * 1024);
+      const int peer = ctx.rank ^ 8;
+      ctx.comm.sendrecv(tx.data(), static_cast<int>(tx.size()), dt, peer, 3,
+                        rx.data(), static_cast<int>(rx.size()), dt, peer, 3);
+    });
+    std::ostringstream os;
+    cluster.print_stats(os);
+    return os.str();
+  };
+  const std::string fat = run_cluster(true);
+  EXPECT_NE(fat.find("fabric links"), std::string::npos);
+  EXPECT_NE(fat.find("oversubscription 2.0:1"), std::string::npos);
+  EXPECT_NE(fat.find("up"), std::string::npos);
+  const std::string xbar = run_cluster(false);
+  EXPECT_EQ(xbar.find("fabric links"), std::string::npos);
+}
