@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "apps/reporting.hpp"
 #include "bench_util.hpp"
+#include "core/tunables.hpp"
 #include "mpi/cluster.hpp"
 
 namespace bench = mv2gnc::bench;
@@ -171,6 +174,232 @@ CellResult run_cell(bench::JsonReport& report, Workload w, int ranks,
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Routing-mode x topology sweep (congestion-adaptive routing + ECN feedback)
+// ---------------------------------------------------------------------------
+
+// The sweep's hot-spot patterns differ from the main grid on purpose:
+//  * incast stays the many-to-one funnel (D-mod-k's worst case: every flow
+//    shares one spine), but
+//  * the alltoall cell is an UNSYNCHRONIZED hot-spot storm — every rank
+//    posts all of its isends at once (no pairwise-exchange phases) and the
+//    targets are the ranks divisible by kStormStride. A *uniform* alltoall
+//    is statically balanced under D-mod-k (dst % uplinks spreads evenly
+//    when destinations are uniform), so it cannot separate the policies;
+//    hot destinations all congruent mod the uplink count pin D-mod-k to
+//    one spine per leaf while hash/adaptive still spread over all of them.
+enum class HotSpot { kIncast, kStorm };
+
+// Storm targets: every rank whose index is divisible by this. 8 matches
+// the sweep's leaf_ports/group_size, so each edge switch (or dragonfly
+// group) hosts exactly one hot rank, and every hot rank index is ≡ 0 mod
+// the fat tree's 4 uplinks — D-mod-k's blind spot.
+constexpr int kStormStride = 8;
+
+const char* hotspot_name(HotSpot h) {
+  return h == HotSpot::kIncast ? "incast" : "storm";
+}
+
+enum class SweepTopo { kXbar, kFat2, kDragonfly };
+
+const char* sweep_topo_name(SweepTopo t) {
+  switch (t) {
+    case SweepTopo::kXbar: return "xbar";
+    case SweepTopo::kFat2: return "fat2";
+    default: return "dfly";
+  }
+}
+
+const char* route_name(mv2gnc::core::RouteSelect r) {
+  switch (r) {
+    case mv2gnc::core::RouteSelect::kDmodK: return "dmodk";
+    case mv2gnc::core::RouteSelect::kHash: return "hash";
+    default: return "adaptive";
+  }
+}
+
+void run_hotspot(HotSpot h, std::size_t bytes, mpisim::Context& ctx,
+                 sim::SimTime stagger_ns = 0) {
+  auto dt = mpisim::Datatype::byte();
+  dt.commit();
+  if (h == HotSpot::kIncast) {
+    // Optional ramp: sender r joins at r * stagger_ns instead of everyone
+    // bursting at t=0. The ECN cells need this — with a simultaneous
+    // burst the peak queue forms from the very first credit windows,
+    // before any ack (and thus any mark) has ever come back, so feedback
+    // cannot shave a peak that is already history.
+    if (stagger_ns > 0 && ctx.rank > 0) {
+      ctx.engine->delay(stagger_ns * static_cast<sim::SimTime>(ctx.rank));
+    }
+    if (ctx.rank == 0) {
+      std::vector<std::byte> rx(bytes * static_cast<std::size_t>(ctx.size - 1));
+      std::vector<mpisim::Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(ctx.size - 1));
+      for (int src = 1; src < ctx.size; ++src) {
+        reqs.push_back(ctx.comm.irecv(
+            rx.data() + bytes * static_cast<std::size_t>(src - 1),
+            static_cast<int>(bytes), dt, src, 7));
+      }
+      ctx.comm.waitall(reqs);
+    } else {
+      std::vector<std::byte> tx(bytes, std::byte{0x5A});
+      ctx.comm.send(tx.data(), static_cast<int>(bytes), dt, 0, 7);
+    }
+    return;
+  }
+  // Hot-spot storm: everyone fires at the ranks divisible by kStormStride,
+  // all isends posted at once. One hot rank per edge switch (stride ==
+  // leaf_ports), so the down-links stay spread and the congestion lands on
+  // the uplink/spine choice the routing policy owns.
+  std::vector<mpisim::Request> reqs;
+  const bool hot = ctx.rank % kStormStride == 0;
+  std::vector<std::byte> rx;
+  if (hot) {
+    rx.resize(bytes * static_cast<std::size_t>(ctx.size - 1));
+    reqs.reserve(static_cast<std::size_t>(ctx.size - 1));
+    for (int src = 0; src < ctx.size; ++src) {
+      if (src == ctx.rank) continue;
+      const int slot = src < ctx.rank ? src : src - 1;
+      reqs.push_back(
+          ctx.comm.irecv(rx.data() + bytes * static_cast<std::size_t>(slot),
+                         static_cast<int>(bytes), dt, src, 9));
+    }
+  }
+  std::vector<std::byte> tx(bytes, std::byte{0x3C});
+  for (int peer = 0; peer < ctx.size; peer += kStormStride) {
+    if (peer == ctx.rank) continue;
+    reqs.push_back(ctx.comm.isend(tx.data(), static_cast<int>(bytes), dt,
+                                  peer, 9));
+  }
+  ctx.comm.waitall(reqs);
+}
+
+struct SweepResult {
+  sim::SimTime elapsed = 0;
+  sim::SimTime peak_backlog = 0;
+  std::uint64_t ecn_marks = 0;
+};
+
+SweepResult run_sweep_cell(bench::JsonReport& report, HotSpot h, int ranks,
+                           SweepTopo topo, mv2gnc::core::RouteSelect route,
+                           std::size_t bytes, sim::SimTime ecn_ns = 0,
+                           sim::SimTime stagger_ns = 0) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = ranks;
+  if (topo == SweepTopo::kFat2) {
+    cfg.topology = netsim::FabricTopology::fat_tree(8, 2.0);
+  } else if (topo == SweepTopo::kDragonfly) {
+    cfg.topology = netsim::FabricTopology::dragonfly(8);
+  }
+  cfg.tunables.route_select = route;
+  cfg.tunables.ecn_backlog_ns = ecn_ns;
+  mpisim::Cluster cluster(cfg);
+  cluster.run([&](mpisim::Context& ctx) {
+    run_hotspot(h, bytes, ctx, stagger_ns);
+  });
+  SweepResult res;
+  res.elapsed = cluster.elapsed();
+  for (const netsim::LinkStats& l : cluster.link_stats()) {
+    if (l.peak_backlog > res.peak_backlog) res.peak_backlog = l.peak_backlog;
+    res.ecn_marks += l.ecn_marks;
+  }
+  const std::string key = std::string(hotspot_name(h)) + "_" +
+                          sweep_topo_name(topo) + "_" + route_name(route) +
+                          (ecn_ns > 0 ? "_ecn" : "") + "_r" +
+                          std::to_string(ranks);
+  report.add(key + "_us", static_cast<double>(res.elapsed) / 1000.0);
+  report.add(key + "_peak_backlog_us",
+             static_cast<double>(res.peak_backlog) / 1000.0);
+  report.add(key + "_ecn_marks", static_cast<double>(res.ecn_marks));
+  bench::add_engine_throughput(report, key, cluster.engine());
+  return res;
+}
+
+// Routing sweep: every (hot-spot, topology, route) cell, with the
+// pass/fail contract that hash and adaptive strictly beat D-mod-k on the
+// oversubscribed fat tree's hot-spots — plus an ECN on/off pair showing
+// backlog-driven depth control shaves the peak link backlog.
+bool run_routing_sweep(bench::JsonReport& report, int ranks) {
+  bool ok = true;
+  for (const HotSpot h : {HotSpot::kIncast, HotSpot::kStorm}) {
+    apps::Table table(
+        std::string("routing sweep: ") + hotspot_name(h) + " at " +
+            std::to_string(ranks) + " ranks (32 KB rendezvous payloads)",
+        {"topology", "dmodk (us)", "hash (us)", "adaptive (us)",
+         "best-vs-dmodk"});
+    for (const SweepTopo topo :
+         {SweepTopo::kXbar, SweepTopo::kFat2, SweepTopo::kDragonfly}) {
+      SweepResult by_route[3];
+      int i = 0;
+      for (const auto route :
+           {mv2gnc::core::RouteSelect::kDmodK, mv2gnc::core::RouteSelect::kHash,
+            mv2gnc::core::RouteSelect::kAdaptive}) {
+        by_route[i++] = run_sweep_cell(report, h, ranks, topo, route,
+                                       /*bytes=*/32 * 1024);
+      }
+      const double dmodk = static_cast<double>(by_route[0].elapsed);
+      const double best = static_cast<double>(
+          std::min(by_route[1].elapsed, by_route[2].elapsed));
+      char gain[32];
+      std::snprintf(gain, sizeof(gain), "%.2fx",
+                    best > 0.0 ? dmodk / best : 0.0);
+      table.add_row({sweep_topo_name(topo), apps::format_us(by_route[0].elapsed),
+                     apps::format_us(by_route[1].elapsed),
+                     apps::format_us(by_route[2].elapsed), gain});
+      if (topo == SweepTopo::kFat2) {
+        if (by_route[1].elapsed >= by_route[0].elapsed) {
+          ok = false;
+          std::cout << "FAIL: hash does not beat dmodk on fat-tree "
+                    << hotspot_name(h) << " at " << ranks << " ranks\n";
+        }
+        if (by_route[2].elapsed >= by_route[0].elapsed) {
+          ok = false;
+          std::cout << "FAIL: adaptive does not beat dmodk on fat-tree "
+                    << hotspot_name(h) << " at " << ranks << " ranks\n";
+        }
+      }
+    }
+    table.print(std::cout);
+  }
+  // ECN cell: long multi-chunk (4 MB = 64 chunk) incast. The depth starts
+  // at the pool ceiling (32) under kFifo and the shrink is rate-limited to
+  // about one halving per depth's worth of acks, so the transfer must be
+  // long enough for repeated decrease to bite below the credit window of 8
+  // — a 16-chunk message yields one halving and changes nothing.
+  const int ecn_ranks = std::min(ranks, 64);
+  const std::size_t kEcnBytes = 4 << 20;
+  const sim::SimTime kEcnThreshold = 50'000;
+  const sim::SimTime kEcnStagger = 50'000;  // one ~20us chunk every 50us/rank
+  const SweepResult off = run_sweep_cell(
+      report, HotSpot::kIncast, ecn_ranks, SweepTopo::kFat2,
+      mv2gnc::core::RouteSelect::kDmodK, kEcnBytes, 0, kEcnStagger);
+  const SweepResult on = run_sweep_cell(
+      report, HotSpot::kIncast, ecn_ranks, SweepTopo::kFat2,
+      mv2gnc::core::RouteSelect::kDmodK, kEcnBytes, kEcnThreshold,
+      kEcnStagger);
+  apps::Table ecn_table(
+      "ECN backlog-driven depth control: 4 MB incast at " +
+          std::to_string(ecn_ranks) + " ranks, fat-tree 2:1",
+      {"ecn", "elapsed (us)", "peak link backlog (us)", "marks"});
+  ecn_table.add_row({"off", apps::format_us(off.elapsed),
+                     apps::format_us(off.peak_backlog),
+                     std::to_string(off.ecn_marks)});
+  ecn_table.add_row({"on", apps::format_us(on.elapsed),
+                     apps::format_us(on.peak_backlog),
+                     std::to_string(on.ecn_marks)});
+  ecn_table.print(std::cout);
+  if (on.ecn_marks == 0) {
+    ok = false;
+    std::cout << "FAIL: ECN threshold armed but no link ever marked\n";
+  }
+  if (on.peak_backlog >= off.peak_backlog) {
+    ok = false;
+    std::cout << "FAIL: ECN did not reduce peak link backlog ("
+              << on.peak_backlog << " >= " << off.peak_backlog << " ns)\n";
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -234,8 +463,22 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
 
+  // Congestion-adaptive routing + ECN sweep. Runs after (and prints after)
+  // the classic grid, so the byte-identical baseline of the cells above is
+  // preserved verbatim.
+  bench::JsonReport routing_report("routing");
+  const bool routing_ok = run_routing_sweep(routing_report, smoke ? 64 : 256);
+  const std::string routing_path = routing_report.write();
+  if (!routing_path.empty()) {
+    std::cout << "\nrouting JSON written to " << routing_path << "\n";
+  }
+
   const std::string path = report.write();
   if (!path.empty()) std::cout << "\nJSON written to " << path << "\n";
+  if (!routing_ok) {
+    std::cout << "\nscale-out bench FAILED: routing/ECN contract broken\n";
+    return 1;
+  }
   if (!contention_seen_everywhere) {
     std::cout << "\nscale-out bench FAILED: expected fat-tree contention "
                  "missing\n";

@@ -32,8 +32,10 @@ enum MsgKind : int {
   kChunkFin = 4,  // h0=recv req, h1=chunk idx, h2=slot idx, h3=offset,
                   // h4=bytes  — the "RDMA write finish" message
   kChunkAck = 5,  // h0=sender req, h1=acked chunk idx, h2=recycled slot idx
-                  //   (kNoSlot if none), h3=credit seq; payload = recycled
-                  //   slot address — per-chunk ack with the CREDIT fused in
+                  //   (kNoSlot if none), h3=credit seq, h4=ECN echo (1 when
+                  //   the acked chunk's fin carried a congestion mark);
+                  //   payload = recycled slot address — per-chunk ack with
+                  //   the CREDIT fused in
   kRndvDone = 6,  // h0=sender req, h1=recv req — receiver-driven (RGET)
                   //   completion
   kSendDone = 7,  // h0=recv req — sender has seen every ack (or the RGET
@@ -97,20 +99,23 @@ struct AckBatchEntry {
   std::uint64_t slot_idx = kNoSlot;  // kNoSlot: no credit rides on this ack
   std::uint64_t credit_seq = 0;
   void* slot_addr = nullptr;         // recycled landing address (credit)
+  bool congested = false;            // ECN echo: the acked chunk's fin
+                                     // carried a fabric congestion mark
 };
 
 inline void append_ack_entry(std::vector<std::byte>& payload,
                              const AckBatchEntry& e) {
-  const std::uint64_t words[5] = {
+  const std::uint64_t words[6] = {
       e.sender_req, e.chunk_idx, e.slot_idx, e.credit_seq,
-      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(e.slot_addr))};
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(e.slot_addr)),
+      e.congested ? std::uint64_t{1} : std::uint64_t{0}};
   const auto* p = reinterpret_cast<const std::byte*>(words);
   payload.insert(payload.end(), p, p + sizeof(words));
 }
 
 inline AckBatchEntry read_ack_entry(const std::vector<std::byte>& payload,
                                     std::size_t i) {
-  std::uint64_t words[5];
+  std::uint64_t words[6];
   std::memcpy(words, payload.data() + i * sizeof(words), sizeof(words));
   AckBatchEntry e;
   e.sender_req = words[0];
@@ -119,11 +124,12 @@ inline AckBatchEntry read_ack_entry(const std::vector<std::byte>& payload,
   e.credit_seq = words[3];
   e.slot_addr = reinterpret_cast<void*>(
       static_cast<std::uintptr_t>(words[4]));
+  e.congested = words[5] != 0;
   return e;
 }
 
 inline std::size_t ack_entry_count(const std::vector<std::byte>& payload) {
-  return payload.size() / (5 * sizeof(std::uint64_t));
+  return payload.size() / (6 * sizeof(std::uint64_t));
 }
 
 }  // namespace mv2gnc::core

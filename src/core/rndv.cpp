@@ -266,6 +266,7 @@ void RndvSend::trace_event(const char* category) {
 
 void RndvSend::post_ctrl(netsim::WireMessage msg) {
   msg.seq = ctrl_seq_++;
+  msg.flow = req_id_;  // hashed routing keys this transfer's path on it
   if (res_.sched != nullptr) {
     res_.sched->note_ctrl(msg.kind);
     // Any control message to the peer is a free ride for credits this
@@ -478,6 +479,7 @@ void RndvSend::post_chunk_rdma(std::size_t i, bool retransmit) {
   netsim::WireMessage fin;
   fin.kind = kChunkFin;
   fin.seq = ctrl_seq_++;
+  fin.flow = req_id_;
   fin.header[0] = peer_req_;
   fin.header[1] = i;
   fin.header[2] = slot_idx;
@@ -620,6 +622,7 @@ void RndvSend::on_chunk_ack(const netsim::WireMessage& m) {
   e.credit_seq = m.header[3];
   e.slot_addr = (m.header[2] != kNoSlot) ? read_address(m.payload, 0)
                                          : nullptr;
+  e.congested = m.header[4] != 0;
   apply_chunk_ack(e);
 }
 
@@ -634,6 +637,13 @@ void RndvSend::apply_chunk_ack(const AckBatchEntry& e) {
   acked_[idx] = true;
   ++acked_count_;
   note_progress();
+  if (res_.sched != nullptr) {
+    // ECN echo: the receiver tells us whether this chunk's fin queued past
+    // the fabric's backlog threshold; the scheduler turns marks into depth
+    // halvings and clean streaks into growth. After the duplicate check,
+    // so a replayed ack cannot double-count one congestion episode.
+    res_.sched->note_chunk_ack(req_id_, e.congested);
+  }
   if (e.slot_idx != kNoSlot) {
     // The freed landing slot rides on the ack (the paper's CREDIT).
     remote_slots_.emplace_back(e.slot_idx, e.slot_addr);
@@ -919,6 +929,7 @@ void RndvRecv::trace_event(const char* category) {
 
 void RndvRecv::post_ctrl(netsim::WireMessage msg) {
   msg.seq = ctrl_seq_++;
+  msg.flow = sender_req_;  // same flow label as the sender's leg
   if (res_.sched != nullptr) {
     res_.sched->note_ctrl(msg.kind);
     // Piggyback: pending coalesced credits for this peer must never trail
@@ -1161,6 +1172,7 @@ void RndvRecv::on_chunk_fin(const netsim::WireMessage& m) {
     throw std::logic_error("RndvRecv: chunk fin names unknown slot");
   }
   chunks_[idx].arrived = true;
+  chunks_[idx].ecn = m.ecn;  // remember the mark until the ack echoes it
   chunks_[idx].slot = m.header[2];
   ++arrived_count_;
   advance();
@@ -1172,6 +1184,7 @@ void RndvRecv::ack_chunk(std::size_t chunk_idx) {
   ack.header[0] = sender_req_;
   ack.header[1] = chunk_idx;
   ack.header[2] = kNoSlot;
+  ack.header[4] = chunks_[chunk_idx].ecn ? 1 : 0;  // ECN echo
   if (!direct_landing() && slots_advertised_ < plan_.count) {
     // Re-advertise the drained slot (the paper's CREDIT), fused onto the
     // ack so it shares the same retransmission recovery.
@@ -1198,6 +1211,7 @@ void RndvRecv::ack_chunk(std::size_t chunk_idx) {
     e.credit_seq = ack.header[3];
     e.slot_addr =
         (ack.header[2] != kNoSlot) ? slots_[ack.header[2]].ptr : nullptr;
+    e.congested = chunks_[chunk_idx].ecn;
     // The credit valve: with half the advertised window's credits pending
     // the sender is at risk of stalling on the coalescing timer; a
     // one-slot window means every ack is the sender's only credit and

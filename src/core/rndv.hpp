@@ -424,6 +424,7 @@ class RndvRecv {
 
   struct ChunkState {
     bool arrived = false;
+    bool ecn = false;  // the chunk's fin carried a fabric congestion mark
     std::uint64_t slot = 0;
     cusim::Event h2d_done;
     bool h2d_submitted = false;

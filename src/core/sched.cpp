@@ -23,7 +23,11 @@ TransferScheduler::TransferScheduler(sim::Engine& engine, VbufPool& pool,
   // transfer of a burst stages before its siblings register, and an
   // opening hoard of the whole pool is exactly what the QoS gate exists
   // to prevent. Calm-time grows earn the extra prefetch depth instead.
-  depth_ = depth_init();
+  //
+  // ECN-only mode (kFifo + ecn_backlog_ns > 0) instead opens at the
+  // ceiling: with no QoS gate running, an unmarked pipeline should behave
+  // like legacy kFifo, and only fabric marks pull the depth down.
+  depth_ = (fair() || !ecn_enabled()) ? depth_init() : depth_max();
 }
 
 // ===========================================================================
@@ -236,6 +240,14 @@ std::size_t TransferScheduler::depth_init() const {
 
 std::size_t TransferScheduler::inflight_cap() const {
   if (!fair()) {
+    if (ecn_enabled()) {
+      // ECN feedback drives the depth even under kFifo: fabric congestion
+      // must be able to throttle the pipeline no matter the vbuf policy.
+      std::size_t cap = tun_.max_inflight_chunks > 0
+                            ? tun_.max_inflight_chunks
+                            : std::numeric_limits<std::size_t>::max();
+      return std::min(depth_, cap);
+    }
     // Legacy behavior unless the explicit cap is set; no adaptation.
     return tun_.max_inflight_chunks > 0
                ? tun_.max_inflight_chunks
@@ -253,6 +265,51 @@ std::size_t TransferScheduler::inflight_cap() const {
         std::max(tun_.recv_window, pool_.capacity() / xfers_.size()));
   }
   return std::min(depth_, ceiling);
+}
+
+// ===========================================================================
+// ECN congestion feedback
+// ===========================================================================
+
+void TransferScheduler::note_chunk_ack(std::uint64_t id, bool congested) {
+  if (!ecn_enabled()) return;
+  ++ecn_ack_clock_;
+  if (congested) {
+    ++stats_.ecn_marks;
+    const auto it = xfers_.find(id);
+    if (it != xfers_.end()) ++it->second.ecn_marks;
+    ecn_clean_streak_ = 0;
+    // Multiplicative decrease, floor 1: unlike pool contention (where a
+    // depth below double buffering only idles slots), a congested link is
+    // an external resource — backing all the way off is the right answer
+    // under persistent incast. Rate-limited to one halving per depth's
+    // worth of acks: every chunk of one congested window carries a mark,
+    // and they all describe the same episode.
+    if (depth_ > 1 && (last_ecn_shrink_ack_ == 0 ||
+                       ecn_ack_clock_ - last_ecn_shrink_ack_ > depth_)) {
+      depth_ = std::max<std::size_t>(1, depth_ / 2);
+      ++stats_.depth_shrinks_ecn;
+      ++stats_.depth_shrinks;
+      last_ecn_shrink_ack_ = ecn_ack_clock_;
+    }
+  } else {
+    // Hysteresis growth: a full ecn_restore_chunks run of clean acks earns
+    // one step back (additive increase), so a transient mark costs real
+    // smoke-clearing time before the pipeline re-opens.
+    if (++ecn_clean_streak_ >= tun_.ecn_restore_chunks) {
+      ecn_clean_streak_ = 0;
+      if (depth_ < depth_max()) {
+        ++depth_;
+        ++stats_.depth_grows_ecn;
+        ++stats_.depth_grows;
+      }
+    }
+  }
+}
+
+std::uint64_t TransferScheduler::transfer_ecn_marks(std::uint64_t id) const {
+  const auto it = xfers_.find(id);
+  return it == xfers_.end() ? 0 : it->second.ecn_marks;
 }
 
 // ===========================================================================
@@ -311,10 +368,12 @@ void TransferScheduler::flush_peer_impl(int peer, bool piggyback) {
     // and a peer predating kChunkAckBatch still understands it.
     const AckBatchEntry& e = batch.front();
     msg.kind = kChunkAck;
+    msg.flow = e.sender_req;
     msg.header[0] = e.sender_req;
     msg.header[1] = e.chunk_idx;
     msg.header[2] = e.slot_idx;
     msg.header[3] = e.credit_seq;
+    msg.header[4] = e.congested ? 1 : 0;
     if (e.slot_idx != kNoSlot) append_address(msg.payload, e.slot_addr);
     note_ctrl(kChunkAck);
   } else {

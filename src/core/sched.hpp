@@ -62,6 +62,11 @@ struct SchedStats {
   std::uint64_t depth_shrinks = 0;
   std::uint64_t depth_grows = 0;
 
+  // -- ECN congestion feedback (docs/CONCURRENCY.md) --------------------
+  std::uint64_t ecn_marks = 0;         // congestion-marked chunk acks seen
+  std::uint64_t depth_shrinks_ecn = 0; // depth halvings triggered by marks
+  std::uint64_t depth_grows_ecn = 0;   // hysteresis grow-backs after marks
+
   // -- ack/credit coalescing --------------------------------------------
   std::uint64_t acks_individual = 0;  // single-ack messages on the wire
   std::uint64_t acks_coalesced = 0;   // acks that shared a batch message
@@ -129,8 +134,25 @@ class TransferScheduler {
 
   // -- adaptive pipeline depth -------------------------------------------
   /// Current cap on staged-but-unacknowledged chunks per sending
-  /// transfer. Unbounded under kFifo with max_inflight_chunks = 0.
+  /// transfer. Unbounded under kFifo with max_inflight_chunks = 0 —
+  /// unless ECN feedback is enabled (ecn_backlog_ns > 0), which activates
+  /// the adaptive depth even under kFifo so fabric congestion can throttle
+  /// the pipeline.
   std::size_t inflight_cap() const;
+
+  // -- ECN congestion feedback -------------------------------------------
+  /// ECN feedback active? (tunable ecn_backlog_ns > 0)
+  bool ecn_enabled() const { return tun_.ecn_backlog_ns > 0; }
+  /// The sender saw a chunk ack for transfer `id` whose ECN echo says the
+  /// chunk queued past the fabric's backlog threshold. A marked ack halves
+  /// the shared pipeline depth (floor 1, rate-limited to one halving per
+  /// depth's worth of acks so one congested burst is one response, not a
+  /// collapse); ecn_restore_chunks consecutive clean acks grow it back one
+  /// step — TCP-style multiplicative decrease, hysteresis increase.
+  void note_chunk_ack(std::uint64_t id, bool congested);
+  /// Congestion marks echoed so far for one live transfer (0 when the
+  /// transfer is unknown or already unregistered).
+  std::uint64_t transfer_ecn_marks(std::uint64_t id) const;
 
   // -- ack/credit coalescing ---------------------------------------------
   bool coalescing() const { return tun_.ack_coalesce_window_ns > 0; }
@@ -167,6 +189,7 @@ class TransferScheduler {
     std::size_t held = 0;  // pooled slots currently held
     std::size_t total_bytes = 0;
     std::uint64_t last_ask = 0;  // ask-clock stamp of the latest attempt
+    std::uint64_t ecn_marks = 0;  // congestion-marked acks for this transfer
     bool waiting = false;
     sim::SimTime wait_since = 0;
   };
@@ -213,6 +236,10 @@ class TransferScheduler {
   std::uint64_t last_shrink_ask_ = 0;
   std::size_t depth_ = 1;
   std::size_t calm_streak_ = 0;  // uncontended grants since last change
+
+  std::uint64_t ecn_ack_clock_ = 0;       // chunk acks seen (ECN bookkeeping)
+  std::uint64_t last_ecn_shrink_ack_ = 0; // ack-clock stamp of last halving
+  std::size_t ecn_clean_streak_ = 0;      // unmarked acks since last mark
 
   std::deque<PendingAck> pending_;  // FIFO: deadlines are monotonic
   sim::DeadlineTimer ack_timer_;

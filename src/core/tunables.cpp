@@ -61,6 +61,15 @@ void Tunables::validate() const {
   if (rank_stall_ns < 0) {
     throw std::invalid_argument("tunables: rank_stall_ns must be >= 0");
   }
+  if (ecn_backlog_ns < 0) {
+    throw std::invalid_argument("tunables: ecn_backlog_ns must be >= 0");
+  }
+  if (ecn_restore_chunks == 0) {
+    // Zero would mean "grow back immediately on any clean ack", defeating
+    // the hysteresis the knob exists to provide.
+    throw std::invalid_argument(
+        "tunables: ecn_restore_chunks must be >= 1");
+  }
   if (transport_restore_threshold == 0) {
     throw std::invalid_argument(
         "tunables: transport_restore_threshold must be >= 1");
@@ -132,6 +141,24 @@ SchedPolicy parse_sched_policy(const std::string& v) {
       "tunables: sched_policy must be 'fifo', 'fair' or 'bytes', got: " + v);
 }
 
+RouteSelect parse_route_select(const std::string& v) {
+  if (v == "dmodk") return RouteSelect::kDmodK;
+  if (v == "hash") return RouteSelect::kHash;
+  if (v == "adaptive") return RouteSelect::kAdaptive;
+  throw std::invalid_argument(
+      "tunables: route_select must be 'dmodk', 'hash' or 'adaptive', got: " +
+      v);
+}
+
+const char* route_select_name(RouteSelect r) {
+  switch (r) {
+    case RouteSelect::kDmodK: return "dmodk";
+    case RouteSelect::kHash: return "hash";
+    case RouteSelect::kAdaptive: return "adaptive";
+  }
+  return "dmodk";
+}
+
 const char* sched_policy_name(SchedPolicy p) {
   switch (p) {
     case SchedPolicy::kFifo: return "fifo";
@@ -182,6 +209,9 @@ Tunables Tunables::from_stream(std::istream& in) {
       else if (key == "ranks_per_node") t.ranks_per_node = std::stoull(value);
       else if (key == "transport_select") t.transport_select = parse_transport_select(value);
       else if (key == "coll_select") t.coll_select = parse_coll_select(value);
+      else if (key == "route_select") t.route_select = parse_route_select(value);
+      else if (key == "ecn_backlog_ns") t.ecn_backlog_ns = std::stoll(value);
+      else if (key == "ecn_restore_chunks") t.ecn_restore_chunks = std::stoull(value);
       else if (key == "vbuf_reserve_per_transfer") t.vbuf_reserve_per_transfer = std::stoull(value);
       else if (key == "max_inflight_chunks") t.max_inflight_chunks = std::stoull(value);
       else if (key == "ack_coalesce_window_ns") t.ack_coalesce_window_ns = std::stoll(value);
@@ -240,6 +270,9 @@ std::string Tunables::to_config_string() const {
      << (transport_select == TransportSelect::kAuto ? "auto" : "fabric")
      << "\n"
      << "coll_select = " << coll_select_name(coll_select) << "\n"
+     << "route_select = " << route_select_name(route_select) << "\n"
+     << "ecn_backlog_ns = " << ecn_backlog_ns << "\n"
+     << "ecn_restore_chunks = " << ecn_restore_chunks << "\n"
      << "vbuf_reserve_per_transfer = " << vbuf_reserve_per_transfer << "\n"
      << "max_inflight_chunks = " << max_inflight_chunks << "\n"
      << "ack_coalesce_window_ns = " << ack_coalesce_window_ns << "\n"

@@ -50,6 +50,16 @@ enum class SchedPolicy {
   kBytesWeighted,  // like kFair, but larger transfers get overflow priority
 };
 
+/// How messages pick among the parallel shared links of a multi-path
+/// fabric (mirrors netsim::RouteSelect; see docs/SIMULATION.md, "Switch
+/// topology, routing and link contention"). A no-op on the crossbar,
+/// which has no shared links to choose between.
+enum class RouteSelect {
+  kDmodK,     // static dst-indexed spine choice (byte-identical default)
+  kHash,      // deterministic (src, dst, transfer) hash across paths
+  kAdaptive,  // least-backlogged path at injection time, index-order ties
+};
+
 struct Tunables {
   /// Messages at or below this size use the eager protocol.
   std::size_t eager_threshold = 8 * 1024;
@@ -135,6 +145,26 @@ struct Tunables {
   /// over the fabric). kAuto consults the topology and the cost hints the
   /// cluster derives from its GPU/IPC models (docs/COLLECTIVES.md).
   CollSelect coll_select = CollSelect::kAuto;
+
+  // -- congestion-adaptive routing + ECN feedback (docs/SIMULATION.md,
+  //    docs/CONCURRENCY.md) ----------------------------------------------
+  /// Link-selection policy on a multi-path fabric (fat tree: which spine;
+  /// dragonfly: minimal vs Valiant/UGAL global route). kDmodK reproduces
+  /// the static-routing behavior bit-for-bit; on a crossbar every value is
+  /// an accepted no-op.
+  RouteSelect route_select = RouteSelect::kDmodK;
+
+  /// ECN-style congestion feedback: a chunk whose fabric traversal queued
+  /// behind more than this much backlog on one shared link carries a
+  /// congestion mark; the receiver echoes the mark on the chunk ack and
+  /// the sender's scheduler halves its in-flight depth (like pool
+  /// contention). 0 disables marking entirely — the byte-identical
+  /// default.
+  sim::SimTime ecn_backlog_ns = 0;
+
+  /// Hysteresis on the recovery side of ECN feedback: this many
+  /// consecutive unmarked chunk acks before the depth grows back one step.
+  std::size_t ecn_restore_chunks = 16;
 
   // -- reliability -------------------------------------------------------
   /// Base retransmission timeout for rendezvous control messages: if a

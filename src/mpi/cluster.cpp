@@ -18,10 +18,21 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   config_.tunables.validate();
   trace_.set_enabled(config_.trace_enabled);
   engine_.seed_rng(config_.rng_seed);
+  // The routing tunable rides on the topology description. Only a
+  // non-default value is copied over, so a route set directly on
+  // config_.topology stays authoritative (and the byte-identical default
+  // path never rewrites anything).
+  if (config_.tunables.route_select != core::RouteSelect::kDmodK) {
+    config_.topology.route =
+        config_.tunables.route_select == core::RouteSelect::kHash
+            ? netsim::RouteSelect::kHash
+            : netsim::RouteSelect::kAdaptive;
+  }
   fabric_ = std::make_unique<netsim::Fabric>(engine_, config_.ranks,
                                              config_.net_cost,
                                              config_.topology);
   fabric_->faults() = config_.faults;
+  fabric_->set_ecn_threshold(config_.tunables.ecn_backlog_ns);
   // RC-transport acknowledgement of the RTS: the receiving NIC confirms
   // delivery even while the receiving process is busy computing, so the
   // sender can tell "RTS lost, retransmit" from "receive not yet posted,
@@ -109,6 +120,10 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
 }
 
 netsim::FaultModel& Cluster::faults() { return fabric_->faults(); }
+
+std::vector<netsim::LinkStats> Cluster::link_stats() const {
+  return fabric_->link_stats();
+}
 
 netsim::IpcChannel* Cluster::ipc_channel(int rank) {
   if (rank < 0 || rank >= config_.ranks) {
@@ -275,11 +290,34 @@ void Cluster::print_stats(std::ostream& os) {
   const std::vector<netsim::LinkStats> links = fabric_->link_stats();
   if (!links.empty()) {
     const netsim::FabricTopology& topo = fabric_->topology();
+    const bool dragonfly =
+        topo.kind == netsim::FabricTopology::Kind::kDragonfly;
+    const char* route_name =
+        topo.route == netsim::RouteSelect::kHash       ? "hash"
+        : topo.route == netsim::RouteSelect::kAdaptive ? "adaptive"
+                                                       : "dmodk";
+    // New congestion columns only render when their feature is on, so the
+    // default fat-tree output (pinned by the bench baselines) is unchanged.
+    const bool show_route =
+        dragonfly || topo.route != netsim::RouteSelect::kDmodK;
+    const bool show_ecn = fabric_->ecn_threshold() > 0;
     char head[160];
-    std::snprintf(head, sizeof(head),
-                  "fabric links (fat-tree: %d ports/leaf, %d uplinks/leaf, "
-                  "oversubscription %.1f:1)\n",
-                  topo.leaf_ports, topo.uplinks(), topo.oversubscription);
+    if (dragonfly) {
+      std::snprintf(head, sizeof(head),
+                    "fabric links (dragonfly: %d ranks/group, route %s)\n",
+                    topo.leaf_ports, route_name);
+    } else if (show_route) {
+      std::snprintf(head, sizeof(head),
+                    "fabric links (fat-tree: %d ports/leaf, %d uplinks/leaf, "
+                    "oversubscription %.1f:1, route %s)\n",
+                    topo.leaf_ports, topo.uplinks(), topo.oversubscription,
+                    route_name);
+    } else {
+      std::snprintf(head, sizeof(head),
+                    "fabric links (fat-tree: %d ports/leaf, %d uplinks/leaf, "
+                    "oversubscription %.1f:1)\n",
+                    topo.leaf_ports, topo.uplinks(), topo.oversubscription);
+    }
     os << head;
     std::vector<const netsim::LinkStats*> active;
     for (const netsim::LinkStats& l : links) {
@@ -295,7 +333,9 @@ void Cluster::print_stats(std::ostream& os) {
                 return a->index < b->index;
               });
     os << "link              ops  contended   MB-crossed      busy  "
-          "wait-total  peak-backlog\n";
+          "wait-total  peak-backlog";
+    if (show_ecn) os << "  ecn-marks";
+    os << "\n";
     constexpr std::size_t kMaxLinkRows = 16;  // busiest first; rest summed
     netsim::LinkStats tot;
     for (std::size_t i = 0; i < active.size(); ++i) {
@@ -305,30 +345,52 @@ void Cluster::print_stats(std::ostream& os) {
       tot.bytes += l.bytes;
       tot.busy_total += l.busy_total;
       tot.wait_total += l.wait_total;
+      tot.ecn_marks += l.ecn_marks;
       if (l.peak_backlog > tot.peak_backlog) tot.peak_backlog = l.peak_backlog;
       if (i >= kMaxLinkRows) continue;
+      char label[24];
+      if (dragonfly) {
+        std::snprintf(label, sizeof(label), "grp%03d->grp%03d", l.leaf,
+                      l.index);
+      } else {
+        std::snprintf(label, sizeof(label), "leaf%03d.%s%-3d", l.leaf,
+                      l.up ? "up" : "dn", l.index);
+      }
       char line[200];
       std::snprintf(line, sizeof(line),
-                    "leaf%03d.%s%-3d %8llu %10llu %12.2f %7.2fms %8.2fms "
-                    "%11.2fms\n",
-                    l.leaf, l.up ? "up" : "dn", l.index,
-                    static_cast<unsigned long long>(l.ops),
+                    "%s %8llu %10llu %12.2f %7.2fms %8.2fms "
+                    "%11.2fms",
+                    label, static_cast<unsigned long long>(l.ops),
                     static_cast<unsigned long long>(l.contended_ops),
                     static_cast<double>(l.bytes) / 1e6,
                     sim::to_ms(l.busy_total), sim::to_ms(l.wait_total),
                     sim::to_ms(l.peak_backlog));
       os << line;
+      if (show_ecn) {
+        char e[32];
+        std::snprintf(e, sizeof(e), " %9llu",
+                      static_cast<unsigned long long>(l.ecn_marks));
+        os << e;
+      }
+      os << "\n";
     }
     char totline[200];
     std::snprintf(totline, sizeof(totline),
                   "all %zu links     %8llu %10llu %12.2f %7.2fms %8.2fms "
-                  "%11.2fms\n",
+                  "%11.2fms",
                   active.size(), static_cast<unsigned long long>(tot.ops),
                   static_cast<unsigned long long>(tot.contended_ops),
                   static_cast<double>(tot.bytes) / 1e6,
                   sim::to_ms(tot.busy_total), sim::to_ms(tot.wait_total),
                   sim::to_ms(tot.peak_backlog));
     os << totline;
+    if (show_ecn) {
+      char e[32];
+      std::snprintf(e, sizeof(e), " %9llu",
+                    static_cast<unsigned long long>(tot.ecn_marks));
+      os << e;
+    }
+    os << "\n";
   }
   // Per-transport traffic split, shown only when some rank actually has
   // more than one wire path (so the default topology's output is unchanged).
@@ -468,22 +530,27 @@ void Cluster::print_stats(std::ostream& os) {
   for (int r = 0; r < config_.ranks; ++r) {
     const core::SchedStats& ss = sched_stats(r);
     if (ss.grants_reserve + ss.grants_overflow + ss.denials +
-            ss.acks_individual + ss.acks_coalesced >
+            ss.acks_individual + ss.acks_coalesced + ss.ecn_marks >
         0) {
       any_sched = true;
       break;
     }
   }
   if (any_sched) {
+    // ECN columns render only when marking is armed, keeping every
+    // ECN-off run (all the pinned baselines) byte-identical.
+    const bool show_ecn = config_.tunables.ecn_backlog_ns > 0;
     os << "rank  act-hw  grants(res/ovf)  denials  q-waits  avg-qwait  "
-          "depth(-/+)  ack-ind  ack-coal  batches  piggyb  coal%\n";
+          "depth(-/+)  ack-ind  ack-coal  batches  piggyb  coal%";
+    if (show_ecn) os << "  ecn-marks  ecn-depth(-/+)";
+    os << "\n";
     for (int r = 0; r < config_.ranks; ++r) {
       const core::SchedStats& ss = sched_stats(r);
       char line[256];
       std::snprintf(
           line, sizeof(line),
           "%4d %7zu %8llu/%-8llu %7llu %8llu %8.1fus %5llu/%-5llu %8llu "
-          "%9llu %8llu %7llu %5.1f\n",
+          "%9llu %8llu %7llu %5.1f",
           r, ss.active_high_water,
           static_cast<unsigned long long>(ss.grants_reserve),
           static_cast<unsigned long long>(ss.grants_overflow),
@@ -498,6 +565,15 @@ void Cluster::print_stats(std::ostream& os) {
           static_cast<unsigned long long>(ss.ack_piggybacks),
           100.0 * ss.coalesce_ratio());
       os << line;
+      if (show_ecn) {
+        char e[48];
+        std::snprintf(e, sizeof(e), " %9llu %9llu/%-5llu",
+                      static_cast<unsigned long long>(ss.ecn_marks),
+                      static_cast<unsigned long long>(ss.depth_shrinks_ecn),
+                      static_cast<unsigned long long>(ss.depth_grows_ecn));
+        os << e;
+      }
+      os << "\n";
     }
     // Outgoing control-message census by wire kind.
     os << "rank   rts    cts    fin    ack   ackb   done  sdone  other  "

@@ -133,6 +133,10 @@ class Cluster {
   core::TransportRouter& router(int rank);
   /// Live fault model of the fabric (mutable between runs of one Cluster).
   netsim::FaultModel& faults();
+  /// Per-shared-link counters of the fabric (empty on the crossbar): the
+  /// same snapshot print_stats renders as the busiest-links table, exposed
+  /// raw so tests and benches can assert on routing spread and ECN marks.
+  std::vector<netsim::LinkStats> link_stats() const;
   /// The node-local IPC channel serving a rank, or nullptr when the
   /// topology gives it none. Exposes the channel's live FaultModel and
   /// per-port FaultCounters to chaos harnesses.

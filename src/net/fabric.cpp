@@ -71,7 +71,7 @@ void Endpoint::send_receipt(const DeliveryReceipt& r,
                  }
                  extra = draw_jitter(spec);
                }
-               extra += fabric_.traverse(node_, dst, 64);
+               extra += fabric_.traverse(node_, dst, 64, msg->flow);
                deliver_remote(dst_ep, std::move(msg), extra);
              });
 }
@@ -114,8 +114,10 @@ std::uint64_t Endpoint::post_send(int dst, WireMessage msg) {
       extra = draw_jitter(spec);
     }
     // Dropped messages never reach the switch fabric's shared links; a
-    // delivered one queues behind whatever else its route is carrying.
-    extra += fabric_.traverse(node_, dst, m->payload.size() + 64);
+    // delivered one queues behind whatever else its route is carrying —
+    // and may pick up a congestion mark doing so.
+    extra += fabric_.traverse(node_, dst, m->payload.size() + 64, m->flow,
+                              &m->ecn);
     deliver_remote(dst_ep, std::move(m), extra);
   });
   return wr;
@@ -167,7 +169,9 @@ std::uint64_t Endpoint::post_rdma_write(int dst, const void* local,
     // immediate follows; its queuing delay pushes the notification back,
     // so a receiver never learns of data the shared links have not
     // carried yet.
-    const sim::SimTime link_delay = fabric_.traverse(node_, dst, bytes + 64);
+    const sim::SimTime link_delay = fabric_.traverse(
+        node_, dst, bytes + 64, imm_msg ? imm_msg->flow : 0,
+        imm_msg ? &imm_msg->ecn : nullptr);
     if (imm_msg) {
       sim::SimTime extra = link_delay;
       if (spec != nullptr) {
@@ -234,6 +238,10 @@ Fabric::Fabric(sim::Engine& engine, int nodes, NetCostModel cost,
         static_cast<std::size_t>(uplinks_per_leaf_);
     up_.resize(n_links);
     down_.resize(n_links);
+  } else if (topology_.kind == FabricTopology::Kind::kDragonfly) {
+    groups_ = (nodes + topology_.leaf_ports - 1) / topology_.leaf_ports;
+    global_.resize(static_cast<std::size_t>(groups_) *
+                   static_cast<std::size_t>(groups_));
   }
   endpoints_.reserve(static_cast<std::size_t>(nodes));
   for (int n = 0; n < nodes; ++n) {
@@ -241,8 +249,28 @@ Fabric::Fabric(sim::Engine& engine, int nodes, NetCostModel cost,
   }
 }
 
+namespace {
+
+// Seedless splitmix-style mixer for hashed (ECMP-like) routing: a pure
+// function of (src, dst, flow), so the same transfer always takes the same
+// path and runs stay bit-reproducible with no RNG draw.
+std::uint64_t mix_route(std::uint64_t src, std::uint64_t dst,
+                        std::uint64_t flow) {
+  std::uint64_t x = src * 0x9E3779B97F4A7C15ull + dst;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x += flow;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
 sim::SimTime Fabric::cross_link(Link& l, sim::SimTime arrival,
-                                sim::SimTime wire, std::size_t bytes) {
+                                sim::SimTime wire, std::size_t bytes,
+                                bool* ecn_mark) {
   const sim::SimTime start = arrival > l.busy_until ? arrival : l.busy_until;
   const sim::SimTime backlog = start - arrival;
   l.busy_until = start + wire;
@@ -253,21 +281,67 @@ sim::SimTime Fabric::cross_link(Link& l, sim::SimTime arrival,
     ++l.contended_ops;
     l.wait_total += backlog;
     if (backlog > l.peak_backlog) l.peak_backlog = backlog;
+    if (ecn_ns_ > 0 && backlog > ecn_ns_) {
+      // Congestion experienced: this crossing queued behind more than the
+      // armed threshold. The mark travels with the message; the protocol
+      // layer echoes it back so the sender can back off (CONCURRENCY.md).
+      ++l.ecn_marks;
+      if (ecn_mark != nullptr) *ecn_mark = true;
+    }
   }
   return start;
 }
 
-sim::SimTime Fabric::traverse(int src, int dst, std::size_t bytes) {
-  if (up_.empty()) return 0;  // crossbar: no shared links
+int Fabric::pick_uplink(int src, int src_leaf, int dst, int dst_leaf,
+                        std::uint64_t flow, sim::SimTime now) const {
+  switch (topology_.route) {
+    case RouteSelect::kDmodK:
+      // D-mod-k static routing: the uplink (== spine) is picked from the
+      // destination alone, so every packet for one dst funnels through the
+      // same spine — deterministic, and it produces the incast hot-spot a
+      // hashed ECMP fabric shows on average.
+      return dst % uplinks_per_leaf_;
+    case RouteSelect::kHash:
+      // Hash the actual source node, not its leaf: same-leaf senders with
+      // equal flow labels must still be able to spread over the uplinks.
+      return static_cast<int>(mix_route(static_cast<std::uint64_t>(src),
+                                        static_cast<std::uint64_t>(dst),
+                                        flow) %
+                              static_cast<std::uint64_t>(uplinks_per_leaf_));
+    case RouteSelect::kAdaptive: {
+      // Least-backlogged path at injection time, counting both the shared
+      // links the message will cross (the down-link into the destination
+      // leaf is where incast piles up; the up-link is where an
+      // oversubscribed alltoall does). Strict index order breaks ties, so
+      // an idle fabric routes exactly like spine 0 every time.
+      int best = 0;
+      sim::SimTime best_backlog = 0;
+      for (int u = 0; u < uplinks_per_leaf_; ++u) {
+        const sim::SimTime b =
+            backlog_of(up_[static_cast<std::size_t>(
+                           src_leaf * uplinks_per_leaf_ + u)],
+                       now) +
+            backlog_of(down_[static_cast<std::size_t>(
+                             dst_leaf * uplinks_per_leaf_ + u)],
+                       now);
+        if (u == 0 || b < best_backlog) {
+          best = u;
+          best_backlog = b;
+        }
+      }
+      return best;
+    }
+  }
+  return dst % uplinks_per_leaf_;
+}
+
+sim::SimTime Fabric::traverse_fat_tree(int src, int dst, std::size_t bytes,
+                                       std::uint64_t flow, bool* ecn_mark) {
   const int src_leaf = src / topology_.leaf_ports;
   const int dst_leaf = dst / topology_.leaf_ports;
   if (src_leaf == dst_leaf) return 0;  // same edge switch, dedicated path
-  // D-mod-k static routing: the uplink (== spine) is picked from the
-  // destination alone, so every packet for one dst funnels through the
-  // same spine — deterministic, and it produces the incast hot-spot a
-  // hashed ECMP fabric shows on average.
-  const int u = dst % uplinks_per_leaf_;
   const sim::SimTime now = engine_.now();
+  const int u = pick_uplink(src, src_leaf, dst, dst_leaf, flow, now);
   const sim::SimTime wire = cost_.wire_time(bytes);
   // Cut-through accounting: serialization on the switch links overlaps the
   // sender's own transmit serialization, so an idle path adds zero delay
@@ -277,29 +351,99 @@ sim::SimTime Fabric::traverse(int src, int dst, std::size_t bytes) {
   sim::SimTime t = now;
   t = cross_link(
       up_[static_cast<std::size_t>(src_leaf * uplinks_per_leaf_ + u)], t,
-      wire, bytes);
+      wire, bytes, ecn_mark);
   t = cross_link(
       down_[static_cast<std::size_t>(dst_leaf * uplinks_per_leaf_ + u)], t,
-      wire, bytes);
+      wire, bytes, ecn_mark);
   return t - now;
+}
+
+sim::SimTime Fabric::traverse_dragonfly(int src, int dst, std::size_t bytes,
+                                        std::uint64_t flow, bool* ecn_mark) {
+  const int gs = src / topology_.leaf_ports;
+  const int gd = dst / topology_.leaf_ports;
+  if (gs == gd) return 0;  // same group: router-local, dedicated path
+  const sim::SimTime now = engine_.now();
+  const sim::SimTime wire = cost_.wire_time(bytes);
+  // Pick the global route. Minimal is the single direct link gs -> gd (the
+  // D-mod-k analogue: no choice, fully static). Valiant-style (kHash)
+  // bounces through a deterministic hash-chosen intermediate group, and
+  // UGAL-style (kAdaptive) takes the direct link unless some two-hop
+  // detour currently has strictly less total backlog.
+  int via = gd;  // direct
+  switch (topology_.route) {
+    case RouteSelect::kDmodK:
+      break;
+    case RouteSelect::kHash: {
+      const int h = static_cast<int>(
+          mix_route(static_cast<std::uint64_t>(src),
+                    static_cast<std::uint64_t>(dst), flow) %
+          static_cast<std::uint64_t>(groups_));
+      if (h != gs) via = h;  // h == gd degenerates to the direct route
+      break;
+    }
+    case RouteSelect::kAdaptive: {
+      sim::SimTime best = backlog_of(global_link(gs, gd), now);
+      for (int h = 0; best > 0 && h < groups_; ++h) {
+        if (h == gs || h == gd) continue;
+        const sim::SimTime b = backlog_of(global_link(gs, h), now) +
+                               backlog_of(global_link(h, gd), now);
+        // Strictly less: at equal backlog the shorter (direct) route or
+        // the lower intermediate index wins, keeping ties deterministic.
+        if (b < best) {
+          best = b;
+          via = h;
+        }
+      }
+      break;
+    }
+  }
+  sim::SimTime t = now;
+  t = cross_link(global_link(gs, via), t, wire, bytes, ecn_mark);
+  if (via != gd) t = cross_link(global_link(via, gd), t, wire, bytes, ecn_mark);
+  return t - now;
+}
+
+sim::SimTime Fabric::traverse(int src, int dst, std::size_t bytes,
+                              std::uint64_t flow, bool* ecn_mark) {
+  if (!up_.empty()) return traverse_fat_tree(src, dst, bytes, flow, ecn_mark);
+  if (!global_.empty()) {
+    return traverse_dragonfly(src, dst, bytes, flow, ecn_mark);
+  }
+  return 0;  // crossbar: no shared links
 }
 
 std::vector<LinkStats> Fabric::link_stats() const {
   std::vector<LinkStats> out;
+  const auto fill = [](LinkStats& s, const Link& l) {
+    s.ops = l.ops;
+    s.contended_ops = l.contended_ops;
+    s.bytes = l.bytes;
+    s.ecn_marks = l.ecn_marks;
+    s.busy_total = l.busy_total;
+    s.wait_total = l.wait_total;
+    s.peak_backlog = l.peak_backlog;
+  };
+  if (topology_.kind == FabricTopology::Kind::kDragonfly) {
+    out.reserve(global_.size());
+    for (std::size_t i = 0; i < global_.size(); ++i) {
+      LinkStats s;
+      s.leaf = static_cast<int>(i) / groups_;   // source group
+      s.index = static_cast<int>(i) % groups_;  // destination group
+      s.up = true;
+      fill(s, global_[i]);
+      out.push_back(s);
+    }
+    return out;
+  }
   out.reserve(up_.size() + down_.size());
   const auto snap = [&](const std::vector<Link>& links, bool is_up) {
     for (std::size_t i = 0; i < links.size(); ++i) {
-      const Link& l = links[i];
       LinkStats s;
       s.leaf = static_cast<int>(i) / uplinks_per_leaf_;
       s.index = static_cast<int>(i) % uplinks_per_leaf_;
       s.up = is_up;
-      s.ops = l.ops;
-      s.contended_ops = l.contended_ops;
-      s.bytes = l.bytes;
-      s.busy_total = l.busy_total;
-      s.wait_total = l.wait_total;
-      s.peak_backlog = l.peak_backlog;
+      fill(s, links[i]);
       out.push_back(s);
     }
   };

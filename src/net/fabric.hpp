@@ -159,11 +159,26 @@ class Fabric {
   /// (cut-through: an uncontended traversal costs nothing on top of the
   /// wire latency; contention on a shared up/down link delays delivery by
   /// the backlog in front of it). Crossbar: always 0, touches nothing.
-  /// Deterministic — uses only the clock and the dst-indexed route.
-  sim::SimTime traverse(int src, int dst, std::size_t bytes);
+  /// Deterministic — uses only the clock, the link state the simulation
+  /// already determined, and the route policy (see RouteSelect).
+  ///
+  /// `flow` labels the transfer for hashed routing (0 is a valid "no
+  /// label": the hash then spreads by pair only). When `ecn_mark` is
+  /// non-null and the traversal queued behind more than the armed ECN
+  /// backlog threshold on any link, *ecn_mark is set (never cleared) —
+  /// the congestion-experienced bit of docs/CONCURRENCY.md.
+  sim::SimTime traverse(int src, int dst, std::size_t bytes,
+                        std::uint64_t flow = 0, bool* ecn_mark = nullptr);
+
+  /// Arm ECN-style marking: a crossing that queues behind more than
+  /// `backlog_ns` of earlier traffic on one shared link counts an
+  /// ecn_mark on that link and marks the message (see traverse). 0 (the
+  /// default) disables marking entirely — no state, no comparisons.
+  void set_ecn_threshold(sim::SimTime backlog_ns) { ecn_ns_ = backlog_ns; }
+  sim::SimTime ecn_threshold() const { return ecn_ns_; }
 
   /// Snapshot of every inter-switch link's counters, up-links first
-  /// (empty on a crossbar).
+  /// (empty on a crossbar; dragonfly: every used ordered group pair).
   std::vector<LinkStats> link_stats() const;
 
   /// Arm a DeliveryReceipt (see the struct doc above) for one message kind.
@@ -206,19 +221,42 @@ class Fabric {
     std::uint64_t ops = 0;
     std::uint64_t contended_ops = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t ecn_marks = 0;
   };
   // Serialize `wire` time on `l` for a message arriving at `arrival`;
   // returns the instant the message starts crossing (== arrival when the
-  // link is idle).
-  static sim::SimTime cross_link(Link& l, sim::SimTime arrival,
-                                 sim::SimTime wire, std::size_t bytes);
+  // link is idle). Counts an ECN mark on the link (and sets *ecn_mark)
+  // when the queuing exceeded the armed threshold.
+  sim::SimTime cross_link(Link& l, sim::SimTime arrival, sim::SimTime wire,
+                          std::size_t bytes, bool* ecn_mark);
+  // Backlog a message injected now would queue behind on `l` — the
+  // quantity adaptive routing minimizes.
+  sim::SimTime backlog_of(const Link& l, sim::SimTime now) const {
+    return l.busy_until > now ? l.busy_until - now : 0;
+  }
+  // Fat-tree uplink choice for (src_leaf, dst, dst_leaf, flow) under the
+  // topology's route policy.
+  int pick_uplink(int src, int src_leaf, int dst, int dst_leaf, std::uint64_t flow,
+                  sim::SimTime now) const;
+  sim::SimTime traverse_fat_tree(int src, int dst, std::size_t bytes,
+                                 std::uint64_t flow, bool* ecn_mark);
+  sim::SimTime traverse_dragonfly(int src, int dst, std::size_t bytes,
+                                  std::uint64_t flow, bool* ecn_mark);
+  Link& global_link(int g_from, int g_to) {
+    return global_[static_cast<std::size_t>(g_from) *
+                       static_cast<std::size_t>(groups_) +
+                   static_cast<std::size_t>(g_to)];
+  }
 
   sim::Engine& engine_;
   NetCostModel cost_;
   FabricTopology topology_;
   int uplinks_per_leaf_ = 0;
+  int groups_ = 0;          // dragonfly: number of groups
+  sim::SimTime ecn_ns_ = 0;  // ECN backlog threshold; 0 = marking off
   std::vector<Link> up_;    // [leaf * uplinks + u]: leaf -> spine u
   std::vector<Link> down_;  // [leaf * uplinks + u]: spine u -> leaf
+  std::vector<Link> global_;  // dragonfly: [g_from * groups + g_to]
   FaultModel faults_;
   std::vector<DeliveryReceipt> receipts_;
   std::vector<std::int16_t> receipt_index_;  // kind -> receipts_ index, -1

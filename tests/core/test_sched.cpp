@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "mpi/cluster.hpp"
+#include "core/sched.hpp"
+#include "net/fabric.hpp"
 
 namespace mpisim = mv2gnc::mpisim;
 namespace netsim = mv2gnc::netsim;
@@ -405,4 +407,126 @@ TEST(Sched, AdaptiveDepthShrinksUnderContentionAndGrowsBackWhenCalm) {
   EXPECT_GT(snd.denials, 0u);
   EXPECT_GT(snd.depth_shrinks, 0u);
   EXPECT_GT(snd.depth_grows, 0u);
+}
+
+TEST(Sched, EcnMarkHalvesDepthAndCleanStreakGrowsItBack) {
+  // Unit-level: drive the scheduler's ECN control loop directly. Under
+  // kFifo with marking armed the depth opens at the ceiling, one marked
+  // ack halves it, marks within the same episode are absorbed, and
+  // ecn_restore_chunks clean acks earn one step back.
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  core::FabricTransport ft(fab.endpoint(0));
+  core::TransportRouter router(ft);
+  core::VbufPool pool(32, 64 * 1024);
+  core::Tunables tun;
+  tun.ecn_backlog_ns = 1000;
+  tun.ecn_restore_chunks = 4;
+  core::TransferScheduler sched(eng, pool, tun, router);
+  ASSERT_TRUE(sched.ecn_enabled());
+  sched.register_transfer(7, 1 << 20);
+  const std::size_t open = sched.inflight_cap();
+  EXPECT_GT(open, 1u);
+  sched.note_chunk_ack(7, /*congested=*/true);
+  EXPECT_EQ(sched.inflight_cap(), open / 2);
+  EXPECT_EQ(sched.stats().ecn_marks, 1u);
+  EXPECT_EQ(sched.stats().depth_shrinks_ecn, 1u);
+  EXPECT_EQ(sched.transfer_ecn_marks(7), 1u);
+  // A second mark right behind the first describes the same congestion
+  // episode (rate limit: one halving per depth's worth of acks).
+  sched.note_chunk_ack(7, /*congested=*/true);
+  EXPECT_EQ(sched.inflight_cap(), open / 2);
+  EXPECT_EQ(sched.stats().ecn_marks, 2u);
+  EXPECT_EQ(sched.stats().depth_shrinks_ecn, 1u);
+  // Hysteresis growth: exactly ecn_restore_chunks clean acks per step.
+  for (int i = 0; i < 3; ++i) sched.note_chunk_ack(7, false);
+  EXPECT_EQ(sched.inflight_cap(), open / 2);
+  sched.note_chunk_ack(7, false);
+  EXPECT_EQ(sched.inflight_cap(), open / 2 + 1);
+  EXPECT_EQ(sched.stats().depth_grows_ecn, 1u);
+}
+
+TEST(Sched, EcnDisabledIgnoresMarkedAcks) {
+  sim::Engine eng;
+  netsim::Fabric fab(eng, 2, netsim::NetCostModel::qdr_ib());
+  core::FabricTransport ft(fab.endpoint(0));
+  core::TransportRouter router(ft);
+  core::VbufPool pool(32, 64 * 1024);
+  core::Tunables tun;  // ecn_backlog_ns = 0: feedback off
+  core::TransferScheduler sched(eng, pool, tun, router);
+  ASSERT_FALSE(sched.ecn_enabled());
+  sched.register_transfer(3, 1 << 20);
+  const std::size_t cap = sched.inflight_cap();
+  sched.note_chunk_ack(3, /*congested=*/true);
+  EXPECT_EQ(sched.inflight_cap(), cap);
+  EXPECT_EQ(sched.stats().ecn_marks, 0u);
+  EXPECT_EQ(sched.stats().depth_shrinks_ecn, 0u);
+}
+
+TEST(Sched, EcnFeedbackThrottlesFunneledIncastEndToEnd) {
+  // Two senders on the far leaf of a one-uplink fat tree both push 1 MB at
+  // rank 0: every chunk fin funnels through one shared uplink, queues past
+  // the threshold, gets marked, and the echoed marks shrink the senders'
+  // pipeline depth. Data must still land byte-exact.
+  ClusterConfig cfg;
+  cfg.ranks = 4;
+  cfg.topology = netsim::FabricTopology::fat_tree(2, 2.0);  // 1 uplink/leaf
+  cfg.tunables.chunk_select = core::ChunkSelect::kFixed;
+  cfg.tunables.ecn_backlog_ns = 10'000;
+  cfg.tunables.ecn_restore_chunks = 4;
+  Cluster cluster(cfg);
+  std::size_t mismatches = 0;
+  cluster.run([&](Context& ctx) {
+    auto byte_t = committed(Datatype::byte());
+    const int n = 1 << 20;  // 16 chunks at the fixed 64 KB
+    if (ctx.rank == 2 || ctx.rank == 3) {
+      std::vector<std::byte> host(static_cast<std::size_t>(n));
+      for (std::size_t i = 0; i < host.size(); ++i) {
+        host[i] = pattern(i, ctx.rank);
+      }
+      auto* dev = static_cast<std::byte*>(
+          ctx.cuda->malloc(static_cast<std::size_t>(n)));
+      ctx.cuda->memcpy(dev, host.data(), host.size());
+      ctx.comm.send(dev, n, byte_t, 0, ctx.rank);
+      ctx.cuda->free(dev);
+    } else if (ctx.rank == 0) {
+      // Both receives posted up front so the two senders stream their
+      // chunk pipelines concurrently — sequential receives would let each
+      // transfer run alone and the shared links would never queue.
+      std::byte* dev[2];
+      std::vector<mpisim::Request> reqs;
+      for (int i = 0; i < 2; ++i) {
+        dev[i] = static_cast<std::byte*>(
+            ctx.cuda->malloc(static_cast<std::size_t>(n)));
+        ctx.cuda->memset(dev[i], 0, static_cast<std::size_t>(n));
+        reqs.push_back(ctx.comm.irecv(dev[i], n, byte_t, 2 + i, 2 + i));
+      }
+      ctx.comm.waitall(reqs);
+      for (int i = 0; i < 2; ++i) {
+        std::vector<std::byte> out(static_cast<std::size_t>(n));
+        ctx.cuda->memcpy(out.data(), dev[i], out.size());
+        for (std::size_t j = 0; j < out.size(); j += 4099) {
+          if (out[j] != pattern(j, 2 + i)) ++mismatches;
+        }
+        ctx.cuda->free(dev[i]);
+      }
+    }
+    ctx.comm.barrier();
+  });
+  EXPECT_EQ(mismatches, 0u);
+  expect_pools_quiesced(cluster);
+  std::uint64_t marks = 0;
+  std::uint64_t shrinks = 0;
+  for (int r = 0; r < cfg.ranks; ++r) {
+    marks += cluster.sched_stats(r).ecn_marks;
+    shrinks += cluster.sched_stats(r).depth_shrinks_ecn;
+  }
+  EXPECT_GT(marks, 0u);
+  EXPECT_GT(shrinks, 0u);
+  // The fabric counted the same congestion the senders reacted to.
+  std::uint64_t link_marks = 0;
+  for (const netsim::LinkStats& l : cluster.link_stats()) {
+    link_marks += l.ecn_marks;
+  }
+  EXPECT_GT(link_marks, 0u);
 }

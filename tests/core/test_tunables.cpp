@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
 
 using mv2gnc::core::Tunables;
 
@@ -249,4 +251,45 @@ TEST(Tunables, TopologyKnobsValidated) {
   EXPECT_THROW(t.validate(), std::invalid_argument);
   std::istringstream bad(std::string("transport_select = hca\n"));
   EXPECT_THROW(Tunables::from_stream(bad), std::invalid_argument);
+}
+
+TEST(Tunables, RoutingAndEcnKnobsDefaultOff) {
+  Tunables t;
+  EXPECT_EQ(t.route_select, mv2gnc::core::RouteSelect::kDmodK);
+  EXPECT_EQ(t.ecn_backlog_ns, 0);
+  EXPECT_EQ(t.ecn_restore_chunks, 16u);
+}
+
+TEST(Tunables, RoutingAndEcnKnobsRoundTrip) {
+  for (const auto [route, name] :
+       {std::pair{mv2gnc::core::RouteSelect::kHash, "hash"},
+        std::pair{mv2gnc::core::RouteSelect::kAdaptive, "adaptive"},
+        std::pair{mv2gnc::core::RouteSelect::kDmodK, "dmodk"}}) {
+    Tunables t;
+    t.route_select = route;
+    t.ecn_backlog_ns = 25'000;
+    t.ecn_restore_chunks = 8;
+    const std::string rendered = t.to_config_string();
+    EXPECT_NE(rendered.find(std::string("route_select = ") + name),
+              std::string::npos);
+    std::istringstream in(rendered);
+    Tunables u = Tunables::from_stream(in);
+    EXPECT_EQ(u.route_select, route);
+    EXPECT_EQ(u.ecn_backlog_ns, 25'000);
+    EXPECT_EQ(u.ecn_restore_chunks, 8u);
+  }
+}
+
+TEST(Tunables, ParserRejectsBadRouteSelect) {
+  std::istringstream bad("route_select = random\n");
+  EXPECT_THROW(Tunables::from_stream(bad), std::invalid_argument);
+}
+
+TEST(Tunables, ValidationCatchesBadEcnKnobs) {
+  Tunables t;
+  t.ecn_backlog_ns = -1;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.ecn_restore_chunks = 0;  // would grow back on every clean ack
+  EXPECT_THROW(t.validate(), std::invalid_argument);
 }

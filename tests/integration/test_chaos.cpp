@@ -412,3 +412,71 @@ TEST(Chaos, FailoverRestoresAfterChannelHeals) {
   EXPECT_EQ(h10.restores, 1u);
   EXPECT_FALSE(h10.demoted);
 }
+
+TEST(Chaos, AdaptiveRoutingSurvivesLossyFatTree) {
+  // The PR-7 fault matrix, pointed at the congestion machinery: seeded
+  // drops + jitter on every rendezvous control kind over an oversubscribed
+  // fat tree, with adaptive routing AND ECN feedback armed. Retransmitted
+  // fins may take different uplinks than their originals and re-marked
+  // acks may echo stale congestion — none of that may corrupt data, leak
+  // vbufs, or hang a rank.
+  ClusterConfig cfg;
+  cfg.ranks = 8;
+  cfg.rng_seed = 11;
+  cfg.topology = netsim::FabricTopology::fat_tree(4, 2.0);
+  cfg.tunables.route_select = core::RouteSelect::kAdaptive;
+  cfg.tunables.ecn_backlog_ns = 20'000;
+  cfg.tunables.chunk_select = core::ChunkSelect::kFixed;
+  cfg.tunables.rndv_timeout_ns = 400'000;
+  cfg.tunables.rndv_max_retries = 12;
+  fault_rendezvous_control(cfg.faults, /*drop_send=*/0.05, /*drop_imm=*/0.05);
+  Cluster cluster(cfg);
+  const int n = 1 << 19;  // 8 chunks: enough fins to meet the fault matrix
+  std::vector<Outcome> outcome(8);
+  std::vector<std::size_t> mismatches(8, 0);
+  cluster.run([&](Context& ctx) {
+    auto& me = outcome[static_cast<std::size_t>(ctx.rank)];
+    auto byte_t = committed(Datatype::byte());
+    // Cross-leaf pairwise exchange (rank XOR 4 lives on the other leaf),
+    // so every transfer's chunks cross the shared uplinks.
+    const int peer = ctx.rank ^ 4;
+    auto* dev = static_cast<std::byte*>(
+        ctx.cuda->malloc(static_cast<std::size_t>(n)));
+    auto* rxd = static_cast<std::byte*>(
+        ctx.cuda->malloc(static_cast<std::size_t>(n)));
+    std::vector<std::byte> host(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < host.size(); ++i) {
+      host[i] = static_cast<std::byte>((i * 13 + ctx.rank * 7) & 0xFF);
+    }
+    ctx.cuda->memcpy(dev, host.data(), host.size());
+    ctx.cuda->memset(rxd, 0, static_cast<std::size_t>(n));
+    try {
+      mpisim::Request rs = ctx.comm.isend(dev, n, byte_t, peer, 5);
+      mpisim::Request rr = ctx.comm.irecv(rxd, n, byte_t, peer, 5);
+      ctx.comm.wait(rr);
+      ctx.comm.wait(rs);
+      std::vector<std::byte> out(static_cast<std::size_t>(n));
+      ctx.cuda->memcpy(out.data(), rxd, out.size());
+      for (std::size_t i = 0; i < out.size(); i += 2099) {
+        const auto want = static_cast<std::byte>((i * 13 + peer * 7) & 0xFF);
+        if (out[i] != want) ++mismatches[static_cast<std::size_t>(ctx.rank)];
+      }
+    } catch (const mpisim::RequestError& e) {
+      me.error = e.what();
+    }
+    ctx.cuda->free(dev);
+    ctx.cuda->free(rxd);
+    me.finished = true;
+  });
+  std::uint64_t faults = 0;
+  for (int r = 0; r < 8; ++r) {
+    const auto& o = outcome[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(o.finished) << "rank " << r << " hung";
+    if (o.error.empty()) {
+      EXPECT_EQ(mismatches[static_cast<std::size_t>(r)], 0u) << "rank " << r;
+    }
+    faults += cluster.fault_stats(r).fabric.total();
+  }
+  EXPECT_GT(faults, 0u);  // the matrix actually fired
+  expect_survivor_pools_quiesced(cluster, /*crashed_rank=*/-1);
+}
