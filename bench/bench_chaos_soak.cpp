@@ -186,8 +186,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   report.add("violations", violations);
   report.add("total_faults", static_cast<double>(total_faults));
-  const std::string json = report.write();
-  if (!json.empty()) std::cout << "\njson metrics: " << json << "\n";
+  report.write_and_note();
   if (total_faults == 0) {
     std::cout << "\nerror: the matrix injected no faults — the sweep is "
                  "vacuous\n";

@@ -124,8 +124,7 @@ int main() {
     sweep(report, Op::kAllgather, "allgather", rpn, sizes);
   }
   show_coll_stats();
-  const std::string json = report.write();
-  if (!json.empty()) std::cout << "\njson metrics: " << json << "\n";
+  report.write_and_note();
   std::cout << "\nExpected: the two-level variants beat the flat algorithms "
                "at every size.\nThe intra-node phases ride the lossless IPC "
                "channel instead of looping\nthrough the HCA, and the "

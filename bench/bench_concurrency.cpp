@@ -222,8 +222,7 @@ int main() {
                static_cast<double>(fair.retransmits));
   }
   table.print(std::cout);
-  const std::string path = report.write();
-  if (!path.empty()) std::cout << "\njson: " << path << "\n";
+  report.write_and_note();
   std::cout << "\nExpected: a solo transfer pays a few percent for the "
                "bounded pipeline depth (fifo prefetches the whole pool; "
                "fair opens at the receive window — the price of the "

@@ -240,7 +240,6 @@ int main() {
                "minimizes (n+2)*T(N/n). chunk_select=fixed pins the\n"
                "configured chunk_bytes regardless (forced 16 KB column).\n";
 
-  const std::string path = json.write();
-  if (!path.empty()) std::cout << "\nJSON metrics: " << path << "\n";
+  json.write_and_note();
   return 0;
 }

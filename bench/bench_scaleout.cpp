@@ -468,13 +468,9 @@ int main(int argc, char** argv) {
   // preserved verbatim.
   bench::JsonReport routing_report("routing");
   const bool routing_ok = run_routing_sweep(routing_report, smoke ? 64 : 256);
-  const std::string routing_path = routing_report.write();
-  if (!routing_path.empty()) {
-    std::cout << "\nrouting JSON written to " << routing_path << "\n";
-  }
+  routing_report.write_and_note();
 
-  const std::string path = report.write();
-  if (!path.empty()) std::cout << "\nJSON written to " << path << "\n";
+  report.write_and_note();
   if (!routing_ok) {
     std::cout << "\nscale-out bench FAILED: routing/ECN contract broken\n";
     return 1;

@@ -80,8 +80,7 @@ int main() {
   sweep(report, "Small vectors", {1024, 4096}, 5);
   sweep(report, "Large vectors", {65536, 262144, 1048576, 4194304}, 3);
   show_transport_stats();
-  const std::string json = report.write();
-  if (!json.empty()) std::cout << "\njson metrics: " << json << "\n";
+  report.write_and_note();
   std::cout << "\nExpected: the IPC fast path wins at every size — control "
                "messages skip the\nHCA and payload moves as one peer D2D "
                "copy instead of staging through host\nmemory.\n";

@@ -73,6 +73,15 @@ class JsonReport {
     return path;
   }
 
+  /// write() plus the standard one-line stdout pointer every benchmark
+  /// prints ("json metrics: <path>"); silent when reporting is disabled.
+  /// Returns the path written, or "" when disabled.
+  std::string write_and_note() const {
+    const std::string path = write();
+    if (!path.empty()) std::cout << "\njson metrics: " << path << "\n";
+    return path;
+  }
+
  private:
   std::string name_;
   std::vector<std::pair<std::string, double>> metrics_;

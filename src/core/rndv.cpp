@@ -196,35 +196,58 @@ ChunkPlan ChunkPlan::make(std::size_t total, std::size_t chunk) {
 // ===========================================================================
 
 RndvSend::RndvSend(RankResources& res, MsgView msg, int dst_node,
-                   std::uint64_t my_req_id)
+                   std::uint64_t my_req_id, RndvCache* cache)
     : res_(res),
       msg_(std::move(msg)),
       dst_(dst_node),
       req_id_(my_req_id),
+      graph_(res.trig),
       timer_(*res.engine) {
-  if (msg_.on_device) {
-    if (res_.net != nullptr && res_.net->device_direct(dst_node)) {
-      // Intra-node fast path: the peer copy reads device memory directly,
-      // so the whole D2H staging stage drops out (collapsed pipeline).
-      path_ = msg_.contiguous ? Path::kDeviceIpcContig
-                              : Path::kDeviceIpcOffload;
-    } else if (msg_.contiguous) {
-      path_ = Path::kDeviceContig;
-    } else if (select_offload(res_, msg_)) {
-      path_ = Path::kDeviceOffload;
-    } else {
-      path_ = Path::kDevicePcie;
-    }
+  // The one path input that can change between rounds of a persistent
+  // request is the transport route (failover demotes/restores IPC peers);
+  // the cache is keyed on it so a stale entry falls back to a fresh
+  // derivation.
+  const bool ipc_direct = msg_.on_device && res_.net != nullptr &&
+                          res_.net->device_direct(dst_node);
+  if (cache != nullptr && cache->send_valid && cache->send_ipc == ipc_direct) {
+    // Persistent re-fire: path, chunk table and pack cursors come straight
+    // from the cache — no cost-model calls, no plan lookup.
+    path_ = static_cast<Path>(cache->send_path);
+    plan_ = cache->send_plan;
+    cursors_ = cache->send_cursors;
+    if (res_.trig != nullptr) ++res_.trig->plan_cache_hits;
   } else {
-    path_ = msg_.contiguous ? Path::kHostContig : Path::kHostPack;
-  }
-  plan_ = ChunkPlan::make(
-      msg_.packed_bytes,
-      select_chunk(res_, msg_,
-                   path_ == Path::kDeviceOffload ||
-                       path_ == Path::kDeviceIpcOffload));
-  if (path_ == Path::kHostPack && msg_.plan && msg_.packed_bytes > 0) {
-    cursors_ = msg_.plan->chunk_cursors(plan_.chunk);
+    if (msg_.on_device) {
+      if (ipc_direct) {
+        // Intra-node fast path: the peer copy reads device memory directly,
+        // so the whole D2H staging stage drops out (collapsed pipeline).
+        path_ = msg_.contiguous ? Path::kDeviceIpcContig
+                                : Path::kDeviceIpcOffload;
+      } else if (msg_.contiguous) {
+        path_ = Path::kDeviceContig;
+      } else if (select_offload(res_, msg_)) {
+        path_ = Path::kDeviceOffload;
+      } else {
+        path_ = Path::kDevicePcie;
+      }
+    } else {
+      path_ = msg_.contiguous ? Path::kHostContig : Path::kHostPack;
+    }
+    plan_ = ChunkPlan::make(
+        msg_.packed_bytes,
+        select_chunk(res_, msg_,
+                     path_ == Path::kDeviceOffload ||
+                         path_ == Path::kDeviceIpcOffload));
+    if (path_ == Path::kHostPack && msg_.plan && msg_.packed_bytes > 0) {
+      cursors_ = msg_.plan->chunk_cursors(plan_.chunk);
+    }
+    if (cache != nullptr) {
+      cache->send_valid = true;
+      cache->send_ipc = ipc_direct;
+      cache->send_path = static_cast<int>(path_);
+      cache->send_plan = plan_;
+      cache->send_cursors = cursors_;
+    }
   }
   pack_events_.resize(plan_.count);
   stage_events_.resize(plan_.count);
@@ -289,10 +312,14 @@ void RndvSend::start(std::uint64_t tag_word) {
     rts_.header[5] = reinterpret_cast<std::uintptr_t>(msg_.base);
   }
   post_ctrl(rts_);
-  if (path_ == Path::kDeviceOffload || path_ == Path::kDeviceIpcOffload) {
+  build_graph();
+  if ((path_ == Path::kDeviceOffload || path_ == Path::kDeviceIpcOffload) &&
+      !data_gate_.valid()) {
     // Offload the whole pack immediately; it overlaps the RTS/CTS
     // handshake ("the sender ... triggers multiple asynchronous memory
     // copies, each of which does a chunk size non-contiguous data pack").
+    // With a stream data gate the packs are deferred to the graph's pack
+    // node instead — they must not read the buffer before the gate fires.
     tbuf_ = static_cast<std::byte*>(res_.cuda->malloc(plan_.total));
     for (std::size_t i = 0; i < plan_.count; ++i) {
       pack_events_[i] = submit_device_pack(
@@ -302,6 +329,124 @@ void RndvSend::start(std::uint64_t tag_word) {
   }
   arm_timer();
   advance();
+}
+
+void RndvSend::build_graph() {
+  graph_.clear();
+  if (res_.trig != nullptr) ++res_.trig->graphs_built;
+  // Gated offload pack: one node that waits for the stream data gate, then
+  // submits every chunk pack. Ungated transfers pack inline in start()
+  // (before the retransmission deadline is armed), exactly as before the
+  // graph existed.
+  if ((path_ == Path::kDeviceOffload || path_ == Path::kDeviceIpcOffload) &&
+      data_gate_.valid()) {
+    const int pack = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+    graph_.add_node(pack, [this] { return data_ready(); },
+                    [this] {
+                      tbuf_ =
+                          static_cast<std::byte*>(res_.cuda->malloc(plan_.total));
+                      for (std::size_t i = 0; i < plan_.count; ++i) {
+                        pack_events_[i] = submit_device_pack(
+                            *res_.cuda, res_.pack_stream, msg_,
+                            plan_.offset_of(i), plan_.bytes_of(i),
+                            tbuf_ + plan_.offset_of(i));
+                      }
+                    });
+  }
+  // Stage frontier: pack (if any) must have completed; a staging slot must
+  // be available. Staging runs regardless of CTS — it overlaps the
+  // handshake.
+  const int stage = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+  for (std::size_t i = 0; i < plan_.count; ++i) {
+    graph_.add_node(stage, [this, i] { return stage_gate(i); },
+                    [this, i] {
+                      submit_stage(i);
+                      ++next_stage_;
+                    });
+  }
+  // Every chunk staged: this transfer asks for nothing more.
+  graph_.set_epilogue(stage, [this] {
+    if (next_stage_ == plan_.count) sched_withdraw(res_, req_id_);
+  });
+  // RDMA frontier: needs the CTS (remote landing addresses) and the
+  // staged chunk data sitting in host memory.
+  const int rdma = graph_.add_chain(TriggerGraph::ChainKind::kFrontier,
+                                    [this] { return cts_received_; });
+  for (std::size_t i = 0; i < plan_.count; ++i) {
+    graph_.add_node(rdma, [this, i] { return rdma_gate(i); },
+                    [this, i] {
+                      post_chunk_rdma(i, /*retransmit=*/false);
+                      ++next_rdma_;
+                    });
+  }
+}
+
+bool RndvSend::stage_gate(std::size_t i) {
+  // Pipeline-depth cap: staged-but-unacked chunks (each pinning a slot
+  // and a spot in the transmit pipeline) stay within the scheduler's
+  // adaptive budget; acks re-drive us as they land. Either refusal means
+  // we are not slot-starved right now — withdraw any queued turn.
+  const std::size_t cap = (res_.sched != nullptr)
+                              ? res_.sched->inflight_cap()
+                              : std::numeric_limits<std::size_t>::max();
+  if (next_stage_ - acked_count_ >= cap) {
+    sched_withdraw(res_, req_id_);
+    return false;
+  }
+  if (path_ == Path::kDeviceOffload || path_ == Path::kDeviceIpcOffload) {
+    if (!pack_events_[i].valid() || !pack_events_[i].query()) {
+      sched_withdraw(res_, req_id_);
+      return false;
+    }
+  }
+  // Stream data gate: the paths whose staging reads the user buffer (PCIe
+  // strided pack, contiguous D2H, host CPU pack) hold until the producing
+  // kernels drain. The offload paths are covered by their pack node above;
+  // the zero-staging paths gate at the RDMA frontier instead.
+  if (data_gate_.valid() && !data_ready() &&
+      (path_ == Path::kDevicePcie || path_ == Path::kDeviceContig ||
+       path_ == Path::kHostPack)) {
+    return false;
+  }
+  const bool needs_slot = uses_staging();
+  if (needs_slot && !slots_[i].valid()) {
+    if (force_pinned_) {
+      // Stall watchdog verdict: the pool is wedged, take a pinned slot.
+      slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
+      force_pinned_ = false;
+    } else {
+      slots_[i] = sched_acquire(res_, req_id_, plan_.bytes_of(i));
+    }
+    if (!slots_[i].valid()) {
+      // No slot. If this transfer has unacked chunks holding slots,
+      // their acks free slots and re-drive us — stall. If the fairness
+      // gate queued us, the granted transfer's progress re-drives the
+      // rank and our next ask takes its turn (the stall watchdog bounds
+      // the wait). If it holds nothing and is not queued, no event of
+      // ours will ever wake us: take a one-off pinned slot so every
+      // transfer is guaranteed to progress (this breaks the circular
+      // wait when concurrent receive windows have consumed the pool).
+      const std::size_t in_flight = next_stage_ - acked_count_;
+      const bool gated =
+          res_.sched != nullptr && res_.sched->is_waiting(req_id_);
+      if (in_flight > 0 || gated) return false;
+      slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
+    }
+  }
+  return true;
+}
+
+bool RndvSend::rdma_gate(std::size_t i) {
+  if (!stage_submitted_[i]) return false;
+  if (stage_events_[i].valid() && !stage_events_[i].query()) return false;
+  // Zero-staging paths RDMA straight out of the user buffer: the stream
+  // data gate holds the write itself (staged paths gated at staging).
+  if (data_gate_.valid() && !data_ready() &&
+      (path_ == Path::kHostContig || path_ == Path::kDeviceIpcContig)) {
+    return false;
+  }
+  if (mode_ == CtsMode::kStaged && remote_slots_.empty()) return false;
+  return true;
 }
 
 void RndvSend::arm_timer() {
@@ -342,6 +487,18 @@ void RndvSend::handle_timeout() {
     // stale. Fresh deadline, retry budget restored. An RTS_ACK from a
     // receiver that has not posted the matching recv yet lands here too:
     // the handshake is alive, so waiting is not failure.
+    retries_ = 0;
+    arm_timer();
+    return;
+  }
+  if (data_gate_.valid() && !data_ready()) {
+    // Stream-gated transfer waiting on its own compute, not on the peer:
+    // a long-running producer kernel is legal, so the quiet period does
+    // not charge the retry budget. Keep probing with the RTS so the
+    // peer's liveness watchdog stays fed meanwhile.
+    post_ctrl(rts_);
+    if (res_.retries != nullptr) ++res_.retries->rts_retransmits;
+    trace_event("fault_rts_retransmit");
     retries_ = 0;
     arm_timer();
     return;
@@ -500,68 +657,10 @@ void RndvSend::post_chunk_rdma(std::size_t i, bool retransmit) {
 void RndvSend::advance() {
   if (!failed_ && !drained() && timer_.fired()) handle_timeout();
   if (complete_ || failed_) return;
-  // Stage frontier: pack (if any) must have completed; a staging slot must
-  // be available. Staging runs regardless of CTS — it overlaps the
-  // handshake.
-  const std::size_t cap = (res_.sched != nullptr)
-                              ? res_.sched->inflight_cap()
-                              : std::numeric_limits<std::size_t>::max();
-  while (next_stage_ < plan_.count) {
-    const std::size_t i = next_stage_;
-    // Pipeline-depth cap: staged-but-unacked chunks (each pinning a slot
-    // and a spot in the transmit pipeline) stay within the scheduler's
-    // adaptive budget; acks re-drive us as they land. Either break means
-    // we are not slot-starved right now — withdraw any queued turn.
-    if (next_stage_ - acked_count_ >= cap) {
-      sched_withdraw(res_, req_id_);
-      break;
-    }
-    if ((path_ == Path::kDeviceOffload || path_ == Path::kDeviceIpcOffload) &&
-        !pack_events_[i].query()) {
-      sched_withdraw(res_, req_id_);
-      break;
-    }
-    const bool needs_slot = uses_staging();
-    if (needs_slot && !slots_[i].valid()) {
-      if (force_pinned_) {
-        // Stall watchdog verdict: the pool is wedged, take a pinned slot.
-        slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
-        force_pinned_ = false;
-      } else {
-        slots_[i] = sched_acquire(res_, req_id_, plan_.bytes_of(i));
-      }
-      if (!slots_[i].valid()) {
-        // No slot. If this transfer has unacked chunks holding slots,
-        // their acks free slots and re-drive us — stall. If the fairness
-        // gate queued us, the granted transfer's progress re-drives the
-        // rank and our next ask takes its turn (the stall watchdog bounds
-        // the wait). If it holds nothing and is not queued, no event of
-        // ours will ever wake us: take a one-off pinned slot so every
-        // transfer is guaranteed to progress (this breaks the circular
-        // wait when concurrent receive windows have consumed the pool).
-        const std::size_t in_flight = next_stage_ - acked_count_;
-        const bool gated =
-            res_.sched != nullptr && res_.sched->is_waiting(req_id_);
-        if (in_flight > 0 || gated) break;
-        slots_[i] = detail::pinned_slot(*res_.cuda, plan_.bytes_of(i));
-      }
-    }
-    submit_stage(i);
-    ++next_stage_;
-  }
-  // Every chunk staged: this transfer asks for nothing more.
-  if (next_stage_ == plan_.count) sched_withdraw(res_, req_id_);
-  // RDMA frontier: needs the CTS (remote landing addresses) and the
-  // staged chunk data sitting in host memory.
-  if (!cts_received_) return;
-  while (next_rdma_ < plan_.count) {
-    const std::size_t i = next_rdma_;
-    if (!stage_submitted_[i]) break;
-    if (stage_events_[i].valid() && !stage_events_[i].query()) break;
-    if (mode_ == CtsMode::kStaged && remote_slots_.empty()) break;
-    post_chunk_rdma(i, /*retransmit=*/false);
-    ++next_rdma_;
-  }
+  // One firing pass over the dependency graph: each chain's frontier fires
+  // every node whose gate yields, in declaration order — exactly the
+  // historical frontier loops (see build_graph()).
+  graph_.fire();
 }
 
 void RndvSend::on_cts(const netsim::WireMessage& m) {
@@ -860,40 +959,69 @@ void RndvSend::abandon(const std::string& reason) {
 RndvRecv::RndvRecv(RankResources& res, MsgView msg, int src_node,
                    std::uint64_t sender_req, std::uint64_t my_req_id,
                    std::size_t incoming_bytes, std::size_t sender_chunk,
-                   const std::byte* rget_src)
+                   const std::byte* rget_src, RndvCache* cache)
     : res_(res),
       msg_(std::move(msg)),
       src_(src_node),
       sender_req_(sender_req),
       req_id_(my_req_id),
+      graph_(res.trig),
       rget_src_(rget_src),
       timer_(*res.engine) {
   const Tunables& tun = *res_.tun;
-  if (tun.rget && rget_src_ != nullptr && !msg_.on_device &&
-      msg_.contiguous) {
-    path_ = Path::kHostRget;
-  } else if (msg_.on_device && res_.net != nullptr &&
-             res_.net->device_direct(src_node)) {
-    // Co-located sender with a peer-copy-capable transport: the payload
-    // lands in device memory directly (user buffer when contiguous, a
-    // device-side reassembly buffer otherwise). No host staging window.
-    path_ = msg_.contiguous ? Path::kDeviceIpcDirect : Path::kDeviceIpcOffload;
-  } else if (msg_.on_device) {
-    if (msg_.contiguous) {
-      path_ = Path::kDeviceContig;
-    } else if (select_offload(res_, msg_)) {
-      path_ = Path::kDeviceOffload;
-    } else {
-      path_ = Path::kDevicePcie;
-    }
+  // Path inputs that may change between persistent rounds: the transport
+  // route (failover) and the sender's per-round RGET advertisement. The
+  // cache is keyed on both; the chunk table stays sender-driven (below).
+  const bool rget_path = tun.rget && rget_src_ != nullptr &&
+                         !msg_.on_device && msg_.contiguous;
+  const bool ipc_direct = !rget_path && msg_.on_device &&
+                          res_.net != nullptr &&
+                          res_.net->device_direct(src_node);
+  if (cache != nullptr && cache->recv_valid &&
+      cache->recv_ipc == ipc_direct && cache->recv_rget == rget_path) {
+    path_ = static_cast<Path>(cache->recv_path);
+    if (res_.trig != nullptr) ++res_.trig->plan_cache_hits;
   } else {
-    path_ = msg_.contiguous ? Path::kHostDirect : Path::kHostUnpack;
+    if (rget_path) {
+      path_ = Path::kHostRget;
+    } else if (ipc_direct) {
+      // Co-located sender with a peer-copy-capable transport: the payload
+      // lands in device memory directly (user buffer when contiguous, a
+      // device-side reassembly buffer otherwise). No host staging window.
+      path_ = msg_.contiguous ? Path::kDeviceIpcDirect
+                              : Path::kDeviceIpcOffload;
+    } else if (msg_.on_device) {
+      if (msg_.contiguous) {
+        path_ = Path::kDeviceContig;
+      } else if (select_offload(res_, msg_)) {
+        path_ = Path::kDeviceOffload;
+      } else {
+        path_ = Path::kDevicePcie;
+      }
+    } else {
+      path_ = msg_.contiguous ? Path::kHostDirect : Path::kHostUnpack;
+    }
+    if (cache != nullptr) {
+      cache->recv_valid = true;
+      cache->recv_ipc = ipc_direct;
+      cache->recv_rget = rget_path;
+      cache->recv_path = static_cast<int>(path_);
+    }
   }
   // Chunking is sender-driven (carried in the RTS), so both ends slice the
   // packed stream identically.
   plan_ = ChunkPlan::make(incoming_bytes, sender_chunk);
   if (path_ == Path::kHostUnpack && msg_.plan && msg_.packed_bytes > 0) {
-    cursors_ = msg_.plan->chunk_cursors(plan_.chunk);
+    if (cache != nullptr && cache->recv_cursors &&
+        cache->recv_chunk == plan_.chunk) {
+      cursors_ = cache->recv_cursors;  // same sender chunk: cursors hold
+    } else {
+      cursors_ = msg_.plan->chunk_cursors(plan_.chunk);
+      if (cache != nullptr) {
+        cache->recv_chunk = plan_.chunk;
+        cache->recv_cursors = cursors_;
+      }
+    }
   }
   chunks_.resize(plan_.count);
   acks_.resize(plan_.count);
@@ -1050,6 +1178,7 @@ void RndvRecv::abandon(const std::string& reason) {
 }
 
 void RndvRecv::start() {
+  build_graph();
   // Liveness watchdog. From here on the sender is actively driving the
   // transfer (or retransmitting), so every receipt moves our epoch;
   // sustained total silence for the whole backoff budget means the sender
@@ -1321,25 +1450,31 @@ bool RndvRecv::drained() const {
   return completed_ == plan_.count && send_done_;
 }
 
-void RndvRecv::advance() {
-  if (!failed_ && !drained() && timer_.fired()) handle_timeout();
-  if (failed_) return;
+void RndvRecv::build_graph() {
+  graph_.clear();
+  if (res_.trig != nullptr) ++res_.trig->graphs_built;
   switch (path_) {
     case Path::kHostRget:
-      return;  // driven entirely by on_rdma_read_complete
+      return;  // driven entirely by on_rdma_read_complete; no chains
     case Path::kHostDirect:
-    case Path::kDeviceIpcDirect:
+    case Path::kDeviceIpcDirect: {
       // The write already landed in the user buffer (RDMA into host memory
       // or a peer D2D copy through the opened IPC mapping); ack each
-      // arrival.
+      // arrival. Arrivals are unordered, hence a sparse sweep, not a
+      // frontier.
+      const int ack = graph_.add_chain(TriggerGraph::ChainKind::kSparse);
       for (std::size_t i = 0; i < plan_.count; ++i) {
-        if (chunks_[i].arrived && !drained_chunk_[i]) {
-          ack_chunk(i);
-          ++completed_;
-        }
+        graph_.add_node(
+            ack,
+            [this, i] { return chunks_[i].arrived && !drained_chunk_[i]; },
+            [this, i] {
+              ack_chunk(i);
+              ++completed_;
+            });
       }
       return;
-    case Path::kDeviceIpcOffload:
+    }
+    case Path::kDeviceIpcOffload: {
       // Peer copies land packed chunks in the device rtbuf; each arrival
       // feeds a D2D unpack kernel. No host staging, so the ack goes out as
       // soon as the chunk is handed to the unpack stream. The rtbuf is
@@ -1347,103 +1482,163 @@ void RndvRecv::advance() {
       // peer copy (retransmitted because its ack was lost) may still be
       // queued against it, so it lives until the transfer object tears
       // down (destructor) or is parked in the graveyard (fail()).
-      while (next_unpack_ < plan_.count && chunks_[next_unpack_].arrived) {
-        const std::size_t i = next_unpack_;
-        const std::size_t off = plan_.offset_of(i);
-        chunks_[i].unpack_done =
-            submit_device_unpack(*res_.cuda, res_.unpack_stream, msg_, off,
-                                 plan_.bytes_of(i), rtbuf_ + off);
-        chunks_[i].unpack_submitted = true;
-        ack_chunk(i);
-        ++next_unpack_;
+      const int unpack = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        graph_.add_node(unpack, [this, i] { return chunks_[i].arrived; },
+                        [this, i] {
+                          const std::size_t off = plan_.offset_of(i);
+                          chunks_[i].unpack_done = submit_device_unpack(
+                              *res_.cuda, res_.unpack_stream, msg_, off,
+                              plan_.bytes_of(i), rtbuf_ + off);
+                          chunks_[i].unpack_submitted = true;
+                          ack_chunk(i);
+                          ++next_unpack_;
+                        });
       }
-      while (completed_ < plan_.count &&
-             chunks_[completed_].unpack_submitted &&
-             chunks_[completed_].unpack_done.query()) {
-        ++completed_;
-      }
-      return;
-    case Path::kHostUnpack:
-      while (completed_ < plan_.count && chunks_[completed_].arrived) {
-        const std::size_t i = completed_;
-        const std::size_t off = plan_.offset_of(i);
-        const std::size_t bytes = plan_.bytes_of(i);
-        res_.engine->delay(res_.tun->host_pack_time(
-            bytes, chunk_segments(msg_, cursors_.get(), i, off, bytes)));
-        if (cursors_ && i < cursors_->count && off == i * cursors_->chunk) {
-          msg_.dtype.unpack_bytes_from(cursors_->cursors[i],
-                                       slots_[chunks_[i].slot].ptr,
-                                       msg_.count, bytes, msg_.base);
-        } else {
-          msg_.dtype.unpack_bytes(slots_[chunks_[i].slot].ptr, msg_.count,
-                                  off, bytes, msg_.base);
-        }
-        ack_chunk(i);
-        ++completed_;
+      const int done = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        graph_.add_node(done,
+                        [this, i] {
+                          return chunks_[i].unpack_submitted &&
+                                 chunks_[i].unpack_done.query();
+                        },
+                        [this] { ++completed_; });
       }
       return;
+    }
+    case Path::kHostUnpack: {
+      // CPU unpack straight from the landing slot, in chunk order (each
+      // unpack charges host time, so the frontier drains sequentially).
+      const int unpack = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        graph_.add_node(unpack, [this, i] { return chunks_[i].arrived; },
+                        [this, i] {
+                          const std::size_t off = plan_.offset_of(i);
+                          const std::size_t bytes = plan_.bytes_of(i);
+                          res_.engine->delay(res_.tun->host_pack_time(
+                              bytes, chunk_segments(msg_, cursors_.get(), i,
+                                                    off, bytes)));
+                          if (cursors_ && i < cursors_->count &&
+                              off == i * cursors_->chunk) {
+                            msg_.dtype.unpack_bytes_from(
+                                cursors_->cursors[i],
+                                slots_[chunks_[i].slot].ptr, msg_.count,
+                                bytes, msg_.base);
+                          } else {
+                            msg_.dtype.unpack_bytes(
+                                slots_[chunks_[i].slot].ptr, msg_.count, off,
+                                bytes, msg_.base);
+                          }
+                          ack_chunk(i);
+                          ++completed_;
+                        });
+      }
+      return;
+    }
     case Path::kDeviceContig:
-    case Path::kDevicePcie:
-      while (next_h2d_ < plan_.count && chunks_[next_h2d_].arrived) {
-        const std::size_t i = next_h2d_;
-        const std::size_t off = plan_.offset_of(i);
-        const std::size_t bytes = plan_.bytes_of(i);
-        const std::byte* slot_ptr = slots_[chunks_[i].slot].ptr;
-        if (path_ == Path::kDeviceContig) {
-          res_.cuda->memcpy_async(static_cast<std::byte*>(msg_.base) + off,
-                                  slot_ptr, bytes,
-                                  cusim::MemcpyKind::kHostToDevice,
-                                  res_.h2d_stream);
-          chunks_[i].h2d_done = res_.cuda->record_event(res_.h2d_stream);
-        } else {
-          chunks_[i].h2d_done = submit_pcie_unpack_from_host(
-              *res_.cuda, res_.h2d_stream, msg_, off, bytes, slot_ptr);
-        }
-        chunks_[i].h2d_submitted = true;
-        ++next_h2d_;
-      }
-      while (completed_ < plan_.count && chunks_[completed_].h2d_submitted &&
-             chunks_[completed_].h2d_done.query()) {
-        ack_chunk(completed_);
-        ++completed_;
-      }
-      return;
-    case Path::kDeviceOffload:
-      while (next_h2d_ < plan_.count && chunks_[next_h2d_].arrived) {
-        const std::size_t i = next_h2d_;
-        const std::size_t off = plan_.offset_of(i);
-        res_.cuda->memcpy_async(rtbuf_ + off, slots_[chunks_[i].slot].ptr,
-                                plan_.bytes_of(i),
+    case Path::kDevicePcie: {
+      // H2D frontier feeds the copy engine in order; the ack frontier
+      // trails it, firing as each copy's event drains.
+      const int h2d = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        graph_.add_node(h2d, [this, i] { return chunks_[i].arrived; },
+                        [this, i] {
+                          const std::size_t off = plan_.offset_of(i);
+                          const std::size_t bytes = plan_.bytes_of(i);
+                          const std::byte* slot_ptr =
+                              slots_[chunks_[i].slot].ptr;
+                          if (path_ == Path::kDeviceContig) {
+                            res_.cuda->memcpy_async(
+                                static_cast<std::byte*>(msg_.base) + off,
+                                slot_ptr, bytes,
                                 cusim::MemcpyKind::kHostToDevice,
                                 res_.h2d_stream);
-        chunks_[i].h2d_done = res_.cuda->record_event(res_.h2d_stream);
-        chunks_[i].h2d_submitted = true;
-        ++next_h2d_;
+                            chunks_[i].h2d_done =
+                                res_.cuda->record_event(res_.h2d_stream);
+                          } else {
+                            chunks_[i].h2d_done = submit_pcie_unpack_from_host(
+                                *res_.cuda, res_.h2d_stream, msg_, off, bytes,
+                                slot_ptr);
+                          }
+                          chunks_[i].h2d_submitted = true;
+                          ++next_h2d_;
+                        });
       }
-      while (next_unpack_ < plan_.count &&
-             chunks_[next_unpack_].h2d_submitted &&
-             chunks_[next_unpack_].h2d_done.query()) {
-        const std::size_t i = next_unpack_;
-        const std::size_t off = plan_.offset_of(i);
-        chunks_[i].unpack_done =
-            submit_device_unpack(*res_.cuda, res_.unpack_stream, msg_, off,
-                                 plan_.bytes_of(i), rtbuf_ + off);
-        chunks_[i].unpack_submitted = true;
-        // The host slot is drained as soon as its bytes are in the rtbuf.
-        ack_chunk(i);
-        ++next_unpack_;
-      }
-      while (completed_ < plan_.count &&
-             chunks_[completed_].unpack_submitted &&
-             chunks_[completed_].unpack_done.query()) {
-        ++completed_;
-      }
-      if (completed_ == plan_.count && rtbuf_ != nullptr) {
-        res_.cuda->free(rtbuf_);
-        rtbuf_ = nullptr;
+      const int ack = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        graph_.add_node(ack,
+                        [this, i] {
+                          return chunks_[i].h2d_submitted &&
+                                 chunks_[i].h2d_done.query();
+                        },
+                        [this, i] {
+                          ack_chunk(i);
+                          ++completed_;
+                        });
       }
       return;
+    }
+    case Path::kDeviceOffload: {
+      // The full three-stage landing pipeline: H2D into the rtbuf, D2D
+      // unpack kernel (the host slot drains — ack — as soon as its bytes
+      // are in the rtbuf), completion as each unpack's event drains.
+      const int h2d = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        graph_.add_node(h2d, [this, i] { return chunks_[i].arrived; },
+                        [this, i] {
+                          const std::size_t off = plan_.offset_of(i);
+                          res_.cuda->memcpy_async(
+                              rtbuf_ + off, slots_[chunks_[i].slot].ptr,
+                              plan_.bytes_of(i),
+                              cusim::MemcpyKind::kHostToDevice,
+                              res_.h2d_stream);
+                          chunks_[i].h2d_done =
+                              res_.cuda->record_event(res_.h2d_stream);
+                          chunks_[i].h2d_submitted = true;
+                          ++next_h2d_;
+                        });
+      }
+      const int unpack = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        graph_.add_node(unpack,
+                        [this, i] {
+                          return chunks_[i].h2d_submitted &&
+                                 chunks_[i].h2d_done.query();
+                        },
+                        [this, i] {
+                          const std::size_t off = plan_.offset_of(i);
+                          chunks_[i].unpack_done = submit_device_unpack(
+                              *res_.cuda, res_.unpack_stream, msg_, off,
+                              plan_.bytes_of(i), rtbuf_ + off);
+                          chunks_[i].unpack_submitted = true;
+                          ack_chunk(i);
+                          ++next_unpack_;
+                        });
+      }
+      const int done = graph_.add_chain(TriggerGraph::ChainKind::kFrontier);
+      for (std::size_t i = 0; i < plan_.count; ++i) {
+        graph_.add_node(done,
+                        [this, i] {
+                          return chunks_[i].unpack_submitted &&
+                                 chunks_[i].unpack_done.query();
+                        },
+                        [this] { ++completed_; });
+      }
+      graph_.set_epilogue(done, [this] {
+        if (completed_ == plan_.count && rtbuf_ != nullptr) {
+          res_.cuda->free(rtbuf_);
+          rtbuf_ = nullptr;
+        }
+      });
+      return;
+    }
   }
+}
+
+void RndvRecv::advance() {
+  if (!failed_ && !drained() && timer_.fired()) handle_timeout();
+  if (failed_) return;
+  graph_.fire();
 }
 
 }  // namespace mv2gnc::core

@@ -161,6 +161,13 @@ std::size_t Cluster::tracked_rendezvous(int rank) const {
   return comms_[static_cast<std::size_t>(rank)]->tracked_rendezvous();
 }
 
+const core::TriggerStats& Cluster::trigger_stats(int rank) const {
+  if (rank < 0 || rank >= config_.ranks) {
+    throw std::out_of_range("trigger_stats: bad rank");
+  }
+  return comms_[static_cast<std::size_t>(rank)]->trigger_stats();
+}
+
 const core::SchedStats& Cluster::sched_stats(int rank) const {
   if (rank < 0 || rank >= config_.ranks) {
     throw std::out_of_range("sched_stats: bad rank");
@@ -599,6 +606,30 @@ void Cluster::print_stats(std::ostream& os) {
           static_cast<unsigned long long>(ss.ctrl_by_kind[core::kSendDone]),
           static_cast<unsigned long long>(ss.ctrl_total() - named),
           static_cast<unsigned long long>(ss.ctrl_total()));
+      os << line;
+    }
+  }
+  // Trigger-graph / stream / persistent counters render only when one of
+  // the stream-rendezvous knobs left its default, keeping every default
+  // run (all the pinned baselines) byte-identical.
+  const bool show_trig =
+      config_.tunables.trigger_mode != core::TriggerMode::kPolled ||
+      config_.tunables.persistent_plan_cache;
+  if (show_trig) {
+    os << "rank  graphs  fired  stream-ops  s-sends  s-recvs  p-starts  "
+          "plan-hits\n";
+    for (int r = 0; r < config_.ranks; ++r) {
+      const core::TriggerStats& ts = trigger_stats(r);
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "%4d %7llu %6llu %11llu %8llu %8llu %9llu %10llu\n", r,
+                    static_cast<unsigned long long>(ts.graphs_built),
+                    static_cast<unsigned long long>(ts.triggers_fired),
+                    static_cast<unsigned long long>(ts.stream_ops),
+                    static_cast<unsigned long long>(ts.stream_sends),
+                    static_cast<unsigned long long>(ts.stream_recvs),
+                    static_cast<unsigned long long>(ts.persistent_starts),
+                    static_cast<unsigned long long>(ts.plan_cache_hits));
       os << line;
     }
   }

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -59,6 +60,24 @@ struct CommGroup {
   }
 };
 
+/// Optional per-operation extras threaded through isend/irecv by the
+/// persistent-request and stream-triggered layers (docs/STREAMS.md).
+/// Default-constructed == plain isend/irecv, bit for bit.
+struct XferOpts {
+  /// Prebuilt message view (a persistent request froze its argument list
+  /// once): skips the MsgView::make plan lookup entirely.
+  const core::MsgView* view = nullptr;
+  /// Persistent plan cache slot (path decision + chunk table + cursors);
+  /// must outlive the request. Null: derive fresh.
+  core::RndvCache* cache = nullptr;
+  /// Stream data gate for a send: the transfer's data-touching stages hold
+  /// until this event fires (the RTS still leaves immediately).
+  cusim::Event data_gate;
+  /// Triggered when the request completes (success or failure) — resolves
+  /// a stream_wait_flag enqueued behind the operation.
+  std::shared_ptr<cusim::HostFlag> done_flag;
+};
+
 struct ReqState {
   std::uint64_t id = 0;
   bool complete = false;
@@ -78,6 +97,14 @@ struct ReqState {
 
   std::shared_ptr<core::RndvSend> rndv_send;
   std::shared_ptr<core::RndvRecv> rndv_recv;
+
+  // -- stream-triggered / persistent extras (docs/STREAMS.md) ------------
+  /// Set (and later triggered) on completion — success or failure, so a
+  /// gated stream can never hang on a failed transfer.
+  std::shared_ptr<cusim::HostFlag> done_flag;
+  /// Plan cache handed to the RndvRecv when the RTS matches (recv-side
+  /// matching happens after irecv returns, so the pointer rides here).
+  core::RndvCache* rndv_cache = nullptr;
 };
 
 /// A message that arrived before its receive was posted.
@@ -107,6 +134,7 @@ class RankComm {
   ApiStats& api_stats() { return api_stats_; }
   sim::Engine& engine() { return engine_; }
   const core::Tunables& tunables() const { return *res_.tun; }
+  gpu::MemoryRegistry& memory_registry() { return registry_; }
   core::VbufPool& vbufs() { return vbuf_pool_; }
   const core::VbufPool& vbufs() const { return vbuf_pool_; }
   /// Aggregated reliability counters (retransmissions, timeouts, stalls).
@@ -146,11 +174,30 @@ class RankComm {
 
   // dst/src are WORLD ranks; `context` selects the communicator.
   Request isend(const void* buf, int count, const Datatype& dtype, int dst,
-                int tag, int context = 0);
+                int tag, int context = 0, const XferOpts& opts = {});
   Request irecv(void* buf, int count, const Datatype& dtype, int src,
-                int tag, int context = 0);
+                int tag, int context = 0, const XferOpts& opts = {});
   void wait(Request& req, Status* status);
   bool test(Request& req, Status* status);
+
+  // -- stream-triggered posting (docs/STREAMS.md) ------------------------
+  /// isend whose RTS fires when `stream`'s prior work drains and whose
+  /// completion gates later stream work. trigger_mode=polled degrades to
+  /// synchronize-then-post (the CPU-driven baseline, byte-identical to
+  /// not using the stream API); trigger_mode=stream enqueues a host
+  /// trigger + wait-flag pair so the host never turns the crank between
+  /// compute and communication.
+  Request isend_on(cusim::Stream& stream, const void* buf, int count,
+                   const Datatype& dtype, int dst, int tag, int context = 0,
+                   XferOpts opts = {});
+  /// irecv posted immediately (matching must stay in program order) whose
+  /// completion gates later work on `stream`.
+  Request irecv_on(cusim::Stream& stream, void* buf, int count,
+                   const Datatype& dtype, int src, int tag, int context = 0,
+                   XferOpts opts = {});
+  /// Trigger-graph / stream-op counters (docs/STREAMS.md).
+  core::TriggerStats& trigger_stats() { return trig_stats_; }
+  const core::TriggerStats& trigger_stats() const { return trig_stats_; }
 
   /// Abandon an in-flight request whose result is no longer wanted (the
   /// collective that owns it aborted). An unmatched posted receive is
@@ -234,8 +281,27 @@ class RankComm {
   void park_scratch(std::vector<std::shared_ptr<void>> scratch);
 
  private:
+  /// A stream-triggered send whose posting is deferred until the stream
+  /// drains past its host-trigger op. `ready` flips in scheduler context;
+  /// the posting itself runs in the progress loop (process context — it
+  /// may charge submit/pack time).
+  struct StreamOp {
+    bool ready = false;
+    bool posted = false;
+    std::function<void()> post;
+  };
+
   // One pass over all pending work; never blocks.
   void progress_once();
+  /// Shared body of isend/isend_on: runs the eager or rendezvous protocol
+  /// on an already-allocated request state.
+  void post_isend(const std::shared_ptr<ReqState>& state, const void* buf,
+                  int count, const Datatype& dtype, int dst, int tag,
+                  int context, const XferOpts& opts);
+  /// The single completion choke point: marks the request complete and
+  /// fires its stream done-flag (on failure too — a gated stream must
+  /// never hang).
+  void finish_request(ReqState& s);
   // Dispatch one completion-queue entry.
   void dispatch(const netsim::Completion& c);
   void handle_eager(const netsim::WireMessage& m);
@@ -273,6 +339,12 @@ class RankComm {
   std::deque<UnexpectedMsg> unexpected_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ReqState>> active_sends_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ReqState>> active_recvs_;
+
+  // -- stream-triggered bookkeeping (docs/STREAMS.md) --------------------
+  core::TriggerStats trig_stats_;
+  /// Deferred stream-triggered posts, drained by progress_once when their
+  /// host-trigger fires.
+  std::vector<std::shared_ptr<StreamOp>> stream_ops_;
 
   // -- reliability bookkeeping -------------------------------------------
   core::RetryStats retry_stats_;

@@ -253,6 +253,32 @@ TEST(Tunables, TopologyKnobsValidated) {
   EXPECT_THROW(Tunables::from_stream(bad), std::invalid_argument);
 }
 
+TEST(Tunables, StreamTriggerKnobsDefaultOff) {
+  // The pinned baselines depend on these defaults: polled trigger mode and
+  // no persistent plan cache are byte-identical with pre-stream builds.
+  Tunables t;
+  EXPECT_EQ(t.trigger_mode, mv2gnc::core::TriggerMode::kPolled);
+  EXPECT_FALSE(t.persistent_plan_cache);
+}
+
+TEST(Tunables, StreamTriggerKnobsRoundTrip) {
+  Tunables t;
+  t.trigger_mode = mv2gnc::core::TriggerMode::kStream;
+  t.persistent_plan_cache = true;
+  const std::string rendered = t.to_config_string();
+  EXPECT_NE(rendered.find("trigger_mode = stream"), std::string::npos);
+  EXPECT_NE(rendered.find("persistent_plan_cache = true"), std::string::npos);
+  std::istringstream in(rendered);
+  Tunables u = Tunables::from_stream(in);
+  EXPECT_EQ(u.trigger_mode, mv2gnc::core::TriggerMode::kStream);
+  EXPECT_TRUE(u.persistent_plan_cache);
+}
+
+TEST(Tunables, ParserRejectsBadTriggerMode) {
+  std::istringstream bad("trigger_mode = gpu\n");
+  EXPECT_THROW(Tunables::from_stream(bad), std::invalid_argument);
+}
+
 TEST(Tunables, RoutingAndEcnKnobsDefaultOff) {
   Tunables t;
   EXPECT_EQ(t.route_select, mv2gnc::core::RouteSelect::kDmodK);

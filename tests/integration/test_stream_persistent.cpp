@@ -1,0 +1,259 @@
+// Stream-triggered and persistent rendezvous under the PR-7 fault matrix
+// (docs/STREAMS.md): the new trigger_mode / persistent_plan_cache knobs
+// must deliver the same bytes as the CPU-driven loop on every transport
+// (fabric, IPC, mixed rpn), survive lossy fabrics without losing the
+// hang-free guarantee, and fail cleanly — not hang — when a peer
+// crash-stops mid-startall.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mpi/cluster.hpp"
+
+namespace core = mv2gnc::core;
+namespace cusim = mv2gnc::cusim;
+namespace mpisim = mv2gnc::mpisim;
+namespace netsim = mv2gnc::netsim;
+namespace sim = mv2gnc::sim;
+using mpisim::Cluster;
+using mpisim::ClusterConfig;
+using mpisim::Context;
+using mpisim::Datatype;
+
+namespace {
+
+Datatype committed(Datatype t) {
+  t.commit();
+  return t;
+}
+
+enum class Mode { kCpuDriven, kStreamTriggered, kPersistentStream };
+
+// Ring halo exchange of a strided device vector, `iters` rounds; returns
+// every received element of every rank and round, in a deterministic
+// order, for byte-compare across modes.
+std::vector<int> run_ring(Mode mode, int ranks, std::size_t rpn, int n,
+                          int iters) {
+  ClusterConfig cfg;
+  cfg.ranks = ranks;
+  cfg.tunables.ranks_per_node = rpn;
+  if (mode != Mode::kCpuDriven) {
+    cfg.tunables.trigger_mode = core::TriggerMode::kStream;
+  }
+  if (mode == Mode::kPersistentStream) {
+    cfg.tunables.persistent_plan_cache = true;
+  }
+  std::vector<int> received(
+      static_cast<std::size_t>(ranks) * static_cast<std::size_t>(iters) *
+      static_cast<std::size_t>(n));
+  Cluster cluster(cfg);
+  cluster.run([&](Context& ctx) {
+    auto col = committed(Datatype::vector(n, 1, 2, Datatype::int32()));
+    const std::size_t span = static_cast<std::size_t>(col.extent()) + 64;
+    auto* dsend = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    auto* drecv = static_cast<std::byte*>(ctx.cuda->malloc(span));
+    std::vector<std::byte> host(span);
+    const int to = (ctx.rank + 1) % ctx.size;
+    const int from = (ctx.rank + ctx.size - 1) % ctx.size;
+    cusim::Stream stream = ctx.cuda->create_stream();
+    std::array<mpisim::PersistentRequest, 2> preqs;
+    if (mode == Mode::kPersistentStream) {
+      preqs[0] = ctx.comm.send_init(dsend, 1, col, to, 9);
+      preqs[1] = ctx.comm.recv_init(drecv, 1, col, from, 9);
+    }
+    for (int it = 0; it < iters; ++it) {
+      // Stage this round's strided payload on the device.
+      for (int i = 0; i < n; ++i) {
+        int v = ctx.rank * 1'000'000 + it * 1'000 + i % 997;
+        std::memcpy(host.data() + static_cast<std::size_t>(i) * 8, &v, 4);
+      }
+      ctx.cuda->memcpy(dsend, host.data(), span,
+                       cusim::MemcpyKind::kHostToDevice);
+      switch (mode) {
+        case Mode::kCpuDriven: {
+          mpisim::Request sr = ctx.comm.isend(dsend, 1, col, to, 9);
+          mpisim::Request rr = ctx.comm.irecv(drecv, 1, col, from, 9);
+          std::array<mpisim::Request, 2> reqs{sr, rr};
+          ctx.comm.waitall(reqs);
+          break;
+        }
+        case Mode::kStreamTriggered: {
+          ctx.cuda->launch_kernel_timed(stream, 5'000, [] {});
+          mpisim::Request sr = ctx.comm.isend_on(stream, dsend, 1, col, to, 9);
+          mpisim::Request rr =
+              ctx.comm.irecv_on(stream, drecv, 1, col, from, 9);
+          std::array<mpisim::Request, 2> reqs{sr, rr};
+          ctx.comm.waitall(reqs);
+          break;
+        }
+        case Mode::kPersistentStream: {
+          ctx.cuda->launch_kernel_timed(stream, 5'000, [] {});
+          ctx.comm.startall_on(stream, preqs);
+          ctx.comm.waitall_persistent(preqs);
+          break;
+        }
+      }
+      ctx.cuda->memcpy(host.data(), drecv, span,
+                       cusim::MemcpyKind::kDeviceToHost);
+      const std::size_t base =
+          (static_cast<std::size_t>(ctx.rank) * iters +
+           static_cast<std::size_t>(it)) *
+          static_cast<std::size_t>(n);
+      for (int i = 0; i < n; ++i) {
+        std::memcpy(&received[base + static_cast<std::size_t>(i)],
+                    host.data() + static_cast<std::size_t>(i) * 8, 4);
+      }
+    }
+    ctx.cuda->free(dsend);
+    ctx.cuda->free(drecv);
+  });
+  return received;
+}
+
+void fault_rendezvous_control(netsim::FaultModel& fm, double drop_send) {
+  netsim::FaultSpec ctrl;
+  ctrl.drop_send = drop_send;
+  for (int kind : {core::kRts, core::kCts, core::kChunkAck, core::kRndvDone,
+                   core::kSendDone, core::kRtsAck, core::kSendDoneAck}) {
+    fm.set_kind(kind, ctrl);
+  }
+}
+
+}  // namespace
+
+TEST(StreamPersistent, ByteCompareCpuVsStreamAcrossRpn) {
+  // The stream-triggered path must deliver exactly the bytes the
+  // CPU-driven loop delivers, on the fabric (rpn=1), mixed (rpn=2) and
+  // all-IPC (rpn=4) topologies — every rendezvous path flavor.
+  const int n = 4096;  // 16 KB packed: rendezvous-sized
+  for (std::size_t rpn : {1u, 2u, 4u}) {
+    const std::vector<int> cpu = run_ring(Mode::kCpuDriven, 4, rpn, n, 3);
+    const std::vector<int> str =
+        run_ring(Mode::kStreamTriggered, 4, rpn, n, 3);
+    const std::vector<int> per =
+        run_ring(Mode::kPersistentStream, 4, rpn, n, 3);
+    EXPECT_EQ(cpu, str) << "rpn=" << rpn;
+    EXPECT_EQ(cpu, per) << "rpn=" << rpn;
+    // Sanity: the expected ring pattern actually arrived (guards against
+    // three identically-wrong runs).
+    EXPECT_EQ(cpu[0], 3 * 1'000'000);  // rank 0 hears rank 3, round 0
+  }
+}
+
+TEST(StreamPersistent, PersistentSurvivesLossyFabricAndIpc) {
+  // Persistent re-fires with the plan cache on, under the PR-7 lossy
+  // matrix: dropped rendezvous control on both the fabric and the IPC
+  // channel. The reliability layer must retransmit through it; the cached
+  // plan must not leak stale state between rounds. Completion of this
+  // test IS the hang-free assertion (a hang deadlocks the run).
+  ClusterConfig cfg;
+  cfg.ranks = 4;
+  cfg.tunables.ranks_per_node = 2;
+  cfg.tunables.persistent_plan_cache = true;
+  cfg.tunables.rndv_timeout_ns = 200'000;
+  cfg.rng_seed = 23;
+  fault_rendezvous_control(cfg.faults, 0.05);
+  fault_rendezvous_control(cfg.ipc_faults, 0.05);
+  Cluster cluster(cfg);
+  const int n = 50'000;
+  cluster.run([&](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    const int to = (ctx.rank + 1) % ctx.size;
+    const int from = (ctx.rank + ctx.size - 1) % ctx.size;
+    std::vector<int> out(n), in(n, -1);
+    auto sreq = ctx.comm.send_init(out.data(), n, ints, to, 4);
+    auto rreq = ctx.comm.recv_init(in.data(), n, ints, from, 4);
+    for (int it = 0; it < 8; ++it) {
+      std::fill(out.begin(), out.end(), ctx.rank * 1000 + it);
+      rreq.start();
+      sreq.start();
+      sreq.wait();
+      rreq.wait();
+      EXPECT_EQ(in[0], from * 1000 + it) << "rank " << ctx.rank;
+      EXPECT_EQ(in[n - 1], from * 1000 + it) << "rank " << ctx.rank;
+    }
+  });
+  std::uint64_t faults = 0;
+  std::uint64_t cache_hits = 0;
+  for (int r = 0; r < 4; ++r) {
+    faults += cluster.fault_stats(r).fabric.total() +
+              cluster.fault_stats(r).ipc.total();
+    cache_hits += cluster.trigger_stats(r).plan_cache_hits;
+    EXPECT_EQ(cluster.vbuf_audit(r), "") << "rank " << r;
+  }
+  EXPECT_GT(faults, 0u) << "lossy run injected nothing - vacuous test";
+  EXPECT_GT(cache_hits, 0u) << "plan cache never re-fired";
+}
+
+TEST(StreamPersistent, CrashMidStartallFailsCleanlyWithoutHanging) {
+  // Rank 3 crash-stops while rank 2 re-fires persistent sends at it via
+  // startall. Rank 2 must get a clean RequestError once the retry budget
+  // is spent — never a hang — while the unaffected persistent pair (0<->1)
+  // keeps exchanging correct data through the noise.
+  ClusterConfig cfg;
+  cfg.ranks = 4;
+  cfg.tunables.persistent_plan_cache = true;
+  cfg.tunables.rndv_timeout_ns = 200'000;
+  cfg.tunables.rndv_max_retries = 3;
+  cfg.rng_seed = 31;
+  cfg.crash_at = {{3, sim::SimTime{400'000}}};
+  Cluster cluster(cfg);
+  const int n = 50'000;
+  std::array<bool, 4> finished{};
+  std::string send_error;
+  // Buffers of the crash victim and of transfers aimed at it must outlive
+  // the run: crash-stop unwinds the fiber (and would free its stack
+  // vectors) while chunk deliveries to those buffers are still in flight
+  // on the fabric. test_chaos's crash cells satisfy this via cuda->malloc
+  // buffers the crashed rank never frees; host-buffer tests hoist instead.
+  std::vector<int> r2_a(n, 2), r2_b(n, 22);
+  std::vector<int> r3_a(n), r3_b(n);
+  cluster.run([&](Context& ctx) {
+    auto ints = committed(Datatype::int32());
+    if (ctx.rank <= 1) {
+      const int peer = 1 - ctx.rank;
+      std::vector<int> out(n), in(n, -1);
+      auto sreq = ctx.comm.send_init(out.data(), n, ints, peer, 4);
+      auto rreq = ctx.comm.recv_init(in.data(), n, ints, peer, 4);
+      for (int it = 0; it < 10; ++it) {
+        std::fill(out.begin(), out.end(), ctx.rank * 1000 + it);
+        std::array<mpisim::PersistentRequest, 2> reqs{sreq, rreq};
+        ctx.comm.startall(reqs);
+        ctx.comm.waitall_persistent(reqs);
+        EXPECT_EQ(in[n - 1], peer * 1000 + it) << "rank " << ctx.rank;
+      }
+    } else if (ctx.rank == 2) {
+      std::array<mpisim::PersistentRequest, 2> reqs{
+          ctx.comm.send_init(r2_a.data(), n, ints, 3, 1),
+          ctx.comm.send_init(r2_b.data(), n, ints, 3, 2)};
+      try {
+        for (int it = 0; it < 10; ++it) {
+          ctx.comm.startall(reqs);
+          ctx.comm.waitall_persistent(reqs);
+        }
+      } catch (const mpisim::RequestError& e) {
+        send_error = e.what();
+      }
+    } else {
+      // The victim: sinks rank 2's sends until the crash timer fires.
+      auto r1 = ctx.comm.recv_init(r3_a.data(), n, ints, 2, 1);
+      auto r2 = ctx.comm.recv_init(r3_b.data(), n, ints, 2, 2);
+      for (int it = 0; it < 10; ++it) {
+        r1.start();
+        r2.start();
+        r1.wait();
+        r2.wait();
+      }
+    }
+    finished[static_cast<std::size_t>(ctx.rank)] = true;
+  });
+  EXPECT_TRUE(finished[0]);
+  EXPECT_TRUE(finished[1]);
+  EXPECT_TRUE(finished[2]) << "rank 2 hung on a dead peer";
+  EXPECT_FALSE(finished[3]);  // crash-stop never reaches the end
+  EXPECT_FALSE(send_error.empty())
+      << "sends to the crashed rank never failed";
+}
