@@ -1,0 +1,219 @@
+// Device-buffer allreduce: sync-staged vs the sliced pipeline
+// (docs/COLLECTIVES.md, "Device-resident buffers").
+//
+// Every rank hands allreduce a pair of device-resident vectors and the
+// bench times the two schedules the coll_device knob selects:
+//
+//   staged     full-size D2H, the host butterfly, full-size H2D — every
+//              leg exposed (the zero-overlap baseline).
+//   pipelined  the vector is cut into slices; slice k's D2H overlaps
+//              slice k-1's Rabenseifner wire leg (on-device folds) while
+//              earlier slices' write-backs drain on their own stream. At
+//              rpn > 1 the intra-node rings stay device-resident over the
+//              IPC peer path.
+//
+// Swept across the paper's large-message range at 1 and 2 ranks per node.
+// The bench asserts the win it exists to demonstrate — pipelined beats
+// staged from 256 KB up at both rpn — plus result correctness against the
+// host-computed reduction and a non-vacuous sweep (slices were actually
+// cut, reduction kernels actually launched).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/reporting.hpp"
+#include "bench_util.hpp"
+#include "mpi/cluster.hpp"
+#include "mpi/coll.hpp"
+
+namespace bench = mv2gnc::bench;
+namespace apps = mv2gnc::apps;
+namespace core = mv2gnc::core;
+namespace mpisim = mv2gnc::mpisim;
+namespace sim = mv2gnc::sim;
+
+namespace {
+
+constexpr int kRanks = 8;
+
+struct RunResult {
+  sim::SimTime elapsed = 0;   // virtual time of `iters` allreduces, rank 0
+  bool correct = false;       // device result == host-computed reduction
+  std::uint64_t device_calls = 0;
+  std::uint64_t pipelined_calls = 0;
+  std::uint64_t slices = 0;
+  std::uint64_t reduce_kernels = 0;
+  std::uint64_t bytes_peer = 0;
+};
+
+RunResult run(std::size_t bytes, int rpn, core::CollDevice mode, int iters) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.tunables.ranks_per_node = static_cast<std::size_t>(rpn);
+  cfg.tunables.coll_device = mode;
+  const int count = static_cast<int>(bytes / sizeof(double));
+  RunResult res;
+  bool all_correct = true;
+  mpisim::Cluster cluster(cfg);
+  cluster.run([&](mpisim::Context& ctx) {
+    std::vector<double> in(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      in[static_cast<std::size_t>(i)] =
+          static_cast<double>(ctx.rank + 1) * static_cast<double>(i % 13 + 1);
+    }
+    auto* din = static_cast<double*>(ctx.cuda->malloc(bytes));
+    auto* dout = static_cast<double*>(ctx.cuda->malloc(bytes));
+    ctx.cuda->memcpy(din, in.data(), bytes);
+    ctx.comm.barrier();
+    const sim::SimTime t0 = ctx.now();
+    for (int it = 0; it < iters; ++it) {
+      ctx.comm.allreduce_sum(din, dout, count);
+    }
+    ctx.comm.barrier();
+    if (ctx.rank == 0) res.elapsed = ctx.now() - t0;
+    std::vector<double> got(static_cast<std::size_t>(count));
+    ctx.cuda->memcpy(got.data(), dout, bytes);
+    for (int i = 0; i < count; ++i) {
+      // Sum over ranks r of (r+1) * (i%13+1): exact in doubles.
+      const double want = static_cast<double>(kRanks * (kRanks + 1) / 2) *
+                          static_cast<double>(i % 13 + 1);
+      if (got[static_cast<std::size_t>(i)] != want) {
+        all_correct = false;
+        break;
+      }
+    }
+    ctx.cuda->free(din);
+    ctx.cuda->free(dout);
+  });
+  res.correct = all_correct;
+  for (int r = 0; r < kRanks; ++r) {
+    const auto& ar = cluster.coll_stats(r).allreduce;
+    res.device_calls += ar.device_calls;
+    res.pipelined_calls += ar.device_pipelined;
+    res.slices += ar.device_slices;
+    res.reduce_kernels += ar.reduce_kernels;
+    res.bytes_peer += ar.bytes_peer;
+  }
+  return res;
+}
+
+// One pipelined run with the device-collective counter table.
+void show_device_stats(std::size_t bytes, int rpn, int iters) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.tunables.ranks_per_node = static_cast<std::size_t>(rpn);
+  cfg.tunables.coll_device = core::CollDevice::kPipelined;
+  const int count = static_cast<int>(bytes / sizeof(double));
+  mpisim::Cluster cluster(cfg);
+  cluster.run([&](mpisim::Context& ctx) {
+    std::vector<double> in(static_cast<std::size_t>(count), 1.0);
+    auto* din = static_cast<double*>(ctx.cuda->malloc(bytes));
+    auto* dout = static_cast<double*>(ctx.cuda->malloc(bytes));
+    ctx.cuda->memcpy(din, in.data(), bytes);
+    for (int it = 0; it < iters; ++it) {
+      ctx.comm.allreduce_sum(din, dout, count);
+    }
+    ctx.cuda->free(din);
+    ctx.cuda->free(dout);
+  });
+  std::cout << "\nDevice-collective counters (pipelined, "
+            << apps::format_bytes(bytes) << " x " << iters << ", rpn " << rpn
+            << "):\n";
+  cluster.print_stats(std::cout);
+}
+
+std::string peer_mb(std::uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(bytes) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  bench::banner("Device-buffer allreduce: sync-staged vs sliced pipeline",
+                "the paper's pipelined-through-host design applied to "
+                "collectives (docs/COLLECTIVES.md)");
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{65536, 262144}
+            : std::vector<std::size_t>{65536, 262144, 1048576, 4194304};
+  const int iters = smoke ? 2 : 3;
+  bench::JsonReport report("coll_device");
+  apps::Table table("Allreduce on device buffers, 8 ranks (us per call)",
+                    {"size", "rpn", "staged (us)", "pipelined (us)",
+                     "improvement", "slices", "peer-MB"});
+  bool ok = true;
+  for (int rpn : {1, 2}) {
+    for (std::size_t s : sizes) {
+      const RunResult st = run(s, rpn, core::CollDevice::kStaged, iters);
+      const RunResult pi = run(s, rpn, core::CollDevice::kPipelined, iters);
+      table.add_row(
+          {apps::format_bytes(s), std::to_string(rpn),
+           apps::format_us(st.elapsed / iters),
+           apps::format_us(pi.elapsed / iters),
+           apps::format_improvement(static_cast<double>(st.elapsed),
+                                    static_cast<double>(pi.elapsed)),
+           std::to_string(pi.slices / static_cast<std::uint64_t>(iters)),
+           peer_mb(pi.bytes_peer)});
+      const std::string key =
+          std::to_string(s) + "_rpn" + std::to_string(rpn);
+      report.add("staged_us_" + key,
+                 static_cast<double>(st.elapsed / iters) / 1000.0);
+      report.add("pipelined_us_" + key,
+                 static_cast<double>(pi.elapsed / iters) / 1000.0);
+      report.add("pipelined_slices_" + key, static_cast<double>(pi.slices));
+      report.add("pipelined_peer_mb_" + key,
+                 static_cast<double>(pi.bytes_peer) / 1e6);
+      // In-bench asserts — the claims this bench exists to back:
+      // (1) both schedules produce the host-computed reduction, bit-exact;
+      if (!st.correct || !pi.correct) {
+        std::cout << "FAIL: wrong allreduce result at " << s << " B rpn "
+                  << rpn << " (staged " << st.correct << ", pipelined "
+                  << pi.correct << ")\n";
+        ok = false;
+      }
+      // (2) the pipeline beats the zero-overlap staged schedule from
+      //     256 KB up, at both 1 and 2 ranks per node;
+      if (s >= 262144 && pi.elapsed >= st.elapsed) {
+        std::cout << "FAIL: pipelined (" << pi.elapsed
+                  << " ns) did not beat staged (" << st.elapsed << " ns) at "
+                  << s << " B rpn " << rpn << "\n";
+        ok = false;
+      }
+      // (3) the sweep is not vacuous: the pipelined runs actually took the
+      //     device path, cut slices, and launched reduction kernels.
+      if (pi.device_calls == 0 || pi.pipelined_calls == 0 ||
+          pi.slices == 0 || pi.reduce_kernels == 0) {
+        std::cout << "FAIL: vacuous sweep at " << s << " B rpn " << rpn
+                  << " (calls " << pi.device_calls << ", pipelined "
+                  << pi.pipelined_calls << ", slices " << pi.slices
+                  << ", reduce-kernels " << pi.reduce_kernels << ")\n";
+        ok = false;
+      }
+      // (4) ... and at rpn 2 the intra-node legs really stayed on the
+      //     device-direct peer path.
+      if (rpn == 2 && pi.bytes_peer == 0) {
+        std::cout << "FAIL: no device-direct peer bytes at " << s
+                  << " B rpn 2\n";
+        ok = false;
+      }
+    }
+  }
+  table.print(std::cout);
+  show_device_stats(smoke ? 262144 : 1048576, 2, iters);
+  report.write_and_note();
+  if (!ok) {
+    std::cout << "\nerror: device-collective win assertions failed\n";
+    return 1;
+  }
+  std::cout << "\nExpected: the sliced pipeline wins from 256 KB up — each "
+               "slice's PCIe legs hide\nbehind its neighbours' wire legs, "
+               "the Rabenseifner exchange moves 2(1-1/p)\nbytes instead of "
+               "the butterfly's log2(p), and at rpn 2 the intra-node rings"
+               "\npeer-copy device memory instead of bouncing through the "
+               "host.\n";
+  return 0;
+}

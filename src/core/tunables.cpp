@@ -74,6 +74,18 @@ void Tunables::validate() const {
     throw std::invalid_argument(
         "tunables: transport_restore_threshold must be >= 1");
   }
+  if (coll_slice_bytes != 0 && (coll_slice_bytes % 8 != 0)) {
+    throw std::invalid_argument(
+        "tunables: coll_slice_bytes must be 0 (model-selected) or a "
+        "multiple of 8");
+  }
+  if (coll_device == CollDevice::kPipelined && !gpu_offload) {
+    // The pipelined path exists to overlap GPU-side staging; forcing it
+    // while disavowing GPU offload is a contradiction — auto degrades to
+    // staged instead.
+    throw std::invalid_argument(
+        "tunables: coll_device = pipelined requires gpu_offload = true");
+  }
   if (coll_watchdog_factor < 1.0) {
     throw std::invalid_argument(
         "tunables: coll_watchdog_factor must be >= 1.0");
@@ -122,6 +134,24 @@ CollSelect parse_coll_select(const std::string& v) {
   if (v == "hier") return CollSelect::kHier;
   throw std::invalid_argument(
       "tunables: coll_select must be 'auto', 'flat' or 'hier', got: " + v);
+}
+
+CollDevice parse_coll_device(const std::string& v) {
+  if (v == "staged") return CollDevice::kStaged;
+  if (v == "pipelined") return CollDevice::kPipelined;
+  if (v == "auto") return CollDevice::kAuto;
+  throw std::invalid_argument(
+      "tunables: coll_device must be 'staged', 'pipelined' or 'auto', got: " +
+      v);
+}
+
+const char* coll_device_name(CollDevice d) {
+  switch (d) {
+    case CollDevice::kStaged: return "staged";
+    case CollDevice::kPipelined: return "pipelined";
+    case CollDevice::kAuto: return "auto";
+  }
+  return "staged";
 }
 
 const char* coll_select_name(CollSelect s) {
@@ -224,6 +254,8 @@ Tunables Tunables::from_stream(std::istream& in) {
       else if (key == "ranks_per_node") t.ranks_per_node = std::stoull(value);
       else if (key == "transport_select") t.transport_select = parse_transport_select(value);
       else if (key == "coll_select") t.coll_select = parse_coll_select(value);
+      else if (key == "coll_device") t.coll_device = parse_coll_device(value);
+      else if (key == "coll_slice_bytes") t.coll_slice_bytes = std::stoull(value);
       else if (key == "route_select") t.route_select = parse_route_select(value);
       else if (key == "trigger_mode") t.trigger_mode = parse_trigger_mode(value);
       else if (key == "persistent_plan_cache") t.persistent_plan_cache = parse_bool(value, key);
@@ -287,6 +319,8 @@ std::string Tunables::to_config_string() const {
      << (transport_select == TransportSelect::kAuto ? "auto" : "fabric")
      << "\n"
      << "coll_select = " << coll_select_name(coll_select) << "\n"
+     << "coll_device = " << coll_device_name(coll_device) << "\n"
+     << "coll_slice_bytes = " << coll_slice_bytes << "\n"
      << "route_select = " << route_select_name(route_select) << "\n"
      << "trigger_mode = " << trigger_mode_name(trigger_mode) << "\n"
      << "persistent_plan_cache = "

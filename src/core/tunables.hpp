@@ -60,6 +60,17 @@ enum class RouteSelect {
   kAdaptive,  // least-backlogged path at injection time, index-order ties
 };
 
+/// How collectives handle device-resident buffers (see docs/COLLECTIVES.md,
+/// "Device-buffer collectives").
+enum class CollDevice {
+  kStaged,     // synchronous full-size D2H, host collective, full-size H2D
+               // (the legacy CUDA-aware-MPI behavior; byte-identical default)
+  kPipelined,  // sliced D2H / wire / reduce / H2D pipeline through the
+               // staging pools; intra-node legs stay device-resident over
+               // the IPC peer-copy path
+  kAuto,       // cost sketch picks staged vs pipelined per call
+};
+
 /// How stream-attached sends/recvs (isend_on / irecv_on / start_on) couple
 /// to the cusim stream (see docs/STREAMS.md).
 enum class TriggerMode {
@@ -153,6 +164,17 @@ struct Tunables {
   /// over the fabric). kAuto consults the topology and the cost hints the
   /// cluster derives from its GPU/IPC models (docs/COLLECTIVES.md).
   CollSelect coll_select = CollSelect::kAuto;
+
+  /// Device-resident collective buffers: legacy synchronous staging vs the
+  /// sliced D2H/wire/reduce/H2D pipeline (docs/COLLECTIVES.md). kStaged is
+  /// the byte-identical default; kAuto consults the cost sketch per call.
+  CollDevice coll_device = CollDevice::kStaged;
+
+  /// Pipeline slice size of a device-buffer collective, in bytes. 0 picks
+  /// the slice per call by minimizing the (S+2)-stage pipeline model over
+  /// power-of-two candidates (mirroring chunk_select = model). Nonzero
+  /// values must be multiples of 8 (the reduction element size).
+  std::size_t coll_slice_bytes = 0;
 
   // -- congestion-adaptive routing + ECN feedback (docs/SIMULATION.md,
   //    docs/CONCURRENCY.md) ----------------------------------------------

@@ -434,4 +434,11 @@ void CudaContext::launch_kernel_timed(Stream& stream, sim::SimTime duration,
   submit_to_stream(stream, device_.kernel_engine(), duration, std::move(body));
 }
 
+void CudaContext::launch_device_reduce(Stream& stream, std::size_t bytes,
+                                       std::function<void()> body) {
+  ++reduce_kernel_calls_;
+  launch_kernel_timed(stream, device_.cost().reduce_time(bytes),
+                      std::move(body));
+}
+
 }  // namespace mv2gnc::cusim

@@ -229,6 +229,12 @@ class CudaContext {
   /// Launch a kernel with an explicitly modeled duration.
   void launch_kernel_timed(Stream& stream, sim::SimTime duration,
                            std::function<void()> body);
+  /// Launch an elementwise device reduction over `bytes` of input, priced
+  /// by GpuCostModel::reduce_time; `body` performs the real fold at
+  /// completion time. The device-buffer collectives enqueue their per-slice
+  /// folds through this so reductions are stream-ordered like any kernel.
+  void launch_device_reduce(Stream& stream, std::size_t bytes,
+                            std::function<void()> body);
 
   // -- stream-triggered ops (docs/STREAMS.md) ---------------------------
   /// cuLaunchHostFunc / cuStreamWriteValue analogue: enqueue `fn` to run
@@ -249,6 +255,7 @@ class CudaContext {
   /// API-call counters (productivity accounting, paper Table I).
   std::uint64_t memcpy_calls() const { return memcpy_calls_; }
   std::uint64_t memcpy2d_calls() const { return memcpy2d_calls_; }
+  std::uint64_t reduce_kernel_calls() const { return reduce_kernel_calls_; }
   void reset_call_counters() { memcpy_calls_ = memcpy2d_calls_ = 0; }
 
  private:
@@ -269,6 +276,7 @@ class CudaContext {
   int next_stream_id_ = 0;
   std::uint64_t memcpy_calls_ = 0;
   std::uint64_t memcpy2d_calls_ = 0;
+  std::uint64_t reduce_kernel_calls_ = 0;
   std::unordered_map<void*, std::unique_ptr<std::byte[]>> host_allocs_;
   // Opened-IPC-mapping refcounts, keyed by the mapped pointer.
   std::unordered_map<void*, std::uint64_t> open_ipc_;

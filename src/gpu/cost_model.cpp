@@ -68,6 +68,11 @@ sim::SimTime GpuCostModel::kernel_time(std::uint64_t points,
          static_cast<sim::SimTime>(static_cast<double>(points) * per_point);
 }
 
+sim::SimTime GpuCostModel::reduce_time(std::size_t bytes) const {
+  return kernel_launch_ns +
+         static_cast<sim::SimTime>(static_cast<double>(bytes) / reduce_bw);
+}
+
 GpuCostModel GpuCostModel::tesla_c2050() {
   // Calibration targets (paper values in parentheses):
   //  * §I-A, 4 KB vector / 4 B rows: nc2nc ~200 us (200), nc2c ~281 us

@@ -85,6 +85,12 @@ struct GpuCostModel {
   double kernel_point_ns_sp = 0.29;  // single precision, 9-pt stencil
   double kernel_point_ns_dp = 0.33;  // double precision
 
+  // Effective bandwidth of an elementwise reduction kernel (acc op= in):
+  // two streamed reads plus one write against C2050 DRAM (~144 GB/s peak,
+  // ~55% achievable on Fermi for a bandwidth-bound kernel), counted per
+  // *input* byte. Consumed by the device-buffer collectives' fold stage.
+  double reduce_bw = 26.0;
+
   /// Duration of a contiguous 1-D copy of `bytes` in direction `dir`
   /// (excludes launch cost; see copy_time()). `pinned_host` selects the
   /// page-locked vs pageable PCIe bandwidth (ignored for D2D).
@@ -105,6 +111,10 @@ struct GpuCostModel {
 
   /// Modeled duration of a kernel over `points` grid points.
   sim::SimTime kernel_time(std::uint64_t points, bool double_precision) const;
+
+  /// Modeled duration of an elementwise device reduction folding `bytes`
+  /// of input into an accumulator (launch included).
+  sim::SimTime reduce_time(std::size_t bytes) const;
 
   /// Calibration for the paper's testbed (Tesla C2050, PCIe 2.0 x16).
   static GpuCostModel tesla_c2050();

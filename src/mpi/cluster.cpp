@@ -115,6 +115,12 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     hints.ipc_cma_bw = ipc.cma_host_bw;
     hints.ipc_cma_threshold = ipc.shm_cma_threshold;
     hints.ipc_latency_ns = ipc.latency_ns;
+    hints.d2h_bw = config_.gpu_cost.d2h_bw;
+    hints.h2d_bw = config_.gpu_cost.h2d_bw;
+    hints.reduce_bw = config_.gpu_cost.reduce_bw;
+    hints.ipc_peer_bw = config_.gpu_cost.peer_d2d_bw;
+    hints.copy_launch_ns = config_.gpu_cost.copy_launch_ns;
+    hints.kernel_launch_ns = config_.gpu_cost.kernel_launch_ns;
     for (auto& comm : comms_) comm->coll().set_cost_hints(hints);
   }
 }
@@ -466,6 +472,61 @@ void Cluster::print_stats(std::ostream& os) {
                       static_cast<double>(op->bytes_sent) / 1e6,
                       static_cast<unsigned long long>(op->intra_phases),
                       static_cast<unsigned long long>(op->leader_phases));
+        os << line;
+      }
+    }
+  }
+  // Device-collective table: the device-buffer paths (coll_device tunable,
+  // docs/COLLECTIVES.md) only differ from the host engine when the knob is
+  // moved off its staged default, so the gate keeps default-mode output
+  // byte-identical.
+  if (config_.tunables.coll_device != core::CollDevice::kStaged) {
+    detail::CollStats agg;
+    auto add_dev = [](detail::CollOpStats& a, const detail::CollOpStats& b) {
+      a.device_calls += b.device_calls;
+      a.device_pipelined += b.device_pipelined;
+      a.device_slices += b.device_slices;
+      a.bytes_staged += b.bytes_staged;
+      a.bytes_peer += b.bytes_peer;
+      a.reduce_kernels += b.reduce_kernels;
+      a.device_stage_ns += b.device_stage_ns;
+      a.device_elapsed_ns += b.device_elapsed_ns;
+    };
+    for (int r = 0; r < config_.ranks; ++r) {
+      const detail::CollStats& cs = coll_stats(r);
+      add_dev(agg.bcast, cs.bcast);
+      add_dev(agg.allreduce, cs.allreduce);
+      add_dev(agg.allgather, cs.allgather);
+      add_dev(agg.alltoall, cs.alltoall);
+    }
+    const detail::CollOpStats* devs[] = {&agg.bcast, &agg.allreduce,
+                                         &agg.allgather, &agg.alltoall};
+    bool any_device = false;
+    for (const detail::CollOpStats* op : devs) {
+      if (op->device_calls > 0) any_device = true;
+    }
+    if (any_device) {
+      os << "device-coll  calls  pipelined  slices  MB-staged  MB-peer  "
+            "reduce-k  overlap\n";
+      const std::pair<const char*, const detail::CollOpStats*> rows[] = {
+          {"bcast", &agg.bcast},
+          {"allreduce", &agg.allreduce},
+          {"allgather", &agg.allgather},
+          {"alltoall", &agg.alltoall},
+      };
+      for (const auto& [name, op] : rows) {
+        if (op->device_calls == 0) continue;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-10s %7llu %8llu %9llu %10.2f %8.2f %9llu %8.2f\n",
+                      name,
+                      static_cast<unsigned long long>(op->device_calls),
+                      static_cast<unsigned long long>(op->device_pipelined),
+                      static_cast<unsigned long long>(op->device_slices),
+                      static_cast<double>(op->bytes_staged) / 1e6,
+                      static_cast<double>(op->bytes_peer) / 1e6,
+                      static_cast<unsigned long long>(op->reduce_kernels),
+                      op->overlap_ratio());
         os << line;
       }
     }

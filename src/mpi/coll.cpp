@@ -33,6 +33,8 @@ constexpr int kTagBcastLeader = -8 * kTagSpan;    // hier leader binomial
 constexpr int kTagBcastIntra = -9 * kTagSpan;     // hier intra binomial
 constexpr int kTagAllreduceRs = -10 * kTagSpan;   // intra reduce-scatter: -step
 constexpr int kTagAllreduceAg = -11 * kTagSpan;   // intra slice allgather: -step
+// Tag spans -12 .. -18 belong to the device-buffer sliced pipelines; see
+// src/mpi/coll_device.cpp.
 
 Datatype committed_byte() {
   Datatype t = Datatype::byte();
@@ -134,6 +136,7 @@ void CollEngine::abort_collective(const CommGroup& g, std::uint64_t seq,
   // posted receive of the abandoned operation.
   comm_.park_scratch(std::move(scratch_));
   scratch_.clear();
+  settle_coll_slots(/*aborted=*/true);
   comm_.coll_send_abort_wave(g, seq, origin);
   // Withdraw every still-open request of the abandoned operation. Receives
   // are local; sends retract their RTS from the peer (RndvSend::cancel).
@@ -155,6 +158,7 @@ void CollEngine::run_guarded(const CommGroup& g, Fn&& body) {
   try {
     body();
     scratch_.clear();  // completed: nothing can deliver into scratch anymore
+    settle_coll_slots(/*aborted=*/false);
     inflight_.clear();
   } catch (const RequestError& e) {
     // A p2p leg of this collective failed permanently: this rank is the
@@ -254,7 +258,8 @@ CollEngine::Topology CollEngine::map_nodes(const CommGroup& g) const {
   return t;
 }
 
-bool CollEngine::use_hier(const Topology& t, std::size_t bytes) const {
+bool CollEngine::use_hier(const Topology& t, std::size_t bytes,
+                          bool device) const {
   const core::Tunables& tun = comm_.tunables();
   if (!t.multi_rank_node) return false;  // flat topology: nothing to split
   switch (tun.coll_select) {
@@ -297,7 +302,24 @@ bool CollEngine::use_hier(const Topology& t, std::size_t bytes) const {
   const double hier =
       2.0 * (ipc + (bytes_d * (n - 1.0) / n) / hier_ipc_bw) +
       rounds(nodes) * (fab + (bytes_d / n) / hints_.fabric_bw);
-  return hier < flat;
+  if (!device) return hier < flat;
+  // Device-resident buffers change both sides of the ledger. Flat stages
+  // the full vector across PCIe once each way around the host butterfly.
+  // Two-level keeps the intra reduce-scatter/allgather rings on the
+  // device-direct IPC peer-copy path (no host bounce), pays the ring folds
+  // as reduction kernels, and only the owned 1/n stripe crosses PCIe for
+  // the inter-node butterfly. Still rank-invariant: bytes, n, nodes and
+  // hints only.
+  const double pcie = hints_.pcie_bw();
+  const double launch = static_cast<double>(hints_.copy_launch_ns);
+  const double dev_flat = flat + 2.0 * (launch + bytes_d / pcie);
+  const double dev_hier =
+      2.0 * (ipc + (bytes_d * (n - 1.0) / n) / hints_.ipc_peer_bw) +
+      (n - 1.0) * static_cast<double>(hints_.reduce_time(
+                      bytes / static_cast<std::size_t>(uniform))) +
+      rounds(nodes) * (fab + (bytes_d / n) / hints_.fabric_bw) +
+      2.0 * (launch + (bytes_d / n) / pcie);
+  return dev_hier < dev_flat;
 }
 
 // ---------------------------------------------------------------------------
@@ -492,6 +514,19 @@ void CollEngine::bcast_impl(void* buf, int count, const Datatype& dtype, int roo
                        const CommGroup& g) {
   CollOpStats& op = stats_.bcast;
   ++op.calls;
+  // Device-resident contiguous payloads take the staged/pipelined device
+  // path; non-contiguous device types keep the legacy pass-through (the
+  // rendezvous layer packs them per message).
+  if (dtype.is_contiguous() && device_buffer(buf)) {
+    device_bcast(op, buf, count, dtype, root, g);
+    return;
+  }
+  bcast_wire(op, buf, count, dtype, root, g);
+}
+
+void CollEngine::bcast_wire(CollOpStats& op, void* buf, int count,
+                            const Datatype& dtype, int root,
+                            const CommGroup& g) {
   const int p = g.size();
   if (p == 1) return;
   Topology t = map_nodes(g);
@@ -529,9 +564,18 @@ void CollEngine::allreduce_impl(const double* sendbuf, double* recvbuf,
                                    const CommGroup& g) {
   CollOpStats& op = stats_.allreduce;
   ++op.calls;
-  static const Datatype double_t = committed_double();
+  if (device_buffer(sendbuf) || device_buffer(recvbuf)) {
+    device_allreduce(op, sendbuf, recvbuf, count, take_max, g);
+    return;
+  }
   std::copy(sendbuf, sendbuf + count, recvbuf);
   if (g.size() == 1) return;
+  allreduce_wire(op, recvbuf, count, take_max, g);
+}
+
+void CollEngine::allreduce_wire(CollOpStats& op, double* recvbuf, int count,
+                                bool take_max, const CommGroup& g) {
+  static const Datatype double_t = committed_double();
   const Topology t = map_nodes(g);
   const std::size_t bytes = sizeof(double) * static_cast<std::size_t>(count);
   if (!use_hier(t, bytes)) {
@@ -653,6 +697,17 @@ void CollEngine::allgather_impl(const void* sendbuf, int count,
                            const CommGroup& g) {
   CollOpStats& op = stats_.allgather;
   ++op.calls;
+  if (dtype.is_contiguous() &&
+      (device_buffer(sendbuf) || device_buffer(recvbuf))) {
+    device_allgather(op, sendbuf, count, dtype, recvbuf, g);
+    return;
+  }
+  allgather_wire(op, sendbuf, count, dtype, recvbuf, g);
+}
+
+void CollEngine::allgather_wire(CollOpStats& op, const void* sendbuf,
+                                int count, const Datatype& dtype,
+                                void* recvbuf, const CommGroup& g) {
   const std::size_t block = static_cast<std::size_t>(dtype.extent()) *
                             static_cast<std::size_t>(count);
   const int p = g.size();

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "cuda/runtime.hpp"
 #include "mpi/rank_comm.hpp"
 #include "sim/time.hpp"
 
@@ -36,6 +37,25 @@ struct CollOpStats {
   std::uint64_t bytes_sent = 0;     // payload bytes this rank isend()ed
   std::uint64_t intra_phases = 0;   // node-local phases this rank executed
   std::uint64_t leader_phases = 0;  // cluster-wide / leader phases executed
+
+  // -- device-buffer path (coll_device, docs/COLLECTIVES.md) -------------
+  std::uint64_t device_calls = 0;      // calls with device-resident buffers
+  std::uint64_t device_pipelined = 0;  // of which took the sliced pipeline
+  std::uint64_t device_slices = 0;     // pipeline slices this rank processed
+  std::uint64_t bytes_staged = 0;      // device bytes staged across PCIe
+  std::uint64_t bytes_peer = 0;        // device bytes over device-direct IPC
+  std::uint64_t reduce_kernels = 0;    // device fold launches
+  sim::SimTime device_stage_ns = 0;    // summed per-stage durations
+  sim::SimTime device_elapsed_ns = 0;  // virtual time inside device calls
+
+  /// 1 - elapsed/stages: the fraction of serialized stage time the sliced
+  /// schedule hid behind other stages (0 for the synchronous staged path).
+  double overlap_ratio() const {
+    if (device_stage_ns <= 0 || device_elapsed_ns <= 0) return 0.0;
+    const double r = 1.0 - static_cast<double>(device_elapsed_ns) /
+                               static_cast<double>(device_stage_ns);
+    return r > 0.0 ? r : 0.0;
+  }
 };
 
 struct CollStats {
@@ -63,6 +83,22 @@ struct CollCostHints {
   /// netsim::IpcChannel::copy_bw's shm-vs-CMA size split.
   double ipc_host_bw(std::size_t bytes) const {
     return bytes >= ipc_cma_threshold ? ipc_cma_bw : ipc_shm_bw;
+  }
+
+  // -- device-buffer extension (coll_device; defaults = Tesla C2050) -----
+  double d2h_bw = 5.5;          // GB/s device-to-host across PCIe
+  double h2d_bw = 5.7;          // GB/s host-to-device across PCIe
+  double reduce_bw = 26.0;      // GB/s of the elementwise fold kernel
+  double ipc_peer_bw = 6.0;     // GB/s of a device-direct IPC peer copy
+  sim::SimTime copy_launch_ns = 4000;
+  sim::SimTime kernel_launch_ns = 7000;
+
+  /// The PCIe rate a staged leg is bound by (slices cross both ways).
+  double pcie_bw() const { return d2h_bw < h2d_bw ? d2h_bw : h2d_bw; }
+  /// Mirror of gpu::GpuCostModel::reduce_time for the selection sketches.
+  sim::SimTime reduce_time(std::size_t bytes) const {
+    return kernel_launch_ns +
+           static_cast<sim::SimTime>(static_cast<double>(bytes) / reduce_bw);
   }
 };
 
@@ -119,7 +155,11 @@ class CollEngine {
     int num_nodes() const { return static_cast<int>(members.size()); }
   };
   Topology map_nodes(const CommGroup& g) const;
-  bool use_hier(const Topology& t, std::size_t bytes) const;
+  /// Rank-invariant flat-vs-two-level selection sketch. With `device` the
+  /// sketch gains the PCIe staging and device-fold terms of the
+  /// device-buffer path (intra legs priced at the peer-copy rate).
+  bool use_hier(const Topology& t, std::size_t bytes,
+                bool device = false) const;
 
   // Un-guarded algorithm bodies (one per public op).
   void barrier_impl(const CommGroup& g);
@@ -135,6 +175,66 @@ class CollEngine {
                    void* recvbuf, int root, const CommGroup& g);
   void scatter_impl(const void* sendbuf, void* recvbuf, int count,
                     const Datatype& dtype, int root, const CommGroup& g);
+
+  // Wire bodies: the flat/two-level exchange of one collective operating on
+  // buffers in place, shared by the host path (unchanged schedule) and the
+  // device-buffer staged/pipelined paths.
+  void allreduce_wire(CollOpStats& op, double* data, int count, bool take_max,
+                      const CommGroup& g);
+  void bcast_wire(CollOpStats& op, void* buf, int count, const Datatype& dtype,
+                  int root, const CommGroup& g);
+  void allgather_wire(CollOpStats& op, const void* sendbuf, int count,
+                      const Datatype& dtype, void* recvbuf, const CommGroup& g);
+
+  // -- device-buffer collectives (src/mpi/coll_device.cpp) ----------------
+  /// True when `p` lies inside a registered device allocation.
+  bool device_buffer(const void* p) const;
+  /// Pure selection sketch behind coll_device = auto: does the sliced
+  /// pipeline beat one synchronous full-size stage for `bytes` over `p`
+  /// ranks? Rank-invariant (bytes, hints and tunables only).
+  bool device_pipeline_wins(std::size_t bytes, int p) const;
+  /// Slice size of the pipeline: the coll_slice_bytes knob, or the model
+  /// pick minimizing (slices + 2) * max-stage-time; capped so the per-slice
+  /// tag offsets stay inside one tag span.
+  std::size_t pick_slice_bytes(std::size_t total, int p) const;
+  /// Lazily create the collective-owned d2h / h2d / reduce streams.
+  void ensure_coll_streams();
+  /// Stream-ordered elementwise fold acc = acc (op) in over n doubles,
+  /// charged as a device reduction kernel; blocks until the fold landed.
+  void device_fold(CollOpStats& op, double* acc, const double* in, int n,
+                   bool take_max);
+  /// Abort-safe staging slot: pool-backed when it fits (pinned one-off
+  /// otherwise), parked with the scratch list on abort.
+  core::detail::StagingSlot* slot_scratch(std::size_t bytes);
+  /// Abort-safe device scratch allocation of n doubles.
+  double* device_scratch(std::size_t n);
+
+  void device_allreduce(CollOpStats& op, const double* sendbuf,
+                        double* recvbuf, int count, bool take_max,
+                        const CommGroup& g);
+  /// Sliced D2H / wire / fold / H2D pipeline over `ranks` for the device
+  /// range [dev, dev+count); the heart of the pipelined allreduce (flat
+  /// call: all ranks, full vector; two-level call: stripe group, own
+  /// stripe).
+  void device_sliced_allreduce(CollOpStats& op, const CommGroup& g,
+                               const std::vector<int>& ranks, int me,
+                               double* dev, int count, bool take_max);
+  /// Wire leg of one host-resident slice, with per-slice tags,
+  /// device-kernel folds and an optional D2H data gate on the first send
+  /// (trigger_mode = stream). Recursive-halving reduce-scatter plus
+  /// recursive-doubling allgather (the large-message shape: 2(1-1/p)
+  /// wire bytes and (1-1/p) folded bytes per slice instead of recursive
+  /// doubling's log2(p) of each); tiny slices fall back to the
+  /// full-vector butterfly.
+  void device_slice_wire(CollOpStats& op, const CommGroup& g,
+                         const std::vector<int>& ranks, int me, double* data,
+                         int count, bool take_max, int slice,
+                         cusim::Event* gate);
+  void device_bcast(CollOpStats& op, void* buf, int count,
+                    const Datatype& dtype, int root, const CommGroup& g);
+  void device_allgather(CollOpStats& op, const void* sendbuf, int count,
+                        const Datatype& dtype, void* recvbuf,
+                        const CommGroup& g);
 
   /// Run one collective body under the abort protocol: registers the call
   /// with coll_begin (throws if the context is poisoned), converts any
@@ -192,6 +292,13 @@ class CollEngine {
   std::uint64_t cur_seq_ = 0;
   sim::SimTime wait_budget_ = 0;
   std::vector<std::shared_ptr<void>> scratch_;
+  /// Staging slots of the in-flight device collective (slot_scratch).
+  /// Released back to the pool on normal completion; an abort parks them
+  /// in the owning RankComm's slot graveyard instead — a still-queued
+  /// stream copy may reference them, and the survivor audit invariant
+  /// (vbufs_in_use == graveyard_slots) must keep counting them.
+  std::vector<std::unique_ptr<core::detail::StagingSlot>> coll_slots_;
+  void settle_coll_slots(bool aborted);
   // Every request the running collective posted (shared handles; cheap).
   // Cleared on normal completion; on abort each one is canceled — an
   // abandoned isend whose matching receive will never be posted (the peer
@@ -199,6 +306,14 @@ class CollEngine {
   // peer's unmatched-RTS ack keeps resetting the sender's retry budget,
   // and finalize's drain_pending would never return.
   std::vector<Request> inflight_;
+
+  // Collective-owned streams of the device-buffer path (lazily created on
+  // the first device-resident call; distinct from the rendezvous staging
+  // streams so collective slices never queue behind p2p traffic).
+  bool coll_streams_ready_ = false;
+  cusim::Stream coll_d2h_;
+  cusim::Stream coll_h2d_;
+  cusim::Stream coll_red_;
 };
 
 }  // namespace mv2gnc::mpisim::detail

@@ -1,0 +1,971 @@
+// Device-buffer collectives (docs/COLLECTIVES.md, "Device-resident
+// buffers"): the CollEngine paths that engage when allreduce / allgather /
+// bcast arguments live in registered device memory.
+//
+// Two schedules per operation, selected by the coll_device tunable:
+//
+//   staged     synchronous full-size D2H, the host wire algorithm on a
+//              staged copy, synchronous full-size H2D. Zero overlap — the
+//              baseline the paper improves on — but it prices the PCIe legs
+//              the legacy host-only engine silently skipped.
+//   pipelined  the vector is cut into slices; slice k's D2H (coll_d2h_
+//              stream) overlaps slice k-1's wire leg, whose folds run as
+//              device reduction kernels (coll_red_), while slice k-2's
+//              write-back drains on coll_h2d_. Sequencing uses the stream
+//              primitives: record_event data gates let the RTS of a slice's
+//              first send leave while its D2H is still in flight
+//              (trigger_mode = stream), stream_wait_flag holds the
+//              pre-enqueued write-back until the wire leg lands, and a
+//              launch_host_trigger marks the drain of the pipeline. Under
+//              trigger_mode = polled the same schedule synchronizes
+//              point-wise and is byte-identical.
+//
+// At rpn > 1 the two-level pipelined allreduce keeps the intra-node
+// reduce-scatter / allgather rings entirely device-resident: co-located
+// ranks exchange device pointers, which the IPC transport peer-copies
+// (device_direct()) without a host bounce; only the owned 1/n stripe
+// crosses PCIe for the inter-node butterfly. The two-level bcast lands each
+// slice on the leader's device and fans it out over the same peer path.
+//
+// Residency contract: the pipelined schedules assume residency is uniform
+// across the group (all ranks device or all host) — mixed residency per
+// rank falls back to the staged schedule, whose wire leg interoperates with
+// the host path. After an aborted pipelined collective the destination
+// device buffer may still be written by an already-enqueued write-back
+// (result of a failed collective is undefined); like any buffer handed to a
+// collective, it must stay live until the communicator drains.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "mpi/coll.hpp"
+
+namespace mv2gnc::mpisim::detail {
+
+namespace {
+
+// Tag families of the device pipelines, below the host families (which end
+// at -11 * span; see coll.cpp). Per-slice offsets are slice * kDevStride +
+// round, so pick_slice_bytes caps the slice count at kMaxDevSlices to keep
+// every offset inside one span.
+constexpr int kTagSpan = 1 << 16;
+constexpr int kDevStride = 64;
+constexpr int kMaxDevSlices = 512;
+constexpr int kTagDevArRd = -12 * kTagSpan;    // - (slice*stride + round)
+constexpr int kTagDevArPair = -13 * kTagSpan;  // - (slice*2 + phase)
+constexpr int kTagDevBcast = -14 * kTagSpan;        // flat binomial: - slice
+constexpr int kTagDevBcastLeader = -15 * kTagSpan;  // leader leg: - slice
+constexpr int kTagDevBcastIntra = -16 * kTagSpan;   // intra leg: - slice
+constexpr int kTagDevArRs = -17 * kTagSpan;  // device reduce-scatter: - step
+constexpr int kTagDevArAg = -18 * kTagSpan;  // device slice allgather: - step
+constexpr int kTagDevAgBlock = -19 * kTagSpan;  // mirror ring: - block owner
+
+Datatype committed_byte() {
+  Datatype t = Datatype::byte();
+  t.commit();
+  return t;
+}
+
+Datatype committed_double() {
+  Datatype t = Datatype::float64();
+  t.commit();
+  return t;
+}
+
+int index_of(const std::vector<int>& v, int value) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == value) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> identity_ranks(int p) {
+  std::vector<int> r(static_cast<std::size_t>(p));
+  std::iota(r.begin(), r.end(), 0);
+  return r;
+}
+
+int uniform_node_size(const std::vector<std::vector<int>>& members) {
+  const std::size_t n = members.front().size();
+  for (const std::vector<int>& m : members) {
+    if (m.size() != n) return 0;
+  }
+  return static_cast<int>(n);
+}
+
+void reduce_into(double* acc, const double* in, int count, bool take_max) {
+  for (int i = 0; i < count; ++i) {
+    acc[i] = take_max ? std::max(acc[i], in[i]) : acc[i] + in[i];
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared machinery
+// ---------------------------------------------------------------------------
+
+bool CollEngine::device_buffer(const void* p) const {
+  return p != nullptr && comm_.memory_registry().is_device_pointer(p);
+}
+
+void CollEngine::ensure_coll_streams() {
+  if (coll_streams_ready_) return;
+  cusim::CudaContext& ctx = comm_.cuda();
+  coll_d2h_ = ctx.create_stream();
+  coll_h2d_ = ctx.create_stream();
+  coll_red_ = ctx.create_stream();
+  coll_streams_ready_ = true;
+}
+
+// Abort-safe staging slot: tracked in coll_slots_ for the lifetime of the
+// running collective, so an aborted pipeline parks it in the slot graveyard
+// (a stale slice delivery or a still-queued copy may reference it) and
+// normal completion returns it to the pool. Pool-sized requests that find
+// the pool empty fall back to a one-off pinned allocation rather than
+// stalling the collective.
+core::detail::StagingSlot* CollEngine::slot_scratch(std::size_t bytes) {
+  auto s = std::make_unique<core::detail::StagingSlot>(
+      core::detail::acquire_slot(comm_.vbufs(), comm_.cuda(), bytes));
+  if (!s->valid()) *s = core::detail::pinned_slot(comm_.cuda(), bytes);
+  core::detail::StagingSlot* p = s.get();
+  coll_slots_.push_back(std::move(s));
+  return p;
+}
+
+void CollEngine::settle_coll_slots(bool aborted) {
+  for (auto& s : coll_slots_) {
+    if (aborted) {
+      comm_.park_slot(std::move(*s));
+    } else {
+      core::detail::release_slot(comm_.vbufs(), *s);
+    }
+  }
+  coll_slots_.clear();
+}
+
+double* CollEngine::device_scratch(std::size_t n) {
+  cusim::CudaContext& ctx = comm_.cuda();
+  void* p = ctx.malloc(n * sizeof(double));
+  scratch_.push_back(
+      std::shared_ptr<void>(p, [c = &ctx](void* q) { c->free(q); }));
+  return static_cast<double*>(p);
+}
+
+void CollEngine::device_fold(CollOpStats& op, double* acc, const double* in,
+                             int n, bool take_max) {
+  ensure_coll_streams();
+  cusim::CudaContext& ctx = comm_.cuda();
+  const std::size_t bytes = sizeof(double) * static_cast<std::size_t>(n);
+  ctx.launch_device_reduce(coll_red_, bytes, [acc, in, n, take_max] {
+    reduce_into(acc, in, n, take_max);
+  });
+  cusim::Event done = ctx.record_event(coll_red_);
+  done.synchronize();
+  ++op.reduce_kernels;
+}
+
+std::size_t CollEngine::pick_slice_bytes(std::size_t total, int p) const {
+  std::size_t s = comm_.tunables().coll_slice_bytes;
+  if (s == 0) {
+    // Model pick: minimize slices * wire-leg + fill/drain over power-of-two
+    // candidates. The wire legs serialize on the calling fiber, so they sum;
+    // the PCIe legs hide behind them except the first D2H and last H2D. A
+    // slice's Rabenseifner leg moves 2(1-1/p) wire bytes and folds (1-1/p),
+    // but each of its 2 log2 p exchanges also pays the rendezvous protocol
+    // (handshake round trips plus staging launches) — the term that pushes
+    // the pick toward few large slices on a high-latency fabric.
+    const double pcie = hints_.pcie_bw();
+    const double pd = std::max(static_cast<double>(p), 2.0);
+    const double rounds = std::ceil(std::log2(pd));
+    const double frac = 1.0 - 1.0 / pd;
+    const double proto =
+        4.0 * static_cast<double>(hints_.fabric_latency_ns) +
+        2.0 * static_cast<double>(hints_.copy_launch_ns);
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t pick = 64 * 1024;
+    for (std::size_t c = 16 * 1024; c <= (std::size_t{4} << 20); c <<= 1) {
+      const double cd = static_cast<double>(c);
+      const double slices =
+          std::ceil(static_cast<double>(total) / cd);
+      const double copy = static_cast<double>(hints_.copy_launch_ns) +
+                          cd / pcie;
+      const double wire =
+          2.0 * rounds * proto + 2.0 * frac * cd / hints_.fabric_bw +
+          rounds * static_cast<double>(hints_.kernel_launch_ns) +
+          frac * cd / hints_.reduce_bw;
+      const double cost = slices * wire + 2.0 * copy;
+      if (cost < best) {
+        best = cost;
+        pick = c;
+      }
+    }
+    s = pick;
+  }
+  if (s < sizeof(double)) s = sizeof(double);
+  s = (s + 7) & ~std::size_t{7};
+  // Per-slice tag offsets must stay inside one tag span.
+  while ((total + s - 1) / s > static_cast<std::size_t>(kMaxDevSlices)) {
+    s <<= 1;
+  }
+  return s;
+}
+
+bool CollEngine::device_pipeline_wins(std::size_t bytes, int p) const {
+  if (p <= 1) return false;
+  const double pcie = hints_.pcie_bw();
+  const double launch = static_cast<double>(hints_.copy_launch_ns);
+  const double rounds = std::ceil(std::log2(static_cast<double>(p)));
+  const double frac = 1.0 - 1.0 / static_cast<double>(p);
+  const double proto = 4.0 * static_cast<double>(hints_.fabric_latency_ns) +
+                       2.0 * launch;
+  // Staged rides the host butterfly (log2 p full-size exchanges, free host
+  // folds) behind two exposed full-size PCIe copies; the pipeline's slices
+  // ride Rabenseifner legs with on-device folds, PCIe hidden except at the
+  // pipeline's ends. Same sketch as pick_slice_bytes, rank-invariant.
+  const double bd = static_cast<double>(bytes);
+  const double staged =
+      2.0 * (launch + bd / pcie) + rounds * (proto + bd / hints_.fabric_bw);
+  const std::size_t sb = pick_slice_bytes(bytes, p);
+  const double sd = static_cast<double>(sb);
+  const double slices = std::ceil(bd / sd);
+  const double wire =
+      2.0 * rounds * proto + 2.0 * frac * sd / hints_.fabric_bw +
+      rounds * static_cast<double>(hints_.kernel_launch_ns) +
+      frac * sd / hints_.reduce_bw;
+  const double pipe = slices * wire + 2.0 * (launch + sd / pcie);
+  return pipe < staged;
+}
+
+// ---------------------------------------------------------------------------
+// Sliced allreduce pipeline
+// ---------------------------------------------------------------------------
+
+void CollEngine::device_slice_wire(CollOpStats& op, const CommGroup& g,
+                                   const std::vector<int>& ranks, int me,
+                                   double* data, int count, bool take_max,
+                                   int slice, cusim::Event* gate) {
+  static const Datatype double_t = committed_double();
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return;
+  auto world_of = [&](int idx) {
+    return g.world[static_cast<std::size_t>(
+        ranks[static_cast<std::size_t>(idx)])];
+  };
+  double* tmp = scratch<double>(static_cast<std::size_t>(count));
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
+  // The slice's D2H gate rides the first send's data stages (the RTS still
+  // leaves immediately); any fold that writes the slot before a send
+  // consumed the gate must synchronize it explicitly.
+  bool gate_pending = gate != nullptr;
+  auto gated_send = [&](const double* buf, int cnt, int dst, int tag) {
+    op.bytes_sent += sizeof(double) * static_cast<std::size_t>(cnt);
+    Request r;
+    if (gate_pending) {
+      XferOpts opts;
+      opts.data_gate = *gate;
+      r = comm_.isend(buf, cnt, double_t, dst, tag, g.context, opts);
+      gate_pending = false;
+    } else {
+      r = comm_.isend(buf, cnt, double_t, dst, tag, g.context);
+    }
+    inflight_.push_back(r);
+    return r;
+  };
+  auto fold_at = [&](int off, int cnt) {
+    if (gate_pending) {
+      gate->synchronize();
+      gate_pending = false;
+    }
+    device_fold(op, data + off, tmp + off, cnt, take_max);
+  };
+  // Non-power-of-two pre-pairing: evens hand their whole slice to the odd
+  // neighbour and rejoin after the allgather (the MPICH shape).
+  const int tpair = kTagDevArPair - slice * 2;
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      Request s = gated_send(data, count, world_of(me + 1), tpair - 0);
+      cwait(s);
+      newrank = -1;
+    } else {
+      Request r = irecv_track(tmp, count, double_t, world_of(me - 1),
+                              tpair - 0, g.context);
+      cwait(r);
+      fold_at(0, count);
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+  if (newrank >= 0 && count < 2 * pof2) {
+    // Too few elements to split into pof2 chunks: full-vector recursive
+    // doubling (the short-vector shape; folds still run on-device).
+    int round = 0;
+    for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+      const int newdst = newrank ^ mask;
+      const int dst_idx = newdst < rem ? newdst * 2 + 1 : newdst + rem;
+      const int dst = world_of(dst_idx);
+      const int tag = kTagDevArRd - (slice * kDevStride + round);
+      Request rr = irecv_track(tmp, count, double_t, dst, tag, g.context);
+      Request sr = gated_send(data, count, dst, tag);
+      cwait(sr);
+      cwait(rr);
+      fold_at(0, count);
+    }
+  } else if (newrank >= 0) {
+    // Rabenseifner: recursive-halving reduce-scatter, then the same
+    // exchanges replayed in reverse as a recursive-doubling allgather.
+    // 2(1-1/p) wire bytes and (1-1/p) folded bytes per rank, against
+    // log2(p) of each for the butterfly — this is where the pipeline's
+    // reduction-kernel bill stays below the PCIe time it hides.
+    const int q2 = count / pof2;
+    const int r2 = count % pof2;
+    auto cstart = [&](int i) { return i * q2 + std::min(i, r2); };
+    struct HalvingRound {
+      int dst;
+      int half;
+      bool lower;
+    };
+    std::vector<HalvingRound> replay;
+    int wlo = 0;
+    int whi = pof2;
+    int round = 0;
+    while (whi - wlo > 1) {
+      const int half = (whi - wlo) / 2;
+      const bool lower = newrank < wlo + half;
+      const int partner_nr = lower ? newrank + half : newrank - half;
+      const int dst_idx =
+          partner_nr < rem ? partner_nr * 2 + 1 : partner_nr + rem;
+      const int dst = world_of(dst_idx);
+      const int keep_lo = lower ? wlo : wlo + half;
+      const int keep_hi = lower ? wlo + half : whi;
+      const int send_lo = lower ? wlo + half : wlo;
+      const int send_hi = lower ? whi : wlo + half;
+      const int koff = cstart(keep_lo);
+      const int kcnt = cstart(keep_hi) - koff;
+      const int soff = cstart(send_lo);
+      const int scnt = cstart(send_hi) - soff;
+      const int tag = kTagDevArRd - (slice * kDevStride + round);
+      Request rr =
+          irecv_track(tmp + koff, kcnt, double_t, dst, tag, g.context);
+      Request sr = gated_send(data + soff, scnt, dst, tag);
+      cwait(sr);
+      cwait(rr);
+      fold_at(koff, kcnt);
+      replay.push_back({dst, half, lower});
+      if (lower) {
+        whi = wlo + half;
+      } else {
+        wlo = wlo + half;
+      }
+      ++round;
+    }
+    // Allgather: the owned window doubles back out; the partner of each
+    // reversed round holds the mirror range, shifted by that round's half.
+    int olo = wlo;
+    int ohi = whi;
+    for (std::size_t j = replay.size(); j-- > 0;) {
+      const HalvingRound& hr = replay[j];
+      const int plo = hr.lower ? olo + hr.half : olo - hr.half;
+      const int phi = plo + (ohi - olo);
+      const int soff = cstart(olo);
+      const int scnt = cstart(ohi) - soff;
+      const int roff = cstart(plo);
+      const int rcnt = cstart(phi) - roff;
+      const int tag = kTagDevArRd - (slice * kDevStride + round);
+      Request rr =
+          irecv_track(data + roff, rcnt, double_t, hr.dst, tag, g.context);
+      Request sr = gated_send(data + soff, scnt, hr.dst, tag);
+      cwait(sr);
+      cwait(rr);
+      olo = std::min(olo, plo);
+      ohi = std::max(ohi, phi);
+      ++round;
+    }
+  }
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      Request r = irecv_track(data, count, double_t, world_of(me + 1),
+                              tpair - 1, g.context);
+      cwait(r);
+    } else {
+      Request s = gated_send(data, count, world_of(me - 1), tpair - 1);
+      cwait(s);
+    }
+  }
+}
+
+void CollEngine::device_sliced_allreduce(CollOpStats& op, const CommGroup& g,
+                                         const std::vector<int>& ranks,
+                                         int me, double* dev, int count,
+                                         bool take_max) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1 || count <= 0) return;
+  ensure_coll_streams();
+  cusim::CudaContext& ctx = comm_.cuda();
+  sim::Engine& eng = comm_.engine();
+  const bool stream_mode =
+      comm_.tunables().trigger_mode == core::TriggerMode::kStream;
+  const std::size_t total = sizeof(double) * static_cast<std::size_t>(count);
+  const std::size_t slice_bytes = pick_slice_bytes(total, p);
+  const int sc = static_cast<int>(slice_bytes / sizeof(double));
+  const int S = (count + sc - 1) / sc;
+  op.device_slices += static_cast<std::uint64_t>(S);
+
+  struct SliceState {
+    core::detail::StagingSlot* slot = nullptr;
+    cusim::Event d2h;
+    std::shared_ptr<cusim::HostFlag> h2d_release;
+    int off = 0;
+    int len = 0;
+  };
+  std::vector<SliceState> sl(static_cast<std::size_t>(S));
+  // If the pipeline aborts, release every armed write-back flag on unwind:
+  // a permanently blocked coll_h2d_ stream would wedge later collectives
+  // and teardown. The released copies read parked scratch slots (kept live
+  // precisely for this) and write the caller's recvbuf — undefined content
+  // of a failed collective.
+  struct FlagDrain {
+    std::vector<SliceState>* sl;
+    ~FlagDrain() {
+      for (SliceState& s : *sl) {
+        if (s.h2d_release && !s.h2d_release->is_set()) s.h2d_release->trigger();
+      }
+    }
+  } flag_drain{&sl};
+
+  auto post_d2h = [&](int k) {
+    SliceState& s = sl[static_cast<std::size_t>(k)];
+    s.off = k * sc;
+    s.len = std::min(sc, count - s.off);
+    const std::size_t b = sizeof(double) * static_cast<std::size_t>(s.len);
+    s.slot = slot_scratch(b);
+    ctx.memcpy_async(s.slot->ptr, dev + s.off, b,
+                     cusim::MemcpyKind::kDeviceToHost, coll_d2h_);
+    s.d2h = ctx.record_event(coll_d2h_);
+    op.bytes_staged += b;
+    op.device_stage_ns +=
+        hints_.copy_launch_ns +
+        static_cast<sim::SimTime>(static_cast<double>(b) / hints_.d2h_bw);
+    if (stream_mode) {
+      // A send gated on s.d2h is re-driven by the progress loop, not by
+      // the event completing — wake the loop the moment the copy drains,
+      // or the gated send sleeps until its retry timer (and charges a
+      // spurious timeout).
+      ctx.launch_host_trigger(coll_d2h_, [this] { comm_.wake_progress(); });
+      // Pre-enqueue the write-back in stream order behind a wait flag; the
+      // wire leg's completion releases it (cuStreamWaitValue idiom).
+      s.h2d_release = std::make_shared<cusim::HostFlag>();
+      ctx.stream_wait_flag(coll_h2d_, s.h2d_release);
+      ctx.memcpy_async(dev + s.off, s.slot->ptr, b,
+                       cusim::MemcpyKind::kHostToDevice, coll_h2d_);
+    }
+  };
+
+  constexpr int kPrefetch = 2;  // D2H slices posted ahead of the wire leg
+  int posted = 0;
+  for (int k = 0; k < S; ++k) {
+    while (posted < S && posted <= k + kPrefetch) post_d2h(posted++);
+    SliceState& s = sl[static_cast<std::size_t>(k)];
+    double* host = reinterpret_cast<double*>(s.slot->ptr);
+    const std::size_t b = sizeof(double) * static_cast<std::size_t>(s.len);
+    const sim::SimTime wire_t0 = eng.now();
+    if (stream_mode) {
+      cusim::Event data_gate = s.d2h;
+      device_slice_wire(op, g, ranks, me, host, s.len, take_max, k, &data_gate);
+      // Degenerate butterflies may not have consumed the gate; the
+      // write-back below must still see the D2H drained.
+      if (!s.d2h.query()) s.d2h.synchronize();
+      s.h2d_release->trigger();
+    } else {
+      s.d2h.synchronize();
+      device_slice_wire(op, g, ranks, me, host, s.len, take_max, k, nullptr);
+      ctx.memcpy_async(dev + s.off, host, b,
+                       cusim::MemcpyKind::kHostToDevice, coll_h2d_);
+    }
+    op.device_stage_ns += eng.now() - wire_t0;
+    op.device_stage_ns +=
+        hints_.copy_launch_ns +
+        static_cast<sim::SimTime>(static_cast<double>(b) / hints_.h2d_bw);
+    op.bytes_staged += b;
+  }
+  // Drain the write-back leg: the host trigger fires in scheduler context
+  // the instant the stream empties and releases the waiting fiber.
+  sim::EventFlag drained(eng);
+  ctx.launch_host_trigger(coll_h2d_, [&drained] { drained.trigger(); });
+  drained.wait("coll_device_drain");
+}
+
+void CollEngine::device_allreduce(CollOpStats& op, const double* sendbuf,
+                                  double* recvbuf, int count, bool take_max,
+                                  const CommGroup& g) {
+  cusim::CudaContext& ctx = comm_.cuda();
+  const core::Tunables& tun = comm_.tunables();
+  sim::Engine& eng = comm_.engine();
+  const sim::SimTime t0 = eng.now();
+  const std::size_t bytes = sizeof(double) * static_cast<std::size_t>(count);
+  ++op.device_calls;
+
+  const bool both_dev = device_buffer(sendbuf) && device_buffer(recvbuf);
+  bool pipelined = false;
+  switch (tun.coll_device) {
+    case core::CollDevice::kStaged: break;
+    case core::CollDevice::kPipelined: pipelined = both_dev; break;
+    case core::CollDevice::kAuto:
+      pipelined =
+          both_dev && tun.gpu_offload && device_pipeline_wins(bytes, g.size());
+      break;
+  }
+
+  if (g.size() == 1 || count == 0) {
+    if (count > 0 && sendbuf != recvbuf) ctx.memcpy(recvbuf, sendbuf, bytes);
+    const sim::SimTime dt = eng.now() - t0;
+    op.device_stage_ns += dt;
+    op.device_elapsed_ns += dt;
+    return;
+  }
+
+  if (!pipelined) {
+    // Legacy staged schedule: full-size D2H, host butterfly, full-size H2D,
+    // fully serialized (this is the baseline bench_coll_device beats).
+    double* host = scratch<double>(static_cast<std::size_t>(count));
+    if (device_buffer(sendbuf)) {
+      ctx.memcpy(host, sendbuf, bytes);
+      op.bytes_staged += bytes;
+    } else {
+      std::memcpy(host, sendbuf, bytes);
+    }
+    allreduce_wire(op, host, count, take_max, g);
+    if (device_buffer(recvbuf)) {
+      ctx.memcpy(recvbuf, host, bytes);
+      op.bytes_staged += bytes;
+    } else {
+      std::memcpy(recvbuf, host, bytes);
+    }
+    const sim::SimTime dt = eng.now() - t0;
+    op.device_stage_ns += dt;
+    op.device_elapsed_ns += dt;
+    return;
+  }
+
+  ++op.device_pipelined;
+  ensure_coll_streams();
+  // Seed the on-device accumulator.
+  if (sendbuf != recvbuf) {
+    const sim::SimTime seed_t0 = eng.now();
+    ctx.memcpy_async(recvbuf, sendbuf, bytes,
+                     cusim::MemcpyKind::kDeviceToDevice, coll_red_);
+    ctx.record_event(coll_red_).synchronize();
+    op.device_stage_ns += eng.now() - seed_t0;
+  }
+  const Topology t = map_nodes(g);
+  const int uniform = uniform_node_size(t.members);
+  const bool hier =
+      use_hier(t, bytes, /*device=*/true) && uniform > 1 && count >= uniform;
+  if (!hier) {
+    device_sliced_allreduce(op, g, identity_ranks(g.size()), g.my_rank,
+                            recvbuf, count, take_max);
+    op.device_elapsed_ns += eng.now() - t0;
+    return;
+  }
+  // Two-level schedule with device-resident intra legs: the ring
+  // reduce-scatter and allgather exchange device pointers directly (the
+  // IPC transport peer-copies them when device_direct() holds — no host
+  // bounce); only the owned stripe runs the sliced host pipeline across
+  // the fabric.
+  ++op.hier_calls;
+  static const Datatype double_t = committed_double();
+  const std::vector<int>& mem =
+      t.members[static_cast<std::size_t>(t.my_node)];
+  const int n = uniform;
+  const int me_local = index_of(mem, g.my_rank);
+  const int q = count / n;
+  const int r = count % n;
+  auto slice_start = [&](int j) { return j * q + std::min(j, r); };
+  auto slice_len = [&](int j) { return q + (j < r ? 1 : 0); };
+  const int right = g.world[static_cast<std::size_t>(
+      mem[static_cast<std::size_t>((me_local + 1) % n)])];
+  const int left = g.world[static_cast<std::size_t>(
+      mem[static_cast<std::size_t>((me_local - 1 + n) % n)])];
+  const bool peer_direct = comm_.net().device_direct(right);
+  double* dtmp = device_scratch(static_cast<std::size_t>(q + (r ? 1 : 0)));
+  // Phase A: device-resident ring reduce-scatter (same schedule as the
+  // host engine's striped phase A; folds are reduction kernels).
+  ++op.intra_phases;
+  sim::SimTime ring_t0 = eng.now();
+  for (int s = 0; s < n - 1; ++s) {
+    const int sj = ((me_local - s - 1) % n + n) % n;
+    const int rj = ((me_local - s - 2) % n + n) % n;
+    Request rr = irecv_track(dtmp, slice_len(rj), double_t, left,
+                             kTagDevArRs - s, g.context);
+    Request sr = isend_counted(op, recvbuf + slice_start(sj), slice_len(sj),
+                               double_t, right, kTagDevArRs - s, g.context);
+    cwait(sr);
+    cwait(rr);
+    const std::size_t sb =
+        sizeof(double) * static_cast<std::size_t>(slice_len(sj));
+    if (peer_direct) op.bytes_peer += sb; else op.bytes_staged += sb;
+    device_fold(op, recvbuf + slice_start(rj), dtmp, slice_len(rj), take_max);
+  }
+  op.device_stage_ns += eng.now() - ring_t0;
+  // Phase B: sliced host pipeline on the owned stripe, striped across the
+  // counterpart members of every node.
+  if (t.num_nodes() > 1) {
+    ++op.leader_phases;
+    std::vector<int> stripe_group;
+    stripe_group.reserve(t.members.size());
+    for (const std::vector<int>& node_mem : t.members) {
+      stripe_group.push_back(
+          node_mem[static_cast<std::size_t>(me_local)]);
+    }
+    device_sliced_allreduce(op, g, stripe_group, t.my_node,
+                            recvbuf + slice_start(me_local),
+                            slice_len(me_local), take_max);
+  }
+  // Phase C: device-resident ring allgather of the reduced slices.
+  ++op.intra_phases;
+  ring_t0 = eng.now();
+  for (int s = 0; s < n - 1; ++s) {
+    const int sj = ((me_local - s) % n + n) % n;
+    const int rj = ((me_local - s - 1) % n + n) % n;
+    Request rr = irecv_track(recvbuf + slice_start(rj), slice_len(rj),
+                             double_t, left, kTagDevArAg - s, g.context);
+    Request sr = isend_counted(op, recvbuf + slice_start(sj), slice_len(sj),
+                               double_t, right, kTagDevArAg - s, g.context);
+    cwait(sr);
+    cwait(rr);
+    const std::size_t sb =
+        sizeof(double) * static_cast<std::size_t>(slice_len(sj));
+    if (peer_direct) op.bytes_peer += sb; else op.bytes_staged += sb;
+  }
+  op.device_stage_ns += eng.now() - ring_t0;
+  op.device_elapsed_ns += eng.now() - t0;
+}
+
+// ---------------------------------------------------------------------------
+// Bcast
+// ---------------------------------------------------------------------------
+
+void CollEngine::device_bcast(CollOpStats& op, void* buf, int count,
+                              const Datatype& dtype, int root,
+                              const CommGroup& g) {
+  cusim::CudaContext& ctx = comm_.cuda();
+  const core::Tunables& tun = comm_.tunables();
+  sim::Engine& eng = comm_.engine();
+  const sim::SimTime t0 = eng.now();
+  ++op.device_calls;
+  const std::size_t bytes = dtype.size() * static_cast<std::size_t>(count);
+  if (g.size() == 1 || bytes == 0) {
+    const sim::SimTime dt = eng.now() - t0;
+    op.device_stage_ns += dt;
+    op.device_elapsed_ns += dt;
+    return;
+  }
+  bool pipelined = false;
+  switch (tun.coll_device) {
+    case core::CollDevice::kStaged: break;
+    case core::CollDevice::kPipelined: pipelined = true; break;
+    case core::CollDevice::kAuto:
+      pipelined = tun.gpu_offload && device_pipeline_wins(bytes, g.size());
+      break;
+  }
+  auto* dev = static_cast<std::byte*>(buf);
+
+  if (!pipelined) {
+    std::byte* host = scratch<std::byte>(bytes);
+    if (g.my_rank == root) {
+      ctx.memcpy(host, dev, bytes);
+      op.bytes_staged += bytes;
+    }
+    bcast_wire(op, host, count, dtype, root, g);
+    if (g.my_rank != root) {
+      ctx.memcpy(dev, host, bytes);
+      op.bytes_staged += bytes;
+    }
+    const sim::SimTime dt = eng.now() - t0;
+    op.device_stage_ns += dt;
+    op.device_elapsed_ns += dt;
+    return;
+  }
+
+  ++op.device_pipelined;
+  ensure_coll_streams();
+  static const Datatype byte_t = committed_byte();
+  const std::size_t slice_bytes = pick_slice_bytes(bytes, g.size());
+  const int S = static_cast<int>((bytes + slice_bytes - 1) / slice_bytes);
+  op.device_slices += static_cast<std::uint64_t>(S);
+  Topology t = map_nodes(g);
+  const bool hier = use_hier(t, bytes, /*device=*/true);
+  auto slice_off = [&](int k) {
+    return static_cast<std::size_t>(k) * slice_bytes;
+  };
+  auto slice_len = [&](int k) {
+    return std::min(slice_bytes, bytes - slice_off(k));
+  };
+
+  if (!hier) {
+    // Flat: per slice, the root stages D2H and leads a host binomial over
+    // staging slots; receivers write each arriving slice back on coll_h2d_
+    // while later slices are still on the wire.
+    const std::vector<int> ranks = identity_ranks(g.size());
+    std::vector<core::detail::StagingSlot*> slots(
+        static_cast<std::size_t>(S));
+    std::vector<cusim::Event> d2h(static_cast<std::size_t>(S));
+    for (int k = 0; k < S; ++k) {
+      slots[static_cast<std::size_t>(k)] = slot_scratch(slice_len(k));
+      if (g.my_rank == root) {
+        ctx.memcpy_async(slots[static_cast<std::size_t>(k)]->ptr,
+                         dev + slice_off(k), slice_len(k),
+                         cusim::MemcpyKind::kDeviceToHost, coll_d2h_);
+        d2h[static_cast<std::size_t>(k)] = ctx.record_event(coll_d2h_);
+        op.bytes_staged += slice_len(k);
+        op.device_stage_ns +=
+            hints_.copy_launch_ns +
+            static_cast<sim::SimTime>(static_cast<double>(slice_len(k)) /
+                                      hints_.d2h_bw);
+      }
+    }
+    ++op.leader_phases;
+    for (int k = 0; k < S; ++k) {
+      std::byte* host = slots[static_cast<std::size_t>(k)]->ptr;
+      const std::size_t b = slice_len(k);
+      if (g.my_rank == root) d2h[static_cast<std::size_t>(k)].synchronize();
+      const sim::SimTime wire_t0 = eng.now();
+      binomial_bcast(op, g, ranks, g.my_rank, root, host,
+                     static_cast<int>(b), byte_t, kTagDevBcast - k);
+      op.device_stage_ns += eng.now() - wire_t0;
+      if (g.my_rank != root) {
+        ctx.memcpy_async(dev + slice_off(k), host, b,
+                         cusim::MemcpyKind::kHostToDevice, coll_h2d_);
+        op.bytes_staged += b;
+        op.device_stage_ns +=
+            hints_.copy_launch_ns +
+            static_cast<sim::SimTime>(static_cast<double>(b) / hints_.h2d_bw);
+      }
+    }
+    sim::EventFlag drained(eng);
+    ctx.launch_host_trigger(coll_h2d_, [&drained] { drained.trigger(); });
+    drained.wait("coll_device_bcast_drain");
+    op.device_elapsed_ns += eng.now() - t0;
+    return;
+  }
+
+  // Two-level: slices hop leaders over the fabric on staging slots; each
+  // leader lands its slice on-device and fans it out device-resident over
+  // the IPC peer path (members receive straight into device memory).
+  ++op.hier_calls;
+  const int root_node = t.node_of[static_cast<std::size_t>(root)];
+  t.leaders[static_cast<std::size_t>(root_node)] = root;
+  const std::vector<int>& mem =
+      t.members[static_cast<std::size_t>(t.my_node)];
+  const int leader = t.leaders[static_cast<std::size_t>(t.my_node)];
+  const bool am_leader = g.my_rank == leader;
+  if (am_leader && t.num_nodes() > 1) ++op.leader_phases;
+  if (mem.size() > 1) ++op.intra_phases;
+  int peer_probe = -1;  // a co-member, for the device-direct stats split
+  for (int m : mem) {
+    if (m != g.my_rank) {
+      peer_probe = g.world[static_cast<std::size_t>(m)];
+      break;
+    }
+  }
+  std::vector<core::detail::StagingSlot*> slots;
+  std::vector<cusim::Event> d2h;
+  if (am_leader) {
+    slots.resize(static_cast<std::size_t>(S));
+    d2h.resize(static_cast<std::size_t>(S));
+    for (int k = 0; k < S; ++k) {
+      slots[static_cast<std::size_t>(k)] = slot_scratch(slice_len(k));
+      if (g.my_rank == root) {
+        ctx.memcpy_async(slots[static_cast<std::size_t>(k)]->ptr,
+                         dev + slice_off(k), slice_len(k),
+                         cusim::MemcpyKind::kDeviceToHost, coll_d2h_);
+        d2h[static_cast<std::size_t>(k)] = ctx.record_event(coll_d2h_);
+        op.bytes_staged += slice_len(k);
+      }
+    }
+  }
+  for (int k = 0; k < S; ++k) {
+    const std::size_t b = slice_len(k);
+    if (am_leader) {
+      std::byte* host = slots[static_cast<std::size_t>(k)]->ptr;
+      if (g.my_rank == root) d2h[static_cast<std::size_t>(k)].synchronize();
+      if (t.num_nodes() > 1) {
+        binomial_bcast(op, g, t.leaders, t.my_node, root_node, host,
+                       static_cast<int>(b), byte_t, kTagDevBcastLeader - k);
+      }
+      if (g.my_rank != root) {
+        // Land the slice on-device before the intra fan-out reads it.
+        ctx.memcpy_async(dev + slice_off(k), host, b,
+                         cusim::MemcpyKind::kHostToDevice, coll_h2d_);
+        ctx.record_event(coll_h2d_).synchronize();
+        op.bytes_staged += b;
+      }
+    }
+    if (mem.size() > 1) {
+      const std::uint64_t sent0 = op.bytes_sent;
+      binomial_bcast(op, g, mem, index_of(mem, g.my_rank),
+                     index_of(mem, leader), dev + slice_off(k),
+                     static_cast<int>(b), byte_t, kTagDevBcastIntra - k);
+      const std::uint64_t delta = op.bytes_sent - sent0;
+      if (peer_probe >= 0 && comm_.net().device_direct(peer_probe)) {
+        op.bytes_peer += delta;
+      } else {
+        op.bytes_staged += delta;
+      }
+    }
+  }
+  const sim::SimTime dt = eng.now() - t0;
+  op.device_stage_ns += dt;
+  op.device_elapsed_ns += dt;
+}
+
+// ---------------------------------------------------------------------------
+// Allgather
+// ---------------------------------------------------------------------------
+
+void CollEngine::device_allgather(CollOpStats& op, const void* sendbuf,
+                                  int count, const Datatype& dtype,
+                                  void* recvbuf, const CommGroup& g) {
+  cusim::CudaContext& ctx = comm_.cuda();
+  const core::Tunables& tun = comm_.tunables();
+  sim::Engine& eng = comm_.engine();
+  const sim::SimTime t0 = eng.now();
+  ++op.device_calls;
+  const std::size_t block = static_cast<std::size_t>(dtype.extent()) *
+                            static_cast<std::size_t>(count);
+  const int p = g.size();
+  const int my = g.my_rank;
+  auto* out = static_cast<std::byte*>(recvbuf);
+
+  if (p == 1 || block == 0) {
+    if (block > 0 && sendbuf != recvbuf) ctx.memcpy(out, sendbuf, block);
+    const sim::SimTime dt = eng.now() - t0;
+    op.device_stage_ns += dt;
+    op.device_elapsed_ns += dt;
+    return;
+  }
+
+  const std::size_t total = block * static_cast<std::size_t>(p);
+  const bool both_dev = device_buffer(sendbuf) && device_buffer(recvbuf);
+  bool pipelined = false;
+  switch (tun.coll_device) {
+    case core::CollDevice::kStaged: break;
+    case core::CollDevice::kPipelined: pipelined = both_dev; break;
+    case core::CollDevice::kAuto:
+      pipelined =
+          both_dev && tun.gpu_offload && device_pipeline_wins(total, p);
+      break;
+  }
+
+  if (!pipelined) {
+    std::byte* hin = scratch<std::byte>(block);
+    std::byte* hout = scratch<std::byte>(total);
+    if (device_buffer(sendbuf)) {
+      ctx.memcpy(hin, sendbuf, block);
+      op.bytes_staged += block;
+    } else {
+      std::memcpy(hin, sendbuf, block);
+    }
+    allgather_wire(op, hin, count, dtype, hout, g);
+    if (device_buffer(recvbuf)) {
+      ctx.memcpy(out, hout, total);
+      op.bytes_staged += total;
+    } else {
+      std::memcpy(out, hout, total);
+    }
+    const sim::SimTime dt = eng.now() - t0;
+    op.device_stage_ns += dt;
+    op.device_elapsed_ns += dt;
+    return;
+  }
+
+  ++op.device_pipelined;
+  ensure_coll_streams();
+  const Topology t = map_nodes(g);
+  if (use_hier(t, block)) {
+    // Two-level pass-through with device pointers: the intra ring and
+    // co-member forwards peer-copy device memory directly (device_direct),
+    // and each fabric stripe leg rides the rendezvous' own chunked
+    // pipeline. The byte split below attributes this rank's sends to the
+    // peer path when its node's IPC channel is device-direct.
+    const std::uint64_t sent0 = op.bytes_sent;
+    allgather_wire(op, sendbuf, count, dtype, recvbuf, g);
+    const std::uint64_t delta = op.bytes_sent - sent0;
+    int peer_probe = -1;
+    const std::vector<int>& mem =
+        t.members[static_cast<std::size_t>(t.my_node)];
+    for (int m : mem) {
+      if (m != my) {
+        peer_probe = g.world[static_cast<std::size_t>(m)];
+        break;
+      }
+    }
+    if (peer_probe >= 0 && comm_.net().device_direct(peer_probe)) {
+      op.bytes_peer += delta;
+    } else {
+      op.bytes_staged += delta;
+    }
+    const sim::SimTime dt = eng.now() - t0;
+    op.device_stage_ns += dt;
+    op.device_elapsed_ns += dt;
+    return;
+  }
+  // Flat host-mirror ring: the own block crosses PCIe once (D2H into a
+  // mirror slot), every forward sends from the host mirror — no per-hop
+  // PCIe round trip — and each arriving block's H2D overlaps the next ring
+  // step; the own block lands on-device via a D2D copy.
+  static const Datatype byte_t = committed_byte();
+  ++op.leader_phases;
+  op.device_slices += static_cast<std::uint64_t>(p);
+  std::vector<core::detail::StagingSlot*> mirror(
+      static_cast<std::size_t>(p), nullptr);
+  mirror[static_cast<std::size_t>(my)] = slot_scratch(block);
+  ctx.memcpy_async(mirror[static_cast<std::size_t>(my)]->ptr, sendbuf, block,
+                   cusim::MemcpyKind::kDeviceToHost, coll_d2h_);
+  cusim::Event own_d2h = ctx.record_event(coll_d2h_);
+  op.bytes_staged += block;
+  op.device_stage_ns +=
+      hints_.copy_launch_ns +
+      static_cast<sim::SimTime>(static_cast<double>(block) / hints_.d2h_bw);
+  ctx.memcpy_async(out + static_cast<std::size_t>(my) * block, sendbuf,
+                   block, cusim::MemcpyKind::kDeviceToDevice, coll_red_);
+  const int right = g.world[static_cast<std::size_t>((my + 1) % p)];
+  const int left = g.world[static_cast<std::size_t>((my - 1 + p) % p)];
+  for (int s = 0; s < p - 1; ++s) {
+    const int sendb = (my - s + p) % p;
+    const int recvb = (my - s - 1 + p) % p;
+    mirror[static_cast<std::size_t>(recvb)] = slot_scratch(block);
+    Request rr = irecv_track(mirror[static_cast<std::size_t>(recvb)]->ptr,
+                             static_cast<int>(block), byte_t, left,
+                             kTagDevAgBlock - recvb, g.context);
+    if (s == 0) own_d2h.synchronize();
+    const sim::SimTime wire_t0 = eng.now();
+    Request sr = isend_counted(op,
+                               mirror[static_cast<std::size_t>(sendb)]->ptr,
+                               static_cast<int>(block), byte_t, right,
+                               kTagDevAgBlock - sendb, g.context);
+    cwait(sr);
+    cwait(rr);
+    op.device_stage_ns += eng.now() - wire_t0;
+    ctx.memcpy_async(out + static_cast<std::size_t>(recvb) * block,
+                     mirror[static_cast<std::size_t>(recvb)]->ptr, block,
+                     cusim::MemcpyKind::kHostToDevice, coll_h2d_);
+    op.bytes_staged += block;
+    op.device_stage_ns +=
+        hints_.copy_launch_ns +
+        static_cast<sim::SimTime>(static_cast<double>(block) / hints_.h2d_bw);
+  }
+  ctx.record_event(coll_red_).synchronize();  // own-block D2D
+  sim::EventFlag drained(eng);
+  ctx.launch_host_trigger(coll_h2d_, [&drained] { drained.trigger(); });
+  drained.wait("coll_device_ag_drain");
+  op.device_elapsed_ns += eng.now() - t0;
+}
+
+}  // namespace mv2gnc::mpisim::detail

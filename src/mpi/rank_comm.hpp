@@ -135,6 +135,11 @@ class RankComm {
   sim::Engine& engine() { return engine_; }
   const core::Tunables& tunables() const { return *res_.tun; }
   gpu::MemoryRegistry& memory_registry() { return registry_; }
+  /// This rank's simulated CUDA context (the device-buffer collectives
+  /// stage copies and reduction kernels through it).
+  cusim::CudaContext& cuda() { return *res_.cuda; }
+  /// Transport seam (device-direct capability probe for peer legs).
+  core::TransportRouter& net() { return *res_.net; }
   core::VbufPool& vbufs() { return vbuf_pool_; }
   const core::VbufPool& vbufs() const { return vbuf_pool_; }
   /// Aggregated reliability counters (retransmissions, timeouts, stalls).
@@ -153,6 +158,16 @@ class RankComm {
       if (s.from_pool) ++n;
     }
     return n;
+  }
+  /// Wake the progress loop (deposit a notifier token). Stream host
+  /// triggers use this so a rank blocked in a wait notices a data gate
+  /// opening immediately instead of sleeping until its retry timer.
+  void wake_progress() { notifier_.notify(); }
+  /// Park a staging slot an aborted operation could not release safely (a
+  /// still-queued stream copy or in-flight write may reference it); freed
+  /// at destruction and counted by graveyard_slots() when pool-backed.
+  void park_slot(core::detail::StagingSlot slot) {
+    slot_graveyard_.push_back(std::move(slot));
   }
   /// Rendezvous receivers still held live (matched or draining). Returns to
   /// zero once every transfer is garbage-collected — the check long-running

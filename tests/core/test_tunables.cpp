@@ -319,3 +319,44 @@ TEST(Tunables, ValidationCatchesBadEcnKnobs) {
   t.ecn_restore_chunks = 0;  // would grow back on every clean ack
   EXPECT_THROW(t.validate(), std::invalid_argument);
 }
+
+TEST(Tunables, DeviceCollectiveKnobsDefaultToLegacyBehaviour) {
+  // staged + model-selected slice reproduces the pre-pipeline schedule
+  // byte-for-byte; that is the ablation baseline.
+  Tunables t;
+  EXPECT_EQ(t.coll_device, mv2gnc::core::CollDevice::kStaged);
+  EXPECT_EQ(t.coll_slice_bytes, 0u);
+}
+
+TEST(Tunables, DeviceCollectiveKnobsRoundTrip) {
+  for (auto dev : {mv2gnc::core::CollDevice::kStaged,
+                   mv2gnc::core::CollDevice::kPipelined,
+                   mv2gnc::core::CollDevice::kAuto}) {
+    Tunables t;
+    t.coll_device = dev;
+    t.coll_slice_bytes = 65'536;
+    std::istringstream in(t.to_config_string());
+    Tunables u = Tunables::from_stream(in);
+    EXPECT_EQ(u.coll_device, dev);
+    EXPECT_EQ(u.coll_slice_bytes, 65'536u);
+  }
+}
+
+TEST(Tunables, ParserRejectsBadCollDevice) {
+  std::istringstream bad("coll_device = sliced\n");
+  EXPECT_THROW(Tunables::from_stream(bad), std::invalid_argument);
+}
+
+TEST(Tunables, ValidationCatchesBadDeviceCollectiveKnobs) {
+  Tunables t;
+  t.coll_slice_bytes = 12'345;  // not a multiple of the widest element
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = Tunables{};
+  t.coll_slice_bytes = 0;  // model-selected: always legal
+  EXPECT_NO_THROW(t.validate());
+  t.coll_device = mv2gnc::core::CollDevice::kPipelined;
+  t.gpu_offload = false;  // nothing to pipeline without the device legs
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t.gpu_offload = true;
+  EXPECT_NO_THROW(t.validate());
+}
